@@ -1,0 +1,103 @@
+// E15 — the conclusion's allocation sketch: "A task allocation scheme
+// ... would attempt to allocate tasks with a high degree of resource
+// sharing to the same processor(s). Since the task allocation is
+// determined offline, the complexity of the allocation algorithm need
+// not be a dominating factor."
+//
+// We generate unbound task sets with clustered resource sharing, allocate
+// with plain first-fit-decreasing vs the resource-affinity heuristic, and
+// compare (a) how many resources end up global, (b) MPCP blocking, and
+// (c) RTA acceptance.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strf.h"
+#include "taskgen/allocation.h"
+
+using namespace mpcp;
+using namespace mpcp::bench;
+
+namespace {
+
+/// Task sets built as sharing *clusters*: each cluster's tasks share one
+/// resource, so a sharing-aware allocator can make every cluster local.
+std::vector<UnboundTask> makeClusters(int clusters, int tasks_per_cluster,
+                                      double cluster_util, Rng& rng,
+                                      int* resource_count) {
+  std::vector<UnboundTask> tasks;
+  for (int c = 0; c < clusters; ++c) {
+    const ResourceId r(c);
+    for (int k = 0; k < tasks_per_cluster; ++k) {
+      const Duration period = rng.uniformInt(2'000, 20'000);
+      const double u = cluster_util / tasks_per_cluster *
+                       rng.uniformReal(0.6, 1.4);
+      const Duration wcet = std::max<Duration>(
+          20, static_cast<Duration>(u * static_cast<double>(period)));
+      const Duration cs = std::max<Duration>(2, wcet / 10);
+      UnboundTask t;
+      t.name = strf("c", c, "_t", k);
+      t.period = period;
+      t.body = Body{}.compute(wcet - cs - 5).section(r, cs).compute(5);
+      tasks.push_back(std::move(t));
+    }
+  }
+  *resource_count = clusters;
+  return tasks;
+}
+
+int countGlobals(const TaskSystem& sys) {
+  int n = 0;
+  for (const ResourceInfo& r : sys.resources()) {
+    n += r.scope == ResourceScope::kGlobal ? 1 : 0;
+  }
+  return n;
+}
+
+double meanBlocking(const TaskSystem& sys) {
+  const ProtocolAnalysis a = analyzeUnder(ProtocolKind::kMpcp, sys);
+  double sum = 0;
+  for (Duration b : a.blocking) sum += static_cast<double>(b);
+  return sum / static_cast<double>(a.blocking.size());
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSeeds = 30;
+  constexpr int kProcs = 4;
+
+  printHeader("FFD vs resource-affinity allocation (4 processors)");
+  std::cout << cell("cluster util") << cell("glob FFD") << cell("glob AFF")
+            << cell("B FFD") << cell("B AFF") << cell("rta FFD")
+            << cell("rta AFF") << "\n";
+  for (double util : {0.4, 0.6, 0.8}) {
+    double glob_ffd = 0, glob_aff = 0, b_ffd = 0, b_aff = 0;
+    int ok_ffd = 0, ok_aff = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng rng(17'000 + static_cast<std::uint64_t>(s));
+      int resources = 0;
+      // 4 clusters of 3 tasks; each cluster sums to `util`.
+      const auto tasks = makeClusters(4, 3, util, rng, &resources);
+      const auto ffd = allocateFirstFitDecreasing(tasks, kProcs, 0.9);
+      const auto aff = allocateResourceAffinity(tasks, kProcs, 0.9);
+      const TaskSystem sys_ffd = bindTasks(tasks, ffd, kProcs, resources);
+      const TaskSystem sys_aff = bindTasks(tasks, aff, kProcs, resources);
+      glob_ffd += countGlobals(sys_ffd);
+      glob_aff += countGlobals(sys_aff);
+      b_ffd += meanBlocking(sys_ffd);
+      b_aff += meanBlocking(sys_aff);
+      ok_ffd += analyzeUnder(ProtocolKind::kMpcp, sys_ffd).report.rta_all;
+      ok_aff += analyzeUnder(ProtocolKind::kMpcp, sys_aff).report.rta_all;
+    }
+    std::cout << cell(util, 12, 2) << cell(glob_ffd / kSeeds, 12, 2)
+              << cell(glob_aff / kSeeds, 12, 2)
+              << cell(b_ffd / kSeeds, 12, 0) << cell(b_aff / kSeeds, 12, 0)
+              << cell(static_cast<double>(ok_ffd) / kSeeds)
+              << cell(static_cast<double>(ok_aff) / kSeeds) << "\n";
+  }
+  std::cout << "\nexpected shape: affinity allocation converts global\n"
+               "semaphores into local ones (glob AFF << glob FFD), cutting\n"
+               "mean blocking and raising acceptance — until capacity\n"
+               "pressure forces clusters apart at high utilization.\n";
+  return 0;
+}

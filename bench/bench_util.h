@@ -1,0 +1,87 @@
+// Shared helpers for the experiment binaries (bench/).
+//
+// Each bench reproduces one artifact of the paper (a figure, a table, or
+// an analysis claim) and prints the rows the paper reports. Absolute
+// numbers differ from the 1990 hardware, but the *shape* — who wins,
+// by what factor, where crossovers fall — is the reproduction target
+// (see EXPERIMENTS.md).
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/analyzer.h"
+#include "core/simulate.h"
+#include "taskgen/generator.h"
+
+namespace mpcp::bench {
+
+/// Prints a header followed by a separator sized to it.
+inline void printHeader(const std::string& title) {
+  std::cout << "\n### " << title << "\n";
+}
+
+/// Fixed-width cell helpers.
+inline std::string cell(const std::string& s, int w = 12) {
+  std::ostringstream os;
+  os << std::left << std::setw(w) << s;
+  return os.str();
+}
+inline std::string cell(double v, int w = 12, int prec = 3) {
+  std::ostringstream os;
+  os << std::left << std::setw(w) << std::fixed << std::setprecision(prec)
+     << v;
+  return os.str();
+}
+inline std::string cell(std::int64_t v, int w = 12) {
+  std::ostringstream os;
+  os << std::left << std::setw(w) << v;
+  return os.str();
+}
+
+/// Fraction of `seeds` random workloads accepted by the RTA under `kind`,
+/// plus the fraction whose simulation misses a deadline *despite*
+/// acceptance (soundness violations; must be 0).
+struct AcceptanceResult {
+  double accepted_rta = 0;
+  double accepted_ll = 0;
+  double sim_miss_given_accept = 0;  // soundness violations
+  int runs = 0;
+};
+
+inline AcceptanceResult acceptanceSweep(ProtocolKind kind,
+                                        const WorkloadParams& params,
+                                        int seeds,
+                                        std::uint64_t seed_base = 1000,
+                                        bool simulate_accepted = false) {
+  AcceptanceResult out;
+  int accepted = 0, accepted_ll = 0, missed = 0;
+  for (int s = 0; s < seeds; ++s) {
+    Rng rng(seed_base + static_cast<std::uint64_t>(s));
+    const TaskSystem sys = generateWorkload(params, rng);
+    const ProtocolAnalysis analysis = analyzeUnder(kind, sys);
+    accepted_ll += analysis.report.ll_all ? 1 : 0;
+    if (analysis.report.rta_all) {
+      ++accepted;
+      if (simulate_accepted) {
+        const SimResult r = simulate(
+            kind, sys,
+            {.horizon_cap = 300'000, .stop_on_deadline_miss = true,
+             .record_trace = false});
+        missed += r.any_deadline_miss ? 1 : 0;
+      }
+    }
+  }
+  out.runs = seeds;
+  out.accepted_rta = static_cast<double>(accepted) / seeds;
+  out.accepted_ll = static_cast<double>(accepted_ll) / seeds;
+  out.sim_miss_given_accept =
+      accepted == 0 ? 0.0 : static_cast<double>(missed) / accepted;
+  return out;
+}
+
+}  // namespace mpcp::bench

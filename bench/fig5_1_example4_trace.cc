@@ -1,0 +1,106 @@
+// E5 — Figure 5-1 / Example 4: full event trace of the Example 3 task
+// set under the shared-memory protocol, audited for every characteristic
+// the paper lists at the end of Section 5:
+//
+//   (a) local semaphores are managed by the uniprocessor PCP;
+//   (b) any gcs executes at higher priority than all non-gcs code;
+//   (c) a gcs can preempt another gcs of lower gcs priority;
+//   (d) jobs suspended on a semaphore are signalled in priority order;
+//   (e) while a job is suspended on a global semaphore, a lower-priority
+//       job can execute on its processor.
+#include <iostream>
+
+#include "core/simulate.h"
+#include "taskgen/paper_examples.h"
+#include "trace/gantt.h"
+#include "trace/invariants.h"
+
+using namespace mpcp;
+
+int main() {
+  const paper::Example3 ex = paper::makeExample3();
+  const SimResult r = simulate(ProtocolKind::kMpcp, ex.sys, {.horizon = 40});
+
+  std::cout << "### Figure 5-1: Gantt of the first activation window\n"
+            << renderGantt(ex.sys, r, {.end = 25}) << "\n"
+            << "### Event narrative\n"
+            << renderNarrative(ex.sys, r, 0, 16);
+
+  // ---- audit the five characteristics ----
+  bool ok = true;
+  const auto check = [&](const char* what, bool value) {
+    std::cout << (value ? "  [ok]  " : "  [FAIL]") << what << "\n";
+    ok &= value;
+  };
+
+  std::cout << "\n### Characteristics (end of Section 5)\n";
+  // (b) Theorem 2 audit over the whole trace.
+  check("gcs never preempted by non-critical code (Theorem 2)",
+        checkGcsPreemptionRule(ex.sys, r).ok());
+  // (d) priority-ordered signalling.
+  check("waiters signalled in priority order (rule 7)",
+        checkPriorityOrderedHandoff(ex.sys, r).ok());
+  // mutual exclusion, always.
+  check("mutual exclusion on every semaphore",
+        checkMutualExclusion(ex.sys, r).ok());
+
+  // (c) gcs preempted by higher-priority gcs at least once in the window.
+  bool gcs_preempted_gcs = false;
+  for (const TraceEvent& e : r.trace) {
+    if (e.kind != Ev::kPreempt) continue;
+    // find whether both jobs were inside gcs's: approximate via segments.
+    for (const ExecSegment& s1 : r.segments) {
+      if (s1.job == e.job && s1.mode == ExecMode::kGcs && s1.end == e.t) {
+        for (const ExecSegment& s2 : r.segments) {
+          if (s2.job == e.other && s2.mode == ExecMode::kGcs &&
+              s2.begin == e.t && s2.processor == s1.processor) {
+            gcs_preempted_gcs = true;
+          }
+        }
+      }
+    }
+  }
+  check("a gcs preempted a lower-priority gcs somewhere in the run",
+        gcs_preempted_gcs);
+
+  // (e) someone executed while a local higher-priority job was suspended.
+  bool lower_ran_during_suspension = false;
+  for (const TraceEvent& w : r.trace) {
+    if (w.kind != Ev::kLockWait || !ex.sys.isGlobal(w.resource)) continue;
+    // find the matching grant
+    Time granted = r.horizon;
+    for (const TraceEvent& g : r.trace) {
+      if (g.kind == Ev::kLockGrant && g.job == w.job &&
+          g.resource == w.resource && g.t >= w.t) {
+        granted = g.t;
+        break;
+      }
+    }
+    for (const ExecSegment& s : r.segments) {
+      if (s.processor == w.processor && !(s.job == w.job) &&
+          s.begin < granted && s.end > w.t &&
+          ex.sys.task(s.job.task).priority <
+              ex.sys.task(w.job.task).priority) {
+        lower_ran_during_suspension = true;
+      }
+    }
+  }
+  check("lower-priority job ran while a higher one was suspended",
+        lower_ran_during_suspension);
+
+  // (a) local semaphores saw PCP action: at least one local lock-wait
+  // followed by inheritance.
+  bool local_pcp_active = false;
+  for (const TraceEvent& e : r.trace) {
+    if (e.kind == Ev::kLockWait && !ex.sys.isGlobal(e.resource)) {
+      local_pcp_active = true;
+    }
+  }
+  std::cout << "  [info] local PCP blocking occurred in window: "
+            << (local_pcp_active ? "yes" : "no (releases did not collide)")
+            << "\n";
+
+  std::cout << "\ndeadline misses: " << (r.any_deadline_miss ? "YES" : "none")
+            << "\n";
+  return ok && !r.any_deadline_miss ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+// E12 — the conclusion's variation: "the shared memory and message-based
+// protocols can be mixed to reduce critical blocking factors and/or
+// support nested critical sections."
+//
+// Scenario built to expose the trade. Each application processor hosts
+//   * a *tight* high-priority task (short period, shares a cold resource
+//     with the next processor's tight task — ring topology), and
+//   * a *heavy* low-priority task with one long section on the hot
+//     resource every heavy task shares.
+// Policies:
+//   pure-shared  — MPCP everywhere: each heavy's hot gcs elevates ON ITS
+//                  HOST, preempting the tight task there (factor F5);
+//   pure-message — DPCP everywhere: the hot gcs's leave, but the cold
+//                  ring (pinned to processor 0's sync duty) funnels every
+//                  tight task's section through P0 (D3'/D4' terms);
+//   hybrid       — hot message-based on a dedicated spare processor,
+//                  cold shared-memory: both pressures removed.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strf.h"
+#include "core/hybrid_blocking.h"
+
+using namespace mpcp;
+using namespace mpcp::bench;
+
+namespace {
+
+struct Scenario {
+  TaskSystem sys;
+  ResourceId hot;
+};
+
+Scenario makeScenario(int procs, Duration hot_cs, Rng& rng) {
+  constexpr Duration kColdCs = 100;
+  TaskSystemBuilder b(procs + 1);  // + dedicated spare
+  const ResourceId hot = b.addResource("HOT");
+  std::vector<ResourceId> cold;
+  for (int c = 0; c < procs; ++c) {
+    const ResourceId r = b.addResource(strf("COLD", c));
+    // All cold resources funnel through P0 when message-based.
+    b.assignSyncProcessor(r, ProcessorId(0));
+    cold.push_back(r);
+  }
+  b.assignSyncProcessor(hot, ProcessorId(procs));
+
+  for (int p = 0; p < procs; ++p) {
+    // Tight task: shares cold[p] with processor (p+1) % procs' tight task.
+    {
+      const Duration period = rng.uniformInt(1500, 4000);
+      const Duration wcet = std::max<Duration>(kColdCs + 20, period * 3 / 10);
+      Body body;
+      body.compute(wcet - kColdCs - 10);
+      body.section(cold[static_cast<std::size_t>(p)], kColdCs);
+      body.compute(5);
+      body.section(cold[static_cast<std::size_t>((p + 1) % procs)], 5);
+      TaskSpec spec;
+      spec.name = strf("tight", p);
+      spec.period = period;
+      spec.processor = p;
+      spec.body = std::move(body);
+      b.addTask(std::move(spec));
+    }
+    // Heavy task: long hot section.
+    {
+      const Duration period = rng.uniformInt(15000, 40000);
+      const Duration wcet = std::max<Duration>(hot_cs + 20, period * 3 / 10);
+      Body body;
+      body.compute(wcet - hot_cs - 5);
+      body.section(hot, hot_cs);
+      body.compute(5);
+      TaskSpec spec;
+      spec.name = strf("heavy", p);
+      spec.period = period;
+      spec.processor = p;
+      spec.body = std::move(body);
+      b.addTask(std::move(spec));
+    }
+  }
+  return Scenario{std::move(b).build(), hot};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSeeds = 30;
+  constexpr int kProcs = 4;
+
+  printHeader(
+      "hybrid policy: hot resource message-based, cold shared (RTA "
+      "acceptance)");
+  std::cout << cell("hot cs") << cell("pure-shared") << cell("pure-msg")
+            << cell("hybrid") << "\n";
+  for (Duration hot_cs : {100, 300, 600, 1000, 1500}) {
+    int shared_ok = 0, msg_ok = 0, hybrid_ok = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng rng(11000 + static_cast<std::uint64_t>(s));
+      const Scenario sc = makeScenario(kProcs, hot_cs, rng);
+      shared_ok += analyzeHybrid(sc.sys, HybridPolicy::allShared(sc.sys))
+                       .report.rta_all;
+      msg_ok += analyzeHybrid(sc.sys, HybridPolicy::allMessage(sc.sys))
+                    .report.rta_all;
+      HybridPolicy mix = HybridPolicy::allShared(sc.sys);
+      mix.set(sc.hot, GlobalPolicy::kMessageBased);
+      hybrid_ok += analyzeHybrid(sc.sys, mix).report.rta_all;
+    }
+    std::cout << cell(static_cast<std::int64_t>(hot_cs))
+              << cell(static_cast<double>(shared_ok) / kSeeds)
+              << cell(static_cast<double>(msg_ok) / kSeeds)
+              << cell(static_cast<double>(hybrid_ok) / kSeeds) << "\n";
+  }
+
+  printHeader("tight tasks' mean blocking decomposition (hot cs = 1000)");
+  {
+    double f5_sh = 0, b_sh = 0, b_msg = 0, b_hyb = 0, d_msg = 0;
+    std::int64_t tights = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng rng(11000 + static_cast<std::uint64_t>(s));
+      const Scenario sc = makeScenario(kProcs, 1000, rng);
+      const PriorityTables tables(sc.sys);
+      const auto shared =
+          hybridBlocking(sc.sys, tables, HybridPolicy::allShared(sc.sys));
+      const auto message =
+          hybridBlocking(sc.sys, tables, HybridPolicy::allMessage(sc.sys));
+      HybridPolicy mix = HybridPolicy::allShared(sc.sys);
+      mix.set(sc.hot, GlobalPolicy::kMessageBased);
+      const auto hybrid = hybridBlocking(sc.sys, tables, mix);
+      for (const Task& t : sc.sys.tasks()) {
+        if (t.name.rfind("tight", 0) != 0) continue;
+        const std::size_t i = static_cast<std::size_t>(t.id.value());
+        f5_sh += static_cast<double>(shared[i].local_lower_gcs);
+        b_sh += static_cast<double>(shared[i].total());
+        b_msg += static_cast<double>(message[i].total());
+        d_msg += static_cast<double>(message[i].agent_interference +
+                                     message[i].host_agent_load);
+        b_hyb += static_cast<double>(hybrid[i].total());
+        ++tights;
+      }
+    }
+    const double n = static_cast<double>(tights);
+    std::cout << "  pure-shared: B = " << b_sh / n << " (F5 share "
+              << f5_sh / n << ")\n"
+              << "  pure-msg:    B = " << b_msg / n
+              << " (agent D3'+D4' share " << d_msg / n << ")\n"
+              << "  hybrid:      B = " << b_hyb / n << "\n";
+  }
+
+  std::cout << "\nexpected shape: pure-shared collapses as the hot section\n"
+               "grows (F5 elevates it on every application processor);\n"
+               "pure-message carries a constant cold-funnelling penalty;\n"
+               "the hybrid tracks the best of both — the mixing benefit\n"
+               "the paper's conclusion anticipates.\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// E7 — Section 5.2: shared-memory (MPCP) vs message-based (DPCP)
+// protocol, as schedulable fractions over random workloads.
+//
+// Paper's qualitative claims reproduced quantitatively:
+//   * factors 1-3 are comparable; the DPCP avoids factor 4/5-style local
+//     interference only by *dedicating* synchronization processors, which
+//     the shared-memory protocol can instead use as extra capacity;
+//   * DPCP's gcs's always run at the full ceiling, MPCP's often lower;
+//   * funnelling every resource through one sync processor (default
+//     DPCP layout here: lowest user processor) concentrates agent load.
+//
+// Sweeps: utilization x cs length x processors; plus a dedicated-sync-
+// processor variant where DPCP gets an extra (application-free)
+// processor while MPCP uses that processor for tasks — the paper's
+// "the shared memory protocol can use these extra processors as
+// additional processing resources".
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace mpcp;
+using namespace mpcp::bench;
+
+namespace {
+
+WorkloadParams baseParams() {
+  WorkloadParams p;
+  p.processors = 4;
+  p.tasks_per_processor = 3;
+  p.global_resources = 2;
+  p.max_gcs_per_task = 2;
+  p.global_sharing_prob = 0.9;
+  p.cs_max = 30;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSeeds = 40;
+
+  printHeader("RTA-schedulable fraction vs per-processor utilization");
+  std::cout << cell("util") << cell("mpcp") << cell("dpcp")
+            << cell("mpcp-LL") << cell("dpcp-LL") << "\n";
+  for (double util : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    WorkloadParams p = baseParams();
+    p.utilization_per_processor = util;
+    const auto m = acceptanceSweep(ProtocolKind::kMpcp, p, kSeeds, 500);
+    const auto d = acceptanceSweep(ProtocolKind::kDpcp, p, kSeeds, 500);
+    std::cout << cell(util, 12, 2) << cell(m.accepted_rta)
+              << cell(d.accepted_rta) << cell(m.accepted_ll)
+              << cell(d.accepted_ll) << "\n";
+  }
+
+  printHeader("RTA-schedulable fraction vs critical-section length");
+  std::cout << cell("cs_max") << cell("mpcp") << cell("dpcp") << "\n";
+  for (Duration cs : {5, 15, 40, 80, 160}) {
+    WorkloadParams p = baseParams();
+    p.utilization_per_processor = 0.45;
+    p.cs_max = cs;
+    const auto m = acceptanceSweep(ProtocolKind::kMpcp, p, kSeeds, 600);
+    const auto d = acceptanceSweep(ProtocolKind::kDpcp, p, kSeeds, 600);
+    std::cout << cell(static_cast<std::int64_t>(cs)) << cell(m.accepted_rta)
+              << cell(d.accepted_rta) << "\n";
+  }
+
+  printHeader("RTA-schedulable fraction vs processor count");
+  std::cout << cell("processors") << cell("mpcp") << cell("dpcp") << "\n";
+  for (int procs : {2, 4, 8, 12}) {
+    WorkloadParams p = baseParams();
+    p.utilization_per_processor = 0.45;
+    p.processors = procs;
+    const auto m = acceptanceSweep(ProtocolKind::kMpcp, p, kSeeds, 700);
+    const auto d = acceptanceSweep(ProtocolKind::kDpcp, p, kSeeds, 700);
+    std::cout << cell(static_cast<std::int64_t>(procs)) << cell(m.accepted_rta)
+              << cell(d.accepted_rta)
+              << "\n";
+  }
+
+  printHeader("soundness: accepted systems must not miss in simulation");
+  {
+    WorkloadParams p = baseParams();
+    p.utilization_per_processor = 0.4;
+    const auto m =
+        acceptanceSweep(ProtocolKind::kMpcp, p, kSeeds, 800, true);
+    const auto d =
+        acceptanceSweep(ProtocolKind::kDpcp, p, kSeeds, 800, true);
+    std::cout << "mpcp: accepted " << m.accepted_rta * 100
+              << "%, miss-after-accept " << m.sim_miss_given_accept * 100
+              << "% (must be 0)\n";
+    std::cout << "dpcp: accepted " << d.accepted_rta * 100
+              << "%, miss-after-accept " << d.sim_miss_given_accept * 100
+              << "% (must be 0)\n";
+    if (m.sim_miss_given_accept > 0 || d.sim_miss_given_accept > 0) return 1;
+  }
+
+  printHeader(
+      "dedicated sync processor: DPCP offloads gcs's to an extra CPU; "
+      "MPCP instead runs extra tasks there");
+  // DPCP: P tasks-processors + 1 empty sync processor hosting all
+  // resources. MPCP on the same (P+1)-processor box spreads the same
+  // total work over all P+1 processors (lower per-processor utilization).
+  std::cout << cell("util") << cell("dpcp+sync") << cell("mpcp-spread")
+            << "\n";
+  for (double util : {0.4, 0.5, 0.6, 0.7}) {
+    constexpr int kProcs = 4;
+    int dpcp_ok = 0, mpcp_ok = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      // DPCP: generate on kProcs processors but declare kProcs+1 and pin
+      // every global resource to the empty last processor.
+      {
+        WorkloadParams p = baseParams();
+        p.utilization_per_processor = util;
+        Rng rng(900 + static_cast<std::uint64_t>(s));
+        // Build on kProcs+1 with last processor unused by tasks: easiest
+        // is to generate kProcs-proc system and rebuild with +1.
+        const TaskSystem gen = generateWorkload(p, rng);
+        TaskSystemBuilder b(kProcs + 1,
+                            TaskSystemOptions{});
+        for (const ResourceInfo& r : gen.resources()) {
+          const ResourceId nr = b.addResource(r.name);
+          b.assignSyncProcessor(nr, ProcessorId(kProcs));  // dedicated
+        }
+        for (const Task& t : gen.tasks()) {
+          b.addTask({.name = t.name, .period = t.period, .phase = t.phase,
+                     .processor = t.processor.value(), .body = t.body});
+        }
+        const TaskSystem sys = std::move(b).build();
+        dpcp_ok += analyzeUnder(ProtocolKind::kDpcp, sys).report.rta_all;
+      }
+      // MPCP: same total load spread over kProcs+1 processors.
+      {
+        WorkloadParams p = baseParams();
+        p.processors = kProcs + 1;
+        p.utilization_per_processor =
+            util * kProcs / (kProcs + 1);  // same total work
+        Rng rng(900 + static_cast<std::uint64_t>(s));
+        const TaskSystem sys = generateWorkload(p, rng);
+        mpcp_ok += analyzeUnder(ProtocolKind::kMpcp, sys).report.rta_all;
+      }
+    }
+    std::cout << cell(util, 12, 2)
+              << cell(static_cast<double>(dpcp_ok) / kSeeds)
+              << cell(static_cast<double>(mpcp_ok) / kSeeds) << "\n";
+  }
+  std::cout << "\nexpected shape: MPCP >= DPCP on identical hardware at\n"
+               "moderate sharing (DPCP pays agent funnelling); the\n"
+               "dedicated-sync-processor column shows DPCP recovering by\n"
+               "spending an extra CPU on synchronization, while MPCP turns\n"
+               "the same CPU into schedulable capacity.\n";
+  return 0;
+}

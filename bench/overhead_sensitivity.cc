@@ -1,0 +1,81 @@
+// E14 — Section 5.2's overhead argument, quantified: "the lesser blocking
+// of the message-based protocol can be partially offset by the
+// potentially lower assigned priorities to gcs's under the shared memory
+// protocol ... [DPCP's] disadvantage has to be weighed against [MPCP's]
+// higher implementation efficiency ... in contrast to the large overhead
+// inherent in the message-passing protocol where every gcs of a job is
+// generally executed in a remote processor."
+//
+// We charge both protocols the same lock/unlock costs, and additionally
+// charge message-based execution two migration legs per global section,
+// then sweep the migration cost. DPCP's acceptance should erode with the
+// messaging cost while MPCP's stays flat.
+#include <iostream>
+
+#include "bench_util.h"
+#include "taskgen/overheads.h"
+
+using namespace mpcp;
+using namespace mpcp::bench;
+
+int main() {
+  constexpr int kSeeds = 30;
+  WorkloadParams p;
+  p.processors = 4;
+  p.tasks_per_processor = 3;
+  p.utilization_per_processor = 0.45;
+  p.global_resources = 2;
+  p.max_gcs_per_task = 2;
+  p.global_sharing_prob = 0.8;
+  p.cs_min = 5;
+  p.cs_max = 25;
+
+  printHeader("RTA acceptance vs per-leg messaging cost (lock/unlock = 2)");
+  std::cout << cell("migration leg") << cell("mpcp") << cell("dpcp") << "\n";
+  for (Duration leg : {0, 5, 10, 20, 40}) {
+    int mpcp_ok = 0, dpcp_ok = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng rng(15'000 + static_cast<std::uint64_t>(s));
+      const TaskSystem raw = generateWorkload(p, rng);
+      const OverheadModel model{.lock_entry = 2, .unlock_exit = 2,
+                                .migration_leg = leg};
+      const TaskSystem for_mpcp =
+          applyOverheadModel(raw, model, /*global_sections_migrate=*/false);
+      const TaskSystem for_dpcp =
+          applyOverheadModel(raw, model, /*global_sections_migrate=*/true);
+      mpcp_ok += analyzeUnder(ProtocolKind::kMpcp, for_mpcp).report.rta_all;
+      dpcp_ok += analyzeUnder(ProtocolKind::kDpcp, for_dpcp).report.rta_all;
+    }
+    std::cout << cell(static_cast<std::int64_t>(leg))
+              << cell(static_cast<double>(mpcp_ok) / kSeeds)
+              << cell(static_cast<double>(dpcp_ok) / kSeeds) << "\n";
+  }
+
+  printHeader("simulation cross-check at migration leg = 20");
+  {
+    int checked = 0, agree = 0;
+    for (int s = 0; s < 10; ++s) {
+      Rng rng(15'000 + static_cast<std::uint64_t>(s));
+      const TaskSystem raw = generateWorkload(p, rng);
+      const OverheadModel model{.lock_entry = 2, .unlock_exit = 2,
+                                .migration_leg = 20};
+      const TaskSystem for_dpcp = applyOverheadModel(raw, model, true);
+      const auto verdict = analyzeUnder(ProtocolKind::kDpcp, for_dpcp);
+      if (!verdict.report.rta_all) continue;
+      const SimResult r = simulate(ProtocolKind::kDpcp, for_dpcp,
+                                   {.horizon_cap = 300'000,
+                                    .record_trace = false});
+      ++checked;
+      agree += r.any_deadline_miss ? 0 : 1;
+    }
+    std::cout << "accepted-and-miss-free: " << agree << "/" << checked
+              << " (must be all)\n";
+    if (agree != checked) return 1;
+  }
+
+  std::cout << "\nexpected shape: equal curves at zero messaging cost;\n"
+               "DPCP erodes as the per-leg cost grows (every gcs pays two\n"
+               "legs of inflated, ceiling-priority execution), while MPCP\n"
+               "is unaffected — the overhead asymmetry Section 5.2 argues.\n";
+  return 0;
+}

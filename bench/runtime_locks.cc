@@ -1,0 +1,123 @@
+// E10 — Section 5.4 implementation costs (google-benchmark).
+//
+// The paper argues the shared-memory protocol is cheap because a gcs
+// entry is one atomic RMW when uncontended, plus a short spinlock-guarded
+// queue operation when contended. We measure:
+//   * uncontended lock/unlock latency: PriorityMutex vs std::mutex vs a
+//     plain TAS spinlock (the RMW floor);
+//   * contended throughput with 2/4 threads for both wait modes;
+//   * the bus-traffic proxy: RMW attempts per acquisition under local
+//     spinning (TTAS) vs global spinning (TAS).
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "runtime/priority_mutex.h"
+#include "runtime/spinlock.h"
+
+using namespace mpcp::runtime;
+
+namespace {
+
+void BM_Uncontended_TasRmw(benchmark::State& state) {
+  TasLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_Uncontended_TasRmw);
+
+void BM_Uncontended_Spinlock(benchmark::State& state) {
+  Spinlock lock;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_Uncontended_Spinlock);
+
+void BM_Uncontended_PriorityMutex(benchmark::State& state) {
+  PriorityMutex mutex;
+  for (auto _ : state) {
+    mutex.lock(1);
+    benchmark::DoNotOptimize(&mutex);
+    mutex.unlock();
+  }
+  state.counters["contended"] =
+      static_cast<double>(mutex.contendedAcquisitions());
+}
+BENCHMARK(BM_Uncontended_PriorityMutex);
+
+void BM_Uncontended_StdMutex(benchmark::State& state) {
+  std::mutex mutex;
+  for (auto _ : state) {
+    mutex.lock();
+    benchmark::DoNotOptimize(&mutex);
+    mutex.unlock();
+  }
+}
+BENCHMARK(BM_Uncontended_StdMutex);
+
+// ---- contended throughput (threads hammer one mutex) -------------------
+
+PriorityMutex g_spin_mutex{WaitMode::kSpin};
+PriorityMutex g_block_mutex{WaitMode::kBlock};
+std::mutex g_std_mutex;
+std::int64_t g_shared = 0;
+
+void BM_Contended_PriorityMutexSpin(benchmark::State& state) {
+  for (auto _ : state) {
+    g_spin_mutex.lock(static_cast<std::int32_t>(state.thread_index()));
+    ++g_shared;
+    g_spin_mutex.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["handoffs"] = static_cast<double>(g_spin_mutex.handoffs());
+  }
+}
+BENCHMARK(BM_Contended_PriorityMutexSpin)->Threads(2)->Threads(4);
+
+void BM_Contended_PriorityMutexBlock(benchmark::State& state) {
+  for (auto _ : state) {
+    g_block_mutex.lock(static_cast<std::int32_t>(state.thread_index()));
+    ++g_shared;
+    g_block_mutex.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Contended_PriorityMutexBlock)->Threads(2)->Threads(4);
+
+void BM_Contended_StdMutex(benchmark::State& state) {
+  for (auto _ : state) {
+    g_std_mutex.lock();
+    ++g_shared;
+    g_std_mutex.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Contended_StdMutex)->Threads(2)->Threads(4);
+
+// ---- bus-traffic proxy --------------------------------------------------
+
+void BM_BusTraffic_GlobalSpinTas(benchmark::State& state) {
+  static TasLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+  if (state.thread_index() == 0) {
+    state.counters["rmw_per_acq"] = benchmark::Counter(
+        static_cast<double>(lock.rmwAttempts()),
+        benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_BusTraffic_GlobalSpinTas)->Threads(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Small result-inspection helpers shared by the bench binaries.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/result.h"
+
+namespace mpcp::bench {
+
+/// Worst observed priority-inversion time over all jobs of `task`.
+inline Duration maxBlockedOfTask(const SimResult& result, TaskId task) {
+  Duration worst = 0;
+  for (const JobRecord& jr : result.jobs) {
+    if (jr.id.task == task) worst = std::max(worst, jr.blocked);
+  }
+  return worst;
+}
+
+/// Worst observed response time over finished jobs of `task`.
+inline Duration maxResponseOfTask(const SimResult& result, TaskId task) {
+  Duration worst = 0;
+  for (const JobRecord& jr : result.jobs) {
+    if (jr.id.task == task && jr.finish >= 0) {
+      worst = std::max(worst, jr.responseTime());
+    }
+  }
+  return worst;
+}
+
+}  // namespace mpcp::bench

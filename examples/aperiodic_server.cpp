@@ -1,0 +1,92 @@
+// Serving aperiodic requests with a periodic server inside an MPCP
+// system (Section 3.1: "An aperiodic task can be serviced by means of a
+// periodic server"). The server is an ordinary periodic task — all of
+// the protocol's blocking guarantees apply to it — and the replay layer
+// measures aperiodic response times under polling vs deferrable service.
+//
+//   $ ./aperiodic_server [mean-interarrival] [seed]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/analyzer.h"
+#include "core/simulate.h"
+#include "model/task_system.h"
+#include "taskgen/aperiodic.h"
+
+using namespace mpcp;
+
+namespace {
+
+void summarize(const char* label, const std::vector<ServedRequest>& served) {
+  std::vector<Duration> responses;
+  int unfinished = 0;
+  for (const ServedRequest& s : served) {
+    if (s.completion < 0) {
+      ++unfinished;
+    } else {
+      responses.push_back(s.responseTime());
+    }
+  }
+  std::sort(responses.begin(), responses.end());
+  const auto pick = [&](double q) {
+    if (responses.empty()) return Duration{0};
+    return responses[std::min(responses.size() - 1,
+                              static_cast<std::size_t>(
+                                  q * static_cast<double>(responses.size())))];
+  };
+  double mean = 0;
+  for (Duration r : responses) mean += static_cast<double>(r);
+  if (!responses.empty()) mean /= static_cast<double>(responses.size());
+  std::cout << "  " << label << ": served " << responses.size()
+            << ", unfinished " << unfinished << ", mean " << mean
+            << ", p50 " << pick(0.5) << ", p95 " << pick(0.95) << ", max "
+            << (responses.empty() ? 0 : responses.back()) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double mean_interarrival = argc > 1 ? std::atof(argv[1]) : 40.0;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 42;
+
+  // Two processors; the server lives on P0 next to a control task that
+  // shares a global buffer with a producer on P1.
+  TaskSystemBuilder b(2);
+  const ResourceId gbuf = b.addResource("GBUF");
+  const TaskId server = b.addTask({.name = "server", .period = 50,
+                                   .processor = 0,
+                                   .body = Body{}.compute(12)});
+  b.addTask({.name = "control", .period = 100, .processor = 0,
+             .body = Body{}.compute(10).section(gbuf, 5).compute(10)});
+  b.addTask({.name = "producer", .period = 80, .processor = 1,
+             .body = Body{}.compute(20).section(gbuf, 8).compute(12)});
+  const TaskSystem sys = std::move(b).build();
+
+  const ProtocolAnalysis analysis = analyzeUnder(ProtocolKind::kMpcp, sys);
+  std::cout << "periodic layer under MPCP: "
+            << (analysis.report.rta_all ? "schedulable" : "NOT schedulable")
+            << " (server budget 12 / period 50 = 24% bandwidth)\n";
+
+  const SimResult r = simulate(ProtocolKind::kMpcp, sys,
+                               {.horizon = 40'000});
+  std::cout << "periodic simulation: "
+            << (r.any_deadline_miss ? "deadline miss!" : "no misses")
+            << " over " << r.horizon << " ticks\n\n";
+
+  Rng rng(seed);
+  const auto arrivals = generateAperiodicArrivals(
+      mean_interarrival, 2, 10, r.horizon - 1'000, rng);
+  std::cout << arrivals.size() << " aperiodic requests (mean interarrival "
+            << mean_interarrival << ", work U[2,10]):\n";
+  summarize("polling   ",
+            replayServer(r, server, arrivals, ServerDiscipline::kPolling));
+  summarize("deferrable",
+            replayServer(r, server, arrivals, ServerDiscipline::kDeferrable));
+  std::cout << "\n(deferrable <= polling per request: bandwidth "
+               "preservation; both ride on MPCP-scheduled server windows)\n";
+  return 0;
+}

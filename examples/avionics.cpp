@@ -1,0 +1,127 @@
+// Domain scenario: an integrated-modular-avionics-style workload on a
+// 3-processor shared-memory box.
+//
+//   P0 hosts the fast flight-control loop;
+//   P1 hosts navigation and sensor fusion;
+//   P2 hosts displays, telemetry and maintenance logging.
+//
+// Globally shared state: the air-data block (ADATA), the actuator command
+// table (ACT), and the navigation solution (NAVSOL). Each processor also
+// has local scratch structures. The example sizes the critical sections
+// from the task bodies, then answers the designer's questions:
+//   1. Is the system schedulable under MPCP? Under DPCP?
+//   2. Where does the blocking come from (per-factor breakdown)?
+//   3. Does a long maintenance job endanger the control loop? (It must
+//      not — blocking is a function of critical sections only.)
+//
+//   $ ./avionics
+#include <iostream>
+
+#include "analysis/report.h"
+#include "core/analyzer.h"
+#include "core/blocking.h"
+#include "core/simulate.h"
+#include "model/task_system.h"
+
+using namespace mpcp;
+
+namespace {
+
+TaskSystem buildAvionics(Duration maintenance_wcet) {
+  TaskSystemBuilder b(3);
+  const ResourceId adata = b.addResource("ADATA");
+  const ResourceId act = b.addResource("ACT");
+  const ResourceId navsol = b.addResource("NAVSOL");
+  const ResourceId scratch0 = b.addResource("SCR0");
+  const ResourceId scratch2 = b.addResource("SCR2");
+
+  // --- P0: flight control -------------------------------------------
+  b.addTask({.name = "fcs_loop", .period = 1'000, .processor = 0,
+             .body = Body{}
+                         .compute(80)
+                         .section(adata, 20)   // read air data
+                         .compute(120)
+                         .section(act, 25)     // write actuator commands
+                         .compute(55)});
+  b.addTask({.name = "fcs_monitor", .period = 5'000, .processor = 0,
+             .body = Body{}
+                         .compute(200)
+                         .section(scratch0, 40)
+                         .section(act, 30)     // sanity-check commands
+                         .compute(230)});
+
+  // --- P1: navigation -------------------------------------------------
+  b.addTask({.name = "nav_filter", .period = 2'000, .processor = 1,
+             .body = Body{}
+                         .compute(150)
+                         .section(adata, 30)   // consume air data
+                         .compute(200)
+                         .section(navsol, 35)  // publish nav solution
+                         .compute(85)});
+  b.addTask({.name = "gps_ingest", .period = 10'000, .processor = 1,
+             .body = Body{}.compute(400).section(navsol, 50).compute(350)});
+
+  // --- P2: displays / telemetry ---------------------------------------
+  b.addTask({.name = "display", .period = 4'000, .processor = 2,
+             .body = Body{}
+                         .compute(300)
+                         .section(navsol, 40)  // read nav solution
+                         .compute(260)});
+  b.addTask({.name = "telemetry", .period = 20'000, .processor = 2,
+             .body = Body{}
+                         .compute(500)
+                         .section(adata, 45)
+                         .section(scratch2, 100)
+                         .compute(800)});
+  b.addTask({.name = "maintenance", .period = 50'000, .processor = 2,
+             .body = Body{}
+                         .compute(maintenance_wcet)
+                         .section(scratch2, 120)
+                         .compute(maintenance_wcet)});
+  return std::move(b).build();
+}
+
+void report(const char* title, const TaskSystem& sys) {
+  std::cout << "==================== " << title << " ====================\n";
+  for (const ProtocolKind kind : {ProtocolKind::kMpcp, ProtocolKind::kDpcp}) {
+    const ProtocolAnalysis analysis = analyzeUnder(kind, sys);
+    std::cout << "--- " << toString(kind) << " ---\n"
+              << renderScheduleReport(sys, analysis.report);
+    const SimResult r = simulate(kind, sys, {.horizon_cap = 2'000'000});
+    std::cout << "simulation: "
+              << (r.any_deadline_miss ? "DEADLINE MISS" : "no misses")
+              << " over " << r.horizon << " ticks\n\n";
+  }
+
+  // Per-factor blocking decomposition for the control loop under MPCP.
+  const PriorityTables tables(sys);
+  const MpcpBlockingAnalysis blocking(sys, tables);
+  const BlockingBreakdown& fcs = blocking.blocking(TaskId(0));
+  std::cout << "fcs_loop MPCP blocking breakdown (Section 5.1):\n"
+            << "  F1 local lower-priority cs:      " << fcs.local_lower_cs
+            << "\n  F2 lower-priority gcs in queue:  " << fcs.lower_gcs_queue
+            << "\n  F3 higher-priority remote gcs:   "
+            << fcs.higher_gcs_remote
+            << "\n  F4 blocking-processor gcs:       "
+            << fcs.blocking_proc_gcs
+            << "\n  F5 lower-priority local gcs:     " << fcs.local_lower_gcs
+            << "\n  deferred-execution penalty:      "
+            << fcs.deferred_execution << "\n  total B_1:                       "
+            << fcs.total() << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  report("baseline workload", buildAvionics(2'000));
+
+  // The key MPCP promise: growing the maintenance task's *non-critical*
+  // compute must not change anyone's blocking bound.
+  const TaskSystem big = buildAvionics(10'000);
+  const PriorityTables tables(big);
+  const MpcpBlockingAnalysis blocking(big, tables);
+  std::cout << "maintenance WCET x5: fcs_loop B_1 is still "
+            << blocking.blocking(TaskId(0)).total()
+            << " (a function of critical sections only)\n";
+  return 0;
+}

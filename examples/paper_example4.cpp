@@ -1,0 +1,44 @@
+// Reproduces the paper's Example 4 / Figure 5-1: the Example 3 task set
+// (3 processors, 7 tasks, 3 local + 2 global semaphores) running under
+// the shared-memory protocol. Prints the priority tables (Tables 4-1 and
+// 4-2), the event narrative, and the Gantt chart of the first activation
+// window, then audits the run against the protocol invariants.
+//
+//   $ ./paper_example4
+#include <iostream>
+
+#include "analysis/report.h"
+#include "core/simulate.h"
+#include "taskgen/paper_examples.h"
+#include "trace/gantt.h"
+#include "trace/invariants.h"
+
+using namespace mpcp;
+
+int main() {
+  const paper::Example3 ex = paper::makeExample3();
+
+  const PriorityTables tables(ex.sys);
+  std::cout << "=== Table 4-1: priority ceilings ===\n"
+            << renderCeilingTable(ex.sys, tables) << "\n"
+            << "=== Table 4-2: gcs execution priorities ===\n"
+            << renderGcsPriorityTable(ex.sys, tables) << "\n";
+
+  const SimResult r = simulate(ProtocolKind::kMpcp, ex.sys, {.horizon = 40});
+
+  std::cout << "=== Figure 5-1: event narrative (first window) ===\n"
+            << renderNarrative(ex.sys, r, 0, 20) << "\n"
+            << "=== Figure 5-1: Gantt ===\n"
+            << renderGantt(ex.sys, r, {.end = 25}) << "\n";
+
+  const InvariantReport rep = checkProtocolInvariants(ex.sys, r);
+  if (!rep.ok()) {
+    std::cout << "INVARIANT VIOLATIONS:\n";
+    for (const std::string& v : rep.violations) std::cout << "  " << v << "\n";
+    return 1;
+  }
+  std::cout << "All protocol invariants hold: gcs's never preempted by\n"
+               "non-critical code, handoffs in priority order, mutual\n"
+               "exclusion intact.\n";
+  return 0;
+}

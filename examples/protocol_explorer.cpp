@@ -1,0 +1,70 @@
+// Protocol explorer: generate random workloads and compare protocols on
+// them — analysis verdicts, blocking bounds, and simulated behaviour.
+//
+//   $ ./protocol_explorer [seed] [processors] [util-per-proc]
+//
+// Exit code 0 always; this is an exploration tool, not a test.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "common/rng.h"
+#include "core/analyzer.h"
+#include "core/simulate.h"
+#include "taskgen/generator.h"
+#include "trace/invariants.h"
+
+using namespace mpcp;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 2026;
+  WorkloadParams params;
+  params.processors = argc > 2 ? std::atoi(argv[2]) : 4;
+  params.tasks_per_processor = 4;
+  params.utilization_per_processor = argc > 3 ? std::atof(argv[3]) : 0.45;
+  params.global_resources = 3;
+  params.cs_max = 30;
+
+  Rng rng(seed);
+  const TaskSystem sys = generateWorkload(params, rng);
+
+  std::cout << "seed=" << seed << "  processors=" << params.processors
+            << "  tasks=" << sys.tasks().size() << "\n";
+  int globals = 0;
+  for (const ResourceInfo& r : sys.resources()) {
+    globals += r.scope == ResourceScope::kGlobal ? 1 : 0;
+  }
+  std::cout << "resources: " << sys.resources().size() << " (" << globals
+            << " global)\n\n";
+
+  for (const ProtocolKind kind :
+       {ProtocolKind::kMpcp, ProtocolKind::kDpcp}) {
+    const ProtocolAnalysis analysis = analyzeUnder(kind, sys);
+    std::cout << "================ " << toString(kind)
+              << " ================\n"
+              << renderScheduleReport(sys, analysis.report);
+    const SimResult r = simulate(kind, sys, {.horizon_cap = 500'000});
+    std::cout << "simulated " << r.horizon << " ticks: "
+              << (r.any_deadline_miss ? "deadline miss observed"
+                                      : "no deadline misses")
+              << "\n";
+    const InvariantReport rep = checkMutualExclusion(sys, r);
+    std::cout << "mutual exclusion: "
+              << (rep.ok() ? "ok" : rep.violations.front()) << "\n\n";
+  }
+
+  // Unbounded protocols, for contrast: just simulate.
+  for (const ProtocolKind kind : {ProtocolKind::kNone, ProtocolKind::kPip}) {
+    const SimResult r = simulate(kind, sys, {.horizon_cap = 500'000});
+    Duration worst = 0;
+    for (const TaskStats& st : r.per_task) {
+      worst = std::max(worst, st.max_blocked);
+    }
+    std::cout << toString(kind) << ": worst observed blocking " << worst
+              << (r.any_deadline_miss ? ", deadline misses" : ", no misses")
+              << " (no analytical bound exists)\n";
+  }
+  return 0;
+}

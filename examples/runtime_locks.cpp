@@ -1,0 +1,62 @@
+// Real-thread demo of the Section 5.4 lock construction: a PriorityMutex
+// protecting a shared account table, exercised by worker threads of
+// different priorities. Shows direct handoff order and the fast-path /
+// slow-path split.
+//
+//   $ ./runtime_locks [threads] [iterations]
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "runtime/priority_mutex.h"
+
+using namespace mpcp::runtime;
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int iters = argc > 2 ? std::atoi(argv[2]) : 50'000;
+
+  PriorityMutex mutex(WaitMode::kSpin);
+  std::int64_t shared_counter = 0;
+  std::vector<std::int64_t> per_thread(static_cast<std::size_t>(threads), 0);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+        Spinlock::cpuRelax();
+      }
+      for (int i = 0; i < iters; ++i) {
+        mutex.lock(/*priority=*/t);  // thread id doubles as priority
+        ++shared_counter;            // the "global shared data structure"
+        ++per_thread[static_cast<std::size_t>(t)];
+        mutex.unlock();
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  const std::int64_t expected =
+      static_cast<std::int64_t>(threads) * iters;
+  std::cout << "threads=" << threads << " iterations=" << iters << "\n"
+            << "counter=" << shared_counter << " (expected " << expected
+            << ") -> "
+            << (shared_counter == expected ? "mutual exclusion OK"
+                                           : "RACE DETECTED")
+            << "\n"
+            << "elapsed=" << elapsed << "s  ("
+            << static_cast<double>(expected) / elapsed / 1e6
+            << " M critical sections/s)\n"
+            << "contended acquisitions=" << mutex.contendedAcquisitions()
+            << "  direct handoffs=" << mutex.handoffs() << "\n";
+  return shared_counter == expected ? 0 : 1;
+}

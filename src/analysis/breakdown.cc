@@ -1,0 +1,41 @@
+#include "analysis/breakdown.h"
+
+#include "taskgen/scale.h"
+
+namespace mpcp {
+
+namespace {
+
+double totalUtilization(const TaskSystem& sys) {
+  double u = 0;
+  for (const Task& t : sys.tasks()) u += t.utilization();
+  return u;
+}
+
+}  // namespace
+
+BreakdownResult breakdownUtilization(const TaskSystem& system,
+                                     const ScheduleTest& test, double lo,
+                                     double hi, double tolerance) {
+  if (!test(scaleWorkload(system, lo))) {
+    return {0.0, 0.0};
+  }
+  // Grow hi until rejected (or give up at the provided ceiling).
+  double good = lo, bad = hi;
+  if (test(scaleWorkload(system, hi))) {
+    const TaskSystem at_hi = scaleWorkload(system, hi);
+    return {hi, totalUtilization(at_hi)};
+  }
+  while (bad - good > tolerance) {
+    const double mid = (good + bad) / 2;
+    if (test(scaleWorkload(system, mid))) {
+      good = mid;
+    } else {
+      bad = mid;
+    }
+  }
+  const TaskSystem at_best = scaleWorkload(system, good);
+  return {good, totalUtilization(at_best)};
+}
+
+}  // namespace mpcp

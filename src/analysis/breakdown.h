@@ -1,0 +1,29 @@
+// Breakdown utilization: the largest scaling of a workload's execution
+// demand that a schedulability test still accepts. The standard way to
+// compare protocols on equal footing (Section 5.2's comparison, made
+// quantitative): higher breakdown = less schedulability lost to blocking.
+#pragma once
+
+#include <functional>
+
+#include "model/task_system.h"
+
+namespace mpcp {
+
+/// Verdict callback: true if the (scaled) system is schedulable.
+using ScheduleTest = std::function<bool(const TaskSystem&)>;
+
+struct BreakdownResult {
+  double factor = 0.0;       ///< largest accepted scaling factor
+  double utilization = 0.0;  ///< total utilization at that factor
+};
+
+/// Binary-searches the scaling factor in [lo, hi] to `tolerance`.
+/// Requires test(scale(lo)) == true (returns factor 0 otherwise).
+[[nodiscard]] BreakdownResult breakdownUtilization(const TaskSystem& system,
+                                                   const ScheduleTest& test,
+                                                   double lo = 0.05,
+                                                   double hi = 4.0,
+                                                   double tolerance = 0.01);
+
+}  // namespace mpcp

@@ -1,0 +1,69 @@
+#include "analysis/ceilings.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpcp {
+
+PriorityTables::PriorityTables(const TaskSystem& system)
+    : system_(&system), global_base_(system.globalBase()) {
+  const auto& resources = system.resources();
+  const std::size_t procs = static_cast<std::size_t>(system.processorCount());
+
+  ceiling_.assign(resources.size(), kPriorityFloor);
+  gcs_prio_.assign(resources.size(),
+                   std::vector<Priority>(procs, kPriorityFloor));
+
+  for (std::size_t r = 0; r < resources.size(); ++r) {
+    const ResourceInfo& info = resources[r];
+    if (info.users.empty()) continue;
+
+    Priority top = kPriorityFloor;
+    for (TaskId t : info.users) {
+      top = std::max(top, system.task(t).priority);
+    }
+
+    if (info.scope == ResourceScope::kLocal) {
+      ceiling_[r] = top;
+      continue;
+    }
+
+    ceiling_[r] = top.inGlobalBand(global_base_);
+    // gcs priority per hosting processor: P_G + highest *remote* user.
+    for (std::size_t p = 0; p < procs; ++p) {
+      Priority remote_top = kPriorityFloor;
+      for (TaskId t : info.users) {
+        const Task& task = system.task(t);
+        if (task.processor.value() != static_cast<std::int32_t>(p)) {
+          remote_top = std::max(remote_top, task.priority);
+        }
+      }
+      // A global resource has users on >= 2 processors, so every hosting
+      // processor has a remote contender; other processors keep P_G.
+      gcs_prio_[r][p] = (remote_top == kPriorityFloor)
+                            ? global_base_
+                            : remote_top.inGlobalBand(global_base_);
+    }
+  }
+}
+
+Priority PriorityTables::ceiling(ResourceId r) const {
+  MPCP_CHECK(r.valid() && static_cast<std::size_t>(r.value()) < ceiling_.size(),
+             "ceiling(): unknown resource " << r);
+  return ceiling_[static_cast<std::size_t>(r.value())];
+}
+
+Priority PriorityTables::gcsPriority(ResourceId r, ProcessorId p) const {
+  MPCP_CHECK(
+      r.valid() && static_cast<std::size_t>(r.value()) < gcs_prio_.size(),
+      "gcsPriority(): unknown resource " << r);
+  MPCP_CHECK(system_->isGlobal(r),
+             "gcsPriority() queried for local resource " << r);
+  const auto& row = gcs_prio_[static_cast<std::size_t>(r.value())];
+  MPCP_CHECK(p.valid() && static_cast<std::size_t>(p.value()) < row.size(),
+             "gcsPriority(): unknown processor " << p);
+  return row[static_cast<std::size_t>(p.value())];
+}
+
+}  // namespace mpcp

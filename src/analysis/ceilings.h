@@ -1,0 +1,46 @@
+// Priority ceilings and gcs execution priorities (Section 4.3/4.4).
+//
+// Local semaphore S:   ceiling(S)  = max{ P_i : tau_i uses S }          (≤ P_H)
+// Global semaphore Sg: ceiling(Sg) = P_G + max{ P_i : tau_i uses Sg }   (> P_H)
+// gcs execution priority for a job of tau_i (bound to processor p) on Sg:
+//   gcsPriority(Sg, p) = P_G + max{ P_j : tau_j uses Sg, tau_j not on p }
+// — static inheritance to the highest priority that could ever be
+// inherited from a *remote* waiter (Section 4.4's key refinement over the
+// message-based protocol, which always runs gcs's at the full ceiling).
+#pragma once
+
+#include <vector>
+
+#include "common/priority.h"
+#include "common/types.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+
+/// Precomputed priority tables for one task system. Valid for the
+/// TaskSystem they were computed from; protocols take a const reference.
+class PriorityTables {
+ public:
+  explicit PriorityTables(const TaskSystem& system);
+
+  /// ceiling(S) as defined above. Local ceilings live in the task band,
+  /// global ceilings in the global band (> P_H).
+  [[nodiscard]] Priority ceiling(ResourceId r) const;
+
+  /// Fixed execution priority of a gcs on `r` entered by a job bound to
+  /// processor `p` (Section 4.4). Only meaningful for global resources
+  /// and processors hosting at least one user of `r`; returns the global
+  /// band floor P_G for a processor with no remote contenders.
+  [[nodiscard]] Priority gcsPriority(ResourceId r, ProcessorId p) const;
+
+  /// P_G: base of the global band (> P_H).
+  [[nodiscard]] Priority globalBase() const { return global_base_; }
+
+ private:
+  const TaskSystem* system_;
+  Priority global_base_;
+  std::vector<Priority> ceiling_;                 // [resource]
+  std::vector<std::vector<Priority>> gcs_prio_;   // [resource][processor]
+};
+
+}  // namespace mpcp

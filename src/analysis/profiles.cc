@@ -1,0 +1,26 @@
+#include "analysis/profiles.h"
+
+namespace mpcp {
+
+std::vector<TaskProfile> buildProfiles(const TaskSystem& system) {
+  std::vector<TaskProfile> profiles(system.tasks().size());
+  for (const Task& t : system.tasks()) {
+    TaskProfile& p = profiles[static_cast<std::size_t>(t.id.value())];
+    for (const CriticalSection& cs : t.sections) {
+      const bool global = system.isGlobal(cs.resource);
+      if (global) p.global_resources.insert(cs.resource.value());
+      if (cs.parent >= 0) continue;  // only outermost sections are counted
+      (global ? p.global_sections : p.local_sections)
+          .push_back({cs.resource, cs.duration});
+    }
+    for (const Op& op : t.body.ops()) {
+      if (const auto* susp = std::get_if<SuspendOp>(&op)) {
+        p.voluntary_suspensions++;
+        p.total_suspension += susp->duration;
+      }
+    }
+  }
+  return profiles;
+}
+
+}  // namespace mpcp

@@ -1,0 +1,26 @@
+// Text rendering of analysis results: ceiling tables (Table 4-1/4-2
+// style), blocking breakdowns, and schedulability verdicts.
+#pragma once
+
+#include <string>
+
+#include "analysis/ceilings.h"
+#include "analysis/schedulability.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+
+/// Table 4-1: per-semaphore scope and priority ceiling.
+[[nodiscard]] std::string renderCeilingTable(const TaskSystem& system,
+                                             const PriorityTables& tables);
+
+/// Table 4-2: per-(task, global semaphore) gcs execution priority next to
+/// the semaphore's full ceiling.
+[[nodiscard]] std::string renderGcsPriorityTable(const TaskSystem& system,
+                                                 const PriorityTables& tables);
+
+/// Per-task schedulability verdict table (Theorem 3 + RTA).
+[[nodiscard]] std::string renderScheduleReport(
+    const TaskSystem& system, const SchedulabilityReport& report);
+
+}  // namespace mpcp

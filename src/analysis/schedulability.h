@@ -1,0 +1,66 @@
+// Schedulability tests (Section 5.3).
+//
+// Theorem 3 (Liu–Layland with blocking): on each processor, with local
+// tasks indexed by descending priority i = 1..n_p,
+//     forall i:  sum_{j<=i} C_j/T_j + B_i/T_i  <=  i (2^{1/i} - 1).
+//
+// We also provide the standard response-time analysis (RTA), which is
+// exact for synchronous uniprocessor task sets without blocking and far
+// less pessimistic than the utilization bound:
+//     R_i = C_i + B_i + sum_{j in hp_local(i)} ceil((R_i + J_j)/T_j) C_j,
+// iterated to fixpoint; schedulable iff R_i <= D_i. The jitter J_j
+// accounts for the deferred-execution anomaly of suspending tasks
+// (Section 5.1's closing remark): a higher-priority task that suspends on
+// global semaphores releases its remaining computation "compressed", which
+// is safely modelled as release jitter bounded by its worst-case remote
+// suspension. Pass jitter = 0 to recover the classical test.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+
+struct TaskVerdict {
+  TaskId task;
+  Duration blocking = 0;         ///< B_i used by both tests
+  double utilization_lhs = 0.0;  ///< sum_{j<=i} C_j/T_j + B_i/T_i
+  double utilization_bound = 0;  ///< i (2^{1/i} - 1)
+  bool ll_ok = false;
+  Duration response_time = 0;    ///< RTA fixpoint (or > D_i sentinel)
+  bool rta_ok = false;
+};
+
+struct SchedulabilityReport {
+  std::vector<TaskVerdict> tasks;  ///< indexed by TaskId
+  bool ll_all = false;             ///< every task passes Theorem 3
+  bool rta_all = false;            ///< every task passes the RTA
+};
+
+/// Runs both tests. `blocking[i]` is B_i for task i; `jitter[i]` is the
+/// release jitter charged when task i appears as a higher-priority
+/// interferer in the RTA (empty span = all zero).
+[[nodiscard]] SchedulabilityReport analyzeSchedulability(
+    const TaskSystem& system, std::span<const Duration> blocking,
+    std::span<const Duration> jitter = {});
+
+/// The Liu–Layland bound n (2^{1/n} - 1).
+[[nodiscard]] double liuLaylandBound(int n);
+
+/// Hyperbolic bound (Bini & Buttazzo) with the blocking term folded into
+/// each task's own utilization — an EXTENSION beyond the paper that
+/// strictly dominates Theorem 3's utilization test (by AM-GM, any task
+/// passing  sum_{j<=i} U_j + B_i/T_i <= i(2^{1/i}-1)  also passes
+///   prod_{j<i,local} (U_j + 1) * (U_i + B_i/T_i + 1) <= 2 ).
+/// Returns the per-task verdicts, indexed by TaskId.
+[[nodiscard]] std::vector<bool> hyperbolicTest(
+    const TaskSystem& system, std::span<const Duration> blocking);
+
+/// True iff hyperbolicTest accepts every task.
+[[nodiscard]] bool hyperbolicAll(const TaskSystem& system,
+                                 std::span<const Duration> blocking);
+
+}  // namespace mpcp

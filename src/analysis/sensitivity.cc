@@ -1,0 +1,86 @@
+#include "analysis/sensitivity.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mpcp {
+
+TaskSystem scaleOneTask(const TaskSystem& system, TaskId task,
+                        double factor) {
+  MPCP_CHECK(factor > 0, "scaleOneTask: factor must be positive");
+  TaskSystemBuilder b(system.processorCount(), system.options());
+  for (const ResourceInfo& r : system.resources()) {
+    const ResourceId nr = b.addResource(r.name);
+    if (r.sync_processor.has_value()) {
+      b.assignSyncProcessor(nr, *r.sync_processor);
+    }
+  }
+  for (const Task& t : system.tasks()) {
+    Body body;
+    if (t.id != task) {
+      body = t.body;
+    } else {
+      for (const Op& op : t.body.ops()) {
+        if (const auto* c = std::get_if<ComputeOp>(&op)) {
+          body.compute(std::max<Duration>(
+              1, static_cast<Duration>(std::llround(
+                     static_cast<double>(c->duration) * factor))));
+        } else if (const auto* l = std::get_if<LockOp>(&op)) {
+          body.lock(l->resource);
+        } else if (const auto* u = std::get_if<UnlockOp>(&op)) {
+          body.unlock(u->resource);
+        } else if (const auto* susp = std::get_if<SuspendOp>(&op)) {
+          body.suspend(susp->duration);
+        }
+      }
+    }
+    TaskSpec spec;
+    spec.name = t.name;
+    spec.period = t.period;
+    spec.phase = t.phase;
+    spec.relative_deadline = t.relative_deadline;
+    spec.processor = t.processor.value();
+    spec.body = std::move(body);
+    b.addTask(std::move(spec));
+  }
+  return std::move(b).build();
+}
+
+std::vector<TaskSensitivity> sensitivityPerTask(const TaskSystem& system,
+                                                const ScheduleTest& test,
+                                                double lo, double hi,
+                                                double tolerance) {
+  std::vector<TaskSensitivity> out;
+  out.reserve(system.tasks().size());
+  for (const Task& t : system.tasks()) {
+    TaskSensitivity s;
+    s.task = t.id;
+    if (!test(scaleOneTask(system, t.id, lo))) {
+      s.max_scale = 0.0;
+      s.wcet_at_max = 0;
+      out.push_back(s);
+      continue;
+    }
+    double good = lo, bad = hi;
+    if (test(scaleOneTask(system, t.id, hi))) {
+      good = hi;
+      bad = hi;
+    }
+    while (bad - good > tolerance) {
+      const double mid = (good + bad) / 2;
+      if (test(scaleOneTask(system, t.id, mid))) {
+        good = mid;
+      } else {
+        bad = mid;
+      }
+    }
+    s.max_scale = good;
+    s.wcet_at_max =
+        scaleOneTask(system, t.id, good).task(t.id).wcet;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace mpcp

@@ -1,0 +1,38 @@
+// Sensitivity analysis: how much headroom each task has under a given
+// protocol's schedulability test.
+//
+// For each task independently, binary-search the largest factor its OWN
+// execution demand (compute and sections) can be scaled by before the
+// system-wide test rejects — the per-task analogue of breakdown
+// utilization, and the designer's "which task is the bottleneck" view.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/breakdown.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+
+struct TaskSensitivity {
+  TaskId task;
+  /// Largest accepted scaling of this task's demand (>= 1 means slack;
+  /// < 1 means the task must shrink for the system to be schedulable;
+  /// capped at `hi` of the search).
+  double max_scale = 0.0;
+  /// The task's WCET at that scale.
+  Duration wcet_at_max = 0;
+};
+
+/// Runs the sensitivity search for every task. `test` is the acceptance
+/// predicate (e.g. MPCP RTA via analyzeUnder).
+[[nodiscard]] std::vector<TaskSensitivity> sensitivityPerTask(
+    const TaskSystem& system, const ScheduleTest& test, double lo = 0.05,
+    double hi = 8.0, double tolerance = 0.02);
+
+/// Rebuilds `system` with ONLY `task`'s compute durations scaled.
+[[nodiscard]] TaskSystem scaleOneTask(const TaskSystem& system, TaskId task,
+                                      double factor);
+
+}  // namespace mpcp

@@ -1,0 +1,61 @@
+// Assertion and error-reporting plumbing used across the mpcp libraries.
+//
+// Two families:
+//   MPCP_CHECK(cond, msg)   -- always-on invariant check; throws InvariantError.
+//   MPCP_DCHECK(cond, msg)  -- debug-only (compiled out under NDEBUG).
+//
+// We throw instead of aborting so that property tests can assert that
+// invalid configurations are rejected, and so library users get a
+// recoverable error channel (C++ Core Guidelines E.2/E.3: use exceptions
+// for error handling, not logic flow).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpcp {
+
+/// Raised when a library-level invariant is violated (internal bug or
+/// API misuse detected at a checkpoint).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Raised when user-supplied configuration is malformed (bad task system,
+/// out-of-range parameter, unsupported nesting, ...).
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace mpcp
+
+#define MPCP_CHECK(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::mpcp::detail::check_failed("MPCP_CHECK", #cond, __FILE__, __LINE__,  \
+                                   (std::ostringstream{} << msg).str());     \
+    }                                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define MPCP_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define MPCP_DCHECK(cond, msg) MPCP_CHECK(cond, msg)
+#endif

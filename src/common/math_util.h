@@ -1,0 +1,28 @@
+// Small integer math used throughout the scheduling analysis.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace mpcp {
+
+/// ceil(a / b) for positive integers — the analysis' ⌈T_i / T_j⌉ terms.
+constexpr std::int64_t ceilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Least common multiple with overflow check; hyperperiods of generated
+/// task sets can explode, so callers must be able to detect saturation.
+/// Returns kTimeInfinity on overflow.
+constexpr Time lcmSaturating(Time a, Time b) {
+  if (a == 0 || b == 0) return 0;
+  const Time g = std::gcd(a, b);
+  const Time a_red = a / g;
+  if (a_red > kTimeInfinity / b) return kTimeInfinity;
+  return a_red * b;
+}
+
+}  // namespace mpcp

@@ -1,0 +1,52 @@
+// Priority representation.
+//
+// The paper orders priorities P_1 > P_2 > ... with P_1 highest and then
+// introduces a *second band* above every task priority for global critical
+// sections: a base ceiling P_G > P_H (P_H = highest task priority in the
+// system) so that gcs priorities are P_G + P_i (Section 4.4).
+//
+// We encode priority as a single integer "urgency" where LARGER means MORE
+// URGENT. Rate-monotonic assignment gives tasks urgencies in [1, P_H]. The
+// global band starts at kGlobalBand offset computed per task system:
+//   gcs priority    = globalBase + urgency(highest remote user)
+//   global ceiling  = globalBase + urgency(highest user anywhere)
+// with globalBase > P_H, so any gcs out-prioritizes all normal execution —
+// exactly the paper's two-band structure.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace mpcp {
+
+/// A scheduling priority; larger value = more urgent. Value-semantic,
+/// totally ordered. Default-constructed priority is "lowest possible"
+/// (used for idle / unset).
+class Priority {
+ public:
+  constexpr Priority() = default;
+  constexpr explicit Priority(std::int32_t urgency) : urgency_(urgency) {}
+
+  [[nodiscard]] constexpr std::int32_t urgency() const { return urgency_; }
+
+  /// Returns this priority raised into the global-ceiling band anchored at
+  /// `global_base` (the paper's P_G): result = P_G + urgency.
+  [[nodiscard]] constexpr Priority inGlobalBand(Priority global_base) const {
+    return Priority(global_base.urgency_ + urgency_);
+  }
+
+  friend constexpr auto operator<=>(Priority, Priority) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Priority p) {
+    return os << "prio:" << p.urgency_;
+  }
+
+ private:
+  std::int32_t urgency_ = INT32_MIN;
+};
+
+/// Lowest representable priority; compares below every task priority.
+inline constexpr Priority kPriorityFloor{};
+
+}  // namespace mpcp

@@ -1,0 +1,95 @@
+// Priority queue with FIFO tie-breaking — the paper's "prioritized queue"
+// on semaphores (protocol rule 6) and the per-processor ready queue both
+// need (a) strict priority order, (b) FCFS among equal priorities
+// (Section 3.1: "Jobs with the same priority are executed in a FCFS
+// discipline"), and (c) arbitrary removal (a queued job can be withdrawn
+// when its task system is torn down or a protocol migrates it).
+//
+// Sizes are small (tens of entries), so a sorted vector beats a heap on
+// simplicity and gives deterministic iteration for tests and traces.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/priority.h"
+
+namespace mpcp {
+
+/// Max-priority queue over values of type T with stable FIFO order among
+/// equal priorities. T must be equality-comparable for remove().
+template <typename T>
+class StablePriorityQueue {
+ public:
+  struct Entry {
+    Priority priority;
+    std::uint64_t seq;  // insertion order; smaller = earlier
+    T value;
+  };
+
+  /// Inserts `value` with `priority`. O(n).
+  void push(T value, Priority priority) {
+    const Entry entry{priority, next_seq_++, std::move(value)};
+    // Keep entries_ sorted best-first: higher priority first, then FIFO.
+    auto pos = std::find_if(entries_.begin(), entries_.end(),
+                            [&](const Entry& e) { return before(entry, e); });
+    entries_.insert(pos, entry);
+  }
+
+  /// Removes and returns the highest-priority (earliest among ties) value.
+  T pop() {
+    MPCP_CHECK(!entries_.empty(), "pop() from empty queue");
+    T out = std::move(entries_.front().value);
+    entries_.erase(entries_.begin());
+    return out;
+  }
+
+  /// Highest-priority value without removing it.
+  [[nodiscard]] const T& peek() const {
+    MPCP_CHECK(!entries_.empty(), "peek() on empty queue");
+    return entries_.front().value;
+  }
+
+  /// Priority of the head entry.
+  [[nodiscard]] Priority peekPriority() const {
+    MPCP_CHECK(!entries_.empty(), "peekPriority() on empty queue");
+    return entries_.front().priority;
+  }
+
+  /// Removes the first entry equal to `value`; returns true if found.
+  bool remove(const T& value) {
+    auto pos = std::find_if(entries_.begin(), entries_.end(),
+                            [&](const Entry& e) { return e.value == value; });
+    if (pos == entries_.end()) return false;
+    entries_.erase(pos);
+    return true;
+  }
+
+  /// True if an entry equal to `value` is queued.
+  [[nodiscard]] bool contains(const T& value) const {
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const Entry& e) { return e.value == value; });
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Entries best-first, for trace/inspection.
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq < b.seq;
+  }
+
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mpcp

@@ -1,0 +1,27 @@
+// Tiny string-building helpers (libstdc++ 12 lacks <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mpcp {
+
+/// Streams all arguments into one string: strf("t=", t, " job=", j).
+template <typename... Args>
+std::string strf(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+/// Left-pads `s` with spaces to at least `width` characters.
+inline std::string padLeft(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+/// Right-pads `s` with spaces to at least `width` characters.
+inline std::string padRight(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace mpcp

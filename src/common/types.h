@@ -1,0 +1,96 @@
+// Core value types shared by every mpcp library: simulated time and
+// strongly-typed entity identifiers.
+//
+// Time is integral (ticks). The paper's examples use unit-length steps
+// (Figure 5-1 advances t=0..13); an integer clock keeps the discrete-event
+// simulator exact and reproducible. One tick has no fixed physical
+// meaning — task generators typically treat it as a microsecond.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace mpcp {
+
+/// Simulated time instant, in ticks since simulation start.
+using Time = std::int64_t;
+
+/// A span of simulated time, in ticks.
+using Duration = std::int64_t;
+
+/// Sentinel for "no event scheduled / unbounded".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+namespace detail {
+
+/// CRTP-free strongly typed integer id. Tag makes TaskId / ResourceId /
+/// ProcessorId mutually unassignable while staying trivially copyable.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::int32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << Tag::prefix() << id.value_;
+  }
+
+ private:
+  std::int32_t value_ = -1;
+};
+
+}  // namespace detail
+
+struct TaskTag {
+  static constexpr const char* prefix() { return "tau"; }
+};
+struct ResourceTag {
+  static constexpr const char* prefix() { return "S"; }
+};
+struct ProcessorTag {
+  static constexpr const char* prefix() { return "P"; }
+};
+
+/// Identifies a task (the paper's tau_i). Ids index into TaskSystem::tasks().
+using TaskId = detail::Id<TaskTag>;
+/// Identifies a semaphore/resource (the paper's S_k).
+using ResourceId = detail::Id<ResourceTag>;
+/// Identifies a processor (the paper's script-P_j).
+using ProcessorId = detail::Id<ProcessorTag>;
+
+/// Identifies one job (task instance): task + zero-based instance count.
+struct JobId {
+  TaskId task;
+  std::int64_t instance = 0;
+
+  friend constexpr auto operator<=>(const JobId&, const JobId&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const JobId& j) {
+    return os << "J(" << j.task << "#" << j.instance << ")";
+  }
+};
+
+}  // namespace mpcp
+
+template <typename Tag>
+struct std::hash<mpcp::detail::Id<Tag>> {
+  std::size_t operator()(mpcp::detail::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<mpcp::JobId> {
+  std::size_t operator()(const mpcp::JobId& j) const noexcept {
+    return std::hash<std::int64_t>{}(
+        (static_cast<std::int64_t>(j.task.value()) << 40) ^ j.instance);
+  }
+};

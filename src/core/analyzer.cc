@@ -1,0 +1,92 @@
+#include "core/analyzer.h"
+
+#include "analysis/blocking_pcp.h"
+#include "analysis/profiles.h"
+#include "common/check.h"
+#include "common/strf.h"
+
+namespace mpcp {
+
+namespace {
+
+/// A job's own voluntary suspension delays it exactly like blocking (it
+/// is not executing and not preempted), and defers its remaining
+/// computation (jitter for lower-priority neighbours). Fold it into both
+/// vectors.
+void addSelfSuspension(const TaskSystem& system,
+                       std::vector<Duration>& blocking,
+                       std::vector<Duration>& jitter) {
+  const auto profiles = buildProfiles(system);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    blocking[i] += profiles[i].total_suspension;
+    jitter[i] += profiles[i].total_suspension;
+  }
+}
+
+}  // namespace
+
+ProtocolAnalysis analyzeUnder(ProtocolKind kind, const TaskSystem& system,
+                              const AnalyzerOptions& options) {
+  PriorityTables tables(system);
+  ProtocolAnalysis out;
+  out.kind = kind;
+  const std::size_t n = system.tasks().size();
+
+  switch (kind) {
+    case ProtocolKind::kPcp: {
+      out.blocking = pcpBlocking(system, tables);
+      out.jitter.assign(n, 0);  // PCP jobs never self-suspend
+      break;
+    }
+    case ProtocolKind::kMpcp: {
+      const MpcpBlockingAnalysis analysis(system, tables, options.mpcp);
+      out.blocking.reserve(n);
+      out.jitter.reserve(n);
+      for (const BlockingBreakdown& b : analysis.all()) {
+        out.blocking.push_back(b.total());
+        out.jitter.push_back(b.remoteSuspension());
+      }
+      break;
+    }
+    case ProtocolKind::kDpcp: {
+      const auto breakdowns = dpcpBlocking(system, tables, options.dpcp);
+      out.blocking.reserve(n);
+      out.jitter.reserve(n);
+      for (const DpcpBlockingBreakdown& b : breakdowns) {
+        out.blocking.push_back(b.total());
+        out.jitter.push_back(b.remoteSuspension());
+      }
+      break;
+    }
+    default:
+      throw ConfigError(strf(
+          "analyzeUnder: no bounded-blocking analysis exists for protocol '",
+          toString(kind),
+          "' — unbounded priority inversion (Section 3.3)"));
+  }
+
+  addSelfSuspension(system, out.blocking, out.jitter);
+  out.report = analyzeSchedulability(system, out.blocking, out.jitter);
+  return out;
+}
+
+ProtocolAnalysis analyzeHybrid(const TaskSystem& system,
+                               const HybridPolicy& policy,
+                               const AnalyzerOptions& options) {
+  PriorityTables tables(system);
+  ProtocolAnalysis out;
+  out.kind = ProtocolKind::kMpcp;  // closest kind tag; informational only
+  const auto breakdowns =
+      hybridBlocking(system, tables, policy, options.mpcp);
+  out.blocking.reserve(breakdowns.size());
+  out.jitter.reserve(breakdowns.size());
+  for (const HybridBlockingBreakdown& b : breakdowns) {
+    out.blocking.push_back(b.total());
+    out.jitter.push_back(b.remoteSuspension());
+  }
+  addSelfSuspension(system, out.blocking, out.jitter);
+  out.report = analyzeSchedulability(system, out.blocking, out.jitter);
+  return out;
+}
+
+}  // namespace mpcp

@@ -1,0 +1,163 @@
+#include "core/blocking.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace mpcp {
+
+MpcpBlockingAnalysis::MpcpBlockingAnalysis(const TaskSystem& system,
+                                           const PriorityTables& tables,
+                                           BlockingOptions options)
+    : system_(&system),
+      tables_(&tables),
+      options_(options),
+      profiles_(buildProfiles(system)) {
+  breakdowns_.reserve(system.tasks().size());
+  for (const Task& t : system.tasks()) {
+    breakdowns_.push_back(computeFor(t));
+  }
+}
+
+const BlockingBreakdown& MpcpBlockingAnalysis::blocking(TaskId t) const {
+  MPCP_CHECK(t.valid() &&
+                 static_cast<std::size_t>(t.value()) < breakdowns_.size(),
+             "blocking(): unknown task " << t);
+  return breakdowns_[static_cast<std::size_t>(t.value())];
+}
+
+BlockingBreakdown MpcpBlockingAnalysis::computeFor(const Task& ti) const {
+  const TaskSystem& sys = *system_;
+  const TaskProfile& pi = profiles_[static_cast<std::size_t>(ti.id.value())];
+  BlockingBreakdown b;
+
+  const auto profile = [&](const Task& t) -> const TaskProfile& {
+    return profiles_[static_cast<std::size_t>(t.id.value())];
+  };
+  const auto is_local = [&](const Task& t) {
+    return t.processor == ti.processor;
+  };
+
+  // ---- F1: local blocking from lower-priority local critical sections.
+  Duration max_local_cs = 0;
+  for (const Task& tl : sys.tasks()) {
+    if (!is_local(tl) || tl.priority >= ti.priority) continue;
+    for (const SectionUse& z : profile(tl).local_sections) {
+      if (tables_->ceiling(z.resource) >= ti.priority) {
+        max_local_cs = std::max(max_local_cs, z.duration);
+      }
+    }
+  }
+  // Theorem 1: one lower-priority local section per suspension (global
+  // access or voluntary) plus one at job start.
+  b.local_lower_cs =
+      static_cast<Duration>(pi.suspensionOpportunities() + 1) * max_local_cs;
+  if (max_local_cs == 0) b.local_lower_cs = 0;
+
+  // ---- F2: one lower-priority gcs ahead per global access (priority-
+  // ordered queues), remote lower-priority holders only (host-processor
+  // lower-priority gcs's are F5's job).
+  for (const SectionUse& access : pi.global_sections) {
+    Duration worst = 0;
+    for (const Task& tl : sys.tasks()) {
+      if (tl.id == ti.id || tl.priority >= ti.priority || is_local(tl)) {
+        continue;
+      }
+      for (const SectionUse& z : profile(tl).global_sections) {
+        if (z.resource == access.resource) {
+          worst = std::max(worst, z.duration);
+        }
+      }
+    }
+    b.lower_gcs_queue += worst;
+  }
+
+  // ---- F3: remote higher-priority tasks on shared semaphores.
+  for (const Task& tj : sys.tasks()) {
+    if (tj.id == ti.id || tj.priority <= ti.priority || is_local(tj)) {
+      continue;
+    }
+    Duration shared = 0;
+    for (const SectionUse& z : profile(tj).global_sections) {
+      if (pi.global_resources.count(z.resource.value()) != 0) {
+        shared += z.duration;
+      }
+    }
+    if (shared > 0) {
+      b.higher_gcs_remote += ceilDiv(ti.period, tj.period) * shared;
+    }
+  }
+
+  // ---- F4: higher-gcs-priority preemption on blocking processors.
+  // A blocking processor hosts a lower-priority task with a gcs on a
+  // semaphore in GS_i (that gcs can directly block J_i under F2).
+  const int procs = sys.processorCount();
+  for (int k = 0; k < procs; ++k) {
+    if (k == ti.processor.value()) continue;
+    const ProcessorId pk(k);
+    // Directly-blocking gcs priorities on P_k.
+    Priority min_blocker = kPriorityFloor;
+    bool has_blocker = false;
+    for (TaskId tl_id : sys.tasksOn(pk)) {
+      const Task& tl = sys.task(tl_id);
+      if (tl.priority >= ti.priority) continue;
+      for (const SectionUse& z : profile(tl).global_sections) {
+        if (pi.global_resources.count(z.resource.value()) == 0) continue;
+        const Priority gp = tables_->gcsPriority(z.resource, pk);
+        if (!has_blocker || gp < min_blocker) min_blocker = gp;
+        has_blocker = true;
+      }
+    }
+    if (!has_blocker) continue;  // P_k is not a blocking processor for J_i
+
+    for (TaskId tj_id : sys.tasksOn(pk)) {
+      const Task& tj = sys.task(tj_id);
+      Duration qualifying = 0;
+      for (const SectionUse& z : profile(tj).global_sections) {
+        const Priority gp = tables_->gcsPriority(z.resource, pk);
+        if (gp <= min_blocker) continue;  // cannot preempt any blocker
+        // Skip gcs's F3 already charged: higher-priority remote task on a
+        // shared semaphore.
+        if (tj.priority > ti.priority &&
+            pi.global_resources.count(z.resource.value()) != 0) {
+          continue;
+        }
+        qualifying += z.duration;
+      }
+      if (qualifying > 0) {
+        b.blocking_proc_gcs += ceilDiv(ti.period, tj.period) * qualifying;
+      }
+    }
+  }
+
+  // ---- F5: lower-priority local gcs's preempting J_i's normal code.
+  for (const Task& tl : sys.tasks()) {
+    if (!is_local(tl) || tl.id == ti.id || tl.priority >= ti.priority) {
+      continue;
+    }
+    const TaskProfile& pl = profile(tl);
+    if (pl.ng() == 0) continue;
+    const Duration a =
+        static_cast<Duration>(pi.suspensionOpportunities() + 1);
+    const Duration c = static_cast<Duration>(2 * pl.ng());
+    const Duration count =
+        options_.paper_literal_factor5 ? std::max(a, c) : std::min(a, c);
+    b.local_lower_gcs += count * pl.maxGcs();
+  }
+
+  // ---- Deferred-execution penalty: suspending higher-priority local
+  // tasks can each inflict one extra preemption per period.
+  if (options_.include_deferred_execution) {
+    for (const Task& tj : sys.tasks()) {
+      if (!is_local(tj) || tj.priority <= ti.priority) continue;
+      if (profile(tj).suspensionOpportunities() > 0) {
+        b.deferred_execution += tj.wcet;
+      }
+    }
+  }
+
+  return b;
+}
+
+}  // namespace mpcp

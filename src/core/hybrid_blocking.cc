@@ -1,0 +1,227 @@
+#include "core/hybrid_blocking.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/profiles.h"
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace mpcp {
+
+namespace {
+
+/// Processor on which a gcs on `r` executes for a job hosted on `host`.
+ProcessorId executionProcessor(const TaskSystem& sys,
+                               const HybridPolicy& policy, ResourceId r,
+                               ProcessorId host) {
+  if (policy.of(r) == GlobalPolicy::kSharedMemory) return host;
+  return *sys.resource(r).sync_processor;
+}
+
+/// Elevation priority of a gcs on `r` for a job hosted on `host`.
+Priority elevation(const PriorityTables& tables,
+                   const HybridPolicy& policy, ResourceId r,
+                   ProcessorId host) {
+  if (policy.of(r) == GlobalPolicy::kSharedMemory) {
+    return tables.gcsPriority(r, host);
+  }
+  return tables.ceiling(r);
+}
+
+}  // namespace
+
+std::vector<HybridBlockingBreakdown> hybridBlocking(
+    const TaskSystem& sys, const PriorityTables& tables,
+    const HybridPolicy& policy, BlockingOptions options) {
+  const std::vector<TaskProfile> profiles = buildProfiles(sys);
+  std::vector<HybridBlockingBreakdown> out(sys.tasks().size());
+
+  const auto profile = [&](const Task& t) -> const TaskProfile& {
+    return profiles[static_cast<std::size_t>(t.id.value())];
+  };
+
+  for (const Task& ti : sys.tasks()) {
+    const TaskProfile& pi = profile(ti);
+    HybridBlockingBreakdown& b =
+        out[static_cast<std::size_t>(ti.id.value())];
+    const auto is_local = [&](const Task& t) {
+      return t.processor == ti.processor;
+    };
+
+    // ---- F1: local blocking, identical to MPCP.
+    Duration max_local_cs = 0;
+    for (const Task& tl : sys.tasks()) {
+      if (!is_local(tl) || tl.priority >= ti.priority) continue;
+      for (const SectionUse& z : profile(tl).local_sections) {
+        if (tables.ceiling(z.resource) >= ti.priority) {
+          max_local_cs = std::max(max_local_cs, z.duration);
+        }
+      }
+    }
+    if (max_local_cs > 0) {
+      b.local_lower_cs =
+          static_cast<Duration>(pi.suspensionOpportunities() + 1) *
+          max_local_cs;
+    }
+
+    // ---- F2': queue-head wait per access, mode-aware.
+    for (const SectionUse& access : pi.global_sections) {
+      const bool shared =
+          policy.of(access.resource) == GlobalPolicy::kSharedMemory;
+      Duration worst = 0;
+      for (const Task& tl : sys.tasks()) {
+        if (tl.id == ti.id || tl.priority >= ti.priority) continue;
+        if (shared && is_local(tl)) continue;  // F5' covers these
+        for (const SectionUse& z : profile(tl).global_sections) {
+          if (z.resource == access.resource) {
+            worst = std::max(worst, z.duration);
+          }
+        }
+      }
+      b.lower_gcs_queue += worst;
+    }
+
+    // ---- F3': higher-priority interference on shared semaphores.
+    for (const Task& tj : sys.tasks()) {
+      if (tj.id == ti.id || tj.priority <= ti.priority) continue;
+      Duration shared_dur = 0;
+      for (const SectionUse& z : profile(tj).global_sections) {
+        if (pi.global_resources.count(z.resource.value()) == 0) continue;
+        // Host-local higher-priority shared-memory gcs = plain preemption.
+        if (is_local(tj) &&
+            policy.of(z.resource) == GlobalPolicy::kSharedMemory) {
+          continue;
+        }
+        shared_dur += z.duration;
+      }
+      if (shared_dur > 0) {
+        b.higher_gcs_remote += ceilDiv(ti.period, tj.period) * shared_dur;
+      }
+    }
+
+    // ---- F4': preemption of shared-mode direct blockers.
+    const int procs = sys.processorCount();
+    for (int k = 0; k < procs; ++k) {
+      if (k == ti.processor.value()) continue;
+      const ProcessorId pk(k);
+      Priority min_blocker = kPriorityFloor;
+      bool has_blocker = false;
+      for (TaskId tl_id : sys.tasksOn(pk)) {
+        const Task& tl = sys.task(tl_id);
+        if (tl.priority >= ti.priority) continue;
+        for (const SectionUse& z : profile(tl).global_sections) {
+          if (pi.global_resources.count(z.resource.value()) == 0) continue;
+          if (policy.of(z.resource) != GlobalPolicy::kSharedMemory) continue;
+          const Priority gp = elevation(tables, policy, z.resource, pk);
+          if (!has_blocker || gp < min_blocker) min_blocker = gp;
+          has_blocker = true;
+        }
+      }
+      if (!has_blocker) continue;
+
+      for (TaskId tj_id : sys.tasksOn(pk)) {
+        const Task& tj = sys.task(tj_id);
+        Duration qualifying = 0;
+        for (const SectionUse& z : profile(tj).global_sections) {
+          // Only sections that *execute* on P_k can preempt the blocker.
+          if (executionProcessor(sys, policy, z.resource, pk) != pk) continue;
+          const Priority gp = elevation(tables, policy, z.resource, pk);
+          if (gp <= min_blocker) continue;
+          if (tj.priority > ti.priority &&
+              pi.global_resources.count(z.resource.value()) != 0) {
+            continue;  // charged by F3'
+          }
+          qualifying += z.duration;
+        }
+        if (qualifying > 0) {
+          b.blocking_proc_gcs += ceilDiv(ti.period, tj.period) * qualifying;
+        }
+      }
+    }
+
+    // ---- F5': lower-priority local *shared-mode* gcs's.
+    for (const Task& tl : sys.tasks()) {
+      if (!is_local(tl) || tl.id == ti.id || tl.priority >= ti.priority) {
+        continue;
+      }
+      const TaskProfile& pl = profile(tl);
+      int ng_shared = 0;
+      Duration max_shared = 0;
+      for (const SectionUse& z : pl.global_sections) {
+        if (policy.of(z.resource) == GlobalPolicy::kSharedMemory) {
+          ++ng_shared;
+          max_shared = std::max(max_shared, z.duration);
+        }
+      }
+      if (ng_shared == 0) continue;
+      const Duration a =
+          static_cast<Duration>(pi.suspensionOpportunities() + 1);
+      const Duration c = static_cast<Duration>(2 * ng_shared);
+      const Duration count =
+          options.paper_literal_factor5 ? std::max(a, c) : std::min(a, c);
+      b.local_lower_gcs += count * max_shared;
+    }
+
+    // ---- D3': agent interference on visited sync processors.
+    std::map<std::int32_t, Priority> min_ceiling_on;
+    for (const SectionUse& access : pi.global_sections) {
+      if (policy.of(access.resource) != GlobalPolicy::kMessageBased) continue;
+      const ProcessorId sp = *sys.resource(access.resource).sync_processor;
+      const Priority c = tables.ceiling(access.resource);
+      auto [it, inserted] = min_ceiling_on.emplace(sp.value(), c);
+      if (!inserted && c < it->second) it->second = c;
+    }
+    if (!min_ceiling_on.empty()) {
+      for (const Task& tj : sys.tasks()) {
+        if (tj.id == ti.id) continue;
+        Duration interfering = 0;
+        for (const SectionUse& z : profile(tj).global_sections) {
+          if (policy.of(z.resource) != GlobalPolicy::kMessageBased) continue;
+          // Same-resource contention is already charged by F2' (one
+          // lower-priority holder per access) and F3' (higher-priority
+          // re-entries); D3' covers only *other* resources' agents.
+          if (pi.global_resources.count(z.resource.value()) != 0) continue;
+          const auto it = min_ceiling_on.find(
+              sys.resource(z.resource).sync_processor->value());
+          if (it == min_ceiling_on.end()) continue;
+          if (tables.ceiling(z.resource) < it->second) continue;
+          interfering += z.duration;
+        }
+        if (interfering > 0) {
+          b.agent_interference += ceilDiv(ti.period, tj.period) * interfering;
+        }
+      }
+    }
+
+    // ---- D4': message-mode gcs's of others executing on my host.
+    for (const Task& tj : sys.tasks()) {
+      if (tj.id == ti.id) continue;
+      const bool local_higher = is_local(tj) && tj.priority > ti.priority;
+      if (local_higher) continue;  // inside the preemption term
+      Duration load = 0;
+      for (const SectionUse& z : profile(tj).global_sections) {
+        if (policy.of(z.resource) != GlobalPolicy::kMessageBased) continue;
+        if (*sys.resource(z.resource).sync_processor == ti.processor) {
+          load += z.duration;
+        }
+      }
+      if (load > 0) {
+        b.host_agent_load += ceilDiv(ti.period, tj.period) * load;
+      }
+    }
+
+    // ---- deferred execution.
+    if (options.include_deferred_execution) {
+      for (const Task& tj : sys.tasks()) {
+        if (!is_local(tj) || tj.priority <= ti.priority) continue;
+        if (profile(tj).suspensionOpportunities() > 0) {
+          b.deferred_execution += tj.wcet;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mpcp

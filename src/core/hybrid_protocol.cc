@@ -1,0 +1,162 @@
+#include "core/hybrid_protocol.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strf.h"
+
+namespace mpcp {
+
+HybridPolicy HybridPolicy::allShared(const TaskSystem& system) {
+  return HybridPolicy(std::vector<GlobalPolicy>(
+      system.resources().size(), GlobalPolicy::kSharedMemory));
+}
+
+HybridPolicy HybridPolicy::allMessage(const TaskSystem& system) {
+  return HybridPolicy(std::vector<GlobalPolicy>(
+      system.resources().size(), GlobalPolicy::kMessageBased));
+}
+
+GlobalPolicy HybridPolicy::of(ResourceId r) const {
+  MPCP_CHECK(r.valid() &&
+                 static_cast<std::size_t>(r.value()) < per_resource_.size(),
+             "HybridPolicy::of: unknown resource " << r);
+  return per_resource_[static_cast<std::size_t>(r.value())];
+}
+
+void HybridPolicy::set(ResourceId r, GlobalPolicy policy) {
+  MPCP_CHECK(r.valid() &&
+                 static_cast<std::size_t>(r.value()) < per_resource_.size(),
+             "HybridPolicy::set: unknown resource " << r);
+  per_resource_[static_cast<std::size_t>(r.value())] = policy;
+}
+
+HybridProtocol::HybridProtocol(const TaskSystem& system,
+                               const PriorityTables& tables,
+                               HybridPolicy policy)
+    : system_(&system),
+      tables_(&tables),
+      policy_(std::move(policy)),
+      local_(system, tables),
+      global_(system.resources().size()) {
+  for (const Task& t : system.tasks()) {
+    for (const CriticalSection& cs : t.sections) {
+      if (cs.parent < 0) continue;
+      const CriticalSection& outer =
+          t.sections[static_cast<std::size_t>(cs.parent)];
+      const bool inner_global = system.isGlobal(cs.resource);
+      const bool outer_global = system.isGlobal(outer.resource);
+      if (!inner_global && !outer_global) continue;  // local PCP nest: fine
+      if (!inner_global || !outer_global) {
+        throw ConfigError(strf(t.name,
+                               ": hybrid protocol cannot nest local/global "
+                               "sections across kinds (",
+                               outer.resource, " encloses ", cs.resource,
+                               ")"));
+      }
+      const GlobalPolicy pi = policy_.of(cs.resource);
+      const GlobalPolicy po = policy_.of(outer.resource);
+      if (pi != GlobalPolicy::kMessageBased ||
+          po != GlobalPolicy::kMessageBased) {
+        throw ConfigError(strf(
+            t.name, ": nested global sections require kMessageBased policy "
+            "on both semaphores (", outer.resource, " encloses ",
+            cs.resource, ")"));
+      }
+      const auto sp_in = system.resource(cs.resource).sync_processor;
+      const auto sp_out = system.resource(outer.resource).sync_processor;
+      if (sp_in != sp_out) {
+        throw ConfigError(strf(
+            t.name, ": nested message-based sections must share a sync "
+            "processor (", outer.resource, " encloses ", cs.resource, ")"));
+      }
+    }
+  }
+}
+
+void HybridProtocol::attach(Engine& engine) {
+  SyncProtocol::attach(engine);
+  local_.attach(engine);
+}
+
+Priority HybridProtocol::elevationFor(const Job& j, ResourceId r) const {
+  return policy_.of(r) == GlobalPolicy::kSharedMemory
+             ? tables_->gcsPriority(r, j.host)
+             : tables_->ceiling(r);
+}
+
+LockOutcome HybridProtocol::onLock(Job& j, ResourceId r) {
+  if (!system_->isGlobal(r)) return local_.onLock(j, r);
+
+  SemState& s = global_[static_cast<std::size_t>(r.value())];
+  if (s.holder == &j) return LockOutcome::kGranted;  // handed off
+  if (s.holder == nullptr) {
+    s.holder = &j;
+    // Message-based sections can nest: keep the highest elevation among
+    // held message-based semaphores.
+    j.elevated = std::max(j.elevated, elevationFor(j, r));
+    engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = j.host,
+                   .resource = r, .priority = j.elevated});
+    if (policy_.of(r) == GlobalPolicy::kMessageBased) {
+      engine_->migrate(j, *system_->resource(r).sync_processor);
+    }
+    return LockOutcome::kGranted;
+  }
+  s.queue.push(&j, j.base);
+  engine_->parkWaiting(j, r, s.holder->id);
+  return LockOutcome::kWaiting;
+}
+
+void HybridProtocol::onUnlock(Job& j, ResourceId r) {
+  if (!system_->isGlobal(r)) {
+    local_.onUnlock(j, r);
+    return;
+  }
+
+  SemState& s = global_[static_cast<std::size_t>(r.value())];
+  MPCP_CHECK(s.holder == &j, j.id << " releasing " << r << " it does not hold");
+
+  // Remaining elevation from still-held global semaphores (message-based
+  // nesting only; shared-memory sections are flat). The engine pops
+  // j.held after this call, so skip `r` explicitly.
+  Priority remaining = kPriorityFloor;
+  bool skipped = false;
+  for (ResourceId held : j.held) {
+    if (!skipped && held == r) {
+      skipped = true;
+      continue;
+    }
+    if (system_->isGlobal(held)) {
+      remaining = std::max(remaining, elevationFor(j, held));
+    }
+  }
+  j.elevated = remaining;
+  if (remaining == kPriorityFloor) {
+    engine_->emit({.kind = Ev::kGcsExit, .job = j.id, .processor = j.current,
+                   .resource = r, .priority = j.base});
+    if (j.current != j.host) engine_->migrate(j, j.host);
+  }
+
+  if (s.queue.empty()) {
+    s.holder = nullptr;
+    engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
+                   .resource = r});
+    return;
+  }
+  Job* next = s.queue.pop();
+  s.holder = next;
+  next->elevated = std::max(next->elevated, elevationFor(*next, r));
+  engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
+                 .resource = r, .other = next->id});
+  engine_->emit({.kind = Ev::kGcsEnter, .job = next->id,
+                 .processor = next->host, .resource = r,
+                 .priority = next->elevated});
+  if (policy_.of(r) == GlobalPolicy::kMessageBased) {
+    engine_->migrate(*next, *system_->resource(r).sync_processor);
+  }
+  engine_->wake(*next);
+}
+
+void HybridProtocol::onJobFinished(Job& j) { local_.onJobFinished(j); }
+
+}  // namespace mpcp

@@ -1,0 +1,82 @@
+// Hybrid shared-memory / message-based protocol — the variation the
+// paper's conclusion proposes: "the shared memory and message-based
+// protocols can be mixed to reduce critical blocking factors and/or
+// support nested critical sections."
+//
+// Each *global* resource carries a policy:
+//   kSharedMemory — MPCP handling: acquired in place, gcs at the fixed
+//                   P_G + max(remote user) priority on the job's host;
+//   kMessageBased — DPCP handling: the critical section migrates to the
+//                   resource's synchronization processor and runs at the
+//                   full global ceiling there.
+// Local resources always use the uniprocessor PCP.
+//
+// Why mix? A message-based resource's gcs's leave the users' processors,
+// deleting their factor-5 interference there (lower-priority local gcs's
+// preempting normal code) and concentrating contention on a processor
+// that can be dedicated; shared-memory resources avoid the agent
+// funnelling and the full-ceiling pessimism. The hybrid ablation bench
+// (bench/hybrid_ablation) quantifies the trade.
+//
+// Nesting: sections on shared-memory-policy resources must be flat (as
+// under MPCP); message-based sections may nest among themselves when
+// their resources share a sync processor (as under DPCP). Mixed-policy
+// nesting is rejected.
+#pragma once
+
+#include <vector>
+
+#include "analysis/ceilings.h"
+#include "protocols/local_pcp.h"
+#include "protocols/sem_state.h"
+#include "sim/protocol.h"
+
+namespace mpcp {
+
+enum class GlobalPolicy {
+  kSharedMemory,  ///< MPCP-style in-place gcs
+  kMessageBased,  ///< DPCP-style remote agent
+};
+
+/// Per-resource policy map (entries for local resources are ignored).
+class HybridPolicy {
+ public:
+  HybridPolicy() = default;
+  explicit HybridPolicy(std::vector<GlobalPolicy> per_resource)
+      : per_resource_(std::move(per_resource)) {}
+
+  /// Every global resource shared-memory (== pure MPCP).
+  static HybridPolicy allShared(const TaskSystem& system);
+  /// Every global resource message-based (== pure DPCP).
+  static HybridPolicy allMessage(const TaskSystem& system);
+
+  [[nodiscard]] GlobalPolicy of(ResourceId r) const;
+  void set(ResourceId r, GlobalPolicy policy);
+
+ private:
+  std::vector<GlobalPolicy> per_resource_;
+};
+
+class HybridProtocol final : public SyncProtocol {
+ public:
+  /// Throws ConfigError on policy-incompatible nesting (see above).
+  HybridProtocol(const TaskSystem& system, const PriorityTables& tables,
+                 HybridPolicy policy);
+
+  void attach(Engine& engine) override;
+  LockOutcome onLock(Job& j, ResourceId r) override;
+  void onUnlock(Job& j, ResourceId r) override;
+  void onJobFinished(Job& j) override;
+  [[nodiscard]] const char* name() const override { return "hybrid"; }
+
+ private:
+  [[nodiscard]] Priority elevationFor(const Job& j, ResourceId r) const;
+
+  const TaskSystem* system_;
+  const PriorityTables* tables_;
+  HybridPolicy policy_;
+  LocalPcp local_;
+  std::vector<SemState> global_;
+};
+
+}  // namespace mpcp

@@ -1,0 +1,97 @@
+#include "core/mpcp_protocol.h"
+
+#include "common/check.h"
+#include "common/strf.h"
+
+namespace mpcp {
+
+MpcpProtocol::MpcpProtocol(const TaskSystem& system,
+                           const PriorityTables& tables)
+    : system_(&system),
+      tables_(&tables),
+      local_(system, tables),
+      global_(system.resources().size()) {
+  // Enforce the base assumption: no nesting involving a global section
+  // (Section 4.2). TaskSystem::build() already rejects this unless
+  // allow_nested_global was set; re-check so MPCP cannot be run on a
+  // system built for the nesting experiments.
+  for (const Task& t : system.tasks()) {
+    for (const CriticalSection& cs : t.sections) {
+      if (cs.parent < 0) continue;
+      const CriticalSection& outer =
+          t.sections[static_cast<std::size_t>(cs.parent)];
+      if (system.isGlobal(cs.resource) || system.isGlobal(outer.resource)) {
+        throw ConfigError(strf(
+            "MPCP forbids nested global critical sections (", t.name, ": ",
+            outer.resource, " encloses ", cs.resource,
+            "); collapse them into a group lock"));
+      }
+    }
+  }
+}
+
+void MpcpProtocol::attach(Engine& engine) {
+  SyncProtocol::attach(engine);
+  local_.attach(engine);
+}
+
+LockOutcome MpcpProtocol::onLock(Job& j, ResourceId r) {
+  if (!system_->isGlobal(r)) {
+    return local_.onLock(j, r);  // rule 2: uniprocessor PCP
+  }
+
+  SemState& s = global_[static_cast<std::size_t>(r.value())];
+  if (s.holder == &j) return LockOutcome::kGranted;  // granted via handoff
+  if (s.holder == nullptr) {
+    // Rule 5: atomic acquisition; rule 3: fixed gcs priority on entry.
+    s.holder = &j;
+    j.elevated = tables_->gcsPriority(r, j.host);
+    engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = j.host,
+                   .resource = r, .priority = j.elevated});
+    return LockOutcome::kGranted;
+  }
+  // Rule 6: suspend in the priority-ordered queue, keyed by the job's
+  // normal assigned priority.
+  s.queue.push(&j, j.base);
+  engine_->parkWaiting(j, r, s.holder->id);
+  return LockOutcome::kWaiting;
+}
+
+void MpcpProtocol::onUnlock(Job& j, ResourceId r) {
+  if (!system_->isGlobal(r)) {
+    local_.onUnlock(j, r);
+    return;
+  }
+
+  SemState& s = global_[static_cast<std::size_t>(r.value())];
+  MPCP_CHECK(s.holder == &j, j.id << " releasing " << r << " it does not hold");
+
+  // Leaving the gcs: back to the normal band (no nesting, so no other
+  // global semaphore can still be held).
+  j.elevated = kPriorityFloor;
+  engine_->emit({.kind = Ev::kGcsExit, .job = j.id, .processor = j.current,
+                 .resource = r, .priority = j.base});
+
+  if (s.queue.empty()) {
+    s.holder = nullptr;
+    engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
+                   .resource = r});
+    return;
+  }
+  // Rule 7: direct handoff to the highest-priority waiter; it becomes
+  // eligible on its host processor at its gcs priority immediately (it
+  // must be able to preempt the moment it is signalled).
+  Job* next = s.queue.pop();
+  s.holder = next;
+  next->elevated = tables_->gcsPriority(r, next->host);
+  engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
+                 .resource = r, .other = next->id});
+  engine_->emit({.kind = Ev::kGcsEnter, .job = next->id,
+                 .processor = next->host, .resource = r,
+                 .priority = next->elevated});
+  engine_->wake(*next);
+}
+
+void MpcpProtocol::onJobFinished(Job& j) { local_.onJobFinished(j); }
+
+}  // namespace mpcp

@@ -1,0 +1,31 @@
+// One-stop protocol construction for experiments: pick a ProtocolKind,
+// get a SyncProtocol. Owns nothing about the task system.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/ceilings.h"
+#include "model/task_system.h"
+#include "sim/protocol.h"
+
+namespace mpcp {
+
+enum class ProtocolKind {
+  kNone,      ///< plain semaphores, FIFO queues, no priority management
+  kNonePrio,  ///< plain semaphores with priority-ordered queues
+  kPip,       ///< priority inheritance (cross-processor)
+  kPcp,       ///< uniprocessor priority ceiling protocol (no globals)
+  kMpcp,      ///< the paper's shared-memory protocol
+  kDpcp,      ///< message-based baseline [8]
+};
+
+[[nodiscard]] const char* toString(ProtocolKind kind);
+
+/// Constructs the protocol. `tables` must outlive the returned object and
+/// must have been computed from `system`.
+[[nodiscard]] std::unique_ptr<SyncProtocol> makeProtocol(
+    ProtocolKind kind, const TaskSystem& system,
+    const PriorityTables& tables);
+
+}  // namespace mpcp

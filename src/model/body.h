@@ -1,0 +1,119 @@
+// Job bodies.
+//
+// The paper describes a job as straight-line code interleaving normal
+// execution with critical sections:
+//   J_i = { ... P(S_1) ... V(S_1) ... P(S_2) ... V(S_2) ... }
+// We model a body as a sequence of ops: Compute(d), Lock(S), Unlock(S).
+// Critical-section *content* is the compute time between a Lock and its
+// matching Unlock (nested sections included in the outer duration).
+#pragma once
+
+#include <cstddef>
+#include <variant>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace mpcp {
+
+/// Execute for `duration` ticks (preemptible).
+struct ComputeOp {
+  Duration duration;
+  friend constexpr bool operator==(const ComputeOp&, const ComputeOp&) = default;
+};
+
+/// P(S): acquire the semaphore, blocking/suspending per protocol.
+struct LockOp {
+  ResourceId resource;
+  friend constexpr bool operator==(const LockOp&, const LockOp&) = default;
+};
+
+/// V(S): release the semaphore.
+struct UnlockOp {
+  ResourceId resource;
+  friend constexpr bool operator==(const UnlockOp&, const UnlockOp&) = default;
+};
+
+/// Voluntary self-suspension for `duration` ticks (I/O, a timed delay).
+/// The paper's Theorem 1 charges one extra local blocking section per
+/// suspension; the analyses here count these ops. Suspension inside a
+/// critical section is rejected (sections are short by assumption and a
+/// suspended holder would wreck every blocking bound).
+struct SuspendOp {
+  Duration duration;
+  friend constexpr bool operator==(const SuspendOp&, const SuspendOp&) = default;
+};
+
+using Op = std::variant<ComputeOp, LockOp, UnlockOp, SuspendOp>;
+
+/// Straight-line job body. Build fluently:
+///   Body{}.compute(2).lock(s).compute(3).unlock(s).compute(1)
+/// or with the `section` shorthand for a flat critical section.
+class Body {
+ public:
+  Body() = default;
+
+  Body& compute(Duration d) & {
+    MPCP_CHECK(d > 0, "compute duration must be positive, got " << d);
+    // Merge adjacent computes so generated bodies stay canonical.
+    if (!ops_.empty()) {
+      if (auto* prev = std::get_if<ComputeOp>(&ops_.back())) {
+        prev->duration += d;
+        return *this;
+      }
+    }
+    ops_.emplace_back(ComputeOp{d});
+    return *this;
+  }
+  Body&& compute(Duration d) && { return std::move(compute(d)); }
+
+  Body& lock(ResourceId r) & {
+    MPCP_CHECK(r.valid(), "lock() with invalid resource id");
+    ops_.emplace_back(LockOp{r});
+    return *this;
+  }
+  Body&& lock(ResourceId r) && { return std::move(lock(r)); }
+
+  Body& unlock(ResourceId r) & {
+    MPCP_CHECK(r.valid(), "unlock() with invalid resource id");
+    ops_.emplace_back(UnlockOp{r});
+    return *this;
+  }
+  Body&& unlock(ResourceId r) && { return std::move(unlock(r)); }
+
+  /// Self-suspend for `d` ticks. Not allowed while holding a semaphore.
+  Body& suspend(Duration d) & {
+    MPCP_CHECK(d > 0, "suspend duration must be positive, got " << d);
+    ops_.emplace_back(SuspendOp{d});
+    return *this;
+  }
+  Body&& suspend(Duration d) && { return std::move(suspend(d)); }
+
+  /// lock(r); compute(d); unlock(r) — a flat critical section.
+  Body& section(ResourceId r, Duration d) & {
+    return lock(r).compute(d).unlock(r);
+  }
+  Body&& section(ResourceId r, Duration d) && {
+    return std::move(section(r, d));
+  }
+
+  [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+
+  /// Total compute demand (the task's C_i), independent of blocking.
+  [[nodiscard]] Duration totalCompute() const {
+    Duration sum = 0;
+    for (const Op& op : ops_) {
+      if (const auto* c = std::get_if<ComputeOp>(&op)) sum += c->duration;
+    }
+    return sum;
+  }
+
+  friend bool operator==(const Body&, const Body&) = default;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace mpcp

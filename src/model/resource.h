@@ -1,0 +1,43 @@
+// Shared resources (binary semaphores).
+//
+// Section 4.2: a semaphore accessed only by tasks bound to one processor
+// is *local* (lives in that processor's local memory); one accessed from
+// several processors is *global* (lives in shared memory). Scope is
+// derived from the task bindings, never declared.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mpcp {
+
+enum class ResourceScope {
+  kLocal,   ///< all users bound to one processor; guarded by uniprocessor PCP
+  kGlobal,  ///< users span processors; guarded by the multiprocessor protocol
+};
+
+inline const char* toString(ResourceScope s) {
+  return s == ResourceScope::kLocal ? "local" : "global";
+}
+
+/// A semaphore plus everything derived about it at build time.
+struct ResourceInfo {
+  ResourceId id;
+  std::string name;
+  ResourceScope scope = ResourceScope::kLocal;
+  /// Local resources: the single processor whose tasks use it.
+  /// Global resources: unset (meaningless under MPCP).
+  std::optional<ProcessorId> home;
+  /// DPCP only: the synchronization processor hosting this resource's
+  /// critical sections. Defaults to the lowest-id user processor; override
+  /// via TaskSystemBuilder::assignSyncProcessor.
+  std::optional<ProcessorId> sync_processor;
+  /// Tasks with at least one critical section on this resource,
+  /// in ascending TaskId order.
+  std::vector<TaskId> users;
+};
+
+}  // namespace mpcp

@@ -1,0 +1,71 @@
+#include "model/sections.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strf.h"
+
+namespace mpcp {
+
+std::vector<CriticalSection> extractSections(const Body& body) {
+  std::vector<CriticalSection> sections;
+  std::vector<int> open;  // indices into `sections` of currently-held locks
+
+  const auto held = [&](ResourceId r) {
+    return std::any_of(open.begin(), open.end(), [&](int idx) {
+      return sections[static_cast<std::size_t>(idx)].resource == r;
+    });
+  };
+
+  const std::vector<Op>& ops = body.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (const auto* c = std::get_if<ComputeOp>(&ops[i])) {
+      for (int idx : open) {
+        sections[static_cast<std::size_t>(idx)].duration += c->duration;
+      }
+    } else if (const auto* l = std::get_if<LockOp>(&ops[i])) {
+      if (held(l->resource)) {
+        throw ConfigError(strf("body relocks held semaphore ", l->resource,
+                               " at op ", i));
+      }
+      CriticalSection cs;
+      cs.resource = l->resource;
+      cs.lock_index = i;
+      cs.unlock_index = i;  // fixed up at the matching unlock
+      cs.depth = static_cast<int>(open.size());
+      cs.parent = open.empty() ? -1 : open.back();
+      sections.push_back(cs);
+      open.push_back(static_cast<int>(sections.size()) - 1);
+    } else if (std::get_if<SuspendOp>(&ops[i]) != nullptr) {
+      if (!open.empty()) {
+        throw ConfigError(strf(
+            "self-suspension inside a critical section (holding ",
+            sections[static_cast<std::size_t>(open.back())].resource,
+            ") at op ", i));
+      }
+    } else if (const auto* u = std::get_if<UnlockOp>(&ops[i])) {
+      if (open.empty()) {
+        throw ConfigError(strf("unlock of ", u->resource,
+                               " at op ", i, " with no lock held"));
+      }
+      CriticalSection& top = sections[static_cast<std::size_t>(open.back())];
+      if (top.resource != u->resource) {
+        throw ConfigError(strf("improper nesting: unlock of ", u->resource,
+                               " at op ", i, " but innermost held lock is ",
+                               top.resource));
+      }
+      top.unlock_index = i;
+      open.pop_back();
+    }
+  }
+
+  if (!open.empty()) {
+    throw ConfigError(strf(
+        "job body ends holding ",
+        sections[static_cast<std::size_t>(open.back())].resource,
+        "; locks must be released by job end"));
+  }
+  return sections;
+}
+
+}  // namespace mpcp

@@ -1,0 +1,39 @@
+// Critical-section extraction.
+//
+// The blocking analysis of Section 5.1 works with per-task lists of
+// critical sections: which semaphore, how long (including nested inner
+// sections — an outer section cannot be released before its inner ones),
+// and the nesting structure. This pass derives that list from a Body and
+// validates lock/unlock discipline:
+//   * Unlock must match the most recent unreleased Lock (proper nesting).
+//   * A job never relocks a semaphore it already holds (paper Section 3.1
+//     assumption — self-deadlock excluded).
+//   * Every Lock is released by job end (Section 3.1: "locks ... will be
+//     released before or at the end of a job").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "model/body.h"
+
+namespace mpcp {
+
+/// One critical section of a task body.
+struct CriticalSection {
+  ResourceId resource;
+  std::size_t lock_index;    ///< index of the LockOp in Body::ops()
+  std::size_t unlock_index;  ///< index of the matching UnlockOp
+  Duration duration = 0;     ///< compute time inside, nested sections included
+  int depth = 0;             ///< 0 = outermost
+  int parent = -1;           ///< index into the section list, -1 if outermost
+
+  friend bool operator==(const CriticalSection&, const CriticalSection&) = default;
+};
+
+/// Extracts all critical sections of `body` in lock order and validates
+/// the locking discipline. Throws ConfigError on malformed bodies.
+[[nodiscard]] std::vector<CriticalSection> extractSections(const Body& body);
+
+}  // namespace mpcp

@@ -1,0 +1,46 @@
+// Plain-text task-system format: load and save complete workloads so
+// experiments are reproducible from files and the CLI can drive the
+// library without writing C++.
+//
+// Format (line-oriented; '#' starts a comment; blank lines ignored):
+//
+//   processors 3
+//   options allow_nested_global      # optional flags
+//   resource GBUF                    # declaration order = ResourceId
+//   resource LLOG
+//   sync GBUF 2                      # optional DPCP sync-processor pin
+//   task control period=100 processor=0 [phase=0] [deadline=100] [priority=5]
+//     compute 10
+//     lock GBUF
+//     compute 5
+//     unlock GBUF
+//     suspend 3
+//     section LLOG 4                 # sugar: lock/compute/unlock
+//     compute 7
+//   end
+//
+// Durations are ticks. Unknown directives are errors (fail loudly, not
+// silently). parse/serialize round-trip exactly (section sugar expands),
+// with one caveat: explicit priorities are parsed but not re-emitted —
+// serialized systems rely on rate-monotonic re-derivation, which matches
+// whenever the original priorities were RM (the default).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/task_system.h"
+
+namespace mpcp {
+
+/// Parses the text format. Throws ConfigError with a line number on any
+/// syntax or semantic problem.
+[[nodiscard]] TaskSystem parseTaskSystem(std::istream& in);
+[[nodiscard]] TaskSystem parseTaskSystemFromString(const std::string& text);
+
+/// Writes `system` in the text format (round-trips through parse).
+void serializeTaskSystem(std::ostream& out, const TaskSystem& system);
+[[nodiscard]] std::string serializeTaskSystemToString(
+    const TaskSystem& system);
+
+}  // namespace mpcp

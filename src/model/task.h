@@ -1,0 +1,51 @@
+// Task model.
+//
+// A periodic task tau_i (Section 3.1): a job released every `period`
+// ticks starting at `phase`, executing `body`, due `relative_deadline`
+// ticks after release (the paper's implicit deadline = period is the
+// default). Tasks are statically bound to a processor (Section 3.2) and
+// carry a fixed priority (rate-monotonic by default).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/priority.h"
+#include "common/types.h"
+#include "model/body.h"
+#include "model/sections.h"
+
+namespace mpcp {
+
+/// User-facing description of a task, consumed by TaskSystemBuilder.
+struct TaskSpec {
+  std::string name;                 ///< display name; defaults to "tau<k>"
+  Duration period = 0;              ///< T_i, must be > 0
+  Time phase = 0;                   ///< first release time, >= 0
+  Duration relative_deadline = 0;   ///< D_i; 0 means D_i = T_i
+  int processor = -1;               ///< static binding, in [0, processorCount)
+  Body body;                        ///< op sequence; C_i = body.totalCompute()
+  /// Explicit priority override. Leave unset to get rate-monotonic
+  /// assignment; if any task sets it, all tasks must.
+  std::optional<Priority> priority;
+};
+
+/// A validated task inside a TaskSystem. Immutable.
+struct Task {
+  TaskId id;
+  std::string name;
+  Duration period = 0;
+  Time phase = 0;
+  Duration relative_deadline = 0;
+  ProcessorId processor;
+  Priority priority;  ///< assigned priority P_i (normal-execution band)
+  Body body;
+  std::vector<CriticalSection> sections;  ///< extracted from body
+  Duration wcet = 0;                      ///< C_i
+
+  [[nodiscard]] double utilization() const {
+    return static_cast<double>(wcet) / static_cast<double>(period);
+  }
+};
+
+}  // namespace mpcp

@@ -1,0 +1,115 @@
+// TaskSystem: the validated, immutable description of a multiprocessor
+// real-time workload — tasks, their static processor bindings, and the
+// shared semaphores — plus the derived facts every protocol and analysis
+// needs (resource scopes, P_H, P_G, hyperperiod).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/priority.h"
+#include "common/types.h"
+#include "model/resource.h"
+#include "model/task.h"
+
+namespace mpcp {
+
+/// Build-time switches.
+struct TaskSystemOptions {
+  /// The paper's base assumption (Section 4.2) forbids global critical
+  /// sections from nesting or being nested. Set true only for the nesting
+  /// experiments (DPCP tolerates same-processor nesting; Section 5.1
+  /// discusses the cost under MPCP).
+  bool allow_nested_global = false;
+};
+
+class TaskSystemBuilder;
+
+/// Immutable workload description. Construct via TaskSystemBuilder.
+class TaskSystem {
+ public:
+  /// Empty system; assign a built one over it. All accessors on an empty
+  /// system either return empty ranges or throw on out-of-range ids.
+  TaskSystem() = default;
+
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] const std::vector<ResourceInfo>& resources() const {
+    return resources_;
+  }
+  [[nodiscard]] const ResourceInfo& resource(ResourceId id) const;
+
+  [[nodiscard]] int processorCount() const { return processor_count_; }
+
+  /// Tasks bound to `p`, in descending priority order.
+  [[nodiscard]] const std::vector<TaskId>& tasksOn(ProcessorId p) const;
+
+  /// P_H: the highest assigned task priority in the entire system.
+  [[nodiscard]] Priority maxTaskPriority() const { return max_task_priority_; }
+
+  /// P_G: base of the global-ceiling band, strictly above P_H
+  /// (Section 4.4). Global ceilings and gcs priorities are
+  /// globalBase() + <task urgency>.
+  [[nodiscard]] Priority globalBase() const { return global_base_; }
+
+  [[nodiscard]] bool isGlobal(ResourceId r) const {
+    return resource(r).scope == ResourceScope::kGlobal;
+  }
+
+  /// LCM of all periods (kTimeInfinity if it overflows). The simulator's
+  /// default horizon is max-phase + 2 * hyperperiod, capped.
+  [[nodiscard]] Time hyperperiod() const { return hyperperiod_; }
+
+  [[nodiscard]] const TaskSystemOptions& options() const { return options_; }
+
+  /// True if any resource is global. If false the problem decomposes into
+  /// independent uniprocessor problems (Section 4.2).
+  [[nodiscard]] bool hasGlobalResources() const;
+
+  /// Total utilization of tasks bound to `p`.
+  [[nodiscard]] double utilizationOn(ProcessorId p) const;
+
+ private:
+  friend class TaskSystemBuilder;
+
+  std::vector<Task> tasks_;
+  std::vector<ResourceInfo> resources_;
+  std::vector<std::vector<TaskId>> tasks_on_;  // per processor, prio desc
+  int processor_count_ = 0;
+  Priority max_task_priority_;
+  Priority global_base_;
+  Time hyperperiod_ = 0;
+  TaskSystemOptions options_;
+};
+
+/// Collects task/resource specs, validates, derives, and produces a
+/// TaskSystem. Single-shot: build() consumes the builder.
+class TaskSystemBuilder {
+ public:
+  explicit TaskSystemBuilder(int processor_count,
+                             TaskSystemOptions options = {});
+
+  /// Declares a semaphore. Scope is derived at build() from its users.
+  ResourceId addResource(std::string name = "");
+
+  /// Adds a task; returns its id (stable: insertion order).
+  TaskId addTask(TaskSpec spec);
+
+  /// DPCP: pins a (global) resource's critical sections to `p`.
+  void assignSyncProcessor(ResourceId r, ProcessorId p);
+
+  /// Validates everything, assigns rate-monotonic priorities if no task
+  /// set an explicit one, and freezes the system.
+  /// Throws ConfigError on malformed input.
+  [[nodiscard]] TaskSystem build() &&;
+
+ private:
+  int processor_count_;
+  TaskSystemOptions options_;
+  std::vector<TaskSpec> specs_;
+  std::vector<std::string> resource_names_;
+  std::vector<std::optional<ProcessorId>> sync_overrides_;
+};
+
+}  // namespace mpcp

@@ -1,0 +1,129 @@
+#include "protocols/dpcp.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strf.h"
+
+namespace mpcp {
+
+DpcpProtocol::DpcpProtocol(const TaskSystem& system,
+                           const PriorityTables& tables)
+    : system_(&system),
+      tables_(&tables),
+      local_(system, tables),
+      global_(system.resources().size()) {
+  // Validate nesting: global-in-global only within one sync processor.
+  for (const Task& t : system.tasks()) {
+    for (const CriticalSection& cs : t.sections) {
+      if (cs.parent < 0) continue;
+      const CriticalSection& outer =
+          t.sections[static_cast<std::size_t>(cs.parent)];
+      const bool inner_global = system.isGlobal(cs.resource);
+      const bool outer_global = system.isGlobal(outer.resource);
+      if (inner_global != outer_global) {
+        throw ConfigError(strf(
+            t.name, ": DPCP cannot nest ", toString(ResourceScope::kLocal),
+            "/global sections across kinds (", outer.resource, " encloses ",
+            cs.resource, ")"));
+      }
+      if (inner_global && outer_global) {
+        const auto pi_in = system.resource(cs.resource).sync_processor;
+        const auto pi_out = system.resource(outer.resource).sync_processor;
+        if (pi_in != pi_out) {
+          throw ConfigError(strf(
+              t.name, ": DPCP nested global sections must share a "
+              "synchronization processor (", outer.resource, " on ",
+              pi_out.value_or(ProcessorId()), " encloses ", cs.resource,
+              " on ", pi_in.value_or(ProcessorId()), ")"));
+        }
+      }
+    }
+  }
+}
+
+void DpcpProtocol::attach(Engine& engine) {
+  SyncProtocol::attach(engine);
+  local_.attach(engine);
+}
+
+Priority DpcpProtocol::heldGlobalCeiling(const Job& j) const {
+  Priority top = kPriorityFloor;
+  for (ResourceId r : j.held) {
+    if (system_->isGlobal(r)) {
+      top = std::max(top, tables_->ceiling(r));
+    }
+  }
+  return top;
+}
+
+LockOutcome DpcpProtocol::onLock(Job& j, ResourceId r) {
+  if (!system_->isGlobal(r)) return local_.onLock(j, r);
+
+  SemState& s = global_[static_cast<std::size_t>(r.value())];
+  const ProcessorId pi = *system_->resource(r).sync_processor;
+
+  if (s.holder == &j) return LockOutcome::kGranted;  // handed off below
+  if (s.holder == nullptr) {
+    s.holder = &j;
+    j.elevated = tables_->ceiling(r);
+    engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = pi,
+                   .resource = r, .priority = j.elevated});
+    engine_->migrate(j, pi);
+    return LockOutcome::kGranted;
+  }
+  s.queue.push(&j, j.base);
+  engine_->parkWaiting(j, r, s.holder->id);
+  return LockOutcome::kWaiting;
+}
+
+void DpcpProtocol::onUnlock(Job& j, ResourceId r) {
+  if (!system_->isGlobal(r)) {
+    local_.onUnlock(j, r);
+    return;
+  }
+
+  SemState& s = global_[static_cast<std::size_t>(r.value())];
+  MPCP_CHECK(s.holder == &j, j.id << " releasing " << r << " it does not hold");
+
+  // Note: the engine pops j.held *after* onUnlock returns, so exclude r
+  // explicitly when recomputing the remaining elevation.
+  Priority remaining = kPriorityFloor;
+  bool skipped_r = false;
+  for (ResourceId held : j.held) {
+    if (!skipped_r && held == r) {
+      skipped_r = true;
+      continue;
+    }
+    if (system_->isGlobal(held)) {
+      remaining = std::max(remaining, tables_->ceiling(held));
+    }
+  }
+  j.elevated = remaining;
+  if (remaining == kPriorityFloor) {
+    engine_->emit({.kind = Ev::kGcsExit, .job = j.id, .processor = j.current,
+                   .resource = r, .priority = j.base});
+    engine_->migrate(j, j.host);  // critical section done; come home
+  }
+
+  if (s.queue.empty()) {
+    s.holder = nullptr;
+    engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
+                   .resource = r});
+    return;
+  }
+  Job* next = s.queue.pop();
+  s.holder = next;
+  next->elevated = std::max(next->elevated, tables_->ceiling(r));
+  const ProcessorId pi = *system_->resource(r).sync_processor;
+  engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = pi,
+                 .resource = r, .other = next->id});
+  engine_->emit({.kind = Ev::kGcsEnter, .job = next->id, .processor = pi,
+                 .resource = r, .priority = next->elevated});
+  engine_->migrate(*next, pi);
+  engine_->wake(*next);
+}
+
+void DpcpProtocol::onJobFinished(Job& j) { local_.onJobFinished(j); }
+
+}  // namespace mpcp

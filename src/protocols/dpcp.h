@@ -1,0 +1,51 @@
+// Message-based (distributed) priority ceiling protocol — the paper's
+// reference [8] (Rajkumar, Sha & Lehoczky 1988) and the baseline of
+// Section 5.2's comparison.
+//
+// Every global semaphore S_g is bound to one synchronization processor
+// pi(S_g) (ResourceInfo::sync_processor). A job reaching a gcs on S_g
+// effectively sends a request there: we model this by *migrating* the
+// job's critical section to pi(S_g), where it executes at the full global
+// priority ceiling of S_g ("it is suggested that a gcs guarded by S_g
+// always execute at a priority equal to the global priority ceiling of
+// S_g [8]" — Section 4.4). The job's host processor is free meanwhile —
+// lower-priority local jobs run, exactly as under MPCP suspension.
+//
+// Local semaphores use the uniprocessor PCP on each processor.
+//
+// Nesting: DPCP legally supports nested global critical sections "as long
+// as locks do not cross processor boundaries" (Section 5.2). With
+// TaskSystemOptions::allow_nested_global we accept nests whose semaphores
+// share a synchronization processor and reject the rest at attach().
+#pragma once
+
+#include <vector>
+
+#include "analysis/ceilings.h"
+#include "protocols/local_pcp.h"
+#include "protocols/sem_state.h"
+#include "sim/protocol.h"
+
+namespace mpcp {
+
+class DpcpProtocol final : public SyncProtocol {
+ public:
+  DpcpProtocol(const TaskSystem& system, const PriorityTables& tables);
+
+  void attach(Engine& engine) override;
+  LockOutcome onLock(Job& j, ResourceId r) override;
+  void onUnlock(Job& j, ResourceId r) override;
+  void onJobFinished(Job& j) override;
+  [[nodiscard]] const char* name() const override { return "dpcp"; }
+
+ private:
+  /// Highest ceiling among global semaphores `j` still holds, or floor.
+  [[nodiscard]] Priority heldGlobalCeiling(const Job& j) const;
+
+  const TaskSystem* system_;
+  const PriorityTables* tables_;
+  LocalPcp local_;
+  std::vector<SemState> global_;  // indexed by resource id; local unused
+};
+
+}  // namespace mpcp

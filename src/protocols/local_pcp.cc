@@ -1,0 +1,128 @@
+#include "protocols/local_pcp.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpcp {
+
+LocalPcp::LocalPcp(const TaskSystem& system, const PriorityTables& tables)
+    : system_(&system),
+      tables_(&tables),
+      procs_(static_cast<std::size_t>(system.processorCount())) {}
+
+const LocalPcp::LockedSem* LocalPcp::blockingSem(int proc,
+                                                 const Job& j) const {
+  const LockedSem* best = nullptr;
+  for (const LockedSem& ls : procs_[static_cast<std::size_t>(proc)].locked) {
+    if (ls.holder == &j) continue;
+    if (best == nullptr || ls.ceiling > best->ceiling) best = &ls;
+  }
+  return best;
+}
+
+LockOutcome LocalPcp::onLock(Job& j, ResourceId r) {
+  MPCP_CHECK(!system_->isGlobal(r),
+             "LocalPcp asked to lock global semaphore " << r);
+  const int proc = j.current.value();
+  ProcState& ps = procs_[static_cast<std::size_t>(proc)];
+
+  // The job may be retrying after a wake; it is no longer parked.
+  ps.parked.erase(std::remove(ps.parked.begin(), ps.parked.end(), &j),
+                  ps.parked.end());
+
+  const LockedSem* blocking = blockingSem(proc, j);
+  if (blocking == nullptr || j.effectivePriority() > blocking->ceiling) {
+    ps.locked.push_back({r, &j, tables_->ceiling(r)});
+    return LockOutcome::kGranted;
+  }
+
+  engine_->parkWaiting(j, r, blocking->holder->id);
+  ps.parked.push_back(&j);
+  recomputeInheritance(proc);
+  return LockOutcome::kWaiting;
+}
+
+void LocalPcp::onUnlock(Job& j, ResourceId r) {
+  const int proc = j.current.value();
+  ProcState& ps = procs_[static_cast<std::size_t>(proc)];
+  auto it = std::find_if(ps.locked.begin(), ps.locked.end(),
+                         [&](const LockedSem& ls) {
+                           return ls.resource == r && ls.holder == &j;
+                         });
+  MPCP_CHECK(it != ps.locked.end(),
+             j.id << " releasing local " << r << " it does not hold");
+  ps.locked.erase(it);
+
+  engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
+                 .resource = r});
+
+  // The releaser's inheritance must be re-derived from what it still
+  // holds; recomputeInheritance() only resets current holders, so clear
+  // here in case this was j's last semaphore.
+  if (j.inherited != kPriorityFloor) {
+    j.inherited = kPriorityFloor;
+    engine_->emit({.kind = Ev::kInherit, .job = j.id, .processor = j.current,
+                   .priority = j.base});
+  }
+
+  // Blocking conditions changed: wake every parked job for a retry. The
+  // dispatcher serves them highest-priority-first; losers re-park.
+  std::vector<Job*> to_wake;
+  to_wake.swap(ps.parked);
+  for (Job* w : to_wake) engine_->wake(*w);
+
+  recomputeInheritance(proc);
+}
+
+void LocalPcp::onJobFinished(Job& j) {
+  const int proc = j.current.value();
+  ProcState& ps = procs_[static_cast<std::size_t>(proc)];
+  ps.parked.erase(std::remove(ps.parked.begin(), ps.parked.end(), &j),
+                  ps.parked.end());
+  MPCP_DCHECK(std::none_of(ps.locked.begin(), ps.locked.end(),
+                           [&](const LockedSem& ls) { return ls.holder == &j; }),
+              j.id << " finished while holding a local semaphore");
+}
+
+void LocalPcp::recomputeInheritance(int proc) {
+  ProcState& ps = procs_[static_cast<std::size_t>(proc)];
+
+  std::vector<std::pair<Job*, Priority>> old;
+  for (const LockedSem& ls : ps.locked) {
+    if (std::none_of(old.begin(), old.end(),
+                     [&](const auto& p) { return p.first == ls.holder; })) {
+      old.emplace_back(ls.holder, ls.holder->inherited);
+      ls.holder->inherited = kPriorityFloor;
+    }
+  }
+
+  // Transitive inheritance: a parked job J is blocked by the semaphore
+  // S* = blockingSem(J); S*'s holder inherits J's effective priority.
+  // A holder may itself be parked, so propagate to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Job* parked : ps.parked) {
+      const LockedSem* blocking = blockingSem(proc, *parked);
+      if (blocking == nullptr) continue;  // will succeed on retry
+      const Priority p = parked->effectivePriority();
+      if (p > blocking->holder->inherited && p > blocking->holder->base) {
+        blocking->holder->inherited = p;
+        changed = true;
+      }
+    }
+  }
+
+  for (const auto& [holder, prev] : old) {
+    if (holder->inherited != prev) {
+      engine_->emit({.kind = Ev::kInherit, .job = holder->id,
+                     .processor = holder->current,
+                     .priority = holder->inherited == kPriorityFloor
+                                     ? holder->base
+                                     : holder->inherited});
+    }
+  }
+}
+
+}  // namespace mpcp

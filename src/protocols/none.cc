@@ -1,0 +1,42 @@
+#include "protocols/none.h"
+
+#include "common/check.h"
+
+namespace mpcp {
+
+NoProtocol::NoProtocol(const TaskSystem& system, QueueOrder order)
+    : order_(order), sems_(system.resources().size()) {}
+
+LockOutcome NoProtocol::onLock(Job& j, ResourceId r) {
+  SemState& s = sems_[static_cast<std::size_t>(r.value())];
+  if (s.holder == nullptr) {
+    s.holder = &j;
+    return LockOutcome::kGranted;
+  }
+  if (s.holder == &j) return LockOutcome::kGranted;  // handed off while parked
+  // FIFO: key everything equal and let the queue's insertion order decide.
+  const Priority key = (order_ == QueueOrder::kPriority)
+                           ? j.base
+                           : Priority(0);
+  s.queue.push(&j, key);
+  engine_->parkWaiting(j, r, s.holder->id);
+  return LockOutcome::kWaiting;
+}
+
+void NoProtocol::onUnlock(Job& j, ResourceId r) {
+  SemState& s = sems_[static_cast<std::size_t>(r.value())];
+  MPCP_CHECK(s.holder == &j, j.id << " releasing " << r << " it does not hold");
+  if (s.queue.empty()) {
+    s.holder = nullptr;
+    engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
+                   .resource = r});
+    return;
+  }
+  Job* next = s.queue.pop();
+  s.holder = next;
+  engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
+                 .resource = r, .other = next->id});
+  engine_->wake(*next);
+}
+
+}  // namespace mpcp

@@ -1,0 +1,37 @@
+// NoProtocol: semaphores with no priority management — the strawman of
+// Section 1/3. A P() on a held semaphore suspends the requester in the
+// wait queue; V() hands the semaphore to the queue head. No inheritance,
+// no ceilings, no elevated gcs priorities. Under this protocol the
+// examples of Section 3.3 exhibit unbounded remote blocking: a holder
+// preempted by middle-priority jobs keeps every waiter waiting.
+#pragma once
+
+#include <vector>
+
+#include "protocols/sem_state.h"
+#include "sim/engine.h"
+#include "sim/protocol.h"
+
+namespace mpcp {
+
+enum class QueueOrder {
+  kFifo,      ///< grant in arrival order
+  kPriority,  ///< grant to the highest assigned priority (paper's rule 6)
+};
+
+class NoProtocol final : public SyncProtocol {
+ public:
+  explicit NoProtocol(const TaskSystem& system,
+                      QueueOrder order = QueueOrder::kFifo);
+
+  LockOutcome onLock(Job& j, ResourceId r) override;
+  void onUnlock(Job& j, ResourceId r) override;
+  [[nodiscard]] const char* name() const override { return "none"; }
+
+ private:
+  QueueOrder order_;
+  std::vector<SemState> sems_;
+  std::uint64_t arrivals_ = 0;  // FIFO keying
+};
+
+}  // namespace mpcp

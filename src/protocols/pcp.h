@@ -1,0 +1,32 @@
+// Standalone uniprocessor Priority Ceiling Protocol.
+//
+// Valid only for task systems with no global resources (each processor's
+// problem is independent — Section 4.2 notes the multiprocessor problem
+// then decomposes). For systems *with* global resources use MPCP or DPCP;
+// constructing PcpProtocol over such a system throws, because "directly
+// using" PCP across processors is exactly what Section 3.3 shows to be
+// broken (use PipProtocol to reproduce that negative result).
+#pragma once
+
+#include "analysis/ceilings.h"
+#include "protocols/local_pcp.h"
+#include "sim/protocol.h"
+
+namespace mpcp {
+
+class PcpProtocol final : public SyncProtocol {
+ public:
+  /// Throws ConfigError if `system` has any global resource.
+  PcpProtocol(const TaskSystem& system, const PriorityTables& tables);
+
+  void attach(Engine& engine) override;
+  LockOutcome onLock(Job& j, ResourceId r) override;
+  void onUnlock(Job& j, ResourceId r) override;
+  void onJobFinished(Job& j) override;
+  [[nodiscard]] const char* name() const override { return "pcp"; }
+
+ private:
+  LocalPcp local_;
+};
+
+}  // namespace mpcp

@@ -1,0 +1,101 @@
+#include "protocols/pip.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpcp {
+
+PipProtocol::PipProtocol(const TaskSystem& system)
+    : sems_(system.resources().size()) {}
+
+LockOutcome PipProtocol::onLock(Job& j, ResourceId r) {
+  SemState& s = sems_[static_cast<std::size_t>(r.value())];
+  if (s.holder == nullptr) {
+    s.holder = &j;
+    return LockOutcome::kGranted;
+  }
+  if (s.holder == &j) return LockOutcome::kGranted;
+  s.queue.push(&j, j.base);
+  engine_->parkWaiting(j, r, s.holder->id);
+  recomputeInheritance();
+  return LockOutcome::kWaiting;
+}
+
+void PipProtocol::onUnlock(Job& j, ResourceId r) {
+  SemState& s = sems_[static_cast<std::size_t>(r.value())];
+  MPCP_CHECK(s.holder == &j, j.id << " releasing " << r << " it does not hold");
+  if (s.queue.empty()) {
+    s.holder = nullptr;
+    engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
+                   .resource = r});
+  } else {
+    Job* next = s.queue.pop();
+    s.holder = next;
+    engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
+                   .resource = r, .other = next->id});
+    engine_->wake(*next);
+  }
+  recomputeInheritance();
+}
+
+void PipProtocol::onJobFinished(Job& j) {
+  // A finished job holds nothing (engine invariant), so it contributes no
+  // inheritance; drop any stale boosted_ pointer to it.
+  boosted_.erase(std::remove(boosted_.begin(), boosted_.end(), &j),
+                 boosted_.end());
+}
+
+void PipProtocol::recomputeInheritance() {
+  std::vector<std::pair<Job*, Priority>> before;
+  before.reserve(boosted_.size());
+  for (Job* h : boosted_) {
+    before.emplace_back(h, h->inherited);
+    h->inherited = kPriorityFloor;
+  }
+  boosted_.clear();
+
+  // Transitive closure: a waiter's effective priority can itself rise when
+  // *it* inherits (it may hold other semaphores), so iterate to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (SemState& s : sems_) {
+      if (s.holder == nullptr || s.queue.empty()) continue;
+      Priority top = kPriorityFloor;
+      for (const auto& e : s.queue.entries()) {
+        top = std::max(top, e.value->effectivePriority());
+      }
+      if (top > s.holder->inherited && top > s.holder->base) {
+        s.holder->inherited = top;
+        changed = true;
+      }
+    }
+  }
+
+  for (SemState& s : sems_) {
+    if (s.holder != nullptr && s.holder->inherited != kPriorityFloor) {
+      boosted_.push_back(s.holder);
+    }
+  }
+  // Trace inheritance changes (old value restored semantics: emit only on
+  // a real change in the final state).
+  for (Job* h : boosted_) {
+    Priority old = kPriorityFloor;
+    for (const auto& [job, prio] : before) {
+      if (job == h) old = prio;
+    }
+    if (h->inherited != old) {
+      engine_->emit({.kind = Ev::kInherit, .job = h->id,
+                     .processor = h->current, .priority = h->inherited});
+    }
+  }
+  for (const auto& [job, prio] : before) {
+    if (job->inherited == kPriorityFloor && prio != kPriorityFloor) {
+      engine_->emit({.kind = Ev::kInherit, .job = job->id,
+                     .processor = job->current, .priority = job->base});
+    }
+  }
+}
+
+}  // namespace mpcp

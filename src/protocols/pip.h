@@ -1,0 +1,37 @@
+// Priority Inheritance Protocol (Sha/Rajkumar/Lehoczky [10]), extended
+// across processors: the holder of a semaphore executes at the maximum
+// effective priority of the jobs waiting on any semaphore it holds,
+// transitively. Queues are priority-ordered.
+//
+// PIP fixes Example 1 (remote holder preempted by middle-priority local
+// jobs) but — as Example 2 and Section 3.3 show — it cannot bound remote
+// blocking by critical-section durations: a waiter still loses to *higher*
+// priority non-critical execution on the holder's processor. The MPCP
+// benches use PIP as the "inheritance alone is not enough" baseline.
+#pragma once
+
+#include <vector>
+
+#include "protocols/sem_state.h"
+#include "sim/engine.h"
+#include "sim/protocol.h"
+
+namespace mpcp {
+
+class PipProtocol final : public SyncProtocol {
+ public:
+  explicit PipProtocol(const TaskSystem& system);
+
+  LockOutcome onLock(Job& j, ResourceId r) override;
+  void onUnlock(Job& j, ResourceId r) override;
+  void onJobFinished(Job& j) override;
+  [[nodiscard]] const char* name() const override { return "pip"; }
+
+ private:
+  void recomputeInheritance();
+
+  std::vector<SemState> sems_;
+  std::vector<Job*> boosted_;  // jobs whose `inherited` we set last pass
+};
+
+}  // namespace mpcp

@@ -1,0 +1,19 @@
+// Shared semaphore bookkeeping for queue-based protocols.
+#pragma once
+
+#include <vector>
+
+#include "common/stable_priority_queue.h"
+#include "sim/job.h"
+
+namespace mpcp {
+
+/// One binary semaphore: current holder + wait queue. Queue keys are
+/// chosen by the protocol (assigned priority for the paper's protocols,
+/// insertion-order for FIFO variants).
+struct SemState {
+  Job* holder = nullptr;
+  StablePriorityQueue<Job*> queue;
+};
+
+}  // namespace mpcp

@@ -1,0 +1,88 @@
+#include "runtime/priority_mutex.h"
+
+namespace mpcp::runtime {
+
+void PriorityMutex::lock(std::int32_t priority) {
+  // Fast path: atomic RMW on the semaphore word.
+  if (!held_.exchange(true, std::memory_order_acquire)) return;
+
+  contended_.fetch_add(1, std::memory_order_relaxed);
+  WaitNode node;
+  node.priority = priority;
+
+  guard_.lock();
+  // Re-check under the queue lock: the holder may have released between
+  // our failed RMW and the enqueue; without this we could park forever.
+  if (!held_.exchange(true, std::memory_order_acquire)) {
+    guard_.unlock();
+    return;
+  }
+  node.seq = next_seq_++;
+  // Insert in priority order, FIFO among equals (stable by seq).
+  WaitNode** link = &waiters_;
+  while (*link != nullptr && ((*link)->priority > node.priority ||
+                              ((*link)->priority == node.priority &&
+                               (*link)->seq < node.seq))) {
+    link = &(*link)->next;
+  }
+  node.next = *link;
+  *link = &node;
+  guard_.unlock();
+
+  waitOn(node);
+  // Ownership was transferred to us by the releasing thread; held_ is
+  // still true and now means "us".
+}
+
+bool PriorityMutex::try_lock() {
+  return !held_.exchange(true, std::memory_order_acquire);
+}
+
+void PriorityMutex::unlock() {
+  guard_.lock();
+  WaitNode* best = waiters_;
+  if (best == nullptr) {
+    guard_.unlock();
+    held_.store(false, std::memory_order_release);
+    return;
+  }
+  waiters_ = best->next;
+  guard_.unlock();
+  handoffs_.fetch_add(1, std::memory_order_relaxed);
+  grant(*best);  // direct handoff: held_ stays true for the new owner
+}
+
+void PriorityMutex::waitOn(WaitNode& node) {
+  if (mode_ == WaitMode::kSpin) {
+    int spins = 0;
+    while (!node.granted.load(std::memory_order_acquire)) {
+      if (++spins >= kSpinsBeforeYield) {
+        spins = 0;
+        std::this_thread::yield();
+      } else {
+        Spinlock::cpuRelax();
+      }
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lk(node.m);
+  node.cv.wait(lk, [&] {
+    return node.granted.load(std::memory_order_acquire);
+  });
+}
+
+void PriorityMutex::grant(WaitNode& node) {
+  if (mode_ == WaitMode::kSpin) {
+    node.granted.store(true, std::memory_order_release);
+    return;
+  }
+  {
+    // The lock/unlock pair orders the store against the waiter's
+    // predicate check, preventing a lost wakeup.
+    std::lock_guard<std::mutex> lk(node.m);
+    node.granted.store(true, std::memory_order_release);
+  }
+  node.cv.notify_one();
+}
+
+}  // namespace mpcp::runtime

@@ -1,0 +1,81 @@
+// PriorityMutex: the paper's global semaphore implementation
+// (Section 5.4), usable from real threads.
+//
+//   * Fast path: one atomic RMW acquires a free semaphore — "if the P()
+//     operation is successful, no further operations need be carried out".
+//   * Slow path: the requester takes the queue spinlock S_x, enqueues
+//     itself in *priority order* (FIFO among equals), releases S_x, and
+//     waits on its own flag — each waiter spins on its own cache line
+//     (local spinning), or parks on a per-node futex-style condition
+//     variable when WaitMode::kBlock models the paper's interprocessor-
+//     interrupt alternative.
+//   * Release: the holder takes S_x, pops the highest-priority waiter and
+//     *transfers the lock directly* ("awakens the task and transfers to it
+//     the lock on S_g"); with no waiters it simply clears the semaphore.
+//
+// Direct handoff means the semaphore word never becomes free while
+// waiters exist, so barging cannot violate the priority order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/spinlock.h"
+
+namespace mpcp::runtime {
+
+enum class WaitMode {
+  kSpin,   ///< local spin on the waiter's own flag (paper's default)
+  kBlock,  ///< park on a condition variable (interprocessor-interrupt model)
+};
+
+class PriorityMutex {
+ public:
+  explicit PriorityMutex(WaitMode mode = WaitMode::kSpin) : mode_(mode) {}
+  PriorityMutex(const PriorityMutex&) = delete;
+  PriorityMutex& operator=(const PriorityMutex&) = delete;
+
+  /// Acquires the mutex; among concurrent waiters the highest `priority`
+  /// (larger = more urgent) wins, FIFO within a priority.
+  void lock(std::int32_t priority);
+
+  /// Single-attempt acquisition (the paper's bare RMW); never queues.
+  [[nodiscard]] bool try_lock();
+
+  /// Releases, handing off to the best waiter if any.
+  void unlock();
+
+  // --- instrumentation (relaxed counters; read between benchmark runs) ---
+  [[nodiscard]] std::uint64_t contendedAcquisitions() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t handoffs() const {
+    return handoffs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) WaitNode {  // own cache line: local spinning
+    std::atomic<bool> granted{false};
+    std::int32_t priority = 0;
+    std::uint64_t seq = 0;
+    WaitNode* next = nullptr;
+    // kBlock support
+    std::mutex m;
+    std::condition_variable cv;
+  };
+
+  void waitOn(WaitNode& node);
+  void grant(WaitNode& node);
+
+  WaitMode mode_;
+  std::atomic<bool> held_{false};
+  Spinlock guard_;           // S_x: protects the wait list
+  WaitNode* waiters_ = nullptr;  // sorted: best first
+  std::uint64_t next_seq_ = 0;
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> handoffs_{0};
+};
+
+}  // namespace mpcp::runtime

@@ -1,0 +1,468 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strf.h"
+
+namespace mpcp {
+
+Engine::Engine(const TaskSystem& system, SyncProtocol& protocol,
+               SimConfig config)
+    : system_(system), protocol_(protocol), config_(config) {
+  const int procs = system_.processorCount();
+  ready_.resize(static_cast<std::size_t>(procs));
+  running_.assign(static_cast<std::size_t>(procs), nullptr);
+
+  const std::size_t n = system_.tasks().size();
+  next_release_.resize(n);
+  instance_no_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    next_release_[i] = system_.tasks()[i].phase;
+  }
+  result_.processor_busy.assign(static_cast<std::size_t>(procs), 0);
+  result_.per_task.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result_.per_task[i].task = TaskId(static_cast<std::int32_t>(i));
+  }
+
+  if (config_.horizon > 0) {
+    horizon_ = config_.horizon;
+  } else {
+    Time max_phase = 0;
+    for (const Task& t : system_.tasks()) {
+      max_phase = std::max(max_phase, t.phase);
+    }
+    const Time hp = system_.hyperperiod();
+    horizon_ = (hp >= kTimeInfinity / 2) ? config_.horizon_cap
+                                         : max_phase + 2 * hp;
+    horizon_ = std::min(horizon_, config_.horizon_cap);
+  }
+  MPCP_CHECK(horizon_ > 0, "simulation horizon must be positive");
+}
+
+SimResult Engine::run() {
+  MPCP_CHECK(!ran_, "Engine::run() may only be called once");
+  ran_ = true;
+  protocol_.attach(*this);
+
+  while (true) {
+    releaseDueJobs();
+    wakeDueSuspensions();
+    settle();
+    if (miss_seen_ && config_.stop_on_deadline_miss) break;
+    Time next = std::min(nextEventTime(), horizon_);
+    if (next <= now_) break;  // now_ == horizon_: done
+    advanceTo(next);
+    if (now_ >= horizon_) break;
+  }
+
+  // Completions landing exactly on the horizon are still completions:
+  // drain the zero-duration ops (no further time passes, and no job is
+  // released at the horizon itself).
+  wakeDueSuspensions();
+  settle();
+
+  noteDeadlineMissesAtHorizon();
+
+  // Per-task aggregates.
+  for (const JobRecord& jr : result_.jobs) {
+    TaskStats& st =
+        result_.per_task[static_cast<std::size_t>(jr.id.task.value())];
+    if (jr.finish >= 0) {
+      st.jobs_finished++;
+      st.max_response = std::max(st.max_response, jr.responseTime());
+      st.avg_response += static_cast<double>(jr.responseTime());
+      st.max_blocked = std::max(st.max_blocked, jr.blocked);
+    }
+    if (jr.missed) st.deadline_misses++;
+  }
+  for (TaskStats& st : result_.per_task) {
+    if (st.jobs_finished > 0) {
+      st.avg_response /= static_cast<double>(st.jobs_finished);
+    }
+  }
+  result_.horizon = horizon_;
+  result_.any_deadline_miss = miss_seen_;
+  return std::move(result_);
+}
+
+void Engine::releaseDueJobs() {
+  for (std::size_t i = 0; i < next_release_.size(); ++i) {
+    const Task& task = system_.tasks()[i];
+    while (next_release_[i] <= now_ && next_release_[i] < horizon_) {
+      if (++released_count_ > config_.max_jobs) {
+        throw InvariantError(strf("job cap exceeded (", config_.max_jobs,
+                                  "); runaway simulation?"));
+      }
+      // An unfinished previous instance past its deadline is a miss even
+      // before it completes — note it as soon as the overrun is visible.
+      noteOverrunMisses(task.id);
+
+      Job j;
+      j.id = JobId{task.id, instance_no_[i]++};
+      j.host = task.processor;
+      j.current = task.processor;
+      j.release = next_release_[i];
+      j.abs_deadline = j.release + task.relative_deadline;
+      j.base = task.priority;
+      j.state = JobState::kReady;
+      j.ready_seq = ++ready_seq_;
+      next_release_[i] += task.period;
+
+      jobs_.push_back(j);
+      Job& stored = jobs_.back();
+      ready_[static_cast<std::size_t>(stored.current.value())].push_back(
+          &stored);
+      emit({.t = now_, .kind = Ev::kRelease, .job = stored.id,
+            .processor = stored.host});
+      protocol_.onJobReleased(stored);
+    }
+  }
+}
+
+void Engine::wakeDueSuspensions() {
+  for (auto it = timed_suspensions_.begin(); it != timed_suspensions_.end();) {
+    Job* j = *it;
+    if (j->suspended_until <= now_) {
+      j->suspended_until = -1;
+      emit({.t = now_, .kind = Ev::kSelfResume, .job = j->id,
+            .processor = j->current});
+      wake(*j);
+      it = timed_suspensions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Engine::noteOverrunMisses(TaskId task) {
+  for (Job& j : jobs_) {
+    // Strictly past the deadline: a job *at* its deadline with zero work
+    // left completes within this instant's settle pass and is on time
+    // (the finish-time check still catches every genuine late finish).
+    if (j.id.task == task && j.state != JobState::kFinished &&
+        now_ > j.abs_deadline && !j.miss_noted) {
+      j.miss_noted = true;
+      miss_seen_ = true;
+      emit({.t = now_, .kind = Ev::kDeadlineMiss, .job = j.id,
+            .processor = j.host});
+    }
+  }
+}
+
+Job* Engine::pickHighest(int proc) const {
+  const auto& list = ready_[static_cast<std::size_t>(proc)];
+  Job* best = nullptr;
+  for (Job* j : list) {
+    MPCP_DCHECK(j->state == JobState::kReady && j->current.value() == proc,
+                "ready list corrupt on P" << proc);
+    if (!best || j->effectivePriority() > best->effectivePriority() ||
+        (j->effectivePriority() == best->effectivePriority() &&
+         j->ready_seq < best->ready_seq)) {
+      best = j;
+    }
+  }
+  return best;
+}
+
+void Engine::settle() {
+  const int procs = system_.processorCount();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int p = 0; p < procs; ++p) {
+      Job* j = pickHighest(p);
+      if (j != running_[static_cast<std::size_t>(p)]) {
+        Job* old = running_[static_cast<std::size_t>(p)];
+        if (old != nullptr && old->state == JobState::kReady) {
+          emit({.t = now_, .kind = Ev::kPreempt, .job = old->id,
+                .processor = ProcessorId(p),
+                .other = j ? j->id : JobId{}});
+        }
+        running_[static_cast<std::size_t>(p)] = j;
+        if (j != nullptr) {
+          emit({.t = now_, .kind = Ev::kStart, .job = j->id,
+                .processor = ProcessorId(p)});
+        }
+        changed = true;
+      }
+      if (running_[static_cast<std::size_t>(p)] != nullptr) {
+        // Any consumed op (lock, unlock, completion) can change priorities
+        // or eligibility anywhere, so re-run the dispatch pass.
+        changed |= processRunnableOps(p);
+        if (running_[static_cast<std::size_t>(p)] == nullptr ||
+            running_[static_cast<std::size_t>(p)]->state !=
+                JobState::kReady) {
+          changed = true;  // job finished or parked; re-dispatch
+          running_[static_cast<std::size_t>(p)] = nullptr;
+        }
+      }
+    }
+    // Any wake()/migrate() triggered by op processing set dirty_.
+    if (dirty_) {
+      dirty_ = false;
+      changed = true;
+    }
+  }
+}
+
+bool Engine::processRunnableOps(int proc) {
+  Job*& slot = running_[static_cast<std::size_t>(proc)];
+  bool progress = false;
+  while (slot != nullptr && slot->state == JobState::kReady) {
+    Job& j = *slot;
+    const Task& task = system_.task(j.id.task);
+    const auto& ops = task.body.ops();
+
+    if (j.op_index >= ops.size()) {
+      finishJob(j);
+      slot = nullptr;
+      return true;
+    }
+
+    const Op& op = ops[j.op_index];
+    if (const auto* c = std::get_if<ComputeOp>(&op)) {
+      if (j.op_remaining < 0) j.op_remaining = c->duration;
+      if (j.op_remaining > 0) return progress;  // needs clock time
+      j.op_index++;
+      j.op_remaining = -1;
+      progress = true;
+      continue;
+    }
+    if (const auto* l = std::get_if<LockOp>(&op)) {
+      const LockOutcome outcome = protocol_.onLock(j, l->resource);
+      if (outcome == LockOutcome::kGranted) {
+        j.held.push_back(l->resource);
+        j.op_index++;
+        emit({.t = now_, .kind = Ev::kLockGrant, .job = j.id,
+              .processor = j.current, .resource = l->resource});
+        progress = true;
+        continue;
+      }
+      MPCP_CHECK(j.state == JobState::kWaiting,
+                 protocol_.name()
+                     << " returned kWaiting for " << j.id << " on "
+                     << l->resource << " without parking the job");
+      return true;
+    }
+    if (const auto* susp = std::get_if<SuspendOp>(&op)) {
+      MPCP_CHECK(j.held.empty(),
+                 j.id << " self-suspending while holding a semaphore");
+      j.op_index++;
+      j.suspended_until = now_ + susp->duration;
+      j.state = JobState::kWaiting;
+      auto& rlist = ready_[static_cast<std::size_t>(j.current.value())];
+      rlist.erase(std::remove(rlist.begin(), rlist.end(), &j), rlist.end());
+      timed_suspensions_.push_back(&j);
+      emit({.t = now_, .kind = Ev::kSelfSuspend, .job = j.id,
+            .processor = j.current});
+      slot = nullptr;
+      dirty_ = true;
+      return true;
+    }
+    const auto& u = std::get<UnlockOp>(op);
+    MPCP_CHECK(!j.held.empty() && j.held.back() == u.resource,
+               j.id << " unlocking " << u.resource
+                    << " which is not its innermost held semaphore");
+    protocol_.onUnlock(j, u.resource);
+    j.held.pop_back();
+    j.op_index++;
+    progress = true;
+  }
+  return progress;
+}
+
+void Engine::finishJob(Job& j) {
+  MPCP_CHECK(j.held.empty(),
+             j.id << " finished while holding " << j.held.size()
+                  << " semaphore(s)");
+  j.state = JobState::kFinished;
+  j.finish = now_;
+  auto& list = ready_[static_cast<std::size_t>(j.current.value())];
+  list.erase(std::remove(list.begin(), list.end(), &j), list.end());
+
+  emit({.t = now_, .kind = Ev::kFinish, .job = j.id, .processor = j.current});
+  const bool missed = j.finish > j.abs_deadline;
+  if (missed && !j.miss_noted) {
+    j.miss_noted = true;
+    emit({.t = now_, .kind = Ev::kDeadlineMiss, .job = j.id,
+          .processor = j.current});
+  }
+  if (missed) miss_seen_ = true;
+
+  timed_suspensions_.erase(
+      std::remove(timed_suspensions_.begin(), timed_suspensions_.end(), &j),
+      timed_suspensions_.end());
+  protocol_.onJobFinished(j);
+
+  result_.jobs.push_back({.id = j.id,
+                          .release = j.release,
+                          .abs_deadline = j.abs_deadline,
+                          .finish = j.finish,
+                          .executed = j.executed,
+                          .blocked = j.blocked,
+                          .preempted = j.preempted,
+                          .suspended = j.suspended,
+                          .missed = missed});
+  // Retire storage.
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if (&*it == &j) {
+      jobs_.erase(it);
+      break;
+    }
+  }
+}
+
+Time Engine::nextEventTime() const {
+  Time next = kTimeInfinity;
+  for (Time r : next_release_) next = std::min(next, r);
+  for (const Job* j : timed_suspensions_) {
+    next = std::min(next, j->suspended_until);
+  }
+  for (const Job* j : running_) {
+    if (j != nullptr) {
+      MPCP_DCHECK(j->op_remaining > 0,
+                  "settle left " << j->id << " dispatched but not computing");
+      next = std::min(next, now_ + j->op_remaining);
+    }
+  }
+  return next;
+}
+
+void Engine::advanceTo(Time t) {
+  const Duration dt = t - now_;
+  MPCP_CHECK(dt > 0, "advanceTo must move forward");
+
+  for (std::size_t p = 0; p < running_.size(); ++p) {
+    Job* j = running_[p];
+    if (j == nullptr) continue;
+    j->op_remaining -= dt;
+    MPCP_DCHECK(j->op_remaining >= 0, "segment overrun for " << j->id);
+    j->executed += dt;
+    result_.processor_busy[p] += dt;
+    recordSegment(static_cast<int>(p), *j, now_, t);
+  }
+
+  // Waiting-time attribution for every job that is not running.
+  for (Job& j : jobs_) {
+    if (j.state == JobState::kFinished) continue;
+    const Job* on_proc = running_[static_cast<std::size_t>(j.current.value())];
+    if (on_proc == &j) continue;  // it ran; accounted above
+    if (j.state == JobState::kWaiting) {
+      if (j.suspended_until >= 0) {
+        j.suspended += dt;  // voluntary: neither blocking nor preemption
+      } else {
+        j.blocked += dt;  // semaphore wait: blocking, never preemption
+      }
+    } else if (on_proc != nullptr && on_proc->base > j.base) {
+      j.preempted += dt;  // legitimate higher-assigned-priority work
+    } else {
+      // Lower-assigned-priority job boosted by inheritance or a gcs, or
+      // (pathologically) an idle processor while this job is ready: count
+      // as priority inversion.
+      j.blocked += dt;
+    }
+  }
+
+  now_ = t;
+}
+
+void Engine::recordSegment(int proc, Job& j, Time begin, Time end) {
+  if (!config_.record_trace) return;
+  const ExecMode mode = execModeOf(j);
+  if (!result_.segments.empty()) {
+    ExecSegment& last = result_.segments.back();
+    if (last.processor.value() == proc && last.job == j.id &&
+        last.mode == mode && last.end == begin) {
+      last.end = end;
+      return;
+    }
+  }
+  result_.segments.push_back({.processor = ProcessorId(proc),
+                              .job = j.id,
+                              .begin = begin,
+                              .end = end,
+                              .mode = mode});
+}
+
+ExecMode Engine::execModeOf(const Job& j) const {
+  if (j.elevated != kPriorityFloor) return ExecMode::kGcs;
+  if (!j.held.empty()) return ExecMode::kLocalCs;
+  return ExecMode::kNormal;
+}
+
+void Engine::noteDeadlineMissesAtHorizon() {
+  for (Job& j : jobs_) {
+    if (j.state == JobState::kFinished) continue;
+    const bool missed = j.abs_deadline <= horizon_;
+    if (missed) miss_seen_ = true;
+    result_.jobs.push_back({.id = j.id,
+                            .release = j.release,
+                            .abs_deadline = j.abs_deadline,
+                            .finish = -1,
+                            .executed = j.executed,
+                            .blocked = j.blocked,
+                            .preempted = j.preempted,
+                            .suspended = j.suspended,
+                            .missed = missed});
+  }
+  for (std::size_t i = 0; i < instance_no_.size(); ++i) {
+    result_.per_task[i].jobs_released = instance_no_[i];
+  }
+}
+
+void Engine::parkWaiting(Job& j, ResourceId r, JobId blocker) {
+  MPCP_CHECK(j.state == JobState::kReady,
+             "parkWaiting on non-ready job " << j.id);
+  j.state = JobState::kWaiting;
+  j.waiting_for = r;
+  auto& list = ready_[static_cast<std::size_t>(j.current.value())];
+  list.erase(std::remove(list.begin(), list.end(), &j), list.end());
+  if (running_[static_cast<std::size_t>(j.current.value())] == &j) {
+    running_[static_cast<std::size_t>(j.current.value())] = nullptr;
+  }
+  emit({.t = now_, .kind = Ev::kLockWait, .job = j.id,
+        .processor = j.current, .resource = r, .other = blocker});
+  dirty_ = true;
+}
+
+void Engine::wake(Job& j) {
+  MPCP_CHECK(j.state == JobState::kWaiting, "wake on non-waiting " << j.id);
+  j.state = JobState::kReady;
+  j.waiting_for = ResourceId();
+  j.ready_seq = ++ready_seq_;
+  ready_[static_cast<std::size_t>(j.current.value())].push_back(&j);
+  dirty_ = true;
+}
+
+void Engine::migrate(Job& j, ProcessorId target) {
+  if (j.current == target) return;
+  auto& old_list = ready_[static_cast<std::size_t>(j.current.value())];
+  old_list.erase(std::remove(old_list.begin(), old_list.end(), &j),
+                 old_list.end());
+  if (running_[static_cast<std::size_t>(j.current.value())] == &j) {
+    running_[static_cast<std::size_t>(j.current.value())] = nullptr;
+  }
+  emit({.t = now_, .kind = Ev::kMigrate, .job = j.id, .processor = target});
+  j.current = target;
+  if (j.state == JobState::kReady) {
+    ready_[static_cast<std::size_t>(target.value())].push_back(&j);
+  }
+  dirty_ = true;
+}
+
+void Engine::emit(TraceEvent e) {
+  if (!config_.record_trace) return;
+  e.t = now_;
+  result_.trace.push_back(e);
+}
+
+Job* Engine::findJob(JobId id) {
+  for (Job& j : jobs_) {
+    if (j.id == id) return &j;
+  }
+  return nullptr;
+}
+
+}  // namespace mpcp

@@ -1,0 +1,68 @@
+// Runtime job state inside the simulation engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/priority.h"
+#include "common/types.h"
+
+namespace mpcp {
+
+enum class JobState {
+  kReady,     ///< eligible for dispatch on `current` processor
+  kWaiting,   ///< blocked on a local semaphore or suspended on a global one
+  kFinished,
+};
+
+/// One in-flight task instance. Owned by the Engine; protocols mutate the
+/// priority fields and (via Engine services) the state.
+struct Job {
+  JobId id;
+  ProcessorId host;     ///< static binding (Section 3.2)
+  ProcessorId current;  ///< == host except while a DPCP gcs runs remotely
+
+  Time release = 0;
+  Time abs_deadline = 0;
+
+  // --- execution cursor ---
+  std::size_t op_index = 0;
+  /// Remaining ticks of the current ComputeOp; -1 = not yet entered.
+  Duration op_remaining = -1;
+  /// Stack of currently held resources (LIFO by construction).
+  std::vector<ResourceId> held;
+
+  JobState state = JobState::kReady;
+  /// Semaphore this job is waiting for when state == kWaiting.
+  ResourceId waiting_for;
+  /// End of the current voluntary suspension; -1 when not self-suspended.
+  /// A kWaiting job with suspended_until >= 0 is voluntarily suspended,
+  /// not blocked.
+  Time suspended_until = -1;
+
+  // --- priority components (Section 4/5 structure) ---
+  Priority base;                           ///< assigned task priority
+  Priority inherited = kPriorityFloor;     ///< PIP/PCP inheritance
+  Priority elevated = kPriorityFloor;      ///< gcs-band priority when in a gcs
+
+  /// Dispatch key: the job runs at the highest applicable priority.
+  [[nodiscard]] Priority effectivePriority() const {
+    Priority p = base;
+    if (inherited > p) p = inherited;
+    if (elevated > p) p = elevated;
+    return p;
+  }
+
+  /// FCFS tie-break among equal priorities: lower seq = queued earlier.
+  std::uint64_t ready_seq = 0;
+
+  // --- accounting ---
+  Duration executed = 0;        ///< ticks actually run
+  Duration blocked = 0;         ///< priority-inversion waiting (counts toward B_i)
+  Duration preempted = 0;       ///< waiting behind higher-assigned-priority work
+  Duration suspended = 0;       ///< voluntary self-suspension time
+  Time finish = -1;             ///< completion time, -1 while in flight
+  bool miss_noted = false;      ///< deadline-miss trace event already emitted
+};
+
+}  // namespace mpcp

@@ -1,0 +1,56 @@
+// SyncProtocol: the seam between the engine and a synchronization
+// protocol.
+//
+// The engine owns releases, dispatching, preemption, compute progression
+// and deadline accounting; a protocol decides what P() and V() do — grant,
+// block, suspend, queue, hand off, inherit, elevate. All five protocols
+// (none / PIP / PCP / MPCP / DPCP) implement this interface, so every
+// experiment swaps protocols without touching the workload.
+//
+// Contract for onLock: it is invoked when a *dispatched* job reaches a
+// LockOp, and must either
+//   * return kGranted  — the job now holds the semaphore (the engine pushes
+//     it onto job.held and advances the op cursor); the call must be
+//     idempotent for a job that was already granted the semaphore while
+//     waiting in a queue (hand-off), or
+//   * return kWaiting  — the protocol has parked the job via
+//     Engine::parkWaiting(), so it is no longer eligible; when the protocol
+//     later wakes the job, the engine re-runs onLock at dispatch.
+// This wake-and-retry design lets PCP re-evaluate its ceiling test after
+// every local unlock, while queue-based protocols (MPCP/DPCP/PIP/none)
+// simply leave the job parked until they hand the semaphore to it.
+#pragma once
+
+#include "common/types.h"
+#include "sim/job.h"
+
+namespace mpcp {
+
+class Engine;
+
+enum class LockOutcome { kGranted, kWaiting };
+
+class SyncProtocol {
+ public:
+  virtual ~SyncProtocol() = default;
+
+  /// Called once before the simulation starts.
+  virtual void attach(Engine& engine) { engine_ = &engine; }
+
+  /// P(S) for the dispatched job `j`. See the contract above.
+  virtual LockOutcome onLock(Job& j, ResourceId r) = 0;
+
+  /// V(S). Must wake / hand off to waiters as the protocol prescribes and
+  /// restore the releasing job's priority components.
+  virtual void onUnlock(Job& j, ResourceId r) = 0;
+
+  virtual void onJobReleased(Job& /*j*/) {}
+  virtual void onJobFinished(Job& /*j*/) {}
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+ protected:
+  Engine* engine_ = nullptr;
+};
+
+}  // namespace mpcp

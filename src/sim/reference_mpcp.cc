@@ -1,0 +1,334 @@
+#include "sim/reference_mpcp.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "analysis/ceilings.h"
+#include "common/check.h"
+
+namespace mpcp {
+
+namespace {
+
+struct RJob {
+  JobId id;
+  const Task* task = nullptr;
+  Time release = 0;
+  Time deadline = 0;
+  std::size_t op = 0;           // index into body ops
+  Duration done_in_op = 0;      // progress inside the current ComputeOp
+  Time wake_at = -1;            // voluntary suspension end, -1 if none
+  bool waiting_global = false;  // parked in some global semaphore queue
+  bool finished = false;
+  std::vector<ResourceId> held;
+  std::uint64_t eligible_seq = 0;  // FCFS tie-break, stamped on eligibility
+};
+
+struct GlobalSem {
+  RJob* holder = nullptr;
+  std::deque<RJob*> queue;  // arrival order; selection scans by priority
+};
+
+}  // namespace
+
+ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
+  const PriorityTables tables(sys);
+  const int procs = sys.processorCount();
+
+  std::vector<Time> next_release(sys.tasks().size());
+  std::vector<std::int64_t> instance(sys.tasks().size(), 0);
+  for (const Task& t : sys.tasks()) {
+    next_release[static_cast<std::size_t>(t.id.value())] = t.phase;
+  }
+
+  std::deque<RJob> jobs;  // stable addresses
+  std::map<std::int32_t, GlobalSem> globals;
+  std::uint64_t seq = 0;
+
+  ReferenceResult result;
+
+  // ---- helpers over the mutable state ---------------------------------
+  const auto opsOf = [&](const RJob& j) -> const std::vector<Op>& {
+    return j.task->body.ops();
+  };
+  // Locally-held local semaphores per processor: derived fresh on demand.
+  const auto localHolders = [&](int p) {
+    std::vector<std::pair<ResourceId, RJob*>> held;
+    for (RJob& j : jobs) {
+      if (j.finished || j.task->processor.value() != p) continue;
+      for (ResourceId r : j.held) {
+        if (!sys.isGlobal(r)) held.emplace_back(r, &j);
+      }
+    }
+    return held;
+  };
+
+  // Effective priority: base, PCP inheritance (computed by caller via the
+  // blocked-map), gcs elevation from held globals.
+  const auto elevationOf = [&](const RJob& j) {
+    Priority e = kPriorityFloor;
+    for (ResourceId r : j.held) {
+      if (sys.isGlobal(r)) {
+        e = std::max(e, tables.gcsPriority(r, j.task->processor));
+      }
+    }
+    return e;
+  };
+
+  // Runs through `horizon` inclusive: the final iteration performs the
+  // zero-time fixpoint only (no execution), mirroring the engine's
+  // final settle() so completions landing exactly on the horizon count.
+  for (Time now = 0; now <= horizon; ++now) {
+    const bool final_instant = now == horizon;
+    // 1. Releases.
+    for (const Task& t : sys.tasks()) {
+      auto& nr = next_release[static_cast<std::size_t>(t.id.value())];
+      while (nr <= now && nr < horizon) {
+        RJob j;
+        j.id = JobId{t.id, instance[static_cast<std::size_t>(t.id.value())]++};
+        j.task = &t;
+        j.release = nr;
+        j.deadline = nr + t.relative_deadline;
+        j.eligible_seq = ++seq;
+        nr += t.period;
+        jobs.push_back(j);
+      }
+    }
+    // 2. Voluntary wakes.
+    for (RJob& j : jobs) {
+      if (!j.finished && j.wake_at >= 0 && j.wake_at <= now) {
+        j.wake_at = -1;
+        j.eligible_seq = ++seq;
+      }
+    }
+
+    // 3. Scheduling fixpoint: pick per-processor runners, processing
+    //    zero-duration ops (locks, unlocks, suspends, completions) until
+    //    nothing changes. Processor visit order mirrors the engine's
+    //    settle(): each processor drains its top candidate's zero-time
+    //    ops before moving on; the pass repeats until stable.
+    std::vector<RJob*> runner(static_cast<std::size_t>(procs), nullptr);
+
+    // Declarative PCP inheritance, recomputed from scratch on demand: a
+    // job whose pending local lock fails the ceiling test donates its
+    // priority to the blocking holder, transitively.
+    std::map<const RJob*, Priority> inherited;
+    const auto effective = [&](const RJob& j) {
+      Priority pr = j.task->priority;
+      const auto it = inherited.find(&j);
+      if (it != inherited.end()) pr = std::max(pr, it->second);
+      return std::max(pr, elevationOf(j));
+    };
+    // Highest-ceiling local semaphore held by someone other than j on
+    // processor p; returns the holder (nullptr if no such semaphore).
+    const auto blockerFor = [&](int p, const RJob& j,
+                                Priority* ceiling) -> RJob* {
+      RJob* blocker = nullptr;
+      *ceiling = kPriorityFloor;
+      for (const auto& [r, holder] : localHolders(p)) {
+        if (holder == &j) continue;
+        const Priority c = tables.ceiling(r);
+        if (blocker == nullptr || c > *ceiling) {
+          blocker = holder;
+          *ceiling = c;
+        }
+      }
+      return blocker;
+    };
+    const auto recomputeInheritance = [&] {
+      inherited.clear();
+      bool inh_changed = true;
+      while (inh_changed) {
+        inh_changed = false;
+        for (RJob& j : jobs) {
+          if (j.finished || j.waiting_global || j.wake_at >= 0) continue;
+          const auto& ops = opsOf(j);
+          if (j.op >= ops.size()) continue;
+          const auto* l = std::get_if<LockOp>(&ops[j.op]);
+          if (l == nullptr || sys.isGlobal(l->resource)) continue;
+          Priority top_ceiling = kPriorityFloor;
+          RJob* blocker =
+              blockerFor(j.task->processor.value(), j, &top_ceiling);
+          if (blocker != nullptr && effective(j) <= top_ceiling) {
+            const Priority donated = effective(j);
+            Priority& slot = inherited[blocker];
+            if (donated > slot && donated > blocker->task->priority) {
+              slot = donated;
+              inh_changed = true;
+            }
+          }
+        }
+      }
+    };
+
+    bool pass_changed = true;
+    while (pass_changed) {
+      pass_changed = false;
+      // One pick + drain per processor per pass, exactly like settle():
+      // a mutation moves on to the NEXT processor with the new state; the
+      // re-pick on this processor happens in the following pass.
+      for (int p = 0; p < procs; ++p) {
+        {
+          recomputeInheritance();
+          // Candidates on p, best-first by effective priority then FCFS.
+          std::vector<RJob*> candidates;
+          for (RJob& j : jobs) {
+            if (j.finished || j.waiting_global || j.wake_at >= 0) continue;
+            if (j.task->processor.value() != p) continue;
+            candidates.push_back(&j);
+          }
+          std::sort(candidates.begin(), candidates.end(),
+                    [&](RJob* a, RJob* b) {
+                      const Priority pa = effective(*a), pb = effective(*b);
+                      if (pa != pb) return pa > pb;
+                      return a->eligible_seq < b->eligible_seq;
+                    });
+
+          RJob* chosen = nullptr;
+          bool mutated = false;
+          for (RJob* j : candidates) {
+            // Drain this candidate's zero-time ops exactly like the
+            // engine's processRunnableOps: once dispatched, a job keeps
+            // issuing operations until it needs time, blocks, suspends
+            // or finishes — even if an unlock lowered its priority
+            // mid-drain (completion after the final V() is instantaneous).
+            bool progressed = false;
+            bool stop_candidate_scan = false;
+            while (true) {
+              const auto& ops = opsOf(*j);
+              if (j->op >= ops.size()) {
+                j->finished = true;
+                result.jobs.push_back({j->id, j->release, now});
+                if (now > j->deadline) result.any_deadline_miss = true;
+                progressed = true;
+                stop_candidate_scan = true;
+                break;
+              }
+              if (std::get_if<ComputeOp>(&ops[j->op]) != nullptr) {
+                if (!progressed) chosen = j;  // runnable as-is
+                stop_candidate_scan = true;
+                break;
+              }
+              if (const auto* susp = std::get_if<SuspendOp>(&ops[j->op])) {
+                j->op++;
+                j->wake_at = now + susp->duration;
+                progressed = true;
+                stop_candidate_scan = true;
+                break;
+              }
+              if (const auto* l = std::get_if<LockOp>(&ops[j->op])) {
+                if (sys.isGlobal(l->resource)) {
+                  GlobalSem& g = globals[l->resource.value()];
+                  if (g.holder == nullptr || g.holder == j) {
+                    g.holder = j;
+                    j->held.push_back(l->resource);
+                    j->op++;
+                    progressed = true;
+                    continue;
+                  }
+                  g.queue.push_back(j);
+                  j->waiting_global = true;
+                  progressed = true;
+                  stop_candidate_scan = true;
+                  break;
+                }
+                Priority top_ceiling = kPriorityFloor;
+                RJob* blocker = blockerFor(p, *j, &top_ceiling);
+                // The drain may have changed priorities (e.g. an unlock
+                // dropped the elevation), so re-evaluate effective()
+                // against a freshly derived inheritance picture: the
+                // outer loop recomputes it, so be conservative here and
+                // use the current map (matches the engine, which also
+                // tests with the state as-of the attempt).
+                if (blocker == nullptr || effective(*j) > top_ceiling) {
+                  j->held.push_back(l->resource);
+                  j->op++;
+                  progressed = true;
+                  continue;
+                }
+                // Ceiling-blocked. If nothing was consumed, fall through
+                // to the next candidate; else re-run the pass.
+                stop_candidate_scan = progressed;
+                break;
+              }
+              if (const auto* u = std::get_if<UnlockOp>(&ops[j->op])) {
+                MPCP_CHECK(!j->held.empty() && j->held.back() == u->resource,
+                           "reference: unlock order violated");
+                j->held.pop_back();
+                j->op++;
+                if (sys.isGlobal(u->resource)) {
+                  GlobalSem& g = globals[u->resource.value()];
+                  MPCP_CHECK(g.holder == j, "reference: non-holder unlock");
+                  g.holder = nullptr;
+                  if (!g.queue.empty()) {
+                    auto best = g.queue.begin();
+                    for (auto it = g.queue.begin(); it != g.queue.end();
+                         ++it) {
+                      if ((*it)->task->priority > (*best)->task->priority) {
+                        best = it;
+                      }
+                    }
+                    RJob* next = *best;
+                    g.queue.erase(best);
+                    g.holder = next;
+                    next->held.push_back(u->resource);
+                    next->op++;  // consume the pending LockOp
+                    next->waiting_global = false;
+                    next->eligible_seq = ++seq;
+                  }
+                }
+                progressed = true;
+                continue;
+              }
+            }
+            if (progressed) mutated = true;
+            if (stop_candidate_scan || mutated) break;
+            // else: candidate immediately ceiling-blocked; try the next.
+          }
+          if (mutated) {
+            pass_changed = true;
+            runner[static_cast<std::size_t>(p)] = nullptr;  // re-pick later
+          } else {
+            runner[static_cast<std::size_t>(p)] = chosen;
+          }
+        }
+      }
+    }
+
+    // 4. Deadline overrun visibility (parity with the engine's policy).
+    for (RJob& j : jobs) {
+      if (!j.finished && now > j.deadline) result.any_deadline_miss = true;
+    }
+
+    // 5. Execute one tick per processor.
+    if (final_instant) break;
+    for (int p = 0; p < procs; ++p) {
+      RJob* j = runner[static_cast<std::size_t>(p)];
+      if (j == nullptr) continue;
+      const auto& ops = opsOf(*j);
+      const auto& c = std::get<ComputeOp>(ops[j->op]);
+      if (++j->done_in_op == c.duration) {
+        j->op++;
+        j->done_in_op = 0;
+      }
+    }
+  }
+
+  // Jobs still unfinished after the final fixpoint are censored.
+  for (RJob& j : jobs) {
+    if (j.finished) continue;
+    result.jobs.push_back({j.id, j.release, -1});
+    if (j.deadline <= horizon) result.any_deadline_miss = true;
+  }
+
+  // Deterministic output order.
+  std::sort(result.jobs.begin(), result.jobs.end(),
+            [](const ReferenceJobResult& a, const ReferenceJobResult& b) {
+              if (a.id.task != b.id.task) return a.id.task < b.id.task;
+              return a.id.instance < b.id.instance;
+            });
+  return result;
+}
+
+}  // namespace mpcp

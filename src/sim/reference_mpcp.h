@@ -1,0 +1,42 @@
+// Independent tick-stepped reference implementation of the shared-memory
+// protocol — the differential-testing oracle for the event-driven engine.
+//
+// Deliberately structured as differently as possible from Engine +
+// MpcpProtocol so mechanical bugs cannot hide in both:
+//   * advances one tick at a time (no event queue, no settle cascade);
+//   * recomputes PCP inheritance declaratively from scratch every tick
+//     instead of maintaining it incrementally on events;
+//   * evaluates the ceiling test at selection time rather than parking
+//     and waking blocked jobs.
+// Only the *rules* (Section 5's protocol) are shared, which is exactly
+// what a differential test should hold constant.
+//
+// O(horizon x jobs) instead of the engine's event-driven complexity, so
+// use it on small horizons.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+
+struct ReferenceJobResult {
+  JobId id;
+  Time release = 0;
+  Time finish = -1;  ///< -1: unfinished at the horizon
+};
+
+struct ReferenceResult {
+  std::vector<ReferenceJobResult> jobs;  ///< release order per task
+  bool any_deadline_miss = false;
+};
+
+/// Simulates `system` under MPCP rules for `horizon` ticks.
+/// Supports the full op set (compute/lock/unlock/suspend); requires
+/// non-nested global sections like MpcpProtocol.
+[[nodiscard]] ReferenceResult simulateMpcpReference(const TaskSystem& system,
+                                                    Time horizon);
+
+}  // namespace mpcp

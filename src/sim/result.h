@@ -1,0 +1,52 @@
+// Simulation outputs: per-job records, per-task aggregates, the full
+// event trace and the execution segments (Gantt raw data).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/trace_event.h"
+
+namespace mpcp {
+
+/// Outcome of one job.
+struct JobRecord {
+  JobId id;
+  Time release = 0;
+  Time abs_deadline = 0;
+  Time finish = -1;           ///< -1: still unfinished at horizon
+  Duration executed = 0;
+  Duration blocked = 0;       ///< measured priority-inversion time
+  Duration preempted = 0;
+  Duration suspended = 0;     ///< voluntary self-suspension time
+  bool missed = false;
+
+  [[nodiscard]] Duration responseTime() const {
+    return finish < 0 ? -1 : finish - release;
+  }
+};
+
+/// Aggregates over all completed jobs of one task.
+struct TaskStats {
+  TaskId task;
+  std::int64_t jobs_released = 0;
+  std::int64_t jobs_finished = 0;
+  std::int64_t deadline_misses = 0;
+  Duration max_response = 0;    ///< over finished jobs
+  Duration max_blocked = 0;     ///< worst observed priority-inversion time
+  double avg_response = 0.0;
+};
+
+struct SimResult {
+  Time horizon = 0;
+  bool any_deadline_miss = false;
+  /// Busy ticks per processor (any job, any mode) — e.g. to gauge the
+  /// agent load DPCP concentrates on synchronization processors.
+  std::vector<Duration> processor_busy;
+  std::vector<JobRecord> jobs;        ///< completion order, then leftovers
+  std::vector<TaskStats> per_task;    ///< indexed by TaskId
+  std::vector<TraceEvent> trace;      ///< empty unless SimConfig::record_trace
+  std::vector<ExecSegment> segments;  ///< empty unless SimConfig::record_trace
+};
+
+}  // namespace mpcp

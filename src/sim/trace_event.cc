@@ -1,0 +1,44 @@
+#include "sim/trace_event.h"
+
+namespace mpcp {
+
+const char* toString(Ev ev) {
+  switch (ev) {
+    case Ev::kRelease: return "release";
+    case Ev::kStart: return "start";
+    case Ev::kPreempt: return "preempt";
+    case Ev::kLockGrant: return "lock-grant";
+    case Ev::kLockWait: return "lock-wait";
+    case Ev::kUnlock: return "unlock";
+    case Ev::kHandoff: return "handoff";
+    case Ev::kInherit: return "inherit";
+    case Ev::kGcsEnter: return "gcs-enter";
+    case Ev::kGcsExit: return "gcs-exit";
+    case Ev::kMigrate: return "migrate";
+    case Ev::kSelfSuspend: return "self-suspend";
+    case Ev::kSelfResume: return "self-resume";
+    case Ev::kFinish: return "finish";
+    case Ev::kDeadlineMiss: return "DEADLINE-MISS";
+  }
+  return "?";
+}
+
+const char* toString(ExecMode m) {
+  switch (m) {
+    case ExecMode::kNormal: return "normal";
+    case ExecMode::kLocalCs: return "local-cs";
+    case ExecMode::kGcs: return "gcs";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceEvent& e) {
+  os << "t=" << e.t << " " << toString(e.kind) << " " << e.job;
+  if (e.processor.valid()) os << " on " << e.processor;
+  if (e.resource.valid()) os << " " << e.resource;
+  if (e.priority != kPriorityFloor) os << " " << e.priority;
+  if (e.other.task.valid()) os << " other=" << e.other;
+  return os;
+}
+
+}  // namespace mpcp

@@ -1,0 +1,137 @@
+#include "taskgen/allocation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/check.h"
+#include "model/sections.h"
+
+namespace mpcp {
+
+namespace {
+
+double utilOf(const UnboundTask& t) {
+  return static_cast<double>(t.body.totalCompute()) /
+         static_cast<double>(t.period);
+}
+
+std::set<std::int32_t> resourcesOf(const UnboundTask& t) {
+  std::set<std::int32_t> out;
+  for (const CriticalSection& cs : extractSections(t.body)) {
+    out.insert(cs.resource.value());
+  }
+  return out;
+}
+
+/// Indices sorted by decreasing utilization (stable for determinism).
+std::vector<std::size_t> decreasingOrder(const std::vector<UnboundTask>& ts) {
+  std::vector<std::size_t> order(ts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return utilOf(ts[a]) > utilOf(ts[b]);
+                   });
+  return order;
+}
+
+int leastLoaded(const std::vector<double>& load) {
+  return static_cast<int>(
+      std::min_element(load.begin(), load.end()) - load.begin());
+}
+
+}  // namespace
+
+AllocationResult allocateFirstFitDecreasing(
+    const std::vector<UnboundTask>& tasks, int processors, double capacity) {
+  MPCP_CHECK(processors >= 1, "allocate: need >= 1 processor");
+  AllocationResult result;
+  result.processor.assign(tasks.size(), -1);
+  std::vector<double> load(static_cast<std::size_t>(processors), 0.0);
+
+  for (std::size_t idx : decreasingOrder(tasks)) {
+    const double u = utilOf(tasks[idx]);
+    int chosen = -1;
+    for (int p = 0; p < processors; ++p) {
+      if (load[static_cast<std::size_t>(p)] + u <= capacity) {
+        chosen = p;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = leastLoaded(load);
+      result.within_capacity = false;
+    }
+    result.processor[idx] = chosen;
+    load[static_cast<std::size_t>(chosen)] += u;
+  }
+  return result;
+}
+
+AllocationResult allocateResourceAffinity(const std::vector<UnboundTask>& tasks,
+                                          int processors, double capacity) {
+  MPCP_CHECK(processors >= 1, "allocate: need >= 1 processor");
+  AllocationResult result;
+  result.processor.assign(tasks.size(), -1);
+  std::vector<double> load(static_cast<std::size_t>(processors), 0.0);
+  // Resources already present on each processor.
+  std::vector<std::set<std::int32_t>> hosted(
+      static_cast<std::size_t>(processors));
+
+  std::vector<std::set<std::int32_t>> needs(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    needs[i] = resourcesOf(tasks[i]);
+  }
+
+  for (std::size_t idx : decreasingOrder(tasks)) {
+    const double u = utilOf(tasks[idx]);
+    int chosen = -1;
+    std::size_t best_affinity = 0;
+    for (int p = 0; p < processors; ++p) {
+      if (load[static_cast<std::size_t>(p)] + u > capacity) continue;
+      std::size_t affinity = 0;
+      for (std::int32_t r : needs[idx]) {
+        affinity += hosted[static_cast<std::size_t>(p)].count(r);
+      }
+      // Prefer higher affinity; ties go to the least-loaded candidate.
+      if (chosen < 0 || affinity > best_affinity ||
+          (affinity == best_affinity &&
+           load[static_cast<std::size_t>(p)] <
+               load[static_cast<std::size_t>(chosen)])) {
+        chosen = p;
+        best_affinity = affinity;
+      }
+    }
+    if (chosen < 0) {
+      chosen = leastLoaded(load);
+      result.within_capacity = false;
+    }
+    result.processor[idx] = chosen;
+    load[static_cast<std::size_t>(chosen)] += u;
+    hosted[static_cast<std::size_t>(chosen)].insert(needs[idx].begin(),
+                                                    needs[idx].end());
+  }
+  return result;
+}
+
+TaskSystem bindTasks(const std::vector<UnboundTask>& tasks,
+                     const AllocationResult& allocation, int processors,
+                     int resource_count, TaskSystemOptions options) {
+  MPCP_CHECK(allocation.processor.size() == tasks.size(),
+             "bindTasks: allocation does not match the task list");
+  TaskSystemBuilder builder(processors, options);
+  for (int r = 0; r < resource_count; ++r) {
+    builder.addResource();
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    TaskSpec spec;
+    spec.name = tasks[i].name;
+    spec.period = tasks[i].period;
+    spec.processor = allocation.processor[i];
+    spec.body = tasks[i].body;
+    builder.addTask(std::move(spec));
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace mpcp

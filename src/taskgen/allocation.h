@@ -1,0 +1,47 @@
+// Static task-to-processor allocation heuristics (Section 3.2 argues for
+// static binding; the conclusion sketches allocating tasks with heavy
+// mutual resource sharing to the same processors).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "model/body.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+
+/// A task before binding: everything except the processor.
+struct UnboundTask {
+  std::string name;
+  Duration period = 0;
+  Body body;
+};
+
+struct AllocationResult {
+  std::vector<int> processor;  ///< per task, parallel to the input
+  /// False if some task exceeded `capacity` on every processor (it is
+  /// still placed on the least-loaded one).
+  bool within_capacity = true;
+};
+
+/// First-fit decreasing by utilization: classic bin packing against a
+/// per-processor utilization cap (e.g. the ln 2 bound of Section 3.2).
+[[nodiscard]] AllocationResult allocateFirstFitDecreasing(
+    const std::vector<UnboundTask>& tasks, int processors, double capacity);
+
+/// Resource-affinity allocation: like FFD, but prefers the processor
+/// already hosting the most tasks that share resources with the candidate
+/// (converting would-be global semaphores into local ones), subject to the
+/// capacity cap. This is the conclusion's allocation sketch.
+[[nodiscard]] AllocationResult allocateResourceAffinity(
+    const std::vector<UnboundTask>& tasks, int processors, double capacity);
+
+/// Builds a TaskSystem from tasks plus an allocation.
+[[nodiscard]] TaskSystem bindTasks(const std::vector<UnboundTask>& tasks,
+                                   const AllocationResult& allocation,
+                                   int processors, int resource_count,
+                                   TaskSystemOptions options = {});
+
+}  // namespace mpcp

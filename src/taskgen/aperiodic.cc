@@ -1,0 +1,113 @@
+#include "taskgen/aperiodic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "common/check.h"
+
+namespace mpcp {
+
+std::vector<AperiodicRequest> generateAperiodicArrivals(
+    double mean_interarrival, Duration work_min, Duration work_max,
+    Time horizon, Rng& rng) {
+  MPCP_CHECK(mean_interarrival > 0, "mean interarrival must be positive");
+  MPCP_CHECK(work_min >= 1 && work_max >= work_min, "bad work range");
+  std::vector<AperiodicRequest> out;
+  double t = 0;
+  while (true) {
+    // Exponential interarrival via inverse transform.
+    t += -mean_interarrival * std::log(1.0 - rng.uniform01());
+    const Time arrival = static_cast<Time>(t);
+    if (arrival >= horizon) break;
+    out.push_back({arrival, rng.uniformInt(work_min, work_max)});
+  }
+  return out;
+}
+
+std::vector<ServedRequest> replayServer(const SimResult& result,
+                                        TaskId server,
+                                        std::vector<AperiodicRequest> requests,
+                                        ServerDiscipline discipline) {
+  std::sort(requests.begin(), requests.end(),
+            [](const AperiodicRequest& a, const AperiodicRequest& b) {
+              return a.arrival < b.arrival;
+            });
+
+  // Release time per server instance.
+  std::map<std::int64_t, Time> release_of;
+  for (const JobRecord& jr : result.jobs) {
+    if (jr.id.task == server) release_of[jr.id.instance] = jr.release;
+  }
+
+  // Server execution windows, in time order.
+  struct Window {
+    Time begin, end;
+    std::int64_t instance;
+  };
+  std::vector<Window> windows;
+  for (const ExecSegment& s : result.segments) {
+    if (s.job.task == server) {
+      windows.push_back({s.begin, s.end, s.job.instance});
+    }
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const Window& a, const Window& b) { return a.begin < b.begin; });
+
+  std::vector<ServedRequest> served;
+  served.reserve(requests.size());
+  for (const AperiodicRequest& r : requests) {
+    served.push_back({r, -1});
+  }
+
+  struct Pending {
+    std::size_t index;  // into `served`
+    Duration remaining;
+  };
+  std::deque<Pending> queue;
+  std::size_t next_arrival = 0;
+
+  const auto admitUpTo = [&](Time cutoff) {
+    while (next_arrival < served.size() &&
+           served[next_arrival].request.arrival <= cutoff) {
+      queue.push_back(
+          {next_arrival, served[next_arrival].request.work});
+      ++next_arrival;
+    }
+  };
+
+  for (const Window& w : windows) {
+    const auto rel_it = release_of.find(w.instance);
+    MPCP_CHECK(rel_it != release_of.end(),
+               "server segment without a job record (instance "
+                   << w.instance << ")");
+    Time t = w.begin;
+    while (t < w.end) {
+      // Eligibility: polling admits only pre-release arrivals; deferrable
+      // admits anything that has arrived by `t`.
+      admitUpTo(discipline == ServerDiscipline::kPolling ? rel_it->second
+                                                         : t);
+      if (queue.empty()) {
+        if (discipline == ServerDiscipline::kDeferrable &&
+            next_arrival < served.size() &&
+            served[next_arrival].request.arrival < w.end) {
+          t = served[next_arrival].request.arrival;  // budget waits
+          continue;
+        }
+        break;  // rest of this instance's budget is lost
+      }
+      Pending& head = queue.front();
+      const Duration delta = std::min<Duration>(head.remaining, w.end - t);
+      t += delta;
+      head.remaining -= delta;
+      if (head.remaining == 0) {
+        served[head.index].completion = t;
+        queue.pop_front();
+      }
+    }
+  }
+  return served;
+}
+
+}  // namespace mpcp

@@ -1,0 +1,59 @@
+// Aperiodic workload service via periodic servers (Section 3.1: "An
+// aperiodic task can be serviced by means of a periodic server [5]").
+//
+// The server is an ordinary periodic task in the TaskSystem (so all of
+// the protocol machinery — blocking, gcs's, analysis — applies to it
+// unchanged); its body is pure compute equal to the server budget. The
+// simulator then tells us exactly *when* the server executed, including
+// every delay the synchronization protocol inflicted. This module
+// replays an aperiodic request stream against those execution windows:
+//
+//   * kPolling:    a request is eligible for a server instance only if it
+//                  arrived at or before that instance's release (the
+//                  server "polls" at its release and sleeps otherwise);
+//   * kDeferrable: a request becomes eligible the moment it arrives, and
+//                  the server instance may spend any remaining budget on
+//                  it (bandwidth-preserving).
+//
+// Unused budget is lost at the end of the instance in both disciplines.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/result.h"
+
+namespace mpcp {
+
+struct AperiodicRequest {
+  Time arrival = 0;
+  Duration work = 0;
+};
+
+/// Poisson-ish arrivals: exponential interarrival times with the given
+/// mean, uniform work in [work_min, work_max], up to `horizon`.
+[[nodiscard]] std::vector<AperiodicRequest> generateAperiodicArrivals(
+    double mean_interarrival, Duration work_min, Duration work_max,
+    Time horizon, Rng& rng);
+
+enum class ServerDiscipline { kPolling, kDeferrable };
+
+struct ServedRequest {
+  AperiodicRequest request;
+  /// Completion time; -1 if unfinished within the simulated horizon.
+  Time completion = -1;
+
+  [[nodiscard]] Duration responseTime() const {
+    return completion < 0 ? -1 : completion - request.arrival;
+  }
+};
+
+/// Replays `requests` (sorted or not; they are sorted internally) against
+/// the execution of task `server` in `result`. FIFO service.
+[[nodiscard]] std::vector<ServedRequest> replayServer(
+    const SimResult& result, TaskId server,
+    std::vector<AperiodicRequest> requests,
+    ServerDiscipline discipline = ServerDiscipline::kPolling);
+
+}  // namespace mpcp

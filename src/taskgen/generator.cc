@@ -1,0 +1,166 @@
+#include "taskgen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strf.h"
+#include "taskgen/uunifast.h"
+
+namespace mpcp {
+
+namespace {
+
+/// Draws `m` section lengths in [cs_min, cs_max] whose sum stays within
+/// `budget`, shrinking m if even minimal sections do not fit.
+std::vector<Duration> drawSectionLengths(int m, Duration budget,
+                                         Duration cs_min, Duration cs_max,
+                                         Rng& rng) {
+  while (m > 0 && static_cast<Duration>(m) * cs_min > budget) --m;
+  std::vector<Duration> lengths;
+  Duration remaining = budget;
+  for (int i = 0; i < m; ++i) {
+    const Duration reserve = static_cast<Duration>(m - i - 1) * cs_min;
+    const Duration hi = std::min(cs_max, remaining - reserve);
+    const Duration len = rng.uniformInt(cs_min, std::max(cs_min, hi));
+    lengths.push_back(len);
+    remaining -= len;
+  }
+  return lengths;
+}
+
+}  // namespace
+
+TaskSystem generateWorkload(const WorkloadParams& params, Rng& rng) {
+  MPCP_CHECK(params.processors >= 1, "generateWorkload: need >= 1 processor");
+  MPCP_CHECK(params.tasks_per_processor >= 1,
+             "generateWorkload: need >= 1 task per processor");
+  MPCP_CHECK(params.cs_min >= 1 && params.cs_max >= params.cs_min,
+             "generateWorkload: bad critical-section range");
+
+  TaskSystemOptions options;
+  options.allow_nested_global = params.nested_global_prob > 0.0;
+  TaskSystemBuilder builder(params.processors, options);
+
+  std::vector<ResourceId> global_pool;
+  for (int g = 0; g < params.global_resources; ++g) {
+    global_pool.push_back(builder.addResource(strf("G", g + 1)));
+  }
+  std::vector<std::vector<ResourceId>> local_pool(
+      static_cast<std::size_t>(params.processors));
+  for (int p = 0; p < params.processors; ++p) {
+    for (int l = 0; l < params.local_resources_per_processor; ++l) {
+      local_pool[static_cast<std::size_t>(p)].push_back(
+          builder.addResource(strf("L", p + 1, "_", l + 1)));
+    }
+  }
+
+  for (int p = 0; p < params.processors; ++p) {
+    const std::vector<double> utils = uunifast(
+        params.tasks_per_processor, params.utilization_per_processor, rng);
+    for (int k = 0; k < params.tasks_per_processor; ++k) {
+      const Duration period =
+          logUniformPeriod(params.period_min, params.period_max,
+                           params.period_granularity, rng);
+      Duration wcet = static_cast<Duration>(
+          std::llround(utils[static_cast<std::size_t>(k)] *
+                       static_cast<double>(period)));
+      wcet = std::clamp<Duration>(wcet, 1, period);
+
+      // Section counts, bounded by the WCET budget (reserve 1 tick of
+      // leading normal execution).
+      int ng = 0;
+      if (!global_pool.empty() && params.max_gcs_per_task > 0 &&
+          rng.chance(params.global_sharing_prob)) {
+        ng = static_cast<int>(rng.uniformInt(1, params.max_gcs_per_task));
+      }
+      int nl = 0;
+      if (!local_pool[static_cast<std::size_t>(p)].empty() &&
+          params.max_lcs_per_task > 0 &&
+          rng.chance(params.local_sharing_prob)) {
+        nl = static_cast<int>(rng.uniformInt(1, params.max_lcs_per_task));
+      }
+
+      const Duration budget = wcet - 1;
+      std::vector<Duration> gcs_len =
+          drawSectionLengths(ng, budget, params.cs_min, params.cs_max, rng);
+      ng = static_cast<int>(gcs_len.size());
+      Duration used = 0;
+      for (Duration d : gcs_len) used += d;
+      std::vector<Duration> lcs_len = drawSectionLengths(
+          nl, budget - used, params.cs_min, params.cs_max, rng);
+      nl = static_cast<int>(lcs_len.size());
+      for (Duration d : lcs_len) used += d;
+
+      // Assemble the body: leading compute, then sections in shuffled
+      // order with the leftover compute spread over the gaps.
+      struct PlannedSection {
+        ResourceId resource;
+        Duration length;
+        bool global;
+      };
+      std::vector<PlannedSection> sections;
+      for (Duration d : gcs_len) {
+        sections.push_back(
+            {global_pool[rng.index(global_pool.size())], d, true});
+      }
+      for (Duration d : lcs_len) {
+        const auto& pool = local_pool[static_cast<std::size_t>(p)];
+        sections.push_back({pool[rng.index(pool.size())], d, false});
+      }
+      rng.shuffle(sections);
+
+      Duration normal = wcet - used;  // >= 1
+      Body body;
+      // Leading compute: at least 1 tick, up to an even share.
+      const auto gaps = static_cast<Duration>(sections.size()) + 1;
+      Duration lead = std::max<Duration>(1, normal / gaps);
+      body.compute(lead);
+      normal -= lead;
+      // Optional single mid-body self-suspension (never inside a section:
+      // it goes right after the leading compute).
+      if (params.suspension_prob > 0 && rng.chance(params.suspension_prob)) {
+        body.suspend(rng.uniformInt(params.suspend_min, params.suspend_max));
+      }
+
+      for (std::size_t s = 0; s < sections.size(); ++s) {
+        const PlannedSection& ps = sections[s];
+        // Occasionally nest a following *global* section inside this one
+        // (nesting experiments only).
+        const bool can_nest =
+            options.allow_nested_global && ps.global &&
+            s + 1 < sections.size() && sections[s + 1].global &&
+            sections[s + 1].resource != ps.resource &&
+            rng.chance(params.nested_global_prob);
+        if (can_nest) {
+          const PlannedSection inner = sections[s + 1];
+          body.lock(ps.resource)
+              .compute(ps.length)
+              .section(inner.resource, inner.length)
+              .unlock(ps.resource);
+          ++s;  // consumed the inner section
+        } else {
+          body.section(ps.resource, ps.length);
+        }
+        if (normal > 0) {
+          const Duration gap = rng.uniformInt(0, normal);
+          if (gap > 0) {
+            body.compute(gap);
+            normal -= gap;
+          }
+        }
+      }
+      if (normal > 0) body.compute(normal);
+
+      TaskSpec spec;
+      spec.name = strf("tau", p + 1, "_", k + 1);
+      spec.period = period;
+      spec.processor = p;
+      spec.body = std::move(body);
+      builder.addTask(std::move(spec));
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace mpcp

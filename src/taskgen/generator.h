@@ -1,0 +1,64 @@
+// Synthetic workload generator for the schedulability experiments.
+//
+// Produces task systems in the mould of the paper's model: statically
+// bound periodic tasks whose bodies interleave normal computation with
+// local and global critical sections. Every knob the experiments sweep is
+// a parameter here; generation is fully deterministic given the seed.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+
+struct WorkloadParams {
+  int processors = 4;
+  int tasks_per_processor = 4;
+  /// Target utilization of each processor (before blocking).
+  double utilization_per_processor = 0.5;
+
+  Duration period_min = 1'000;
+  Duration period_max = 100'000;
+  Duration period_granularity = 100;
+
+  /// Number of shared resources intended to be global (the generator
+  /// spreads their users across processors).
+  int global_resources = 3;
+  /// Per-task number of global critical sections, uniform in
+  /// [0, max_gcs_per_task]. The paper's NG_i knob.
+  int max_gcs_per_task = 2;
+  /// Probability that a task participates in global sharing at all.
+  double global_sharing_prob = 0.6;
+
+  /// Local resources per processor and per-task local sections.
+  int local_resources_per_processor = 1;
+  int max_lcs_per_task = 1;
+  double local_sharing_prob = 0.5;
+
+  /// Critical-section lengths, uniform in [cs_min, cs_max] ticks,
+  /// truncated so a body's sections never exceed its WCET budget.
+  Duration cs_min = 1;
+  Duration cs_max = 50;
+
+  /// When set, generate nested global pairs with this probability per
+  /// gcs (requires allow_nested_global; only DPCP or the group-lock
+  /// collapse can run such systems).
+  double nested_global_prob = 0.0;
+
+  /// Probability that a task self-suspends once mid-body (I/O model;
+  /// exercises Theorem 1 and the deferred-execution machinery), with a
+  /// duration uniform in [suspend_min, suspend_max].
+  double suspension_prob = 0.0;
+  Duration suspend_min = 1;
+  Duration suspend_max = 20;
+};
+
+/// Generates one task system. Throws ConfigError only on nonsensical
+/// parameters; degenerate draws (e.g. WCET too small for any section) are
+/// resolved by shrinking section counts/lengths, never by failing.
+[[nodiscard]] TaskSystem generateWorkload(const WorkloadParams& params,
+                                          Rng& rng);
+
+}  // namespace mpcp

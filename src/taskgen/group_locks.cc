@@ -1,0 +1,115 @@
+#include "taskgen/group_locks.h"
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strf.h"
+
+namespace mpcp {
+
+namespace {
+
+/// Plain union-find over resource ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+TaskSystem collapseToGroupLocks(const TaskSystem& system) {
+  const std::size_t nres = system.resources().size();
+  UnionFind uf(nres);
+
+  // Union resources that co-appear in a nest involving a global section.
+  bool any_nest = false;
+  for (const Task& t : system.tasks()) {
+    for (const CriticalSection& cs : t.sections) {
+      if (cs.parent < 0) continue;
+      const CriticalSection& outer =
+          t.sections[static_cast<std::size_t>(cs.parent)];
+      if (system.isGlobal(cs.resource) || system.isGlobal(outer.resource)) {
+        uf.unite(static_cast<std::size_t>(cs.resource.value()),
+                 static_cast<std::size_t>(outer.resource.value()));
+        any_nest = true;
+      }
+    }
+  }
+
+  // Representative -> whether the group has more than one member.
+  std::map<std::size_t, int> group_size;
+  for (std::size_t r = 0; r < nres; ++r) group_size[uf.find(r)]++;
+
+  TaskSystemBuilder builder(system.processorCount(), TaskSystemOptions{});
+  // Recreate resources: singleton groups keep their name; multi-member
+  // groups get one shared semaphore named after the representative.
+  std::vector<ResourceId> remap(nres);
+  std::map<std::size_t, ResourceId> group_res;
+  for (std::size_t r = 0; r < nres; ++r) {
+    const std::size_t rep = uf.find(r);
+    if (group_size[rep] == 1) {
+      remap[r] = builder.addResource(system.resources()[r].name);
+      continue;
+    }
+    auto it = group_res.find(rep);
+    if (it == group_res.end()) {
+      it = group_res
+               .emplace(rep, builder.addResource(strf(
+                                 "grp(", system.resources()[rep].name, ")")))
+               .first;
+    }
+    remap[r] = it->second;
+  }
+
+  // Rewrite bodies: map each lock/unlock through remap; a group lock is
+  // taken on the first member acquisition and released on the last
+  // (depth-counted), so nested members collapse into one flat section.
+  for (const Task& t : system.tasks()) {
+    Body body;
+    std::map<std::int32_t, int> depth;  // group resource -> nesting depth
+    for (const Op& op : t.body.ops()) {
+      if (const auto* c = std::get_if<ComputeOp>(&op)) {
+        body.compute(c->duration);
+      } else if (const auto* l = std::get_if<LockOp>(&op)) {
+        const ResourceId g = remap[static_cast<std::size_t>(
+            l->resource.value())];
+        if (depth[g.value()]++ == 0) body.lock(g);
+      } else if (const auto* u = std::get_if<UnlockOp>(&op)) {
+        const ResourceId g = remap[static_cast<std::size_t>(
+            u->resource.value())];
+        MPCP_CHECK(depth[g.value()] > 0,
+                   "group-lock rewrite underflow on " << g);
+        if (--depth[g.value()] == 0) body.unlock(g);
+      }
+    }
+
+    TaskSpec spec;
+    spec.name = t.name;
+    spec.period = t.period;
+    spec.phase = t.phase;
+    spec.relative_deadline = t.relative_deadline;
+    spec.processor = t.processor.value();
+    spec.body = std::move(body);
+    builder.addTask(std::move(spec));
+  }
+
+  (void)any_nest;
+  return std::move(builder).build();
+}
+
+}  // namespace mpcp

@@ -1,0 +1,24 @@
+// Group-lock collapse (Section 5.1's remark on nested sections):
+// "Another possible approach to analyze nested gcs's is to collapse
+//  nested critical sections into non-nested gcs's ... by introducing
+//  semaphores which subsume the nested semaphores."
+//
+// The pass unions resources that ever appear nested together (when either
+// member of the nest is global) into groups, introduces one group
+// semaphore per group, rewrites every access to a grouped resource into
+// an access to its group semaphore, and drops the now-redundant inner
+// lock/unlock pairs. The result satisfies MPCP's no-nested-gcs
+// precondition at the cost of coarser locking — the trade-off the
+// nesting-ablation bench quantifies.
+#pragma once
+
+#include "model/task_system.h"
+
+namespace mpcp {
+
+/// Returns a new TaskSystem with group locks substituted. Timing
+/// (periods, phases, WCETs, section durations) is preserved exactly; only
+/// the locking structure changes. Priorities are re-derived (RM).
+[[nodiscard]] TaskSystem collapseToGroupLocks(const TaskSystem& system);
+
+}  // namespace mpcp

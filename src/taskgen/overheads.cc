@@ -1,0 +1,51 @@
+#include "taskgen/overheads.h"
+
+namespace mpcp {
+
+TaskSystem applyOverheadModel(const TaskSystem& system,
+                              const OverheadModel& model,
+                              bool global_sections_migrate) {
+  TaskSystemBuilder b(system.processorCount(), system.options());
+  for (const ResourceInfo& r : system.resources()) {
+    const ResourceId nr = b.addResource(r.name);
+    if (r.sync_processor.has_value()) {
+      b.assignSyncProcessor(nr, *r.sync_processor);
+    }
+  }
+
+  for (const Task& t : system.tasks()) {
+    Body body;
+    for (const Op& op : t.body.ops()) {
+      if (const auto* c = std::get_if<ComputeOp>(&op)) {
+        body.compute(c->duration);
+      } else if (const auto* susp = std::get_if<SuspendOp>(&op)) {
+        body.suspend(susp->duration);
+      } else if (const auto* l = std::get_if<LockOp>(&op)) {
+        const bool migrates =
+            global_sections_migrate && system.isGlobal(l->resource);
+        body.lock(l->resource);
+        const Duration entry =
+            model.lock_entry + (migrates ? model.migration_leg : 0);
+        if (entry > 0) body.compute(entry);
+      } else if (const auto* u = std::get_if<UnlockOp>(&op)) {
+        const bool migrates =
+            global_sections_migrate && system.isGlobal(u->resource);
+        const Duration exit_cost =
+            model.unlock_exit + (migrates ? model.migration_leg : 0);
+        if (exit_cost > 0) body.compute(exit_cost);
+        body.unlock(u->resource);
+      }
+    }
+    TaskSpec spec;
+    spec.name = t.name;
+    spec.period = t.period;
+    spec.phase = t.phase;
+    spec.relative_deadline = t.relative_deadline;
+    spec.processor = t.processor.value();
+    spec.body = std::move(body);
+    b.addTask(std::move(spec));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mpcp

@@ -1,0 +1,39 @@
+// Implementation-overhead modelling (Section 5.2/5.4).
+//
+// The paper weighs the shared-memory protocol's "higher implementation
+// efficiency in tightly coupled multiprocessors" against "the large
+// overhead inherent in the message-passing protocol where every gcs of a
+// job is generally executed in a remote processor". We model those costs
+// as extra execution *inside* each critical section:
+//
+//   lock_entry   — cost of a successful P() (atomic RMW + queue ops),
+//                  paid right after the lock;
+//   unlock_exit  — cost of V() (queue pop + handoff/signal), paid right
+//                  before the unlock;
+//   migration_leg— request/reply messaging per direction, charged twice
+//                  per *global* section when the protocol executes gcs's
+//                  remotely (DPCP / message-based policy), zero otherwise.
+//
+// Because the transformation rewrites the task bodies, simulation and
+// analysis both see the inflated sections with no special cases.
+#pragma once
+
+#include "common/types.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+
+struct OverheadModel {
+  Duration lock_entry = 0;
+  Duration unlock_exit = 0;
+  Duration migration_leg = 0;
+};
+
+/// Returns a copy of `system` with overheads folded into every critical
+/// section. `global_sections_migrate` selects whether migration legs are
+/// charged on global sections (true for DPCP-style execution).
+[[nodiscard]] TaskSystem applyOverheadModel(const TaskSystem& system,
+                                            const OverheadModel& model,
+                                            bool global_sections_migrate);
+
+}  // namespace mpcp

@@ -1,0 +1,77 @@
+#include "taskgen/paper_examples.h"
+
+namespace mpcp::paper {
+
+Example1 makeExample1(Duration medium_wcet) {
+  Example1 ex;
+  TaskSystemBuilder b(2);
+  ex.s = b.addResource("S");
+  // RM priorities: tau1 (100) > tau2 (200) > tau3 (300).
+  ex.tau1 = b.addTask({.name = "tau1", .period = 100, .phase = 2,
+                       .processor = 0,
+                       .body = Body{}.compute(1).section(ex.s, 2).compute(1)});
+  ex.tau2 = b.addTask({.name = "tau2", .period = 200, .phase = 2,
+                       .processor = 1, .body = Body{}.compute(medium_wcet)});
+  ex.tau3 = b.addTask({.name = "tau3", .period = 300, .processor = 1,
+                       .body = Body{}.compute(1).section(ex.s, 4).compute(1)});
+  ex.sys = std::move(b).build();
+  return ex;
+}
+
+Example2 makeExample2(Duration t1_wcet) {
+  Example2 ex;
+  TaskSystemBuilder b(2);
+  ex.s = b.addResource("S");
+  // RM priorities: tau1 (100) > tau3 (200) > tau2 (300).
+  ex.tau1 = b.addTask({.name = "tau1", .period = 100, .phase = 2,
+                       .processor = 0, .body = Body{}.compute(t1_wcet)});
+  ex.tau2 = b.addTask({.name = "tau2", .period = 300, .processor = 0,
+                       .body = Body{}.compute(1).section(ex.s, 3).compute(1)});
+  ex.tau3 = b.addTask({.name = "tau3", .period = 200, .processor = 1,
+                       .body = Body{}.compute(2).section(ex.s, 2).compute(1)});
+  ex.sys = std::move(b).build();
+  return ex;
+}
+
+Example3 makeExample3() {
+  Example3 ex;
+  TaskSystemBuilder b(3);
+  ex.s1 = b.addResource("S1");
+  ex.s2 = b.addResource("S2");
+  ex.s3 = b.addResource("S3");
+  ex.s4 = b.addResource("S4");
+  ex.s5 = b.addResource("S5");
+
+  // Periods 40 < 50 < ... < 100 give RM priorities P1 > P2 > ... > P7.
+  // Phases stagger the releases so the Example 4 run shows contention on
+  // both global semaphores plus local-PCP interaction on P3.
+  ex.tau[0] = b.addTask(
+      {.name = "tau1", .period = 40, .phase = 2, .processor = 0,
+       .body = Body{}.compute(1).section(ex.s4, 2).compute(1)});
+  ex.tau[1] = b.addTask(
+      {.name = "tau2", .period = 50, .phase = 0, .processor = 0,
+       .body =
+           Body{}.compute(1).section(ex.s1, 2).section(ex.s5, 2).compute(1)});
+  ex.tau[2] = b.addTask(
+      {.name = "tau3", .period = 60, .phase = 0, .processor = 1,
+       .body = Body{}.compute(1).section(ex.s4, 3).compute(1)});
+  ex.tau[3] = b.addTask(
+      {.name = "tau4", .period = 70, .phase = 1, .processor = 1,
+       .body = Body{}.compute(1).section(ex.s5, 3).compute(1)});
+  ex.tau[4] = b.addTask(
+      {.name = "tau5", .period = 80, .phase = 0, .processor = 2,
+       .body =
+           Body{}.compute(1).section(ex.s4, 2).section(ex.s2, 2).compute(1)});
+  ex.tau[5] = b.addTask(
+      {.name = "tau6", .period = 90, .phase = 2, .processor = 2,
+       .body =
+           Body{}.compute(1).section(ex.s5, 2).section(ex.s3, 2).compute(1)});
+  ex.tau[6] = b.addTask(
+      {.name = "tau7", .period = 100, .phase = 0, .processor = 2,
+       .body =
+           Body{}.compute(1).section(ex.s2, 3).section(ex.s3, 3).compute(2)});
+  ex.sys = std::move(b).build();
+  return ex;
+}
+
+}  // namespace mpcp::paper

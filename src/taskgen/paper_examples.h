@@ -1,0 +1,57 @@
+// The paper's worked examples as ready-made task systems.
+//
+// Examples 1 and 2 (Figures 3-1/3-2) are the remote-blocking scenarios of
+// Section 3.3; Example 3 (Figure 4-2, Tables 4-1/4-2) is the 3-processor
+// 7-task configuration whose ceilings and gcs priorities the paper
+// tabulates; Example 4 (Figure 5-1) runs Example 3's task set under the
+// shared-memory protocol.
+//
+// The original text's table of bodies is OCR-damaged, so Example 3 is a
+// faithful *reconstruction*: same topology (tau1,tau2 on P1; tau3,tau4 on
+// P2; tau5..tau7 on P3; one local semaphore on P1, two on P3, two global
+// semaphores spanning all three processors), with durations chosen so the
+// Example 4 run exhibits every characteristic the paper lists at the end
+// of Section 5 (gcs's outprioritize normal code, gcs preempts gcs by gcs
+// priority, priority-ordered signalling, lower-priority execution during
+// suspension, PCP on local semaphores). See EXPERIMENTS.md E3-E5.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+#include "model/task_system.h"
+
+namespace mpcp::paper {
+
+/// Example 1 (Figure 3-1): tau1 on P1 wants global S held by
+/// lowest-priority tau3 on P2 while medium tau2 (WCET = `medium_wcet`)
+/// preempts tau3. Without inheritance tau1's blocking grows with
+/// `medium_wcet`.
+struct Example1 {
+  TaskId tau1, tau2, tau3;
+  ResourceId s;
+  TaskSystem sys;
+};
+[[nodiscard]] Example1 makeExample1(Duration medium_wcet = 5);
+
+/// Example 2 (Figure 3-2): tau1 (high, WCET = `t1_wcet`) and tau2 (low,
+/// holds global S) on P1; tau3 on P2 waits for S. PIP cannot stop tau1's
+/// normal execution from extending tau3's wait; MPCP can.
+struct Example2 {
+  TaskId tau1, tau2, tau3;
+  ResourceId s;
+  TaskSystem sys;
+};
+[[nodiscard]] Example2 makeExample2(Duration t1_wcet = 5);
+
+/// Example 3 / Example 4 configuration (see file comment).
+struct Example3 {
+  std::array<TaskId, 7> tau;  ///< tau[0] = tau1 (highest priority) ...
+  ResourceId s1;              ///< local to P1 (used by tau2)
+  ResourceId s2, s3;          ///< local to P3
+  ResourceId s4, s5;          ///< global (P1+P2+P3)
+  TaskSystem sys;
+};
+[[nodiscard]] Example3 makeExample3();
+
+}  // namespace mpcp::paper

@@ -1,0 +1,45 @@
+#include "taskgen/scale.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mpcp {
+
+TaskSystem scaleWorkload(const TaskSystem& system, double factor) {
+  MPCP_CHECK(factor > 0, "scaleWorkload: factor must be positive");
+  TaskSystemBuilder b(system.processorCount(), system.options());
+  for (const ResourceInfo& r : system.resources()) {
+    const ResourceId nr = b.addResource(r.name);
+    if (r.sync_processor.has_value()) {
+      b.assignSyncProcessor(nr, *r.sync_processor);
+    }
+  }
+  for (const Task& t : system.tasks()) {
+    Body body;
+    for (const Op& op : t.body.ops()) {
+      if (const auto* c = std::get_if<ComputeOp>(&op)) {
+        body.compute(std::max<Duration>(
+            1, static_cast<Duration>(
+                   std::llround(static_cast<double>(c->duration) * factor))));
+      } else if (const auto* l = std::get_if<LockOp>(&op)) {
+        body.lock(l->resource);
+      } else if (const auto* u = std::get_if<UnlockOp>(&op)) {
+        body.unlock(u->resource);
+      } else if (const auto* susp = std::get_if<SuspendOp>(&op)) {
+        body.suspend(susp->duration);
+      }
+    }
+    TaskSpec spec;
+    spec.name = t.name;
+    spec.period = t.period;
+    spec.phase = t.phase;
+    spec.relative_deadline = t.relative_deadline;
+    spec.processor = t.processor.value();
+    spec.body = std::move(body);
+    b.addTask(std::move(spec));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace mpcp

@@ -1,0 +1,17 @@
+// Workload scaling for breakdown-utilization experiments: multiply every
+// compute and critical-section duration by a factor, preserving periods,
+// structure and binding. The classic breakdown metric then binary-searches
+// the largest factor a schedulability test accepts.
+#pragma once
+
+#include "model/task_system.h"
+
+namespace mpcp {
+
+/// Returns a copy of `system` with every ComputeOp duration scaled by
+/// `factor` (rounded, min 1 tick) and suspensions left unchanged.
+/// Priorities are re-derived (periods are unchanged, so RM order is too).
+[[nodiscard]] TaskSystem scaleWorkload(const TaskSystem& system,
+                                       double factor);
+
+}  // namespace mpcp

@@ -1,0 +1,37 @@
+#include "taskgen/uunifast.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mpcp {
+
+std::vector<double> uunifast(int n, double total, Rng& rng) {
+  MPCP_CHECK(n >= 1, "uunifast: n must be >= 1");
+  MPCP_CHECK(total > 0, "uunifast: total utilization must be > 0");
+  std::vector<double> u(static_cast<std::size_t>(n));
+  double sum = total;
+  for (int i = 1; i < n; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform01(), 1.0 / static_cast<double>(n - i));
+    u[static_cast<std::size_t>(i - 1)] = sum - next;
+    sum = next;
+  }
+  u[static_cast<std::size_t>(n - 1)] = sum;
+  return u;
+}
+
+Duration logUniformPeriod(Duration lo, Duration hi, Duration granularity,
+                          Rng& rng) {
+  MPCP_CHECK(lo > 0 && hi >= lo, "logUniformPeriod: bad range");
+  MPCP_CHECK(granularity >= 1, "logUniformPeriod: bad granularity");
+  const double x = rng.uniformReal(std::log(static_cast<double>(lo)),
+                                   std::log(static_cast<double>(hi)));
+  auto period = static_cast<Duration>(std::exp(x));
+  period -= period % granularity;
+  if (period < granularity) period = granularity;
+  if (period < lo) period = lo + (granularity - lo % granularity) % granularity;
+  return std::min(period, hi);
+}
+
+}  // namespace mpcp

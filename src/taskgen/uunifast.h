@@ -1,0 +1,22 @@
+// Utilization and period sampling primitives for synthetic workloads.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mpcp {
+
+/// UUniFast (Bini & Buttazzo): n utilizations summing to `total`,
+/// uniformly distributed over the valid simplex.
+[[nodiscard]] std::vector<double> uunifast(int n, double total, Rng& rng);
+
+/// Log-uniform period in [lo, hi], rounded down to a multiple of
+/// `granularity` (>= granularity). Log-uniform spread keeps hyperperiods
+/// tame while covering magnitudes, the usual choice in schedulability
+/// studies.
+[[nodiscard]] Duration logUniformPeriod(Duration lo, Duration hi,
+                                        Duration granularity, Rng& rng);
+
+}  // namespace mpcp

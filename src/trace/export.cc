@@ -1,0 +1,61 @@
+#include "trace/export.h"
+
+#include <algorithm>
+
+namespace mpcp {
+
+namespace {
+
+std::string safeName(const TaskSystem& system, TaskId id) {
+  std::string name = system.task(id).name;
+  std::replace(name.begin(), name.end(), ',', ';');
+  return name;
+}
+
+}  // namespace
+
+void writeJobsCsv(std::ostream& os, const TaskSystem& system,
+                  const SimResult& result) {
+  os << "task,instance,release,deadline,finish,response,executed,blocked,"
+        "preempted,suspended,missed\n";
+  for (const JobRecord& jr : result.jobs) {
+    os << safeName(system, jr.id.task) << ',' << jr.id.instance << ','
+       << jr.release << ',' << jr.abs_deadline << ',' << jr.finish << ','
+       << jr.responseTime() << ',' << jr.executed << ',' << jr.blocked << ','
+       << jr.preempted << ',' << jr.suspended << ','
+       << (jr.missed ? 1 : 0) << '\n';
+  }
+}
+
+void writeTraceCsv(std::ostream& os, const TaskSystem& system,
+                   const SimResult& result) {
+  os << "t,event,task,instance,processor,resource,priority,other_task,"
+        "other_instance\n";
+  for (const TraceEvent& e : result.trace) {
+    os << e.t << ',' << toString(e.kind) << ','
+       << safeName(system, e.job.task) << ',' << e.job.instance << ','
+       << (e.processor.valid() ? e.processor.value() : -1) << ','
+       << (e.resource.valid()
+               ? system.resource(e.resource).name
+               : std::string{})
+       << ','
+       << (e.priority == kPriorityFloor ? std::string{}
+                                        : std::to_string(e.priority.urgency()))
+       << ','
+       << (e.other.task.valid() ? safeName(system, e.other.task)
+                                : std::string{})
+       << ',' << (e.other.task.valid() ? e.other.instance : -1) << '\n';
+  }
+}
+
+void writeSegmentsCsv(std::ostream& os, const TaskSystem& system,
+                      const SimResult& result) {
+  os << "processor,task,instance,begin,end,mode\n";
+  for (const ExecSegment& s : result.segments) {
+    os << s.processor.value() << ',' << safeName(system, s.job.task) << ','
+       << s.job.instance << ',' << s.begin << ',' << s.end << ','
+       << toString(s.mode) << '\n';
+  }
+}
+
+}  // namespace mpcp

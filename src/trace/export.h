@@ -1,0 +1,30 @@
+// CSV export of simulation results, for spreadsheets / plotting scripts.
+// Three flat tables: job records, trace events, execution segments.
+// All writers escape nothing — every field is numeric or a known-safe
+// identifier (task names come from the user; commas in names are
+// replaced with ';').
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "model/task_system.h"
+#include "sim/result.h"
+
+namespace mpcp {
+
+/// Columns: task,instance,release,deadline,finish,response,executed,
+///          blocked,preempted,suspended,missed
+void writeJobsCsv(std::ostream& os, const TaskSystem& system,
+                  const SimResult& result);
+
+/// Columns: t,event,task,instance,processor,resource,priority,
+///          other_task,other_instance
+void writeTraceCsv(std::ostream& os, const TaskSystem& system,
+                   const SimResult& result);
+
+/// Columns: processor,task,instance,begin,end,mode
+void writeSegmentsCsv(std::ostream& os, const TaskSystem& system,
+                      const SimResult& result);
+
+}  // namespace mpcp

@@ -1,0 +1,149 @@
+#include "trace/gantt.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/strf.h"
+
+namespace mpcp {
+
+namespace {
+
+char modeChar(ExecMode m) {
+  switch (m) {
+    case ExecMode::kNormal: return '=';
+    case ExecMode::kLocalCs: return 'L';
+    case ExecMode::kGcs: return 'G';
+  }
+  return '?';
+}
+
+Time lastActivity(const SimResult& result) {
+  Time last = 0;
+  for (const ExecSegment& s : result.segments) last = std::max(last, s.end);
+  for (const TraceEvent& e : result.trace) last = std::max(last, e.t);
+  return last;
+}
+
+}  // namespace
+
+std::string renderGantt(const TaskSystem& system, const SimResult& result,
+                        GanttOptions options) {
+  const Time begin = options.begin;
+  Time end = options.end >= 0 ? options.end
+                              : std::min(result.horizon, lastActivity(result));
+  end = std::max(end, begin + 1);
+  const std::size_t width = static_cast<std::size_t>(end - begin);
+
+  const std::size_t n = system.tasks().size();
+  std::vector<std::string> rows(n, std::string(width, ' '));
+  std::vector<std::string> release_marks(n, std::string(width, ' '));
+
+  // Live windows: release -> finish (or horizon) become '.' background.
+  for (const JobRecord& jr : result.jobs) {
+    const Time from = std::max(jr.release, begin);
+    const Time to = std::min(jr.finish < 0 ? end : jr.finish, end);
+    auto& row = rows[static_cast<std::size_t>(jr.id.task.value())];
+    for (Time t = from; t < to; ++t) {
+      row[static_cast<std::size_t>(t - begin)] = '.';
+    }
+    if (jr.release >= begin && jr.release < end) {
+      release_marks[static_cast<std::size_t>(jr.id.task.value())]
+                   [static_cast<std::size_t>(jr.release - begin)] = '^';
+    }
+  }
+  // Execution segments overwrite the background.
+  for (const ExecSegment& s : result.segments) {
+    const Time from = std::max(s.begin, begin);
+    const Time to = std::min(s.end, end);
+    auto& row = rows[static_cast<std::size_t>(s.job.task.value())];
+    for (Time t = from; t < to; ++t) {
+      row[static_cast<std::size_t>(t - begin)] = modeChar(s.mode);
+    }
+  }
+
+  // Row order: group tasks by processor (priority order within).
+  std::vector<TaskId> order;
+  if (options.group_by_processor) {
+    for (int p = 0; p < system.processorCount(); ++p) {
+      for (TaskId t : system.tasksOn(ProcessorId(p))) order.push_back(t);
+    }
+  } else {
+    for (const Task& t : system.tasks()) order.push_back(t.id);
+  }
+
+  std::size_t label_w = 4;
+  for (const Task& t : system.tasks()) {
+    label_w = std::max(label_w, t.name.size() + strf(" [P]", 0).size());
+  }
+  label_w = std::max(label_w, std::size_t{12});
+
+  std::ostringstream os;
+  // Time ruler (mark every 5 ticks).
+  std::string ruler(width, ' ');
+  for (Time t = begin; t < end; ++t) {
+    if (t % 5 == 0) {
+      const std::string label = strf(t);
+      for (std::size_t k = 0;
+           k < label.size() && (t - begin) + static_cast<Time>(k) <
+                                   static_cast<Time>(width);
+           ++k) {
+        ruler[static_cast<std::size_t>(t - begin) + k] = label[k];
+      }
+    }
+  }
+  os << padRight("t:", label_w) << ruler << "\n";
+
+  int last_proc = -1;
+  for (TaskId tid : order) {
+    const Task& task = system.task(tid);
+    if (options.group_by_processor && task.processor.value() != last_proc) {
+      last_proc = task.processor.value();
+      os << "--- " << task.processor << " ---\n";
+    }
+    const std::string label = strf(task.name, " [", task.processor, "]");
+    os << padRight(label, label_w)
+       << rows[static_cast<std::size_t>(tid.value())] << "\n";
+    if (options.show_releases) {
+      const auto& marks = release_marks[static_cast<std::size_t>(tid.value())];
+      if (marks.find('^') != std::string::npos) {
+        os << std::string(label_w, ' ') << marks << "\n";
+      }
+    }
+  }
+  os << "legend: '=' normal  'L' local cs  'G' global cs  '.' waiting  "
+        "'^' release\n";
+  return os.str();
+}
+
+std::string renderNarrative(const TaskSystem& system, const SimResult& result,
+                            Time begin, Time end) {
+  if (end < 0) end = result.horizon;
+  std::ostringstream os;
+  Time last_t = -1;
+  for (const TraceEvent& e : result.trace) {
+    if (e.t < begin || e.t >= end) continue;
+    if (e.t != last_t) {
+      os << "t=" << e.t << ":\n";
+      last_t = e.t;
+    }
+    const Task& task = system.task(e.job.task);
+    os << "  " << toString(e.kind) << " " << task.name << "(#"
+       << e.job.instance << ")";
+    if (e.processor.valid()) os << " on " << e.processor;
+    if (e.resource.valid()) {
+      os << " [" << system.resource(e.resource).name << "]";
+    }
+    if (e.priority != kPriorityFloor) os << " at " << e.priority;
+    if (e.other.task.valid()) {
+      os << " <-> " << system.task(e.other.task).name << "(#"
+         << e.other.instance << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mpcp

@@ -1,0 +1,38 @@
+// ASCII Gantt rendering of simulation results — the tool that reproduces
+// Figure 5-1-style timelines.
+//
+// One row per task; one column per tick:
+//   '='  executing outside any critical section
+//   'L'  executing inside a local critical section
+//   'G'  executing inside a global critical section (elevated band)
+//   '.'  released but waiting (preempted, blocked or suspended)
+//   ' '  no live job
+//   '^'  marks a release instant on the ruler row under each task
+#pragma once
+
+#include <string>
+
+#include "model/task_system.h"
+#include "sim/result.h"
+
+namespace mpcp {
+
+struct GanttOptions {
+  Time begin = 0;
+  Time end = -1;          ///< -1: min(horizon, last activity)
+  bool show_releases = true;
+  bool group_by_processor = true;  ///< order rows by processor binding
+};
+
+/// Renders the execution segments of `result` for `system`.
+[[nodiscard]] std::string renderGantt(const TaskSystem& system,
+                                      const SimResult& result,
+                                      GanttOptions options = {});
+
+/// Renders the event trace as a human-readable narrative with task names
+/// (the textual counterpart of Example 4's event list).
+[[nodiscard]] std::string renderNarrative(const TaskSystem& system,
+                                          const SimResult& result,
+                                          Time begin = 0, Time end = -1);
+
+}  // namespace mpcp

@@ -1,0 +1,198 @@
+#include "trace/invariants.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/strf.h"
+
+namespace mpcp {
+
+namespace {
+
+struct HolderMap {
+  std::map<std::int32_t, JobId> holder;  // resource -> job
+
+  std::optional<JobId> get(ResourceId r) const {
+    auto it = holder.find(r.value());
+    if (it == holder.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+}  // namespace
+
+InvariantReport checkMutualExclusion(const TaskSystem& system,
+                                     const SimResult& result) {
+  InvariantReport report;
+  HolderMap h;
+  for (const TraceEvent& e : result.trace) {
+    switch (e.kind) {
+      case Ev::kLockGrant: {
+        const auto cur = h.get(e.resource);
+        if (cur.has_value() && !(*cur == e.job)) {
+          report.violations.push_back(
+              strf("t=", e.t, ": ", system.resource(e.resource).name,
+                   " granted to ", e.job, " while held by ", *cur));
+        }
+        h.holder[e.resource.value()] = e.job;
+        break;
+      }
+      case Ev::kUnlock: {
+        const auto cur = h.get(e.resource);
+        if (!cur.has_value() || !(*cur == e.job)) {
+          report.violations.push_back(
+              strf("t=", e.t, ": ", system.resource(e.resource).name,
+                   " released by non-holder ", e.job));
+        }
+        h.holder.erase(e.resource.value());
+        break;
+      }
+      case Ev::kHandoff: {
+        const auto cur = h.get(e.resource);
+        if (!cur.has_value() || !(*cur == e.job)) {
+          report.violations.push_back(
+              strf("t=", e.t, ": ", system.resource(e.resource).name,
+                   " handed off by non-holder ", e.job));
+        }
+        h.holder[e.resource.value()] = e.other;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+InvariantReport checkPriorityOrderedHandoff(const TaskSystem& system,
+                                            const SimResult& result) {
+  InvariantReport report;
+  std::map<std::int32_t, std::set<std::pair<std::int32_t, std::int64_t>>>
+      waiting;  // resource -> set of (task, instance)
+  const auto prio = [&](const JobId& j) {
+    return system.task(j.task).priority;
+  };
+
+  for (const TraceEvent& e : result.trace) {
+    switch (e.kind) {
+      case Ev::kLockWait:
+        waiting[e.resource.value()].insert(
+            {e.job.task.value(), e.job.instance});
+        break;
+      case Ev::kLockGrant:
+        waiting[e.resource.value()].erase(
+            {e.job.task.value(), e.job.instance});
+        break;
+      case Ev::kHandoff: {
+        auto& ws = waiting[e.resource.value()];
+        ws.erase({e.other.task.value(), e.other.instance});
+        for (const auto& [task_raw, instance] : ws) {
+          const JobId w{TaskId(task_raw), instance};
+          if (prio(w) > prio(e.other)) {
+            report.violations.push_back(strf(
+                "t=", e.t, ": ", system.resource(e.resource).name,
+                " handed to ", e.other, " while higher-priority ", w,
+                " was waiting"));
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+InvariantReport checkGcsPreemptionRule(const TaskSystem& system,
+                                       const SimResult& result) {
+  InvariantReport report;
+
+  // Collect gcs residence intervals: (processor, begin, end, job).
+  struct GcsInterval {
+    std::int32_t proc;
+    Time begin;
+    Time end;
+    JobId job;
+  };
+  std::vector<GcsInterval> intervals;
+  std::map<std::pair<std::int32_t, std::int64_t>, GcsInterval> open;
+  for (const TraceEvent& e : result.trace) {
+    const auto key = std::make_pair(e.job.task.value(), e.job.instance);
+    if (e.kind == Ev::kGcsEnter) {
+      open[key] = {e.processor.value(), e.t, -1, e.job};
+    } else if (e.kind == Ev::kGcsExit) {
+      auto it = open.find(key);
+      if (it != open.end()) {
+        it->second.end = e.t;
+        intervals.push_back(it->second);
+        open.erase(it);
+      }
+    }
+  }
+  for (auto& [key, iv] : open) {  // still inside gcs at horizon
+    iv.end = result.horizon;
+    intervals.push_back(iv);
+  }
+
+  // Any non-gcs execution segment overlapping a *different* job's gcs
+  // interval on the same processor violates Theorem 2.
+  for (const ExecSegment& s : result.segments) {
+    if (s.mode == ExecMode::kGcs) continue;
+    for (const GcsInterval& iv : intervals) {
+      if (iv.proc != s.processor.value()) continue;
+      if (iv.job == s.job) continue;
+      const Time lo = std::max(s.begin, iv.begin);
+      const Time hi = std::min(s.end, iv.end);
+      if (lo < hi) {
+        report.violations.push_back(strf(
+            "t=[", lo, ",", hi, "): ", s.job, " ran ", toString(s.mode),
+            " code on P", iv.proc, " while ", iv.job,
+            " was inside a gcs there (",
+            system.task(iv.job.task).name, ")"));
+      }
+    }
+  }
+  return report;
+}
+
+InvariantReport checkGcsPriorityAssignment(const TaskSystem& system,
+                                            const SimResult& result,
+                                            const PriorityTables& tables,
+                                            GcsPriorityRule rule) {
+  InvariantReport report;
+  for (const TraceEvent& e : result.trace) {
+    if (e.kind != Ev::kGcsEnter) continue;
+    const Task& task = system.task(e.job.task);
+    const Priority expected =
+        rule == GcsPriorityRule::kSharedMemory
+            ? tables.gcsPriority(e.resource, task.processor)
+            : tables.ceiling(e.resource);
+    if (e.priority != expected) {
+      report.violations.push_back(strf(
+          "t=", e.t, ": ", task.name, " entered gcs on ",
+          system.resource(e.resource).name, " at ", e.priority,
+          " but the protocol assigns ", expected));
+    }
+  }
+  return report;
+}
+
+InvariantReport checkProtocolInvariants(const TaskSystem& system,
+                                        const SimResult& result,
+                                        bool priority_ordered_queues) {
+  InvariantReport all = checkMutualExclusion(system, result);
+  if (priority_ordered_queues) {
+    InvariantReport r = checkPriorityOrderedHandoff(system, result);
+    all.violations.insert(all.violations.end(), r.violations.begin(),
+                          r.violations.end());
+  }
+  InvariantReport g = checkGcsPreemptionRule(system, result);
+  all.violations.insert(all.violations.end(), g.violations.begin(),
+                        g.violations.end());
+  return all;
+}
+
+}  // namespace mpcp

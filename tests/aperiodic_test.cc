@@ -1,0 +1,141 @@
+// Aperiodic service through a periodic server (polling / deferrable),
+// replayed against simulated server execution.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/simulate.h"
+#include "model/task_system.h"
+#include "taskgen/aperiodic.h"
+
+namespace mpcp {
+namespace {
+
+/// One server (T=10, C=3) plus a background task on one processor.
+struct ServerRig {
+  TaskId server;
+  TaskSystem sys;
+};
+
+ServerRig makeRig() {
+  ServerRig rig;
+  TaskSystemBuilder b(1);
+  rig.server = b.addTask({.name = "server", .period = 10, .processor = 0,
+                          .body = Body{}.compute(3)});
+  b.addTask({.name = "bg", .period = 40, .processor = 0,
+             .body = Body{}.compute(10)});
+  rig.sys = std::move(b).build();
+  return rig;
+}
+
+TEST(Aperiodic, ArrivalGenerationRespectsParameters) {
+  Rng rng(5);
+  const auto arrivals = generateAperiodicArrivals(50.0, 2, 8, 10'000, rng);
+  ASSERT_GT(arrivals.size(), 100u);  // ~200 expected
+  ASSERT_LT(arrivals.size(), 400u);
+  Time prev = 0;
+  for (const AperiodicRequest& r : arrivals) {
+    EXPECT_GE(r.arrival, prev);
+    EXPECT_LT(r.arrival, 10'000);
+    EXPECT_GE(r.work, 2);
+    EXPECT_LE(r.work, 8);
+    prev = r.arrival;
+  }
+}
+
+TEST(Aperiodic, PollingServesPreReleaseArrivalsInFirstInstance) {
+  const ServerRig rig = makeRig();
+  const SimResult r = simulate(ProtocolKind::kNone, rig.sys, {.horizon = 40});
+  // Request arrives at t=0 with 2 ticks of work; server instance 0 runs
+  // [0,3): completion at 2.
+  const auto served = replayServer(r, rig.server, {{0, 2}});
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].completion, 2);
+}
+
+TEST(Aperiodic, PollingDefersMidInstanceArrivalToNextPeriod) {
+  const ServerRig rig = makeRig();
+  const SimResult r = simulate(ProtocolKind::kNone, rig.sys, {.horizon = 40});
+  // Arrival at t=1 (after the instance-0 release at t=0): strict polling
+  // makes it wait for instance 1 (release 10, executes [10,13)).
+  const auto polled =
+      replayServer(r, rig.server, {{1, 2}}, ServerDiscipline::kPolling);
+  EXPECT_EQ(polled[0].completion, 12);
+  // A deferrable server serves it immediately within instance 0.
+  const auto deferred =
+      replayServer(r, rig.server, {{1, 2}}, ServerDiscipline::kDeferrable);
+  EXPECT_EQ(deferred[0].completion, 3);
+}
+
+TEST(Aperiodic, BudgetExhaustionSpillsToNextInstance) {
+  const ServerRig rig = makeRig();
+  const SimResult r = simulate(ProtocolKind::kNone, rig.sys, {.horizon = 40});
+  // 5 ticks of work at t=0 against a 3-tick budget: 3 served in
+  // instance 0, the rest in instance 1 -> completion 10+2=12.
+  const auto served = replayServer(r, rig.server, {{0, 5}});
+  EXPECT_EQ(served[0].completion, 12);
+}
+
+TEST(Aperiodic, FifoOrderAmongRequests) {
+  const ServerRig rig = makeRig();
+  const SimResult r = simulate(ProtocolKind::kNone, rig.sys, {.horizon = 60});
+  const auto served = replayServer(r, rig.server, {{0, 2}, {0, 2}, {0, 2}});
+  ASSERT_EQ(served.size(), 3u);
+  EXPECT_EQ(served[0].completion, 2);
+  EXPECT_EQ(served[1].completion, 11);  // instance 1: [10,13)
+  EXPECT_EQ(served[2].completion, 13);
+  EXPECT_LT(served[0].completion, served[1].completion);
+}
+
+TEST(Aperiodic, UnfinishedRequestsReportMinusOne) {
+  const ServerRig rig = makeRig();
+  const SimResult r = simulate(ProtocolKind::kNone, rig.sys, {.horizon = 20});
+  const auto served = replayServer(r, rig.server, {{0, 100}});
+  EXPECT_EQ(served[0].completion, -1);
+}
+
+TEST(Aperiodic, ServerInsideMpcpSystemStillServes) {
+  // The server competes under MPCP with a task sharing a global resource;
+  // its execution windows shift but the replay machinery is oblivious.
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  const TaskId server = b.addTask({.name = "server", .period = 20,
+                                   .processor = 0,
+                                   .body = Body{}.compute(5)});
+  b.addTask({.name = "worker", .period = 40, .processor = 0,
+             .body = Body{}.compute(2).section(g, 3).compute(2)});
+  b.addTask({.name = "remote", .period = 50, .processor = 1,
+             .body = Body{}.compute(1).section(g, 4).compute(1)});
+  const TaskSystem sys = std::move(b).build();
+  const SimResult r = simulate(ProtocolKind::kMpcp, sys, {.horizon = 200});
+  Rng rng(7);
+  const auto arrivals = generateAperiodicArrivals(15.0, 1, 3, 150, rng);
+  const auto served = replayServer(r, server, arrivals);
+  int finished = 0;
+  for (const ServedRequest& s : served) {
+    if (s.completion >= 0) {
+      ++finished;
+      EXPECT_GE(s.responseTime(), s.request.work);
+    }
+  }
+  EXPECT_GT(finished, 0);
+}
+
+TEST(Aperiodic, DeferrableNeverSlowerThanPolling) {
+  const ServerRig rig = makeRig();
+  const SimResult r = simulate(ProtocolKind::kNone, rig.sys, {.horizon = 400});
+  Rng rng(11);
+  const auto arrivals = generateAperiodicArrivals(25.0, 1, 4, 300, rng);
+  const auto polled =
+      replayServer(r, rig.server, arrivals, ServerDiscipline::kPolling);
+  const auto deferred =
+      replayServer(r, rig.server, arrivals, ServerDiscipline::kDeferrable);
+  ASSERT_EQ(polled.size(), deferred.size());
+  for (std::size_t i = 0; i < polled.size(); ++i) {
+    if (polled[i].completion < 0) continue;  // unfinished under polling
+    ASSERT_GE(deferred[i].completion, 0);
+    EXPECT_LE(deferred[i].completion, polled[i].completion);
+  }
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -1,0 +1,103 @@
+// Workload scaling and breakdown-utilization search.
+#include <gtest/gtest.h>
+
+#include "analysis/breakdown.h"
+#include "analysis/profiles.h"
+#include "analysis/schedulability.h"
+#include "common/rng.h"
+#include "core/analyzer.h"
+#include "taskgen/generator.h"
+#include "taskgen/scale.h"
+
+namespace mpcp {
+namespace {
+
+TEST(Scale, ScalesComputePreservesStructure) {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  b.addTask({.name = "a", .period = 100, .processor = 0,
+             .body = Body{}.compute(10).section(g, 4).suspend(3)
+                        .compute(6)});
+  b.addTask({.name = "b", .period = 200, .processor = 1,
+             .body = Body{}.section(g, 8).compute(2)});
+  const TaskSystem sys = std::move(b).build();
+  const TaskSystem doubled = scaleWorkload(sys, 2.0);
+  EXPECT_EQ(doubled.tasks()[0].wcet, 40);  // (10+4+6)*2
+  EXPECT_EQ(doubled.tasks()[0].period, 100);
+  EXPECT_EQ(doubled.tasks()[0].sections.size(), 1u);
+  EXPECT_EQ(doubled.tasks()[0].sections[0].duration, 8);
+  // Suspension untouched.
+  const auto profiles = buildProfiles(doubled);
+  EXPECT_EQ(profiles[0].total_suspension, 3);
+
+  const TaskSystem halved = scaleWorkload(sys, 0.5);
+  EXPECT_EQ(halved.tasks()[0].wcet, 10);
+  EXPECT_EQ(halved.tasks()[0].sections[0].duration, 2);
+}
+
+TEST(Scale, MinimumOneTickPerComputeOp) {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "a", .period = 100, .processor = 0,
+             .body = Body{}.compute(1).compute(1)});  // merges to one op
+  const TaskSystem sys = std::move(b).build();
+  const TaskSystem tiny = scaleWorkload(sys, 0.01);
+  EXPECT_GE(tiny.tasks()[0].wcet, 1);
+}
+
+TEST(Breakdown, FindsTheFlipPoint) {
+  // Single task, C=10, T=100: RTA accepts up to factor 10 exactly.
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "a", .period = 100, .processor = 0,
+             .body = Body{}.compute(10)});
+  const TaskSystem sys = std::move(b).build();
+  const BreakdownResult r = breakdownUtilization(
+      sys,
+      [](const TaskSystem& scaled) {
+        const std::vector<Duration> zero(scaled.tasks().size(), 0);
+        return analyzeSchedulability(scaled, zero).rta_all;
+      },
+      0.05, 20.0, 0.01);
+  EXPECT_NEAR(r.factor, 10.0, 0.1);
+  EXPECT_NEAR(r.utilization, 1.0, 0.02);
+}
+
+TEST(Breakdown, ZeroWhenAlreadyUnschedulable) {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.compute(9)});
+  b.addTask({.name = "c", .period = 20, .processor = 0,
+             .body = Body{}.compute(15)});
+  const TaskSystem sys = std::move(b).build();
+  const BreakdownResult r = breakdownUtilization(
+      sys,
+      [](const TaskSystem& scaled) {
+        const std::vector<Duration> zero(scaled.tasks().size(), 0);
+        return analyzeSchedulability(scaled, zero).rta_all;
+      },
+      1.0, 4.0, 0.01);
+  EXPECT_EQ(r.factor, 0.0);
+}
+
+TEST(Breakdown, MpcpDominatesDpcpOnAverage) {
+  WorkloadParams p;
+  p.processors = 3;
+  p.tasks_per_processor = 3;
+  p.utilization_per_processor = 0.2;
+  p.cs_max = 40;
+  p.global_sharing_prob = 0.9;
+  double mpcp_sum = 0, dpcp_sum = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 131);
+    const TaskSystem sys = generateWorkload(p, rng);
+    mpcp_sum += breakdownUtilization(sys, [](const TaskSystem& s) {
+                  return analyzeUnder(ProtocolKind::kMpcp, s).report.rta_all;
+                }).utilization;
+    dpcp_sum += breakdownUtilization(sys, [](const TaskSystem& s) {
+                  return analyzeUnder(ProtocolKind::kDpcp, s).report.rta_all;
+                }).utilization;
+  }
+  EXPECT_GE(mpcp_sum, dpcp_sum);
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -1,0 +1,118 @@
+// Priority ceilings and gcs execution priorities (Section 4.3/4.4,
+// Tables 4-1/4-2) on the Example 3 configuration.
+#include <gtest/gtest.h>
+
+#include "analysis/ceilings.h"
+#include "model/task_system.h"
+#include "taskgen/paper_examples.h"
+
+namespace mpcp {
+namespace {
+
+class CeilingsExample3 : public ::testing::Test {
+ protected:
+  CeilingsExample3() : ex_(paper::makeExample3()), tables_(ex_.sys) {}
+
+  Priority prio(int i) const {  // 1-based task index
+    return ex_.sys.task(ex_.tau[static_cast<std::size_t>(i - 1)]).priority;
+  }
+
+  paper::Example3 ex_;
+  PriorityTables tables_;
+};
+
+TEST_F(CeilingsExample3, RmPrioritiesDescendWithPeriod) {
+  // tau1 has the shortest period (40) -> highest priority; with 7 tasks
+  // the urgencies are 7..1.
+  for (int i = 1; i < 7; ++i) {
+    EXPECT_GT(prio(i), prio(i + 1)) << "tau" << i << " vs tau" << i + 1;
+  }
+  EXPECT_EQ(ex_.sys.maxTaskPriority(), prio(1));
+  EXPECT_GT(ex_.sys.globalBase(), ex_.sys.maxTaskPriority());
+}
+
+TEST_F(CeilingsExample3, ScopesDerivedFromBindings) {
+  EXPECT_FALSE(ex_.sys.isGlobal(ex_.s1));  // only tau2 (P1)
+  EXPECT_FALSE(ex_.sys.isGlobal(ex_.s2));  // tau5, tau7 (both P3)
+  EXPECT_FALSE(ex_.sys.isGlobal(ex_.s3));  // tau6, tau7 (both P3)
+  EXPECT_TRUE(ex_.sys.isGlobal(ex_.s4));   // tau1, tau3, tau5
+  EXPECT_TRUE(ex_.sys.isGlobal(ex_.s5));   // tau2, tau4, tau6
+}
+
+TEST_F(CeilingsExample3, LocalCeilingsAreHighestUserPriority) {
+  // Table 4-1, local rows.
+  EXPECT_EQ(tables_.ceiling(ex_.s1), prio(2));
+  EXPECT_EQ(tables_.ceiling(ex_.s2), prio(5));
+  EXPECT_EQ(tables_.ceiling(ex_.s3), prio(6));
+}
+
+TEST_F(CeilingsExample3, GlobalCeilingsLiveAboveEveryTaskPriority) {
+  // Table 4-1, global rows: ceiling(Sg) = P_G + highest user priority.
+  const Priority pg = ex_.sys.globalBase();
+  EXPECT_EQ(tables_.ceiling(ex_.s4), prio(1).inGlobalBand(pg));
+  EXPECT_EQ(tables_.ceiling(ex_.s5), prio(2).inGlobalBand(pg));
+  EXPECT_GT(tables_.ceiling(ex_.s4), ex_.sys.maxTaskPriority());
+  EXPECT_GT(tables_.ceiling(ex_.s5), ex_.sys.maxTaskPriority());
+  // Ordering condition: P_{S4} > P_{S5} implies ceiling order.
+  EXPECT_GT(tables_.ceiling(ex_.s4), tables_.ceiling(ex_.s5));
+}
+
+TEST_F(CeilingsExample3, GcsPrioritiesUseHighestRemoteUser) {
+  // Table 4-2: a gcs of a job on processor p runs at P_G + highest
+  // priority among *remote* users, not the full ceiling.
+  const Priority pg = ex_.sys.globalBase();
+  // S4 users: tau1 (P1), tau3 (P2), tau5 (P3).
+  EXPECT_EQ(tables_.gcsPriority(ex_.s4, ProcessorId(0)),
+            prio(3).inGlobalBand(pg));  // remote top for P1: tau3
+  EXPECT_EQ(tables_.gcsPriority(ex_.s4, ProcessorId(1)),
+            prio(1).inGlobalBand(pg));  // remote top for P2: tau1
+  EXPECT_EQ(tables_.gcsPriority(ex_.s4, ProcessorId(2)),
+            prio(1).inGlobalBand(pg));
+  // S5 users: tau2 (P1), tau4 (P2), tau6 (P3).
+  EXPECT_EQ(tables_.gcsPriority(ex_.s5, ProcessorId(0)),
+            prio(4).inGlobalBand(pg));
+  EXPECT_EQ(tables_.gcsPriority(ex_.s5, ProcessorId(1)),
+            prio(2).inGlobalBand(pg));
+  EXPECT_EQ(tables_.gcsPriority(ex_.s5, ProcessorId(2)),
+            prio(2).inGlobalBand(pg));
+}
+
+TEST_F(CeilingsExample3, GcsPriorityNeverExceedsCeiling) {
+  for (const ResourceId r : {ex_.s4, ex_.s5}) {
+    for (int p = 0; p < 3; ++p) {
+      EXPECT_LE(tables_.gcsPriority(r, ProcessorId(p)), tables_.ceiling(r));
+      EXPECT_GT(tables_.gcsPriority(r, ProcessorId(p)),
+                ex_.sys.maxTaskPriority());
+    }
+  }
+}
+
+TEST(Ceilings, GcsPriorityQueriedForLocalResourceThrows) {
+  TaskSystemBuilder b(2);
+  const ResourceId loc = b.addResource("L");
+  const ResourceId g = b.addResource("G");
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.section(loc, 1).section(g, 1)});
+  b.addTask({.name = "b", .period = 20, .processor = 1,
+             .body = Body{}.section(g, 1)});
+  const TaskSystem sys = std::move(b).build();
+  const PriorityTables tables(sys);
+  EXPECT_THROW((void)tables.gcsPriority(loc, ProcessorId(0)),
+               InvariantError);
+  EXPECT_NO_THROW((void)tables.gcsPriority(g, ProcessorId(0)));
+}
+
+TEST(Ceilings, UnusedResourceHasFloorCeiling) {
+  TaskSystemBuilder b(1);
+  const ResourceId unused = b.addResource("unused");
+  const ResourceId used = b.addResource("used");
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.section(used, 1)});
+  const TaskSystem sys = std::move(b).build();
+  const PriorityTables tables(sys);
+  EXPECT_EQ(tables.ceiling(unused), kPriorityFloor);
+  EXPECT_EQ(tables.ceiling(used), sys.task(TaskId(0)).priority);
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -1,0 +1,141 @@
+// Foundation types: priorities, ids, RNG, stable priority queue, math.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/math_util.h"
+#include "common/priority.h"
+#include "common/rng.h"
+#include "common/stable_priority_queue.h"
+#include "common/types.h"
+
+namespace mpcp {
+namespace {
+
+TEST(Priority, OrderingAndBands) {
+  const Priority lo(1), hi(5), base(10);
+  EXPECT_LT(lo, hi);
+  EXPECT_LT(kPriorityFloor, lo);
+  EXPECT_EQ(lo.inGlobalBand(base).urgency(), 11);
+  EXPECT_EQ(hi.inGlobalBand(base).urgency(), 15);
+  // Every banded priority exceeds every in-band task priority <= base.
+  EXPECT_GT(lo.inGlobalBand(base), base);
+}
+
+TEST(Ids, DistinctTypesAndValidity) {
+  const TaskId t(3);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(TaskId().valid());
+  EXPECT_EQ(t.value(), 3);
+  const JobId j{t, 7};
+  const JobId k{t, 8};
+  EXPECT_NE(j, k);
+  EXPECT_LT(j, k);
+}
+
+TEST(Rng, DeterministicAndDistinctSeeds) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) differs |= a2.next() != c.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniformInt(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all values hit
+  EXPECT_EQ(rng.uniformInt(5, 5), 5);
+  EXPECT_THROW(rng.uniformInt(2, 1), InvariantError);
+}
+
+TEST(Rng, Uniform01InRangeAndSpread) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StableQueue, PriorityOrderWithFifoTies) {
+  StablePriorityQueue<int> q;
+  q.push(1, Priority(5));
+  q.push(2, Priority(9));
+  q.push(3, Priority(5));
+  q.push(4, Priority(9));
+  EXPECT_EQ(q.pop(), 2);  // highest priority, earliest
+  EXPECT_EQ(q.pop(), 4);  // same priority, later
+  EXPECT_EQ(q.pop(), 1);  // lower priority, FIFO
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(StableQueue, RemoveAndContains) {
+  StablePriorityQueue<int> q;
+  q.push(1, Priority(1));
+  q.push(2, Priority(2));
+  EXPECT_TRUE(q.contains(1));
+  EXPECT_TRUE(q.remove(1));
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_FALSE(q.remove(1));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.peek(), 2);
+  EXPECT_EQ(q.peekPriority(), Priority(2));
+}
+
+TEST(StableQueue, PopOnEmptyThrows) {
+  StablePriorityQueue<int> q;
+  EXPECT_THROW(q.pop(), InvariantError);
+  EXPECT_THROW((void)q.peek(), InvariantError);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceilDiv(10, 5), 2);
+  EXPECT_EQ(ceilDiv(11, 5), 3);
+  EXPECT_EQ(ceilDiv(1, 5), 1);
+  EXPECT_EQ(ceilDiv(5, 5), 1);
+}
+
+TEST(MathUtil, LcmSaturating) {
+  EXPECT_EQ(lcmSaturating(4, 6), 12);
+  EXPECT_EQ(lcmSaturating(7, 13), 91);
+  const Time huge = kTimeInfinity / 2;
+  EXPECT_EQ(lcmSaturating(huge, huge - 1), kTimeInfinity);
+}
+
+TEST(Check, MacrosThrowWithContext) {
+  try {
+    MPCP_CHECK(1 == 2, "the answer is " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the answer is 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -1,0 +1,206 @@
+// Task model: body construction, section extraction, TaskSystem
+// validation and derivation.
+#include <gtest/gtest.h>
+
+#include "model/body.h"
+#include "model/sections.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+namespace {
+
+TEST(Body, FluentConstructionAndTotals) {
+  const ResourceId r(0);
+  const Body b = Body{}.compute(2).lock(r).compute(3).unlock(r).compute(1);
+  EXPECT_EQ(b.totalCompute(), 6);
+  EXPECT_EQ(b.ops().size(), 5u);
+}
+
+TEST(Body, AdjacentComputesMerge) {
+  const Body b = Body{}.compute(2).compute(3);
+  EXPECT_EQ(b.ops().size(), 1u);
+  EXPECT_EQ(b.totalCompute(), 5);
+}
+
+TEST(Body, SectionShorthand) {
+  const ResourceId r(3);
+  const Body b = Body{}.section(r, 4);
+  ASSERT_EQ(b.ops().size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<LockOp>(b.ops()[0]));
+  EXPECT_TRUE(std::holds_alternative<ComputeOp>(b.ops()[1]));
+  EXPECT_TRUE(std::holds_alternative<UnlockOp>(b.ops()[2]));
+}
+
+TEST(Body, RejectsNonPositiveCompute) {
+  EXPECT_THROW(Body{}.compute(0), InvariantError);
+  EXPECT_THROW(Body{}.compute(-3), InvariantError);
+}
+
+TEST(Sections, ExtractsFlatSections) {
+  const ResourceId a(0), b(1);
+  const Body body = Body{}.compute(1).section(a, 2).compute(1).section(b, 3);
+  const auto sections = extractSections(body);
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].resource, a);
+  EXPECT_EQ(sections[0].duration, 2);
+  EXPECT_EQ(sections[0].depth, 0);
+  EXPECT_EQ(sections[1].resource, b);
+  EXPECT_EQ(sections[1].duration, 3);
+}
+
+TEST(Sections, NestedDurationsIncludeInner) {
+  const ResourceId a(0), b(1);
+  const Body body = Body{}
+                        .lock(a)
+                        .compute(1)
+                        .lock(b)
+                        .compute(2)
+                        .unlock(b)
+                        .compute(1)
+                        .unlock(a);
+  const auto sections = extractSections(body);
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].resource, a);
+  EXPECT_EQ(sections[0].duration, 4);  // includes inner
+  EXPECT_EQ(sections[0].depth, 0);
+  EXPECT_EQ(sections[1].resource, b);
+  EXPECT_EQ(sections[1].duration, 2);
+  EXPECT_EQ(sections[1].depth, 1);
+  EXPECT_EQ(sections[1].parent, 0);
+}
+
+TEST(Sections, RejectsRelock) {
+  const ResourceId a(0);
+  EXPECT_THROW(extractSections(Body{}.lock(a).compute(1).lock(a)),
+               ConfigError);
+}
+
+TEST(Sections, RejectsImproperNesting) {
+  const ResourceId a(0), b(1);
+  const Body body =
+      Body{}.lock(a).lock(b).compute(1).unlock(a).unlock(b);
+  EXPECT_THROW(extractSections(body), ConfigError);
+}
+
+TEST(Sections, RejectsUnreleasedLock) {
+  const ResourceId a(0);
+  EXPECT_THROW(extractSections(Body{}.lock(a).compute(1)), ConfigError);
+}
+
+TEST(Sections, RejectsUnmatchedUnlock) {
+  const ResourceId a(0);
+  EXPECT_THROW(extractSections(Body{}.compute(1).unlock(a)), ConfigError);
+}
+
+TEST(TaskSystem, RejectsBadSpecs) {
+  {
+    TaskSystemBuilder b(1);
+    b.addTask({.name = "x", .period = 0, .processor = 0,
+               .body = Body{}.compute(1)});
+    EXPECT_THROW(std::move(b).build(), ConfigError);
+  }
+  {
+    TaskSystemBuilder b(1);
+    b.addTask({.name = "x", .period = 10, .processor = 5,
+               .body = Body{}.compute(1)});
+    EXPECT_THROW(std::move(b).build(), ConfigError);
+  }
+  {
+    TaskSystemBuilder b(1);
+    b.addTask({.name = "x", .period = 10, .processor = 0, .body = Body{}});
+    EXPECT_THROW(std::move(b).build(), ConfigError);
+  }
+  {
+    TaskSystemBuilder b(1);
+    b.addTask({.name = "x", .period = 10, .relative_deadline = 20,
+               .processor = 0, .body = Body{}.compute(1)});
+    EXPECT_THROW(std::move(b).build(), ConfigError);  // D > T
+  }
+  EXPECT_THROW(TaskSystemBuilder(0), ConfigError);
+}
+
+TEST(TaskSystem, RejectsEmpty) {
+  TaskSystemBuilder b(2);
+  EXPECT_THROW(std::move(b).build(), ConfigError);
+}
+
+TEST(TaskSystem, RejectsUndeclaredResource) {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "x", .period = 10, .processor = 0,
+             .body = Body{}.section(ResourceId(7), 1)});
+  EXPECT_THROW(std::move(b).build(), ConfigError);
+}
+
+TEST(TaskSystem, ExplicitPrioritiesAllOrNothing) {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.compute(1), .priority = Priority(5)});
+  b.addTask({.name = "b", .period = 20, .processor = 0,
+             .body = Body{}.compute(1)});
+  EXPECT_THROW(std::move(b).build(), ConfigError);
+}
+
+TEST(TaskSystem, ExplicitPrioritiesMustBeUnique) {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.compute(1), .priority = Priority(5)});
+  b.addTask({.name = "b", .period = 20, .processor = 0,
+             .body = Body{}.compute(1), .priority = Priority(5)});
+  EXPECT_THROW(std::move(b).build(), ConfigError);
+}
+
+TEST(TaskSystem, DerivesScopesUsersAndHomes) {
+  TaskSystemBuilder b(2);
+  const ResourceId loc = b.addResource("L");
+  const ResourceId glob = b.addResource("G");
+  const TaskId a = b.addTask({.name = "a", .period = 10, .processor = 0,
+                              .body = Body{}.section(loc, 1)
+                                         .section(glob, 1)});
+  const TaskId c = b.addTask({.name = "c", .period = 20, .processor = 1,
+                              .body = Body{}.section(glob, 2)});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_EQ(sys.resource(loc).scope, ResourceScope::kLocal);
+  EXPECT_EQ(sys.resource(loc).home->value(), 0);
+  EXPECT_EQ(sys.resource(glob).scope, ResourceScope::kGlobal);
+  EXPECT_EQ(sys.resource(glob).users.size(), 2u);
+  EXPECT_TRUE(sys.hasGlobalResources());
+  EXPECT_EQ(sys.tasksOn(ProcessorId(0)).size(), 1u);
+  EXPECT_EQ(sys.tasksOn(ProcessorId(0))[0], a);
+  (void)c;
+}
+
+TEST(TaskSystem, DefaultDeadlineEqualsPeriodAndUtilization) {
+  TaskSystemBuilder b(1);
+  const TaskId a = b.addTask({.name = "a", .period = 20, .processor = 0,
+                              .body = Body{}.compute(5)});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_EQ(sys.task(a).relative_deadline, 20);
+  EXPECT_DOUBLE_EQ(sys.task(a).utilization(), 0.25);
+  EXPECT_DOUBLE_EQ(sys.utilizationOn(ProcessorId(0)), 0.25);
+}
+
+TEST(TaskSystem, HyperperiodIsLcm) {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "a", .period = 4, .processor = 0,
+             .body = Body{}.compute(1)});
+  b.addTask({.name = "b", .period = 6, .processor = 0,
+             .body = Body{}.compute(1)});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_EQ(sys.hyperperiod(), 12);
+}
+
+TEST(TaskSystem, GlobalBaseAboveEveryTaskPriority) {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.section(g, 1)});
+  b.addTask({.name = "b", .period = 20, .processor = 1,
+             .body = Body{}.section(g, 1)});
+  const TaskSystem sys = std::move(b).build();
+  for (const Task& t : sys.tasks()) {
+    EXPECT_GT(sys.globalBase(), t.priority);
+  }
+}
+
+}  // namespace
+}  // namespace mpcp

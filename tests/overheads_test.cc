@@ -1,0 +1,70 @@
+// Overhead-model transformation (Section 5.2/5.4 costs).
+#include <gtest/gtest.h>
+
+#include "analysis/profiles.h"
+#include "core/simulate.h"
+#include "model/task_system.h"
+#include "taskgen/overheads.h"
+
+namespace mpcp {
+namespace {
+
+TaskSystem smallSystem() {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  const ResourceId l = b.addResource("L");
+  b.addTask({.name = "a", .period = 100, .processor = 0,
+             .body = Body{}.compute(5).section(g, 4).section(l, 3)
+                        .compute(2)});
+  b.addTask({.name = "b", .period = 200, .processor = 1,
+             .body = Body{}.section(g, 6).compute(1)});
+  return std::move(b).build();
+}
+
+TEST(Overheads, LockUnlockCostsLandInsideSections) {
+  const TaskSystem sys = smallSystem();
+  const TaskSystem inflated = applyOverheadModel(
+      sys, {.lock_entry = 2, .unlock_exit = 3}, false);
+  const auto profiles = buildProfiles(inflated);
+  // a's G section: 4 + 2 + 3 = 9; L section: 3 + 2 + 3 = 8.
+  EXPECT_EQ(profiles[0].global_sections[0].duration, 9);
+  EXPECT_EQ(profiles[0].local_sections[0].duration, 8);
+  // WCET grows by 2 sections x 5 overhead.
+  EXPECT_EQ(inflated.tasks()[0].wcet, sys.tasks()[0].wcet + 10);
+}
+
+TEST(Overheads, MigrationLegsOnlyOnGlobalSectionsWhenEnabled) {
+  const TaskSystem sys = smallSystem();
+  const OverheadModel model{.lock_entry = 1, .unlock_exit = 1,
+                            .migration_leg = 10};
+  const TaskSystem local_exec = applyOverheadModel(sys, model, false);
+  const TaskSystem remote_exec = applyOverheadModel(sys, model, true);
+  const auto pl = buildProfiles(local_exec);
+  const auto pr = buildProfiles(remote_exec);
+  // Without migration: G section = 4 + 1 + 1 = 6. With: + 2 legs = 26.
+  EXPECT_EQ(pl[0].global_sections[0].duration, 6);
+  EXPECT_EQ(pr[0].global_sections[0].duration, 26);
+  // Local sections never pay migration.
+  EXPECT_EQ(pl[0].local_sections[0].duration, 5);
+  EXPECT_EQ(pr[0].local_sections[0].duration, 5);
+}
+
+TEST(Overheads, ZeroModelIsIdentity) {
+  const TaskSystem sys = smallSystem();
+  const TaskSystem same = applyOverheadModel(sys, {}, true);
+  for (std::size_t i = 0; i < sys.tasks().size(); ++i) {
+    EXPECT_TRUE(same.tasks()[i].body == sys.tasks()[i].body);
+  }
+}
+
+TEST(Overheads, InflatedSystemStillSimulates) {
+  const TaskSystem sys = smallSystem();
+  const TaskSystem inflated = applyOverheadModel(
+      sys, {.lock_entry = 2, .unlock_exit = 2, .migration_leg = 5}, true);
+  const SimResult r = simulate(ProtocolKind::kDpcp, inflated,
+                               {.horizon = 2000});
+  EXPECT_FALSE(r.any_deadline_miss);
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -1,0 +1,134 @@
+// Exhaustive phasing sweeps on small systems: the analytical bounds must
+// hold for EVERY release phasing, not just the synchronous one the other
+// tests use. This is the strongest evidence the simulator + analysis pair
+// is coherent — an unsound bound or an engine ordering bug tends to show
+// up at some odd phasing.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/simulate.h"
+#include "model/task_system.h"
+#include "test_util.h"
+#include "trace/invariants.h"
+
+namespace mpcp {
+namespace {
+
+using ::mpcp::testing::maxBlockedOf;
+
+/// 2 processors, 3 tasks, one global + one local semaphore; phases of
+/// tau2/tau3 swept over a full small period grid.
+TaskSystem buildPhased(Time phase2, Time phase3) {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  const ResourceId l = b.addResource("L");
+  b.addTask({.name = "tau1", .period = 12, .processor = 0,
+             .body = Body{}.compute(1).section(g, 2).compute(1)});
+  b.addTask({.name = "tau2", .period = 18, .phase = phase2, .processor = 0,
+             .body = Body{}.compute(1).section(l, 2).section(g, 3)
+                        .compute(1)});
+  b.addTask({.name = "tau3", .period = 24, .phase = phase3, .processor = 1,
+             .body = Body{}.compute(2).section(g, 4).compute(1)});
+  // tau4 makes L's ceiling reach tau1 (uses both semaphores, low prio).
+  b.addTask({.name = "tau4", .period = 36, .phase = 1, .processor = 0,
+             .body = Body{}.section(l, 2).compute(1)});
+  return std::move(b).build();
+}
+
+TEST(PhasingSweep, MpcpBoundsHoldForEveryPhasing) {
+  // Analysis is phase-independent: compute once.
+  const TaskSystem reference = buildPhased(0, 0);
+  const ProtocolAnalysis analysis =
+      analyzeUnder(ProtocolKind::kMpcp, reference);
+
+  int runs = 0;
+  for (Time p2 = 0; p2 < 18; p2 += 2) {
+    for (Time p3 = 0; p3 < 24; p3 += 3) {
+      const TaskSystem sys = buildPhased(p2, p3);
+      const SimResult r = simulate(ProtocolKind::kMpcp, sys,
+                                   {.horizon = 2'000});
+      ASSERT_TRUE(checkMutualExclusion(sys, r).ok())
+          << "p2=" << p2 << " p3=" << p3;
+      ASSERT_TRUE(checkGcsPreemptionRule(sys, r).ok())
+          << "p2=" << p2 << " p3=" << p3;
+      if (!r.any_deadline_miss) {
+        for (const Task& t : sys.tasks()) {
+          EXPECT_LE(
+              maxBlockedOf(r, t.id),
+              analysis.blocking[static_cast<std::size_t>(t.id.value())])
+              << t.name << " p2=" << p2 << " p3=" << p3;
+        }
+      }
+      if (analysis.report.rta_all) {
+        EXPECT_FALSE(r.any_deadline_miss) << "p2=" << p2 << " p3=" << p3;
+      }
+      ++runs;
+    }
+  }
+  EXPECT_EQ(runs, 9 * 8);
+}
+
+TEST(PhasingSweep, DpcpBoundsHoldForEveryPhasing) {
+  const TaskSystem reference = buildPhased(0, 0);
+  const ProtocolAnalysis analysis =
+      analyzeUnder(ProtocolKind::kDpcp, reference);
+
+  for (Time p2 = 0; p2 < 18; p2 += 3) {
+    for (Time p3 = 0; p3 < 24; p3 += 4) {
+      const TaskSystem sys = buildPhased(p2, p3);
+      const SimResult r = simulate(ProtocolKind::kDpcp, sys,
+                                   {.horizon = 2'000});
+      ASSERT_TRUE(checkMutualExclusion(sys, r).ok())
+          << "p2=" << p2 << " p3=" << p3;
+      if (!r.any_deadline_miss) {
+        for (const Task& t : sys.tasks()) {
+          EXPECT_LE(
+              maxBlockedOf(r, t.id),
+              analysis.blocking[static_cast<std::size_t>(t.id.value())])
+              << t.name << " p2=" << p2 << " p3=" << p3;
+        }
+      }
+      if (analysis.report.rta_all) {
+        EXPECT_FALSE(r.any_deadline_miss) << "p2=" << p2 << " p3=" << p3;
+      }
+    }
+  }
+}
+
+/// Lighter variant (longer periods) so the RTA accepts it outright.
+TaskSystem buildLightPhased(Time phase2, Time phase3) {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  b.addTask({.name = "tau1", .period = 40, .processor = 0,
+             .body = Body{}.compute(1).section(g, 2).compute(1)});
+  b.addTask({.name = "tau2", .period = 60, .phase = phase2, .processor = 0,
+             .body = Body{}.compute(1).section(g, 3).compute(1)});
+  b.addTask({.name = "tau3", .period = 80, .phase = phase3, .processor = 1,
+             .body = Body{}.compute(2).section(g, 4).compute(1)});
+  return std::move(b).build();
+}
+
+TEST(PhasingSweep, ResponseTimesNeverExceedRtaBoundAcrossPhasings) {
+  const TaskSystem reference = buildLightPhased(0, 0);
+  const ProtocolAnalysis analysis =
+      analyzeUnder(ProtocolKind::kMpcp, reference);
+  ASSERT_TRUE(analysis.report.rta_all);
+
+  for (Time p2 = 0; p2 < 60; p2 += 6) {
+    for (Time p3 = 0; p3 < 80; p3 += 8) {
+      const TaskSystem sys = buildLightPhased(p2, p3);
+      const SimResult r = simulate(ProtocolKind::kMpcp, sys,
+                                   {.horizon = 3'000});
+      EXPECT_FALSE(r.any_deadline_miss) << "p2=" << p2 << " p3=" << p3;
+      for (const TaskStats& st : r.per_task) {
+        const auto& verdict =
+            analysis.report.tasks[static_cast<std::size_t>(st.task.value())];
+        EXPECT_LE(st.max_response, verdict.response_time)
+            << sys.task(st.task).name << " p2=" << p2 << " p3=" << p3;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpcp

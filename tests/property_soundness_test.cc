@@ -1,0 +1,148 @@
+// Property tests over seeded random workloads: the analytical claims of
+// Section 5 must hold against the simulator.
+//
+//   P1  Soundness: if the analysis (Theorem 3 or RTA) declares a system
+//       schedulable under MPCP/DPCP, the simulation shows no deadline
+//       miss over the synchronous-release horizon.
+//   P2  Blocking bounds: in a miss-free run, every job's measured
+//       priority-inversion time stays within B_i.
+//   P3  Protocol invariants hold on every run: mutual exclusion,
+//       priority-ordered handoff, and (MPCP) Theorem 2.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/analyzer.h"
+#include "core/simulate.h"
+#include "taskgen/generator.h"
+#include "test_util.h"
+#include "trace/invariants.h"
+
+namespace mpcp {
+namespace {
+
+using ::mpcp::testing::maxBlockedOf;
+
+struct SweepParams {
+  std::uint64_t seed;
+  int processors;
+  double util;
+};
+
+class SoundnessSweep : public ::testing::TestWithParam<SweepParams> {};
+
+WorkloadParams workloadFor(const SweepParams& p) {
+  WorkloadParams w;
+  w.processors = p.processors;
+  w.tasks_per_processor = 3;
+  w.utilization_per_processor = p.util;
+  w.period_min = 1'000;
+  w.period_max = 20'000;
+  w.period_granularity = 1'000;  // keeps hyperperiods simulable
+  w.global_resources = 2;
+  w.max_gcs_per_task = 2;
+  w.global_sharing_prob = 0.7;
+  w.local_resources_per_processor = 1;
+  w.max_lcs_per_task = 1;
+  w.cs_min = 1;
+  w.cs_max = 20;
+  return w;
+}
+
+TEST_P(SoundnessSweep, MpcpAnalysisVsSimulation) {
+  Rng rng(GetParam().seed);
+  const TaskSystem sys = generateWorkload(workloadFor(GetParam()), rng);
+  const ProtocolAnalysis analysis = analyzeUnder(ProtocolKind::kMpcp, sys);
+
+  const SimResult r =
+      simulate(ProtocolKind::kMpcp, sys, {.horizon_cap = 400'000});
+
+  // P3: invariants always hold.
+  const InvariantReport rep = checkProtocolInvariants(sys, r);
+  ASSERT_TRUE(rep.ok()) << rep.violations.front();
+
+  // P1: accepted by the analysis => no miss observed.
+  if (analysis.report.rta_all || analysis.report.ll_all) {
+    EXPECT_FALSE(r.any_deadline_miss)
+        << "analysis accepted but the simulation missed a deadline "
+           "(seed "
+        << GetParam().seed << ")";
+  }
+
+  // P2: measured blocking within the bound on miss-free runs.
+  if (!r.any_deadline_miss) {
+    for (const Task& t : sys.tasks()) {
+      EXPECT_LE(maxBlockedOf(r, t.id),
+                analysis.blocking[static_cast<std::size_t>(t.id.value())])
+          << t.name << " exceeded its MPCP blocking bound (seed "
+          << GetParam().seed << ")";
+    }
+  }
+}
+
+TEST_P(SoundnessSweep, DpcpAnalysisVsSimulation) {
+  Rng rng(GetParam().seed ^ 0xD9C9ull);
+  const TaskSystem sys = generateWorkload(workloadFor(GetParam()), rng);
+  const ProtocolAnalysis analysis = analyzeUnder(ProtocolKind::kDpcp, sys);
+
+  const SimResult r =
+      simulate(ProtocolKind::kDpcp, sys, {.horizon_cap = 400'000});
+
+  InvariantReport rep = checkMutualExclusion(sys, r);
+  ASSERT_TRUE(rep.ok()) << rep.violations.front();
+  rep = checkPriorityOrderedHandoff(sys, r);
+  ASSERT_TRUE(rep.ok()) << rep.violations.front();
+
+  if (analysis.report.rta_all || analysis.report.ll_all) {
+    EXPECT_FALSE(r.any_deadline_miss)
+        << "DPCP analysis accepted but simulation missed (seed "
+        << GetParam().seed << ")";
+  }
+  if (!r.any_deadline_miss) {
+    for (const Task& t : sys.tasks()) {
+      EXPECT_LE(maxBlockedOf(r, t.id),
+                analysis.blocking[static_cast<std::size_t>(t.id.value())])
+          << t.name << " exceeded its DPCP blocking bound (seed "
+          << GetParam().seed << ")";
+    }
+  }
+}
+
+std::vector<SweepParams> makeSweep() {
+  std::vector<SweepParams> out;
+  std::uint64_t seed = 1;
+  for (int procs : {2, 4}) {
+    for (double util : {0.3, 0.5}) {
+      for (int k = 0; k < 10; ++k) {
+        out.push_back({seed++, procs, util});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, SoundnessSweep, ::testing::ValuesIn(makeSweep()),
+    [](const ::testing::TestParamInfo<SweepParams>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_p" +
+             std::to_string(param_info.param.processors) + "_u" +
+             std::to_string(static_cast<int>(param_info.param.util * 100));
+    });
+
+TEST(SoundnessMeta, SweepIsNotVacuous) {
+  // At least a third of the low-utilization systems must be accepted by
+  // the analysis, or P1 checks nothing.
+  int accepted = 0, total = 0;
+  for (const SweepParams& p : makeSweep()) {
+    if (p.util > 0.4) continue;
+    Rng rng(p.seed);
+    const TaskSystem sys = generateWorkload(workloadFor(p), rng);
+    const ProtocolAnalysis analysis = analyzeUnder(ProtocolKind::kMpcp, sys);
+    accepted += analysis.report.rta_all ? 1 : 0;
+    ++total;
+  }
+  EXPECT_GE(accepted * 3, total)
+      << accepted << "/" << total << " accepted — tune the generator";
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -1,0 +1,203 @@
+// NoProtocol and PIP behaviour, including the paper's Example 1
+// (Figure 3-1) and Example 2 (Figure 3-2) remote-blocking scenarios.
+#include <gtest/gtest.h>
+
+#include "core/simulate.h"
+#include "model/task_system.h"
+#include "test_util.h"
+#include "trace/invariants.h"
+
+namespace mpcp {
+namespace {
+
+using ::mpcp::testing::finishOf;
+using ::mpcp::testing::maxBlockedOf;
+
+// --- Example 1 (Figure 3-1) -------------------------------------------
+// tau1 on P1 wants global S held by low-priority tau3 on P2; medium tau2
+// on P2 preempts tau3, stretching tau1's remote blocking.
+struct Example1 {
+  TaskId t1, t2, t3;   // declared before sys: build() assigns them first
+  ResourceId s;
+  TaskSystem sys;
+
+  explicit Example1(Duration medium_wcet = 5)
+      : sys(build(medium_wcet, &t1, &t2, &t3, &s)) {}
+
+  static TaskSystem build(Duration medium_wcet, TaskId* t1, TaskId* t2,
+                          TaskId* t3, ResourceId* s) {
+    TaskSystemBuilder b(2);
+    *s = b.addResource("S");
+    // Priorities via RM: tau1 (10) > tau2 (20) > tau3 (30).
+    *t1 = b.addTask({.name = "tau1", .period = 100, .phase = 2,
+                     .processor = 0,
+                     .body = Body{}.compute(1).section(*s, 2).compute(1)});
+    *t2 = b.addTask({.name = "tau2", .period = 200, .phase = 2,
+                     .processor = 1, .body = Body{}.compute(medium_wcet)});
+    *t3 = b.addTask({.name = "tau3", .period = 300, .processor = 1,
+                     .body = Body{}.compute(1).section(*s, 4).compute(1)});
+    return std::move(b).build();
+  }
+};
+
+TEST(Example1, NoProtocolBlockingGrowsWithMediumLoad) {
+  // tau3 locks S at t=1 (holds 4 ticks). tau1 requests S at t=3. tau2
+  // arrives at t=2 and preempts tau3 for its whole WCET, so tau1's wait
+  // includes tau2's non-critical execution — unbounded priority inversion.
+  const Example1 small(5);
+  const Example1 large(20);
+  const SimResult rs =
+      simulate(ProtocolKind::kNone, small.sys, {.horizon = 100});
+  const SimResult rl =
+      simulate(ProtocolKind::kNone, large.sys, {.horizon = 100});
+  const Duration bs = maxBlockedOf(rs, small.t1);
+  const Duration bl = maxBlockedOf(rl, large.t1);
+  EXPECT_GT(bl, bs);                 // blocking scales with tau2's WCET
+  EXPECT_GE(bl - bs, 20 - 5);        // by at least the WCET delta
+}
+
+TEST(Example1, PipBoundsBlockingByCriticalSection) {
+  // With inheritance, tau3 runs its critical section at tau1's priority;
+  // tau2 cannot preempt it. tau1 waits only for the cs remainder.
+  const Example1 small(5);
+  const Example1 large(20);
+  const SimResult rs = simulate(ProtocolKind::kPip, small.sys, {.horizon = 100});
+  const SimResult rl = simulate(ProtocolKind::kPip, large.sys, {.horizon = 100});
+  EXPECT_EQ(maxBlockedOf(rs, small.t1), maxBlockedOf(rl, large.t1))
+      << "PIP blocking must not depend on the medium task's WCET";
+  // tau1 requests at t=3. tau3 locked S at t=1, ran one cs tick before
+  // tau2's preemption at t=2, and resumes at t=3 on inheriting tau1's
+  // priority; the remaining 3 cs ticks finish at t=6: 3 ticks of blocking.
+  EXPECT_EQ(maxBlockedOf(rs, small.t1), 3);
+}
+
+// --- Example 2 (Figure 3-2) -------------------------------------------
+// tau1 (high) and tau2 (low, holds global S) on P1; tau3 on P2 waits for
+// S. Inheritance raises tau2 only to tau3's priority < tau1's, so tau1's
+// *normal* execution still extends tau3's remote blocking. This is the
+// scenario neither PIP nor uniprocessor PCP can fix (Section 3.3).
+struct Example2 {
+  TaskId t1, t2, t3;   // declared before sys: build() assigns them first
+  ResourceId s;
+  TaskSystem sys;
+
+  explicit Example2(Duration t1_wcet = 5)
+      : sys(build(t1_wcet, &t1, &t2, &t3, &s)) {}
+
+  static TaskSystem build(Duration t1_wcet, TaskId* t1, TaskId* t2,
+                          TaskId* t3, ResourceId* s) {
+    TaskSystemBuilder b(2);
+    *s = b.addResource("S");
+    // RM: tau1 (10) > tau3 (20) > tau2 (30).
+    *t1 = b.addTask({.name = "tau1", .period = 100, .phase = 2,
+                     .processor = 0, .body = Body{}.compute(t1_wcet)});
+    *t2 = b.addTask({.name = "tau2", .period = 300, .processor = 0,
+                     .body = Body{}.compute(1).section(*s, 3).compute(1)});
+    *t3 = b.addTask({.name = "tau3", .period = 200, .processor = 1,
+                     .body = Body{}.compute(2).section(*s, 2).compute(1)});
+    return std::move(b).build();
+  }
+};
+
+TEST(Example2, PipCannotBoundRemoteBlockingByCsLength) {
+  const Example2 small(5);
+  const Example2 large(25);
+  const SimResult rs = simulate(ProtocolKind::kPip, small.sys, {.horizon = 200});
+  const SimResult rl = simulate(ProtocolKind::kPip, large.sys, {.horizon = 200});
+  const Duration bs = maxBlockedOf(rs, small.t3);
+  const Duration bl = maxBlockedOf(rl, large.t3);
+  EXPECT_GT(bl, bs) << "tau3's blocking must grow with tau1's WCET under PIP";
+  EXPECT_GE(bl - bs, 25 - 5);
+}
+
+TEST(Example2, MpcpBoundsRemoteBlockingByCsLength) {
+  const Example2 small(5);
+  const Example2 large(25);
+  const SimResult rs = simulate(ProtocolKind::kMpcp, small.sys, {.horizon = 200});
+  const SimResult rl = simulate(ProtocolKind::kMpcp, large.sys, {.horizon = 200});
+  EXPECT_EQ(maxBlockedOf(rs, small.t3), maxBlockedOf(rl, large.t3))
+      << "MPCP: tau3's blocking must not depend on tau1's WCET";
+  // tau2 locks S at t=1 and runs the gcs at elevated priority; tau1's
+  // arrival at t=2 cannot preempt. tau3 requests at t=2, waits until the
+  // release at t=4: 2 ticks.
+  EXPECT_EQ(maxBlockedOf(rs, small.t3), 2);
+}
+
+TEST(NoProtocol, MutualExclusionHolds) {
+  const Example1 ex(5);
+  const SimResult r = simulate(ProtocolKind::kNone, ex.sys, {.horizon = 300});
+  const InvariantReport rep = checkMutualExclusion(ex.sys, r);
+  EXPECT_TRUE(rep.ok()) << rep.violations.front();
+}
+
+TEST(NoProtocol, FifoGrantOrder) {
+  // Three tasks on three processors contend for S; FIFO queue grants in
+  // arrival order regardless of priority.
+  TaskSystemBuilder b(3);
+  const ResourceId s = b.addResource("S");
+  const TaskId hold = b.addTask({.name = "hold", .period = 100,
+                                 .processor = 0,
+                                 .body = Body{}.section(s, 10)});
+  const TaskId hi = b.addTask({.name = "hi", .period = 10, .phase = 5,
+                               .processor = 1,
+                               .body = Body{}.section(s, 1)});
+  const TaskId lo = b.addTask({.name = "lo", .period = 50, .phase = 2,
+                               .processor = 2,
+                               .body = Body{}.section(s, 1)});
+  const TaskSystem sys = std::move(b).build();
+  const SimResult r = simulate(ProtocolKind::kNone, sys,
+                               {.horizon = 30, .stop_on_deadline_miss = false});
+  // lo queued at t=2, hi at t=5; FIFO serves lo first at t=10.
+  EXPECT_EQ(finishOf(r, lo, 0), 11);
+  EXPECT_EQ(finishOf(r, hi, 0), 12);
+  (void)hold;
+}
+
+TEST(NoProtocol, PriorityQueueVariantServesHighestFirst) {
+  TaskSystemBuilder b(3);
+  const ResourceId s = b.addResource("S");
+  b.addTask({.name = "hold", .period = 100, .processor = 0,
+             .body = Body{}.section(s, 10)});
+  const TaskId hi = b.addTask({.name = "hi", .period = 10, .phase = 5,
+                               .processor = 1,
+                               .body = Body{}.section(s, 1)});
+  const TaskId lo = b.addTask({.name = "lo", .period = 50, .phase = 2,
+                               .processor = 2,
+                               .body = Body{}.section(s, 1)});
+  const TaskSystem sys = std::move(b).build();
+  const SimResult r = simulate(ProtocolKind::kNonePrio, sys, {.horizon = 30});
+  EXPECT_EQ(finishOf(r, hi, 0), 11);  // priority beats arrival order
+  EXPECT_EQ(finishOf(r, lo, 0), 12);
+}
+
+TEST(Pip, TransitiveInheritanceAcrossChain) {
+  // tau_c (low) holds S1; tau_b (mid) holds S2 and blocks on S1; tau_a
+  // (high) blocks on S2. tau_c must inherit tau_a's priority through the
+  // chain so that the medium spoiler cannot preempt it.
+  TaskSystemBuilder b(4, {.allow_nested_global = true});
+  const ResourceId s1 = b.addResource("S1");
+  const ResourceId s2 = b.addResource("S2");
+  const TaskId a = b.addTask({.name = "a", .period = 10, .phase = 3,
+                              .processor = 0,
+                              .body = Body{}.section(s2, 2)});
+  const TaskId spoiler = b.addTask({.name = "spoiler", .period = 20,
+                                    .phase = 3, .processor = 3,
+                                    .body = Body{}.compute(50)});
+  const TaskId bb = b.addTask({.name = "b", .period = 50, .phase = 1,
+                               .processor = 1,
+                               .body = Body{}.lock(s2).compute(1).lock(s1)
+                                          .compute(2).unlock(s1).unlock(s2)});
+  const TaskId c = b.addTask({.name = "c", .period = 100, .processor = 3,
+                              .body = Body{}.section(s1, 6)});
+  const TaskSystem sys = std::move(b).build();
+  const SimResult r = simulate(ProtocolKind::kPip, sys, {.horizon = 100});
+  // c locks S1 at 0. b locks S2 at 1, blocks on S1 at 2. a blocks on S2
+  // at 3. spoiler (same processor as c, higher RM priority) arrives at 3
+  // but must NOT preempt c once c inherits a's priority via b.
+  // c releases S1 at 6; b finishes cs by 8; a done by 10.
+  EXPECT_LE(finishOf(r, a, 0), 11);
+  (void)spoiler; (void)c; (void)bb;
+}
+
+}  // namespace
+}  // namespace mpcp

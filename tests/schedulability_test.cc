@@ -1,0 +1,149 @@
+// Theorem 3 (Liu-Layland with blocking) and the response-time analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/schedulability.h"
+#include "core/analyzer.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+namespace {
+
+TEST(LiuLayland, BoundValues) {
+  EXPECT_DOUBLE_EQ(liuLaylandBound(1), 1.0);
+  EXPECT_NEAR(liuLaylandBound(2), 0.8284, 1e-3);
+  EXPECT_NEAR(liuLaylandBound(3), 0.7798, 1e-3);
+  // n -> ln 2 (the 69% the paper quotes in Section 3.2).
+  EXPECT_NEAR(liuLaylandBound(1000), std::log(2.0), 1e-3);
+}
+
+TaskSystem twoTask(Duration c1, Duration t1, Duration c2, Duration t2) {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "a", .period = t1, .processor = 0,
+             .body = Body{}.compute(c1)});
+  b.addTask({.name = "b", .period = t2, .processor = 0,
+             .body = Body{}.compute(c2)});
+  return std::move(b).build();
+}
+
+TEST(Schedulability, AcceptsLowUtilization) {
+  const TaskSystem sys = twoTask(1, 10, 2, 20);  // U = 0.2
+  const std::vector<Duration> blocking(2, 0);
+  const auto report = analyzeSchedulability(sys, blocking);
+  EXPECT_TRUE(report.ll_all);
+  EXPECT_TRUE(report.rta_all);
+}
+
+TEST(Schedulability, RtaAcceptsWhatLlRejects) {
+  // U = 0.5 + 0.45 = 0.95 > LL bound (0.828) but harmonic-ish periods
+  // make it RTA-schedulable: R_b = 9 + ceil(9/10)*5 ... iterate: 19 <= 20.
+  const TaskSystem sys = twoTask(5, 10, 9, 20);
+  const std::vector<Duration> blocking(2, 0);
+  const auto report = analyzeSchedulability(sys, blocking);
+  EXPECT_FALSE(report.ll_all);
+  EXPECT_TRUE(report.rta_all);
+  EXPECT_EQ(report.tasks[1].response_time, 19);
+}
+
+TEST(Schedulability, RejectsOverload) {
+  const TaskSystem sys = twoTask(6, 10, 9, 20);  // U = 1.05
+  const std::vector<Duration> blocking(2, 0);
+  const auto report = analyzeSchedulability(sys, blocking);
+  EXPECT_FALSE(report.ll_all);
+  EXPECT_FALSE(report.rta_all);
+  EXPECT_GT(report.tasks[1].response_time, 20);
+}
+
+TEST(Schedulability, BlockingTermTipsTheVerdict) {
+  const TaskSystem sys = twoTask(2, 10, 4, 20);  // U = 0.4: comfortable
+  {
+    const std::vector<Duration> blocking{0, 0};
+    EXPECT_TRUE(analyzeSchedulability(sys, blocking).rta_all);
+  }
+  {
+    // B_a = 9 pushes a's response past its 10-tick deadline.
+    const std::vector<Duration> blocking{9, 0};
+    const auto report = analyzeSchedulability(sys, blocking);
+    EXPECT_FALSE(report.rta_all);
+    EXPECT_FALSE(report.tasks[0].rta_ok);
+    EXPECT_TRUE(report.tasks[1].rta_ok);
+  }
+}
+
+TEST(Schedulability, JitterInflatesInterference) {
+  // b sees a's interference; with jitter J_a = 6, one extra preemption
+  // window appears: R_b grows.
+  const TaskSystem sys = twoTask(3, 10, 5, 30);
+  const std::vector<Duration> blocking(2, 0);
+  const auto plain = analyzeSchedulability(sys, blocking);
+  const std::vector<Duration> jitter{6, 0};
+  const auto jittered = analyzeSchedulability(sys, blocking, jitter);
+  EXPECT_GT(jittered.tasks[1].response_time, plain.tasks[1].response_time);
+}
+
+TEST(Schedulability, PerProcessorRanksIndependent) {
+  // Two processors with one task each: both rank 1, bound = 1.0.
+  TaskSystemBuilder b(2);
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.compute(9)});
+  b.addTask({.name = "b", .period = 10, .processor = 1,
+             .body = Body{}.compute(9)});
+  const TaskSystem sys = std::move(b).build();
+  const std::vector<Duration> blocking(2, 0);
+  const auto report = analyzeSchedulability(sys, blocking);
+  EXPECT_TRUE(report.ll_all);  // 0.9 <= 1.0 per processor
+  EXPECT_TRUE(report.rta_all);
+}
+
+TEST(Schedulability, RejectsMismatchedSpans) {
+  const TaskSystem sys = twoTask(1, 10, 1, 20);
+  const std::vector<Duration> wrong(1, 0);
+  EXPECT_THROW(analyzeSchedulability(sys, wrong), InvariantError);
+}
+
+TEST(Analyzer, EndToEndMpcpVerdictStructure) {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  b.addTask({.name = "a", .period = 100, .processor = 0,
+             .body = Body{}.compute(5).section(g, 2).compute(3)});
+  b.addTask({.name = "b", .period = 200, .processor = 1,
+             .body = Body{}.compute(10).section(g, 4).compute(6)});
+  const TaskSystem sys = std::move(b).build();
+  const ProtocolAnalysis pa = analyzeUnder(ProtocolKind::kMpcp, sys);
+  ASSERT_EQ(pa.blocking.size(), 2u);
+  // a's only blocking source is b's gcs (remote, lower priority): 4.
+  EXPECT_EQ(pa.blocking[0], 4);
+  EXPECT_TRUE(pa.report.rta_all);
+  // a suspends once for up to 4 ticks -> jitter 4.
+  EXPECT_EQ(pa.jitter[0], 4);
+}
+
+TEST(Analyzer, RefusesUnboundedProtocols) {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.section(g, 1)});
+  b.addTask({.name = "b", .period = 20, .processor = 1,
+             .body = Body{}.section(g, 1)});
+  const TaskSystem sys = std::move(b).build();
+  EXPECT_THROW(analyzeUnder(ProtocolKind::kNone, sys), ConfigError);
+  EXPECT_THROW(analyzeUnder(ProtocolKind::kPip, sys), ConfigError);
+}
+
+TEST(Analyzer, PcpPathForUniprocessorSystems) {
+  TaskSystemBuilder b(1);
+  const ResourceId s = b.addResource("S");
+  b.addTask({.name = "a", .period = 20, .phase = 1, .processor = 0,
+             .body = Body{}.compute(1).section(s, 2).compute(1)});
+  b.addTask({.name = "b", .period = 40, .processor = 0,
+             .body = Body{}.section(s, 5).compute(1)});
+  const TaskSystem sys = std::move(b).build();
+  const ProtocolAnalysis pa = analyzeUnder(ProtocolKind::kPcp, sys);
+  EXPECT_EQ(pa.blocking[0], 5);  // one lower-priority cs
+  EXPECT_EQ(pa.blocking[1], 0);  // lowest priority: nothing below it
+  EXPECT_TRUE(pa.report.rta_all);
+}
+
+}  // namespace
+}  // namespace mpcp

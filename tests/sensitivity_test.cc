@@ -1,0 +1,119 @@
+// Per-task sensitivity (slack) analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/schedulability.h"
+#include "analysis/sensitivity.h"
+#include "core/analyzer.h"
+#include "core/simulate.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+namespace {
+
+ScheduleTest rtaNoBlocking() {
+  return [](const TaskSystem& sys) {
+    const std::vector<Duration> zero(sys.tasks().size(), 0);
+    return analyzeSchedulability(sys, zero).rta_all;
+  };
+}
+
+TEST(Sensitivity, ScaleOneTaskOnlyTouchesThatTask) {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  const TaskId a = b.addTask({.name = "a", .period = 100, .processor = 0,
+                              .body = Body{}.compute(10).section(g, 4)});
+  const TaskId c = b.addTask({.name = "c", .period = 200, .processor = 1,
+                              .body = Body{}.compute(20).section(g, 6)});
+  const TaskSystem sys = std::move(b).build();
+  const TaskSystem scaled = scaleOneTask(sys, a, 2.0);
+  EXPECT_EQ(scaled.task(a).wcet, 28);  // (10+4)*2
+  EXPECT_EQ(scaled.task(c).wcet, sys.task(c).wcet);
+}
+
+TEST(Sensitivity, SlackReflectsLoad) {
+  // Two independent tasks on one processor: the light one has more
+  // headroom than the heavy one.
+  TaskSystemBuilder b(1);
+  const TaskId light = b.addTask({.name = "light", .period = 100,
+                                  .processor = 0,
+                                  .body = Body{}.compute(5)});
+  const TaskId heavy = b.addTask({.name = "heavy", .period = 200,
+                                  .processor = 0,
+                                  .body = Body{}.compute(120)});
+  const TaskSystem sys = std::move(b).build();
+  const auto result = sensitivityPerTask(sys, rtaNoBlocking());
+  const double light_scale =
+      result[static_cast<std::size_t>(light.value())].max_scale;
+  const double heavy_scale =
+      result[static_cast<std::size_t>(heavy.value())].max_scale;
+  EXPECT_GT(light_scale, 1.0);
+  EXPECT_GT(heavy_scale, 1.0);
+  EXPECT_GT(light_scale, heavy_scale);
+}
+
+TEST(Sensitivity, ExactSlackSingleTask) {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "t", .period = 100, .processor = 0,
+             .body = Body{}.compute(10)});
+  const TaskSystem sys = std::move(b).build();
+  const auto result = sensitivityPerTask(sys, rtaNoBlocking(), 0.05, 20.0);
+  EXPECT_NEAR(result[0].max_scale, 10.0, 0.2);  // C can reach T
+}
+
+TEST(Sensitivity, ZeroWhenSystemUnschedulableEvenAtFloor) {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.compute(9)});
+  b.addTask({.name = "c", .period = 11, .processor = 0,
+             .body = Body{}.compute(9)});
+  const TaskSystem sys = std::move(b).build();
+  const auto result = sensitivityPerTask(sys, rtaNoBlocking(), 0.5, 4.0);
+  // Even halving one task cannot save a system whose OTHER task pair is
+  // already overloaded.
+  EXPECT_EQ(result[0].max_scale, 0.0);
+  EXPECT_EQ(result[1].max_scale, 0.0);
+}
+
+TEST(Sensitivity, MpcpBottleneckIsTheGcsHeavyTask) {
+  // Two structurally similar tasks; one carries a long gcs that inflates
+  // everyone's blocking — its scale headroom should be no larger.
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  const TaskId lean = b.addTask({.name = "lean", .period = 100,
+                                 .processor = 0,
+                                 .body = Body{}.compute(10).section(g, 1)});
+  const TaskId gcs_heavy =
+      b.addTask({.name = "gcs_heavy", .period = 100, .processor = 1,
+                 .body = Body{}.compute(10).section(g, 30)});
+  const TaskSystem sys = std::move(b).build();
+  const auto test = [](const TaskSystem& s) {
+    return analyzeUnder(ProtocolKind::kMpcp, s).report.rta_all;
+  };
+  const auto result = sensitivityPerTask(sys, test);
+  EXPECT_GE(result[static_cast<std::size_t>(lean.value())].max_scale,
+            result[static_cast<std::size_t>(gcs_heavy.value())].max_scale);
+}
+
+TEST(Sensitivity, AcceptedAtReportedScaleSimulatesCleanly) {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  const TaskId a = b.addTask({.name = "a", .period = 100, .processor = 0,
+                              .body = Body{}.compute(8).section(g, 3)
+                                         .compute(4)});
+  b.addTask({.name = "c", .period = 150, .processor = 1,
+             .body = Body{}.compute(10).section(g, 5).compute(5)});
+  const TaskSystem sys = std::move(b).build();
+  const auto test = [](const TaskSystem& s) {
+    return analyzeUnder(ProtocolKind::kMpcp, s).report.rta_all;
+  };
+  const auto result = sensitivityPerTask(sys, test);
+  const double scale =
+      result[static_cast<std::size_t>(a.value())].max_scale;
+  ASSERT_GT(scale, 0.0);
+  const TaskSystem at = scaleOneTask(sys, a, scale);
+  const SimResult r = simulate(ProtocolKind::kMpcp, at, {.horizon = 30'000});
+  EXPECT_FALSE(r.any_deadline_miss);
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -1,0 +1,142 @@
+// Text-format load/save for task systems.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/serialize.h"
+#include "taskgen/generator.h"
+#include "taskgen/paper_examples.h"
+
+namespace mpcp {
+namespace {
+
+constexpr const char* kSample = R"(
+# demo system
+processors 2
+resource GBUF
+resource LLOG
+task control period=100 processor=0
+  compute 10
+  lock GBUF
+  compute 5
+  unlock GBUF
+  section LLOG 4
+  compute 7
+end
+task sensor period=200 processor=1 phase=3 deadline=150
+  compute 30
+  suspend 5
+  section GBUF 8
+  compute 12
+end
+)";
+
+TEST(Serialize, ParsesSampleSystem) {
+  const TaskSystem sys = parseTaskSystemFromString(kSample);
+  EXPECT_EQ(sys.processorCount(), 2);
+  ASSERT_EQ(sys.tasks().size(), 2u);
+  EXPECT_EQ(sys.tasks()[0].name, "control");
+  EXPECT_EQ(sys.tasks()[0].wcet, 26);
+  EXPECT_EQ(sys.tasks()[1].phase, 3);
+  EXPECT_EQ(sys.tasks()[1].relative_deadline, 150);
+  EXPECT_TRUE(sys.isGlobal(ResourceId(0)));   // GBUF spans P0/P1
+  EXPECT_FALSE(sys.isGlobal(ResourceId(1)));  // LLOG on P0 only
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const paper::Example3 ex = paper::makeExample3();
+  const std::string text = serializeTaskSystemToString(ex.sys);
+  const TaskSystem back = parseTaskSystemFromString(text);
+  ASSERT_EQ(back.tasks().size(), ex.sys.tasks().size());
+  for (std::size_t i = 0; i < back.tasks().size(); ++i) {
+    const Task& a = ex.sys.tasks()[i];
+    const Task& b = back.tasks()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.period, b.period);
+    EXPECT_EQ(a.phase, b.phase);
+    EXPECT_EQ(a.relative_deadline, b.relative_deadline);
+    EXPECT_EQ(a.processor, b.processor);
+    EXPECT_EQ(a.priority, b.priority);  // RM re-derivation matches
+    EXPECT_TRUE(a.body == b.body);
+  }
+  ASSERT_EQ(back.resources().size(), ex.sys.resources().size());
+  for (std::size_t i = 0; i < back.resources().size(); ++i) {
+    EXPECT_EQ(back.resources()[i].name, ex.sys.resources()[i].name);
+    EXPECT_EQ(back.resources()[i].scope, ex.sys.resources()[i].scope);
+  }
+}
+
+TEST(Serialize, RoundTripOnGeneratedWorkloads) {
+  WorkloadParams p;
+  p.suspension_prob = 0.4;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 500 + 3);
+    const TaskSystem sys = generateWorkload(p, rng);
+    const TaskSystem back =
+        parseTaskSystemFromString(serializeTaskSystemToString(sys));
+    ASSERT_EQ(back.tasks().size(), sys.tasks().size());
+    for (std::size_t i = 0; i < back.tasks().size(); ++i) {
+      EXPECT_TRUE(back.tasks()[i].body == sys.tasks()[i].body) << seed;
+      EXPECT_EQ(back.tasks()[i].priority, sys.tasks()[i].priority) << seed;
+    }
+  }
+}
+
+TEST(Serialize, SyncPinsRoundTrip) {
+  TaskSystemBuilder b(3);
+  const ResourceId g = b.addResource("G");
+  b.addTask({.name = "a", .period = 10, .processor = 0,
+             .body = Body{}.section(g, 1)});
+  b.addTask({.name = "c", .period = 20, .processor = 1,
+             .body = Body{}.section(g, 1)});
+  b.assignSyncProcessor(g, ProcessorId(2));
+  const TaskSystem sys = std::move(b).build();
+  const TaskSystem back =
+      parseTaskSystemFromString(serializeTaskSystemToString(sys));
+  ASSERT_TRUE(back.resource(ResourceId(0)).sync_processor.has_value());
+  EXPECT_EQ(back.resource(ResourceId(0)).sync_processor->value(), 2);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+  const auto expectError = [](const char* text, const char* fragment) {
+    try {
+      (void)parseTaskSystemFromString(text);
+      FAIL() << "expected ConfigError for: " << text;
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expectError("bogus 3\n", "unknown directive");
+  expectError("processors 1\ntask t period=10\ncompute 1\nend\n",
+              "processor=<index>");
+  expectError("processors 1\ntask t processor=0\ncompute 1\nend\n",
+              "period=<ticks>");
+  expectError(
+      "processors 1\ntask t period=10 processor=0\n  frobnicate 3\nend\n",
+      "unknown body op");
+  expectError(
+      "processors 1\ntask t period=10 processor=0\n  lock NOPE\nend\n",
+      "unknown resource");
+  expectError("processors 1\ntask t period=10 processor=0\n  compute 1\n",
+              "not closed");
+  expectError("processors 1\nresource A\nresource A\n", "duplicate resource");
+  expectError("task t period=x processor=0\nend\n", "bad period");
+}
+
+TEST(Serialize, ExplicitPriorityAttribute) {
+  const char* text = R"(
+processors 1
+task a period=10 processor=0 priority=7
+  compute 1
+end
+task b period=20 processor=0 priority=9
+  compute 1
+end
+)";
+  const TaskSystem sys = parseTaskSystemFromString(text);
+  // Explicit priorities override RM: b outranks a despite longer period.
+  EXPECT_GT(sys.tasks()[1].priority, sys.tasks()[0].priority);
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -1,0 +1,52 @@
+// Shared helpers for the mpcp test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/task_system.h"
+#include "sim/result.h"
+
+namespace mpcp::testing {
+
+/// Response time of the given job in a result; -1 if not found/unfinished.
+inline Duration responseOf(const SimResult& result, TaskId task,
+                           std::int64_t instance = 0) {
+  for (const JobRecord& jr : result.jobs) {
+    if (jr.id.task == task && jr.id.instance == instance) {
+      return jr.responseTime();
+    }
+  }
+  return -1;
+}
+
+/// Finish time of the given job; -1 if not found/unfinished.
+inline Time finishOf(const SimResult& result, TaskId task,
+                     std::int64_t instance = 0) {
+  for (const JobRecord& jr : result.jobs) {
+    if (jr.id.task == task && jr.id.instance == instance) return jr.finish;
+  }
+  return -1;
+}
+
+/// Worst observed blocking across all finished jobs of `task`.
+inline Duration maxBlockedOf(const SimResult& result, TaskId task) {
+  Duration worst = 0;
+  for (const JobRecord& jr : result.jobs) {
+    if (jr.id.task == task) worst = std::max(worst, jr.blocked);
+  }
+  return worst;
+}
+
+/// Count of events of a given kind (optionally restricted to a task).
+inline int countEvents(const SimResult& result, Ev kind,
+                       TaskId task = TaskId()) {
+  int n = 0;
+  for (const TraceEvent& e : result.trace) {
+    if (e.kind == kind && (!task.valid() || e.job.task == task)) ++n;
+  }
+  return n;
+}
+
+}  // namespace mpcp::testing

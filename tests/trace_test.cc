@@ -1,0 +1,152 @@
+// Gantt rendering and invariant-checker behaviour (including detection of
+// *synthetic* violations — a checker that can never fire proves nothing).
+#include <gtest/gtest.h>
+
+#include "core/simulate.h"
+#include "model/task_system.h"
+#include "taskgen/paper_examples.h"
+#include <sstream>
+
+#include "trace/export.h"
+#include "trace/gantt.h"
+#include "trace/invariants.h"
+
+namespace mpcp {
+namespace {
+
+TEST(Gantt, RendersModesAndReleases) {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  const ResourceId l = b.addResource("L");
+  b.addTask({.name = "a", .period = 30, .processor = 0,
+             .body = Body{}.compute(1).section(l, 1).section(g, 2)
+                        .compute(1)});
+  b.addTask({.name = "a2", .period = 40, .phase = 10, .processor = 0,
+             .body = Body{}.section(l, 1)});
+  b.addTask({.name = "b", .period = 50, .processor = 1,
+             .body = Body{}.section(g, 1).compute(1)});
+  const TaskSystem sys = std::move(b).build();
+  const SimResult r = simulate(ProtocolKind::kMpcp, sys, {.horizon = 30});
+  const std::string gantt = renderGantt(sys, r);
+  EXPECT_NE(gantt.find("a [P0]"), std::string::npos);
+  EXPECT_NE(gantt.find("="), std::string::npos);   // normal execution
+  EXPECT_NE(gantt.find("L"), std::string::npos);   // local cs
+  EXPECT_NE(gantt.find("G"), std::string::npos);   // global cs
+  EXPECT_NE(gantt.find("^"), std::string::npos);   // release marks
+  EXPECT_NE(gantt.find("--- P1 ---"), std::string::npos);
+}
+
+TEST(Gantt, NarrativeMentionsEveryEventKindPresent) {
+  const paper::Example1 ex = paper::makeExample1();
+  const SimResult r = simulate(ProtocolKind::kNone, ex.sys, {.horizon = 40});
+  const std::string text = renderNarrative(ex.sys, r);
+  EXPECT_NE(text.find("release"), std::string::npos);
+  EXPECT_NE(text.find("lock-grant"), std::string::npos);
+  EXPECT_NE(text.find("lock-wait"), std::string::npos);
+  EXPECT_NE(text.find("handoff"), std::string::npos);
+  EXPECT_NE(text.find("[S]"), std::string::npos);
+}
+
+TEST(Invariants, CleanRunsPassAllCheckers) {
+  const paper::Example3 ex = paper::makeExample3();
+  const SimResult r = simulate(ProtocolKind::kMpcp, ex.sys, {.horizon = 2000});
+  EXPECT_TRUE(checkMutualExclusion(ex.sys, r).ok());
+  EXPECT_TRUE(checkPriorityOrderedHandoff(ex.sys, r).ok());
+  EXPECT_TRUE(checkGcsPreemptionRule(ex.sys, r).ok());
+}
+
+TEST(Invariants, MutualExclusionCheckerDetectsDoubleGrant) {
+  const paper::Example1 ex = paper::makeExample1();
+  SimResult r = simulate(ProtocolKind::kNone, ex.sys, {.horizon = 40});
+  // Forge a second grant while the semaphore is held.
+  TraceEvent forged;
+  forged.t = 2;
+  forged.kind = Ev::kLockGrant;
+  forged.job = JobId{ex.tau1, 0};
+  forged.resource = ex.s;
+  // Insert right after the real first grant.
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    if (r.trace[i].kind == Ev::kLockGrant) {
+      r.trace.insert(r.trace.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     forged);
+      break;
+    }
+  }
+  EXPECT_FALSE(checkMutualExclusion(ex.sys, r).ok());
+}
+
+TEST(Invariants, HandoffCheckerDetectsPriorityViolation) {
+  // FIFO queues under kNone really do hand off out of priority order;
+  // build a scenario where that happens and confirm the checker fires.
+  TaskSystemBuilder b(3);
+  const ResourceId s = b.addResource("S");
+  b.addTask({.name = "holder", .period = 100, .processor = 0,
+             .body = Body{}.section(s, 10)});
+  b.addTask({.name = "hi", .period = 10, .phase = 5, .processor = 1,
+             .body = Body{}.section(s, 1)});
+  b.addTask({.name = "lo", .period = 50, .phase = 2, .processor = 2,
+             .body = Body{}.section(s, 1)});
+  const TaskSystem sys = std::move(b).build();
+  const SimResult r = simulate(ProtocolKind::kNone, sys,
+                               {.horizon = 25});
+  EXPECT_FALSE(checkPriorityOrderedHandoff(sys, r).ok());
+}
+
+TEST(Invariants, GcsCheckerDetectsTheoremTwoViolation) {
+  // PIP does not elevate gcs's, so a higher-priority local task preempts
+  // a gcs with normal code — exactly what Theorem 2 forbids and what the
+  // checker must flag.
+  const paper::Example2 ex = paper::makeExample2();
+  const SimResult r = simulate(ProtocolKind::kPip, ex.sys, {.horizon = 100});
+  // Under PIP there are no kGcsEnter events, so the checker cannot see
+  // gcs residence; instead forge the interval the way MPCP would have:
+  // tau2 locked S at t=1 and released at t>=4.
+  SimResult forged = r;
+  TraceEvent enter;
+  enter.t = 1;
+  enter.kind = Ev::kGcsEnter;
+  enter.job = JobId{ex.tau2, 0};
+  enter.processor = ProcessorId(0);
+  enter.resource = ex.s;
+  TraceEvent exit = enter;
+  exit.kind = Ev::kGcsExit;
+  exit.t = 9;
+  forged.trace.insert(forged.trace.begin(), enter);
+  forged.trace.push_back(exit);
+  EXPECT_FALSE(checkGcsPreemptionRule(ex.sys, forged).ok())
+      << "tau1's normal execution overlaps tau2's (forged) gcs residence";
+}
+
+TEST(Export, CsvTablesWellFormed) {
+  const paper::Example3 ex = paper::makeExample3();
+  const SimResult r = simulate(ProtocolKind::kMpcp, ex.sys, {.horizon = 200});
+
+  std::ostringstream jobs;
+  writeJobsCsv(jobs, ex.sys, r);
+  const std::string jobs_csv = jobs.str();
+  EXPECT_NE(jobs_csv.find("task,instance,release"), std::string::npos);
+  // Header + one line per job record.
+  const auto lines = static_cast<std::size_t>(
+      std::count(jobs_csv.begin(), jobs_csv.end(), '\n'));
+  EXPECT_EQ(lines, r.jobs.size() + 1);
+
+  std::ostringstream trace;
+  writeTraceCsv(trace, ex.sys, r);
+  EXPECT_NE(trace.str().find("lock-grant"), std::string::npos);
+  EXPECT_NE(trace.str().find("gcs-enter"), std::string::npos);
+
+  std::ostringstream segs;
+  writeSegmentsCsv(segs, ex.sys, r);
+  EXPECT_NE(segs.str().find("normal"), std::string::npos);
+  EXPECT_NE(segs.str().find("gcs"), std::string::npos);
+}
+
+TEST(Invariants, CheckAllAggregates) {
+  const paper::Example3 ex = paper::makeExample3();
+  const SimResult r = simulate(ProtocolKind::kMpcp, ex.sys, {.horizon = 500});
+  const InvariantReport rep = checkProtocolInvariants(ex.sys, r);
+  EXPECT_TRUE(rep.ok());
+}
+
+}  // namespace
+}  // namespace mpcp

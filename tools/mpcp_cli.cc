@@ -1,0 +1,217 @@
+// mpcp_cli — drive the library from the shell.
+//
+//   mpcp_cli tables   <file>
+//   mpcp_cli analyze  <file> [--protocol mpcp|dpcp|pcp] [--no-deferred]
+//                            [--paper-literal-f5]
+//   mpcp_cli simulate <file> [--protocol mpcp|dpcp|pcp|pip|none]
+//                            [--horizon N] [--gantt [END]] [--narrative]
+//                            [--csv PREFIX]
+//   mpcp_cli generate [--seed N] [--processors N] [--tasks-per-proc N]
+//                     [--util X] [--resources N] [--cs-max N]
+//                     [--suspend-prob X]
+//
+// Task-system files use the format documented in model/serialize.h.
+// `generate` writes one to stdout, so the commands compose:
+//   mpcp_cli generate --seed 7 > w.mpcp && mpcp_cli analyze w.mpcp
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/sensitivity.h"
+#include "common/rng.h"
+#include "core/analyzer.h"
+#include "core/simulate.h"
+#include "model/serialize.h"
+#include "taskgen/generator.h"
+#include "trace/export.h"
+#include "trace/gantt.h"
+#include "trace/invariants.h"
+
+using namespace mpcp;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: mpcp_cli <tables|analyze|simulate|generate> [args]\n"
+      "  tables   <file>\n"
+      "  analyze  <file> [--protocol mpcp|dpcp|pcp] [--no-deferred]\n"
+      "                  [--paper-literal-f5]\n"
+      "  simulate <file> [--protocol mpcp|dpcp|pcp|pip|none] [--horizon N]\n"
+      "                  [--gantt [END]] [--narrative] [--csv PREFIX]\n"
+      "  generate [--seed N] [--processors N] [--tasks-per-proc N]\n"
+      "           [--util X] [--resources N] [--cs-max N] [--suspend-prob X]\n"
+      "  sensitivity <file> [--protocol mpcp|dpcp|pcp]\n";
+  return 2;
+}
+
+TaskSystem load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open '" + path + "'");
+  return parseTaskSystem(in);
+}
+
+ProtocolKind protocolFromName(const std::string& name) {
+  static const std::map<std::string, ProtocolKind> kMap = {
+      {"mpcp", ProtocolKind::kMpcp}, {"dpcp", ProtocolKind::kDpcp},
+      {"pcp", ProtocolKind::kPcp},   {"pip", ProtocolKind::kPip},
+      {"none", ProtocolKind::kNone}, {"none-prio", ProtocolKind::kNonePrio}};
+  const auto it = kMap.find(name);
+  if (it == kMap.end()) throw ConfigError("unknown protocol '" + name + "'");
+  return it->second;
+}
+
+/// Pull "--flag value" / "--flag" options out of argv.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // value "" = bare flag
+
+  bool has(const std::string& key) const { return options.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() || it->second.empty() ? fallback : it->second;
+  }
+};
+
+Args parseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string value;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        value = argv[++i];
+      }
+      args.options[a.substr(2)] = value;
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int cmdTables(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const TaskSystem sys = load(args.positional[0]);
+  const PriorityTables tables(sys);
+  std::cout << "=== priority ceilings ===\n"
+            << renderCeilingTable(sys, tables)
+            << "\n=== gcs execution priorities ===\n"
+            << renderGcsPriorityTable(sys, tables);
+  return 0;
+}
+
+int cmdAnalyze(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const TaskSystem sys = load(args.positional[0]);
+  const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
+  AnalyzerOptions options;
+  options.mpcp.include_deferred_execution = !args.has("no-deferred");
+  options.dpcp.include_deferred_execution = !args.has("no-deferred");
+  options.mpcp.paper_literal_factor5 = args.has("paper-literal-f5");
+  const ProtocolAnalysis analysis = analyzeUnder(kind, sys, options);
+  std::cout << "protocol: " << toString(kind) << "\n"
+            << renderScheduleReport(sys, analysis.report);
+  return analysis.report.rta_all ? 0 : 1;
+}
+
+int cmdSimulate(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const TaskSystem sys = load(args.positional[0]);
+  const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
+  SimConfig config;
+  config.horizon = std::stoll(args.get("horizon", "0"));
+  const SimResult r = simulate(kind, sys, config);
+
+  std::cout << "protocol " << toString(kind) << ", horizon " << r.horizon
+            << ": " << (r.any_deadline_miss ? "DEADLINE MISS" : "no misses")
+            << "\n";
+  for (const TaskStats& st : r.per_task) {
+    const Task& t = sys.task(st.task);
+    std::cout << "  " << t.name << ": jobs=" << st.jobs_finished
+              << " max-response=" << st.max_response
+              << " max-blocking=" << st.max_blocked
+              << " misses=" << st.deadline_misses << "\n";
+  }
+  const InvariantReport rep = checkMutualExclusion(sys, r);
+  if (!rep.ok()) {
+    std::cout << "INVARIANT VIOLATION: " << rep.violations.front() << "\n";
+  }
+
+  if (args.has("gantt")) {
+    GanttOptions g;
+    const std::string end = args.get("gantt", "");
+    if (!end.empty()) g.end = std::stoll(end);
+    std::cout << "\n" << renderGantt(sys, r, g);
+  }
+  if (args.has("narrative")) {
+    std::cout << "\n" << renderNarrative(sys, r);
+  }
+  if (args.has("csv")) {
+    const std::string prefix = args.get("csv", "out");
+    std::ofstream jobs(prefix + "_jobs.csv");
+    writeJobsCsv(jobs, sys, r);
+    std::ofstream trace(prefix + "_trace.csv");
+    writeTraceCsv(trace, sys, r);
+    std::ofstream segs(prefix + "_segments.csv");
+    writeSegmentsCsv(segs, sys, r);
+    std::cout << "wrote " << prefix << "_{jobs,trace,segments}.csv\n";
+  }
+  return r.any_deadline_miss ? 1 : 0;
+}
+
+int cmdSensitivity(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const TaskSystem sys = load(args.positional[0]);
+  const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
+  const auto result = sensitivityPerTask(sys, [kind](const TaskSystem& s) {
+    return analyzeUnder(kind, s).report.rta_all;
+  });
+  std::cout << "per-task demand headroom under " << toString(kind)
+            << " (RTA):\n";
+  for (const TaskSensitivity& s : result) {
+    const Task& t = sys.task(s.task);
+    std::cout << "  " << t.name << ": C=" << t.wcet << " can scale x"
+              << s.max_scale << " (to C=" << s.wcet_at_max << ")";
+    if (s.max_scale < 1.0) std::cout << "  <-- BOTTLENECK";
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmdGenerate(const Args& args) {
+  WorkloadParams p;
+  p.processors = std::stoi(args.get("processors", "4"));
+  p.tasks_per_processor = std::stoi(args.get("tasks-per-proc", "3"));
+  p.utilization_per_processor = std::stod(args.get("util", "0.4"));
+  p.global_resources = std::stoi(args.get("resources", "2"));
+  p.cs_max = std::stoll(args.get("cs-max", "20"));
+  p.suspension_prob = std::stod(args.get("suspend-prob", "0"));
+  Rng rng(std::stoull(args.get("seed", "1")));
+  const TaskSystem sys = generateWorkload(p, rng);
+  serializeTaskSystem(std::cout, sys);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parseArgs(argc, argv, 2);
+  try {
+    if (cmd == "tables") return cmdTables(args);
+    if (cmd == "analyze") return cmdAnalyze(args);
+    if (cmd == "simulate") return cmdSimulate(args);
+    if (cmd == "generate") return cmdGenerate(args);
+    if (cmd == "sensitivity") return cmdSensitivity(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
