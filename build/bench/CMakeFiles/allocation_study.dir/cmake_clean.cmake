@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_study.dir/allocation_study.cc.o"
+  "CMakeFiles/allocation_study.dir/allocation_study.cc.o.d"
+  "allocation_study"
+  "allocation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

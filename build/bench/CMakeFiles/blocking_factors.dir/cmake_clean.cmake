@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_factors.dir/blocking_factors.cc.o"
+  "CMakeFiles/blocking_factors.dir/blocking_factors.cc.o.d"
+  "blocking_factors"
+  "blocking_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown_utilization.dir/breakdown_utilization.cc.o"
+  "CMakeFiles/breakdown_utilization.dir/breakdown_utilization.cc.o.d"
+  "breakdown_utilization"
+  "breakdown_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deferred_execution.dir/deferred_execution.cc.o"
+  "CMakeFiles/deferred_execution.dir/deferred_execution.cc.o.d"
+  "deferred_execution"
+  "deferred_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deferred_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

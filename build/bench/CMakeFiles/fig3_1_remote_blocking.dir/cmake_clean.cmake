@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_remote_blocking.dir/fig3_1_remote_blocking.cc.o"
+  "CMakeFiles/fig3_1_remote_blocking.dir/fig3_1_remote_blocking.cc.o.d"
+  "fig3_1_remote_blocking"
+  "fig3_1_remote_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_remote_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_2_pip_insufficient.dir/fig3_2_pip_insufficient.cc.o"
+  "CMakeFiles/fig3_2_pip_insufficient.dir/fig3_2_pip_insufficient.cc.o.d"
+  "fig3_2_pip_insufficient"
+  "fig3_2_pip_insufficient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_2_pip_insufficient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_1_example4_trace.dir/fig5_1_example4_trace.cc.o"
+  "CMakeFiles/fig5_1_example4_trace.dir/fig5_1_example4_trace.cc.o.d"
+  "fig5_1_example4_trace"
+  "fig5_1_example4_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_1_example4_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_1_example4_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_ablation.dir/hybrid_ablation.cc.o"
+  "CMakeFiles/hybrid_ablation.dir/hybrid_ablation.cc.o.d"
+  "hybrid_ablation"
+  "hybrid_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

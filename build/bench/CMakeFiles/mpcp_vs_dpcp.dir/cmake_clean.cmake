@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_vs_dpcp.dir/mpcp_vs_dpcp.cc.o"
+  "CMakeFiles/mpcp_vs_dpcp.dir/mpcp_vs_dpcp.cc.o.d"
+  "mpcp_vs_dpcp"
+  "mpcp_vs_dpcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_vs_dpcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nesting_ablation.dir/nesting_ablation.cc.o"
+  "CMakeFiles/nesting_ablation.dir/nesting_ablation.cc.o.d"
+  "nesting_ablation"
+  "nesting_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nesting_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

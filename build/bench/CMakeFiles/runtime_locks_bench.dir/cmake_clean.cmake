@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_locks_bench.dir/runtime_locks.cc.o"
+  "CMakeFiles/runtime_locks_bench.dir/runtime_locks.cc.o.d"
+  "runtime_locks_bench"
+  "runtime_locks_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_locks_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

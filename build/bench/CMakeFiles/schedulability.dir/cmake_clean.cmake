@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedulability.dir/schedulability.cc.o"
+  "CMakeFiles/schedulability.dir/schedulability.cc.o.d"
+  "schedulability"
+  "schedulability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedulability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

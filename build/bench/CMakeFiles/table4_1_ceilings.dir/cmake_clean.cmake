@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_1_ceilings.dir/table4_1_ceilings.cc.o"
+  "CMakeFiles/table4_1_ceilings.dir/table4_1_ceilings.cc.o.d"
+  "table4_1_ceilings"
+  "table4_1_ceilings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_1_ceilings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_2_gcs_priorities.dir/table4_2_gcs_priorities.cc.o"
+  "CMakeFiles/table4_2_gcs_priorities.dir/table4_2_gcs_priorities.cc.o.d"
+  "table4_2_gcs_priorities"
+  "table4_2_gcs_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_2_gcs_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_2_gcs_priorities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aperiodic_server.dir/aperiodic_server.cpp.o"
+  "CMakeFiles/aperiodic_server.dir/aperiodic_server.cpp.o.d"
+  "aperiodic_server"
+  "aperiodic_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aperiodic_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

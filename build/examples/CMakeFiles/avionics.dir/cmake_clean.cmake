@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics.dir/avionics.cpp.o"
+  "CMakeFiles/avionics.dir/avionics.cpp.o.d"
+  "avionics"
+  "avionics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

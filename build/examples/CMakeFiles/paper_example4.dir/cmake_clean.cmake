@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_example4.dir/paper_example4.cpp.o"
+  "CMakeFiles/paper_example4.dir/paper_example4.cpp.o.d"
+  "paper_example4"
+  "paper_example4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_example4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

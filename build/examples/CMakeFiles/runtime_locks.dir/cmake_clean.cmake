@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_locks.dir/runtime_locks.cpp.o"
+  "CMakeFiles/runtime_locks.dir/runtime_locks.cpp.o.d"
+  "runtime_locks"
+  "runtime_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

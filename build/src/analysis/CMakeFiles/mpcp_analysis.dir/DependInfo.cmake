@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/blocking_dpcp.cc" "src/analysis/CMakeFiles/mpcp_analysis.dir/blocking_dpcp.cc.o" "gcc" "src/analysis/CMakeFiles/mpcp_analysis.dir/blocking_dpcp.cc.o.d"
+  "/root/repo/src/analysis/blocking_pcp.cc" "src/analysis/CMakeFiles/mpcp_analysis.dir/blocking_pcp.cc.o" "gcc" "src/analysis/CMakeFiles/mpcp_analysis.dir/blocking_pcp.cc.o.d"
+  "/root/repo/src/analysis/breakdown.cc" "src/analysis/CMakeFiles/mpcp_analysis.dir/breakdown.cc.o" "gcc" "src/analysis/CMakeFiles/mpcp_analysis.dir/breakdown.cc.o.d"
+  "/root/repo/src/analysis/ceilings.cc" "src/analysis/CMakeFiles/mpcp_analysis.dir/ceilings.cc.o" "gcc" "src/analysis/CMakeFiles/mpcp_analysis.dir/ceilings.cc.o.d"
+  "/root/repo/src/analysis/profiles.cc" "src/analysis/CMakeFiles/mpcp_analysis.dir/profiles.cc.o" "gcc" "src/analysis/CMakeFiles/mpcp_analysis.dir/profiles.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/mpcp_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/mpcp_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/schedulability.cc" "src/analysis/CMakeFiles/mpcp_analysis.dir/schedulability.cc.o" "gcc" "src/analysis/CMakeFiles/mpcp_analysis.dir/schedulability.cc.o.d"
+  "/root/repo/src/analysis/sensitivity.cc" "src/analysis/CMakeFiles/mpcp_analysis.dir/sensitivity.cc.o" "gcc" "src/analysis/CMakeFiles/mpcp_analysis.dir/sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mpcp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgen/CMakeFiles/mpcp_taskgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

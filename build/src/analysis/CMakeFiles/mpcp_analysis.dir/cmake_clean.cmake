@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_analysis.dir/blocking_dpcp.cc.o"
+  "CMakeFiles/mpcp_analysis.dir/blocking_dpcp.cc.o.d"
+  "CMakeFiles/mpcp_analysis.dir/blocking_pcp.cc.o"
+  "CMakeFiles/mpcp_analysis.dir/blocking_pcp.cc.o.d"
+  "CMakeFiles/mpcp_analysis.dir/breakdown.cc.o"
+  "CMakeFiles/mpcp_analysis.dir/breakdown.cc.o.d"
+  "CMakeFiles/mpcp_analysis.dir/ceilings.cc.o"
+  "CMakeFiles/mpcp_analysis.dir/ceilings.cc.o.d"
+  "CMakeFiles/mpcp_analysis.dir/profiles.cc.o"
+  "CMakeFiles/mpcp_analysis.dir/profiles.cc.o.d"
+  "CMakeFiles/mpcp_analysis.dir/report.cc.o"
+  "CMakeFiles/mpcp_analysis.dir/report.cc.o.d"
+  "CMakeFiles/mpcp_analysis.dir/schedulability.cc.o"
+  "CMakeFiles/mpcp_analysis.dir/schedulability.cc.o.d"
+  "CMakeFiles/mpcp_analysis.dir/sensitivity.cc.o"
+  "CMakeFiles/mpcp_analysis.dir/sensitivity.cc.o.d"
+  "libmpcp_analysis.a"
+  "libmpcp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cc" "src/core/CMakeFiles/mpcp_core.dir/analyzer.cc.o" "gcc" "src/core/CMakeFiles/mpcp_core.dir/analyzer.cc.o.d"
+  "/root/repo/src/core/blocking.cc" "src/core/CMakeFiles/mpcp_core.dir/blocking.cc.o" "gcc" "src/core/CMakeFiles/mpcp_core.dir/blocking.cc.o.d"
+  "/root/repo/src/core/hybrid_blocking.cc" "src/core/CMakeFiles/mpcp_core.dir/hybrid_blocking.cc.o" "gcc" "src/core/CMakeFiles/mpcp_core.dir/hybrid_blocking.cc.o.d"
+  "/root/repo/src/core/hybrid_protocol.cc" "src/core/CMakeFiles/mpcp_core.dir/hybrid_protocol.cc.o" "gcc" "src/core/CMakeFiles/mpcp_core.dir/hybrid_protocol.cc.o.d"
+  "/root/repo/src/core/mpcp_protocol.cc" "src/core/CMakeFiles/mpcp_core.dir/mpcp_protocol.cc.o" "gcc" "src/core/CMakeFiles/mpcp_core.dir/mpcp_protocol.cc.o.d"
+  "/root/repo/src/core/protocol_factory.cc" "src/core/CMakeFiles/mpcp_core.dir/protocol_factory.cc.o" "gcc" "src/core/CMakeFiles/mpcp_core.dir/protocol_factory.cc.o.d"
+  "/root/repo/src/core/simulate.cc" "src/core/CMakeFiles/mpcp_core.dir/simulate.cc.o" "gcc" "src/core/CMakeFiles/mpcp_core.dir/simulate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/mpcp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mpcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgen/CMakeFiles/mpcp_taskgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpcp_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_core.dir/analyzer.cc.o"
+  "CMakeFiles/mpcp_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/mpcp_core.dir/blocking.cc.o"
+  "CMakeFiles/mpcp_core.dir/blocking.cc.o.d"
+  "CMakeFiles/mpcp_core.dir/hybrid_blocking.cc.o"
+  "CMakeFiles/mpcp_core.dir/hybrid_blocking.cc.o.d"
+  "CMakeFiles/mpcp_core.dir/hybrid_protocol.cc.o"
+  "CMakeFiles/mpcp_core.dir/hybrid_protocol.cc.o.d"
+  "CMakeFiles/mpcp_core.dir/mpcp_protocol.cc.o"
+  "CMakeFiles/mpcp_core.dir/mpcp_protocol.cc.o.d"
+  "CMakeFiles/mpcp_core.dir/protocol_factory.cc.o"
+  "CMakeFiles/mpcp_core.dir/protocol_factory.cc.o.d"
+  "CMakeFiles/mpcp_core.dir/simulate.cc.o"
+  "CMakeFiles/mpcp_core.dir/simulate.cc.o.d"
+  "libmpcp_core.a"
+  "libmpcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/sections.cc" "src/model/CMakeFiles/mpcp_model.dir/sections.cc.o" "gcc" "src/model/CMakeFiles/mpcp_model.dir/sections.cc.o.d"
+  "/root/repo/src/model/serialize.cc" "src/model/CMakeFiles/mpcp_model.dir/serialize.cc.o" "gcc" "src/model/CMakeFiles/mpcp_model.dir/serialize.cc.o.d"
+  "/root/repo/src/model/task_system.cc" "src/model/CMakeFiles/mpcp_model.dir/task_system.cc.o" "gcc" "src/model/CMakeFiles/mpcp_model.dir/task_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_model.dir/sections.cc.o"
+  "CMakeFiles/mpcp_model.dir/sections.cc.o.d"
+  "CMakeFiles/mpcp_model.dir/serialize.cc.o"
+  "CMakeFiles/mpcp_model.dir/serialize.cc.o.d"
+  "CMakeFiles/mpcp_model.dir/task_system.cc.o"
+  "CMakeFiles/mpcp_model.dir/task_system.cc.o.d"
+  "libmpcp_model.a"
+  "libmpcp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

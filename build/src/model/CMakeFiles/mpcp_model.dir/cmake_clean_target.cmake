@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpcp_model.a"
+)

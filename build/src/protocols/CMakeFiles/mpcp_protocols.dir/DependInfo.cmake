@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/dpcp.cc" "src/protocols/CMakeFiles/mpcp_protocols.dir/dpcp.cc.o" "gcc" "src/protocols/CMakeFiles/mpcp_protocols.dir/dpcp.cc.o.d"
+  "/root/repo/src/protocols/local_pcp.cc" "src/protocols/CMakeFiles/mpcp_protocols.dir/local_pcp.cc.o" "gcc" "src/protocols/CMakeFiles/mpcp_protocols.dir/local_pcp.cc.o.d"
+  "/root/repo/src/protocols/none.cc" "src/protocols/CMakeFiles/mpcp_protocols.dir/none.cc.o" "gcc" "src/protocols/CMakeFiles/mpcp_protocols.dir/none.cc.o.d"
+  "/root/repo/src/protocols/pcp.cc" "src/protocols/CMakeFiles/mpcp_protocols.dir/pcp.cc.o" "gcc" "src/protocols/CMakeFiles/mpcp_protocols.dir/pcp.cc.o.d"
+  "/root/repo/src/protocols/pip.cc" "src/protocols/CMakeFiles/mpcp_protocols.dir/pip.cc.o" "gcc" "src/protocols/CMakeFiles/mpcp_protocols.dir/pip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mpcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mpcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgen/CMakeFiles/mpcp_taskgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpcp_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

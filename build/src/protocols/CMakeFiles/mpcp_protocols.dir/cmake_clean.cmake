@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_protocols.dir/dpcp.cc.o"
+  "CMakeFiles/mpcp_protocols.dir/dpcp.cc.o.d"
+  "CMakeFiles/mpcp_protocols.dir/local_pcp.cc.o"
+  "CMakeFiles/mpcp_protocols.dir/local_pcp.cc.o.d"
+  "CMakeFiles/mpcp_protocols.dir/none.cc.o"
+  "CMakeFiles/mpcp_protocols.dir/none.cc.o.d"
+  "CMakeFiles/mpcp_protocols.dir/pcp.cc.o"
+  "CMakeFiles/mpcp_protocols.dir/pcp.cc.o.d"
+  "CMakeFiles/mpcp_protocols.dir/pip.cc.o"
+  "CMakeFiles/mpcp_protocols.dir/pip.cc.o.d"
+  "libmpcp_protocols.a"
+  "libmpcp_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

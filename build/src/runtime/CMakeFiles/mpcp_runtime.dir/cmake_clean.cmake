@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_runtime.dir/priority_mutex.cc.o"
+  "CMakeFiles/mpcp_runtime.dir/priority_mutex.cc.o.d"
+  "libmpcp_runtime.a"
+  "libmpcp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_reference.dir/reference_mpcp.cc.o"
+  "CMakeFiles/mpcp_reference.dir/reference_mpcp.cc.o.d"
+  "libmpcp_reference.a"
+  "libmpcp_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_sim.dir/engine.cc.o"
+  "CMakeFiles/mpcp_sim.dir/engine.cc.o.d"
+  "CMakeFiles/mpcp_sim.dir/trace_event.cc.o"
+  "CMakeFiles/mpcp_sim.dir/trace_event.cc.o.d"
+  "libmpcp_sim.a"
+  "libmpcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

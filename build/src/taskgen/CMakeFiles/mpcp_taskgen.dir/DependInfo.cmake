@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskgen/allocation.cc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/allocation.cc.o" "gcc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/allocation.cc.o.d"
+  "/root/repo/src/taskgen/aperiodic.cc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/aperiodic.cc.o" "gcc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/aperiodic.cc.o.d"
+  "/root/repo/src/taskgen/generator.cc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/generator.cc.o" "gcc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/generator.cc.o.d"
+  "/root/repo/src/taskgen/group_locks.cc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/group_locks.cc.o" "gcc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/group_locks.cc.o.d"
+  "/root/repo/src/taskgen/overheads.cc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/overheads.cc.o" "gcc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/overheads.cc.o.d"
+  "/root/repo/src/taskgen/paper_examples.cc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/paper_examples.cc.o" "gcc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/paper_examples.cc.o.d"
+  "/root/repo/src/taskgen/scale.cc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/scale.cc.o" "gcc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/scale.cc.o.d"
+  "/root/repo/src/taskgen/uunifast.cc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/uunifast.cc.o" "gcc" "src/taskgen/CMakeFiles/mpcp_taskgen.dir/uunifast.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mpcp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_taskgen.dir/allocation.cc.o"
+  "CMakeFiles/mpcp_taskgen.dir/allocation.cc.o.d"
+  "CMakeFiles/mpcp_taskgen.dir/aperiodic.cc.o"
+  "CMakeFiles/mpcp_taskgen.dir/aperiodic.cc.o.d"
+  "CMakeFiles/mpcp_taskgen.dir/generator.cc.o"
+  "CMakeFiles/mpcp_taskgen.dir/generator.cc.o.d"
+  "CMakeFiles/mpcp_taskgen.dir/group_locks.cc.o"
+  "CMakeFiles/mpcp_taskgen.dir/group_locks.cc.o.d"
+  "CMakeFiles/mpcp_taskgen.dir/overheads.cc.o"
+  "CMakeFiles/mpcp_taskgen.dir/overheads.cc.o.d"
+  "CMakeFiles/mpcp_taskgen.dir/paper_examples.cc.o"
+  "CMakeFiles/mpcp_taskgen.dir/paper_examples.cc.o.d"
+  "CMakeFiles/mpcp_taskgen.dir/scale.cc.o"
+  "CMakeFiles/mpcp_taskgen.dir/scale.cc.o.d"
+  "CMakeFiles/mpcp_taskgen.dir/uunifast.cc.o"
+  "CMakeFiles/mpcp_taskgen.dir/uunifast.cc.o.d"
+  "libmpcp_taskgen.a"
+  "libmpcp_taskgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_taskgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/export.cc" "src/trace/CMakeFiles/mpcp_trace.dir/export.cc.o" "gcc" "src/trace/CMakeFiles/mpcp_trace.dir/export.cc.o.d"
+  "/root/repo/src/trace/gantt.cc" "src/trace/CMakeFiles/mpcp_trace.dir/gantt.cc.o" "gcc" "src/trace/CMakeFiles/mpcp_trace.dir/gantt.cc.o.d"
+  "/root/repo/src/trace/invariants.cc" "src/trace/CMakeFiles/mpcp_trace.dir/invariants.cc.o" "gcc" "src/trace/CMakeFiles/mpcp_trace.dir/invariants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mpcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mpcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgen/CMakeFiles/mpcp_taskgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mpcp_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_trace.dir/export.cc.o"
+  "CMakeFiles/mpcp_trace.dir/export.cc.o.d"
+  "CMakeFiles/mpcp_trace.dir/gantt.cc.o"
+  "CMakeFiles/mpcp_trace.dir/gantt.cc.o.d"
+  "CMakeFiles/mpcp_trace.dir/invariants.cc.o"
+  "CMakeFiles/mpcp_trace.dir/invariants.cc.o.d"
+  "libmpcp_trace.a"
+  "libmpcp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceilings_test.dir/ceilings_test.cc.o"
+  "CMakeFiles/ceilings_test.dir/ceilings_test.cc.o.d"
+  "ceilings_test"
+  "ceilings_test.pdb"
+  "ceilings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceilings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

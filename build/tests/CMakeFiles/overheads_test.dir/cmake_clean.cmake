@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overheads_test.dir/overheads_test.cc.o"
+  "CMakeFiles/overheads_test.dir/overheads_test.cc.o.d"
+  "overheads_test"
+  "overheads_test.pdb"
+  "overheads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overheads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phasing_sweep_test.dir/phasing_sweep_test.cc.o"
+  "CMakeFiles/phasing_sweep_test.dir/phasing_sweep_test.cc.o.d"
+  "phasing_sweep_test"
+  "phasing_sweep_test.pdb"
+  "phasing_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phasing_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

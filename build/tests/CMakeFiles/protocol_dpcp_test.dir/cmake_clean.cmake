@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_dpcp_test.dir/protocol_dpcp_test.cc.o"
+  "CMakeFiles/protocol_dpcp_test.dir/protocol_dpcp_test.cc.o.d"
+  "protocol_dpcp_test"
+  "protocol_dpcp_test.pdb"
+  "protocol_dpcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_dpcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

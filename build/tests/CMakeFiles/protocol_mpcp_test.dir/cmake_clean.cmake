@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_mpcp_test.dir/protocol_mpcp_test.cc.o"
+  "CMakeFiles/protocol_mpcp_test.dir/protocol_mpcp_test.cc.o.d"
+  "protocol_mpcp_test"
+  "protocol_mpcp_test.pdb"
+  "protocol_mpcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_mpcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

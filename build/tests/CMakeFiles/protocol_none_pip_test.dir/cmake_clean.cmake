@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_none_pip_test.dir/protocol_none_pip_test.cc.o"
+  "CMakeFiles/protocol_none_pip_test.dir/protocol_none_pip_test.cc.o.d"
+  "protocol_none_pip_test"
+  "protocol_none_pip_test.pdb"
+  "protocol_none_pip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_none_pip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suspension_test.dir/suspension_test.cc.o"
+  "CMakeFiles/suspension_test.dir/suspension_test.cc.o.d"
+  "suspension_test"
+  "suspension_test.pdb"
+  "suspension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suspension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

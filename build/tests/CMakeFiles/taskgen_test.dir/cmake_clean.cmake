@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskgen_test.dir/taskgen_test.cc.o"
+  "CMakeFiles/taskgen_test.dir/taskgen_test.cc.o.d"
+  "taskgen_test"
+  "taskgen_test.pdb"
+  "taskgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcp_cli.dir/mpcp_cli.cc.o"
+  "CMakeFiles/mpcp_cli.dir/mpcp_cli.cc.o.d"
+  "mpcp_cli"
+  "mpcp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
