@@ -5,20 +5,112 @@
 // numbers differ from the 1990 hardware, but the *shape* — who wins,
 // by what factor, where crossovers fall — is the reproduction target
 // (see EXPERIMENTS.md).
+//
+// Ensemble sweeps fan their independent seeds across cores through
+// exp::SweepRunner (thread count: MPCP_THREADS, default all cores);
+// per-seed RNG streams and seed-ordered reduction keep every aggregate
+// bit-identical to a serial run. Wall-clock timing and the BENCH_*.json
+// writer below give every bench a machine-readable perf trajectory.
 #pragma once
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/analyzer.h"
 #include "core/simulate.h"
+#include "exp/sweep_runner.h"
 #include "taskgen/generator.h"
 
 namespace mpcp::bench {
+
+/// Wall-clock stopwatch (steady clock), started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed seconds since construction / last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates key/number pairs and writes them as BENCH_<name>.json —
+/// one flat JSON object per bench run, so successive PRs (or successive
+/// local runs) can be diffed into a perf trajectory. Output lands in
+/// $MPCP_BENCH_DIR if set, else the current directory.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    set("bench", name_);
+    set("schema_version", std::int64_t{1});
+  }
+
+  void set(const std::string& key, double v) {
+    std::ostringstream os;
+    os << std::setprecision(10) << v;
+    fields_.emplace_back(key, os.str());
+  }
+  void set(const std::string& key, std::int64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, int v) { set(key, std::int64_t{v}); }
+  void set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+  }
+  void set(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    fields_.emplace_back(key, quoted);
+  }
+
+  [[nodiscard]] std::string path() const {
+    const char* dir = std::getenv("MPCP_BENCH_DIR");
+    const std::string prefix = dir != nullptr ? std::string(dir) + "/" : "";
+    return prefix + "BENCH_" + name_ + ".json";
+  }
+
+  /// Writes the file; returns false (and prints a warning) on I/O error.
+  bool write() const {
+    const std::string file = path();
+    std::ofstream out(file);
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  \"" << fields_[i].first << "\": " << fields_[i].second
+          << (i + 1 < fields_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "warning: could not write " << file << "\n";
+      return false;
+    }
+    std::cout << "wrote " << file << "\n";
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Prints a header followed by a separator sized to it.
 inline void printHeader(const std::string& title) {
@@ -53,27 +145,46 @@ struct AcceptanceResult {
   int runs = 0;
 };
 
+/// Seeds fan out across exp::SweepRunner threads; the fold below walks
+/// rows in seed order, so the result is identical at any thread count.
+/// Pass an explicit `runner` to pin the thread count (tests); nullptr
+/// uses the process-wide runner (MPCP_THREADS).
 inline AcceptanceResult acceptanceSweep(ProtocolKind kind,
                                         const WorkloadParams& params,
                                         int seeds,
                                         std::uint64_t seed_base = 1000,
-                                        bool simulate_accepted = false) {
+                                        bool simulate_accepted = false,
+                                        exp::SweepRunner* runner = nullptr) {
+  struct SeedRow {
+    bool rta = false;
+    bool ll = false;
+    bool miss = false;
+  };
+  exp::SweepRunner& r = runner != nullptr ? *runner : exp::SweepRunner::global();
+  const std::vector<SeedRow> rows =
+      r.map(seeds, seed_base, [&](int /*s*/, Rng& rng) {
+        SeedRow row;
+        const TaskSystem sys = generateWorkload(params, rng);
+        const ProtocolAnalysis analysis = analyzeUnder(kind, sys);
+        row.ll = analysis.report.ll_all;
+        row.rta = analysis.report.rta_all;
+        if (row.rta && simulate_accepted) {
+          const SimResult sim = simulate(
+              kind, sys,
+              {.horizon_cap = 300'000, .stop_on_deadline_miss = true,
+               .record_trace = false});
+          row.miss = sim.any_deadline_miss;
+        }
+        return row;
+      });
+
   AcceptanceResult out;
   int accepted = 0, accepted_ll = 0, missed = 0;
-  for (int s = 0; s < seeds; ++s) {
-    Rng rng(seed_base + static_cast<std::uint64_t>(s));
-    const TaskSystem sys = generateWorkload(params, rng);
-    const ProtocolAnalysis analysis = analyzeUnder(kind, sys);
-    accepted_ll += analysis.report.ll_all ? 1 : 0;
-    if (analysis.report.rta_all) {
+  for (const SeedRow& row : rows) {
+    accepted_ll += row.ll ? 1 : 0;
+    if (row.rta) {
       ++accepted;
-      if (simulate_accepted) {
-        const SimResult r = simulate(
-            kind, sys,
-            {.horizon_cap = 300'000, .stop_on_deadline_miss = true,
-             .record_trace = false});
-        missed += r.any_deadline_miss ? 1 : 0;
-      }
+      missed += row.miss ? 1 : 0;
     }
   }
   out.runs = seeds;

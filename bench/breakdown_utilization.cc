@@ -36,30 +36,44 @@ ScheduleTest testFor(ProtocolKind kind) {
 
 int main() {
   constexpr int kSeeds = 25;
+  WallTimer total;
 
   printHeader("mean breakdown utilization per processor (RTA)");
   std::cout << cell("cs_max") << cell("mpcp") << cell("dpcp")
             << cell("no-blocking") << "\n";
   for (Duration cs : {5, 20, 60, 120}) {
+    // Each seed runs three binary searches; independent across seeds, so
+    // fan them over the SweepRunner and fold the rows in seed order.
+    struct Row {
+      double mpcp = 0, dpcp = 0, free = 0;
+    };
+    const std::vector<Row> rows = exp::SweepRunner::global().map(
+        kSeeds, 13'000, [&](int /*s*/, Rng& rng) {
+          WorkloadParams p = baseParams();
+          p.cs_max = cs;
+          const TaskSystem sys = generateWorkload(p, rng);
+          const double procs = sys.processorCount();
+          Row row;
+          row.mpcp = breakdownUtilization(sys, testFor(ProtocolKind::kMpcp))
+                         .utilization /
+                     procs;
+          row.dpcp = breakdownUtilization(sys, testFor(ProtocolKind::kDpcp))
+                         .utilization /
+                     procs;
+          // Upper reference: same RTA with B_i = 0 (blocking ignored).
+          row.free =
+              breakdownUtilization(sys, [](const TaskSystem& scaled) {
+                const std::vector<Duration> zero(scaled.tasks().size(), 0);
+                return analyzeSchedulability(scaled, zero).rta_all;
+              }).utilization /
+              procs;
+          return row;
+        });
     double mpcp_u = 0, dpcp_u = 0, free_u = 0;
-    for (int s = 0; s < kSeeds; ++s) {
-      WorkloadParams p = baseParams();
-      p.cs_max = cs;
-      Rng rng(13'000 + static_cast<std::uint64_t>(s));
-      const TaskSystem sys = generateWorkload(p, rng);
-      const double procs = sys.processorCount();
-      mpcp_u += breakdownUtilization(sys, testFor(ProtocolKind::kMpcp))
-                    .utilization /
-                procs;
-      dpcp_u += breakdownUtilization(sys, testFor(ProtocolKind::kDpcp))
-                    .utilization /
-                procs;
-      // Upper reference: same RTA with B_i = 0 (blocking ignored).
-      free_u += breakdownUtilization(sys, [](const TaskSystem& scaled) {
-                  const std::vector<Duration> zero(scaled.tasks().size(), 0);
-                  return analyzeSchedulability(scaled, zero).rta_all;
-                }).utilization /
-                procs;
+    for (const Row& row : rows) {
+      mpcp_u += row.mpcp;
+      dpcp_u += row.dpcp;
+      free_u += row.free;
     }
     std::cout << cell(static_cast<std::int64_t>(cs))
               << cell(mpcp_u / kSeeds) << cell(dpcp_u / kSeeds)
@@ -70,21 +84,37 @@ int main() {
                "cost of synchronization and widens with section length.\n";
 
   printHeader("metric sanity: simulate at and beyond the breakdown point");
+  struct SanityRow {
+    bool ran = false;
+    bool ok = false;
+  };
+  const std::vector<SanityRow> sanity = exp::SweepRunner::global().map(
+      10, 13'500, [&](int /*s*/, Rng& rng) {
+        SanityRow row;
+        const TaskSystem sys = generateWorkload(baseParams(), rng);
+        const BreakdownResult br =
+            breakdownUtilization(sys, testFor(ProtocolKind::kMpcp));
+        if (br.factor <= 0) return row;
+        const TaskSystem at = scaleWorkload(sys, br.factor);
+        const SimResult r = simulate(ProtocolKind::kMpcp, at,
+                                     {.horizon_cap = 300'000,
+                                      .record_trace = false});
+        row.ran = true;
+        row.ok = !r.any_deadline_miss;
+        return row;
+      });
   int ok_at = 0, runs = 0;
-  for (int s = 0; s < 10; ++s) {
-    Rng rng(13'500 + static_cast<std::uint64_t>(s));
-    const TaskSystem sys = generateWorkload(baseParams(), rng);
-    const BreakdownResult br =
-        breakdownUtilization(sys, testFor(ProtocolKind::kMpcp));
-    if (br.factor <= 0) continue;
-    const TaskSystem at = scaleWorkload(sys, br.factor);
-    const SimResult r = simulate(ProtocolKind::kMpcp, at,
-                                 {.horizon_cap = 300'000,
-                                  .record_trace = false});
+  for (const SanityRow& row : sanity) {
+    if (!row.ran) continue;
     ++runs;
-    ok_at += r.any_deadline_miss ? 0 : 1;
+    ok_at += row.ok ? 1 : 0;
   }
   std::cout << "miss-free at the breakdown factor: " << ok_at << "/" << runs
             << " (must be all)\n";
+
+  BenchJson json("breakdown_utilization");
+  json.set("threads", exp::SweepRunner::global().threadCount());
+  json.set("wall_s", total.seconds());
+  json.write();
   return ok_at == runs ? 0 : 1;
 }

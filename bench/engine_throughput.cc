@@ -1,0 +1,191 @@
+// E14 — engine/runner throughput microbenchmark.
+//
+// Measures the raw speed of the discrete-event engine (jobs/sec with the
+// trace off, events/sec with it on) and of a multi-seed simulation sweep
+// run serially vs fanned across the SweepRunner thread pool. Asserts that
+// the parallel sweep is bit-identical to the serial one (digest match) and
+// emits BENCH_engine.json so every PR records a perf trajectory (see
+// EXPERIMENTS.md, "Running the benchmarks").
+//
+// MPCP_BENCH_QUICK=1 shrinks every phase (the ctest registration uses it);
+// MPCP_THREADS pins the parallel phase's thread count.
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
+
+using namespace mpcp;
+using namespace mpcp::bench;
+
+namespace {
+
+WorkloadParams throughputParams() {
+  WorkloadParams p;
+  p.processors = 4;
+  p.tasks_per_processor = 3;
+  p.utilization_per_processor = 0.45;
+  p.global_resources = 2;
+  p.max_gcs_per_task = 2;
+  p.global_sharing_prob = 0.9;
+  p.cs_max = 30;
+  return p;
+}
+
+WorkloadParams largeParams() {
+  WorkloadParams p;
+  p.processors = 16;
+  p.tasks_per_processor = 8;
+  p.utilization_per_processor = 0.45;
+  p.global_resources = 6;
+  p.max_gcs_per_task = 2;
+  p.global_sharing_prob = 0.6;
+  p.cs_max = 30;
+  return p;
+}
+
+constexpr std::uint64_t kSeedBase = 42'000;
+
+/// FNV-1a fold of one simulation's observable outcome: finish times,
+/// blocking, and miss bits of every job record, in record order. Any
+/// scheduling divergence between two runs changes the digest.
+std::uint64_t digestOf(const SimResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(r.jobs.size()));
+  for (const JobRecord& jr : r.jobs) {
+    mix(static_cast<std::uint64_t>(jr.id.task.value()));
+    mix(static_cast<std::uint64_t>(jr.id.instance));
+    mix(static_cast<std::uint64_t>(jr.finish));
+    mix(static_cast<std::uint64_t>(jr.blocked));
+    mix(jr.missed ? 1 : 0);
+  }
+  return h;
+}
+
+/// One sweep seed: generate a workload and simulate it end to end.
+std::uint64_t sweepSeed(Rng& rng) {
+  const TaskSystem sys = generateWorkload(throughputParams(), rng);
+  const SimResult r = simulate(ProtocolKind::kMpcp, sys,
+                               {.horizon_cap = 300'000,
+                                .record_trace = false});
+  return digestOf(r);
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("MPCP_BENCH_QUICK") != nullptr;
+  const int engine_seeds = quick ? 20 : 200;
+  const int large_seeds = quick ? 3 : 20;
+  const int trace_seeds = quick ? 10 : 60;
+  const int sweep_seeds = quick ? 40 : 400;
+
+  BenchJson json("engine");
+  json.set("quick_mode", quick);
+  json.set("hardware_concurrency",
+           static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+
+  printHeader("engine throughput (trace off): generate + simulate");
+  std::int64_t jobs = 0;
+  WallTimer engine_timer;
+  for (int s = 0; s < engine_seeds; ++s) {
+    Rng rng(kSeedBase + static_cast<std::uint64_t>(s));
+    const TaskSystem sys = generateWorkload(throughputParams(), rng);
+    const SimResult r = simulate(ProtocolKind::kMpcp, sys,
+                                 {.horizon_cap = 300'000,
+                                  .record_trace = false});
+    jobs += static_cast<std::int64_t>(r.jobs.size());
+  }
+  const double engine_s = engine_timer.seconds();
+  const double jobs_per_sec = static_cast<double>(jobs) / engine_s;
+  std::cout << "sims " << engine_seeds << ", jobs " << jobs << ", wall "
+            << engine_s << " s, jobs/sec " << jobs_per_sec << "\n";
+  json.set("small_sims", engine_seeds);
+  json.set("small_jobs", jobs);
+  json.set("small_wall_s", engine_s);
+  json.set("small_jobs_per_sec", jobs_per_sec);
+
+  printHeader("engine throughput, large system (128 tasks, trace off)");
+  std::int64_t large_jobs = 0;
+  WallTimer large_timer;
+  for (int s = 0; s < large_seeds; ++s) {
+    Rng rng(kSeedBase + 500 + static_cast<std::uint64_t>(s));
+    const TaskSystem sys = generateWorkload(largeParams(), rng);
+    const SimResult r = simulate(ProtocolKind::kMpcp, sys,
+                                 {.horizon_cap = 300'000,
+                                  .record_trace = false});
+    large_jobs += static_cast<std::int64_t>(r.jobs.size());
+  }
+  const double large_s = large_timer.seconds();
+  const double large_jobs_per_sec = static_cast<double>(large_jobs) / large_s;
+  std::cout << "sims " << large_seeds << ", jobs " << large_jobs << ", wall "
+            << large_s << " s, jobs/sec " << large_jobs_per_sec << "\n";
+  json.set("large_sims", large_seeds);
+  json.set("large_jobs", large_jobs);
+  json.set("large_wall_s", large_s);
+  json.set("large_jobs_per_sec", large_jobs_per_sec);
+
+  printHeader("engine throughput (trace on): events/sec");
+  std::int64_t events = 0;
+  WallTimer trace_timer;
+  for (int s = 0; s < trace_seeds; ++s) {
+    Rng rng(kSeedBase + static_cast<std::uint64_t>(s));
+    const TaskSystem sys = generateWorkload(throughputParams(), rng);
+    const SimResult r = simulate(ProtocolKind::kMpcp, sys,
+                                 {.horizon_cap = 300'000,
+                                  .record_trace = true});
+    events += static_cast<std::int64_t>(r.trace.size());
+  }
+  const double trace_s = trace_timer.seconds();
+  const double events_per_sec = static_cast<double>(events) / trace_s;
+  std::cout << "sims " << trace_seeds << ", events " << events << ", wall "
+            << trace_s << " s, events/sec " << events_per_sec << "\n";
+  json.set("trace_sims", trace_seeds);
+  json.set("trace_events", events);
+  json.set("trace_wall_s", trace_s);
+  json.set("trace_events_per_sec", events_per_sec);
+
+  printHeader("multi-seed sweep: serial vs parallel SweepRunner");
+  auto seedFn = [](int /*s*/, Rng& rng) { return sweepSeed(rng); };
+
+  exp::SweepRunner serial(1);
+  WallTimer serial_timer;
+  const std::vector<std::uint64_t> serial_digests =
+      serial.map(sweep_seeds, kSeedBase + 9000, seedFn);
+  const double serial_s = serial_timer.seconds();
+
+  const int par_threads = exp::ThreadPool::defaultThreadCount();
+  exp::SweepRunner parallel(par_threads);
+  WallTimer par_timer;
+  const std::vector<std::uint64_t> par_digests =
+      parallel.map(sweep_seeds, kSeedBase + 9000, seedFn);
+  const double par_s = par_timer.seconds();
+
+  const bool deterministic = serial_digests == par_digests;
+  const double speedup = par_s > 0 ? serial_s / par_s : 0.0;
+  const double sweep_sims_per_sec =
+      par_s > 0 ? static_cast<double>(sweep_seeds) / par_s : 0.0;
+  std::cout << "seeds " << sweep_seeds << ", serial " << serial_s
+            << " s, parallel(" << par_threads << " threads) " << par_s
+            << " s, speedup " << speedup << "x, digests "
+            << (deterministic ? "identical" : "DIVERGED") << "\n";
+  json.set("sweep_seeds", sweep_seeds);
+  json.set("sweep_serial_wall_s", serial_s);
+  json.set("sweep_parallel_wall_s", par_s);
+  json.set("sweep_threads", par_threads);
+  json.set("sweep_speedup", speedup);
+  json.set("sweep_sims_per_sec", sweep_sims_per_sec);
+  json.set("sweep_deterministic", deterministic);
+
+  json.write();
+
+  if (!deterministic) {
+    std::cerr << "FAIL: parallel sweep diverged from serial sweep\n";
+    return 1;
+  }
+  return 0;
+}

@@ -38,6 +38,7 @@ WorkloadParams baseParams() {
 
 int main() {
   constexpr int kSeeds = 40;
+  WallTimer total;
 
   printHeader("RTA-schedulable fraction vs per-processor utilization");
   std::cout << cell("util") << cell("mpcp") << cell("dpcp")
@@ -104,40 +105,51 @@ int main() {
             << "\n";
   for (double util : {0.4, 0.5, 0.6, 0.7}) {
     constexpr int kProcs = 4;
+    struct Row {
+      bool dpcp = false, mpcp = false;
+    };
+    const std::vector<Row> rows = exp::SweepRunner::global().map(
+        kSeeds, 900, [&](int /*s*/, Rng& rng) {
+          Row row;
+          // DPCP: generate on kProcs processors but declare kProcs+1 and
+          // pin every global resource to the empty last processor.
+          {
+            WorkloadParams p = baseParams();
+            p.utilization_per_processor = util;
+            Rng fork = rng;  // both variants replay the same seed stream
+            // Build on kProcs+1 with last processor unused by tasks:
+            // easiest is to generate kProcs-proc system and rebuild +1.
+            const TaskSystem gen = generateWorkload(p, fork);
+            TaskSystemBuilder b(kProcs + 1,
+                                TaskSystemOptions{});
+            for (const ResourceInfo& r : gen.resources()) {
+              const ResourceId nr = b.addResource(r.name);
+              b.assignSyncProcessor(nr, ProcessorId(kProcs));  // dedicated
+            }
+            for (const Task& t : gen.tasks()) {
+              b.addTask({.name = t.name, .period = t.period,
+                         .phase = t.phase,
+                         .processor = t.processor.value(), .body = t.body});
+            }
+            const TaskSystem sys = std::move(b).build();
+            row.dpcp = analyzeUnder(ProtocolKind::kDpcp, sys).report.rta_all;
+          }
+          // MPCP: same total load spread over kProcs+1 processors.
+          {
+            WorkloadParams p = baseParams();
+            p.processors = kProcs + 1;
+            p.utilization_per_processor =
+                util * kProcs / (kProcs + 1);  // same total work
+            Rng fork = rng;
+            const TaskSystem sys = generateWorkload(p, fork);
+            row.mpcp = analyzeUnder(ProtocolKind::kMpcp, sys).report.rta_all;
+          }
+          return row;
+        });
     int dpcp_ok = 0, mpcp_ok = 0;
-    for (int s = 0; s < kSeeds; ++s) {
-      // DPCP: generate on kProcs processors but declare kProcs+1 and pin
-      // every global resource to the empty last processor.
-      {
-        WorkloadParams p = baseParams();
-        p.utilization_per_processor = util;
-        Rng rng(900 + static_cast<std::uint64_t>(s));
-        // Build on kProcs+1 with last processor unused by tasks: easiest
-        // is to generate kProcs-proc system and rebuild with +1.
-        const TaskSystem gen = generateWorkload(p, rng);
-        TaskSystemBuilder b(kProcs + 1,
-                            TaskSystemOptions{});
-        for (const ResourceInfo& r : gen.resources()) {
-          const ResourceId nr = b.addResource(r.name);
-          b.assignSyncProcessor(nr, ProcessorId(kProcs));  // dedicated
-        }
-        for (const Task& t : gen.tasks()) {
-          b.addTask({.name = t.name, .period = t.period, .phase = t.phase,
-                     .processor = t.processor.value(), .body = t.body});
-        }
-        const TaskSystem sys = std::move(b).build();
-        dpcp_ok += analyzeUnder(ProtocolKind::kDpcp, sys).report.rta_all;
-      }
-      // MPCP: same total load spread over kProcs+1 processors.
-      {
-        WorkloadParams p = baseParams();
-        p.processors = kProcs + 1;
-        p.utilization_per_processor =
-            util * kProcs / (kProcs + 1);  // same total work
-        Rng rng(900 + static_cast<std::uint64_t>(s));
-        const TaskSystem sys = generateWorkload(p, rng);
-        mpcp_ok += analyzeUnder(ProtocolKind::kMpcp, sys).report.rta_all;
-      }
+    for (const Row& row : rows) {
+      dpcp_ok += row.dpcp;
+      mpcp_ok += row.mpcp;
     }
     std::cout << cell(util, 12, 2)
               << cell(static_cast<double>(dpcp_ok) / kSeeds)
@@ -148,5 +160,10 @@ int main() {
                "dedicated-sync-processor column shows DPCP recovering by\n"
                "spending an extra CPU on synchronization, while MPCP turns\n"
                "the same CPU into schedulable capacity.\n";
+
+  BenchJson json("mpcp_vs_dpcp");
+  json.set("threads", exp::SweepRunner::global().threadCount());
+  json.set("wall_s", total.seconds());
+  json.write();
   return 0;
 }

@@ -32,7 +32,16 @@ class StablePriorityQueue {
 
   /// Inserts `value` with `priority`. O(n).
   void push(T value, Priority priority) {
-    const Entry entry{priority, next_seq_++, std::move(value)};
+    pushSeq(std::move(value), priority, next_seq_++);
+  }
+
+  /// Inserts `value` with an explicit tie-break sequence number instead of
+  /// the queue's own counter — for callers (the engine's ready queues)
+  /// whose FIFO order is defined by a global arrival stamp that must
+  /// survive removal and re-insertion (priority re-keying, migration).
+  /// Callers must not mix push() and pushSeq() on one queue.
+  void pushSeq(T value, Priority priority, std::uint64_t seq) {
+    const Entry entry{priority, seq, std::move(value)};
     // Keep entries_ sorted best-first: higher priority first, then FIFO.
     auto pos = std::find_if(entries_.begin(), entries_.end(),
                             [&](const Entry& e) { return before(entry, e); });

@@ -95,6 +95,7 @@ LockOutcome HybridProtocol::onLock(Job& j, ResourceId r) {
     // Message-based sections can nest: keep the highest elevation among
     // held message-based semaphores.
     j.elevated = std::max(j.elevated, elevationFor(j, r));
+    engine_->notePriorityChanged(j);
     engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = j.host,
                    .resource = r, .priority = j.elevated});
     if (policy_.of(r) == GlobalPolicy::kMessageBased) {
@@ -131,6 +132,7 @@ void HybridProtocol::onUnlock(Job& j, ResourceId r) {
     }
   }
   j.elevated = remaining;
+  engine_->notePriorityChanged(j);
   if (remaining == kPriorityFloor) {
     engine_->emit({.kind = Ev::kGcsExit, .job = j.id, .processor = j.current,
                    .resource = r, .priority = j.base});

@@ -46,6 +46,7 @@ LockOutcome MpcpProtocol::onLock(Job& j, ResourceId r) {
     // Rule 5: atomic acquisition; rule 3: fixed gcs priority on entry.
     s.holder = &j;
     j.elevated = tables_->gcsPriority(r, j.host);
+    engine_->notePriorityChanged(j);
     engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = j.host,
                    .resource = r, .priority = j.elevated});
     return LockOutcome::kGranted;
@@ -69,6 +70,7 @@ void MpcpProtocol::onUnlock(Job& j, ResourceId r) {
   // Leaving the gcs: back to the normal band (no nesting, so no other
   // global semaphore can still be held).
   j.elevated = kPriorityFloor;
+  engine_->notePriorityChanged(j);
   engine_->emit({.kind = Ev::kGcsExit, .job = j.id, .processor = j.current,
                  .resource = r, .priority = j.base});
 

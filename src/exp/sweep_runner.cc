@@ -1,0 +1,10 @@
+#include "exp/sweep_runner.h"
+
+namespace mpcp::exp {
+
+SweepRunner& SweepRunner::global() {
+  static SweepRunner runner;
+  return runner;
+}
+
+}  // namespace mpcp::exp

@@ -1,0 +1,70 @@
+// SweepRunner — deterministic fan-out of independent experiment seeds.
+//
+// Every bench in this repo runs the same loop: for each seed s, derive
+// Rng(seed_base + s), generate a workload, analyze/simulate it, and fold
+// the per-seed row into an aggregate. The rows are independent, so the
+// runner fans them across a ThreadPool; determinism is preserved because
+//   * each seed's RNG is derived from (seed_base, s) alone — identical to
+//     the serial convention the benches always used, and
+//   * rows land in a results vector indexed by s, so any reduction that
+//     walks the vector front-to-back sees exactly the serial order.
+// Hence results are bit-identical at any thread count (the property
+// tests/parallel_sweep_test.cc asserts).
+//
+// Thread count: explicit constructor argument, or the MPCP_THREADS
+// environment variable, defaulting to hardware_concurrency().
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/rng.h"
+#include "exp/thread_pool.h"
+
+namespace mpcp::exp {
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(int threads = ThreadPool::defaultThreadCount())
+      : pool_(threads) {}
+
+  [[nodiscard]] int threadCount() const { return pool_.threadCount(); }
+
+  /// The per-seed RNG stream: the serial benches' `Rng(seed_base + s)`.
+  [[nodiscard]] static Rng rngFor(std::uint64_t seed_base, int s) {
+    return Rng(seed_base + static_cast<std::uint64_t>(s));
+  }
+
+  /// Runs fn(s, rng) for every seed s in [0, seeds) and returns the rows
+  /// in seed order. R must be default-constructible and movable.
+  template <typename Fn>
+  auto map(int seeds, std::uint64_t seed_base, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, int, Rng&>> {
+    using R = std::invoke_result_t<Fn&, int, Rng&>;
+    static_assert(std::is_default_constructible_v<R>,
+                  "SweepRunner::map rows must be default-constructible");
+    std::vector<R> rows(static_cast<std::size_t>(std::max(0, seeds)));
+    pool_.parallelFor(seeds, [&](std::int64_t s) {
+      Rng rng = rngFor(seed_base, static_cast<int>(s));
+      rows[static_cast<std::size_t>(s)] = fn(static_cast<int>(s), rng);
+    });
+    return rows;
+  }
+
+  /// Bare index fan-out for callers that derive everything themselves.
+  template <typename Fn>
+  void forEach(std::int64_t n, Fn&& fn) {
+    pool_.parallelFor(n, [&](std::int64_t i) { fn(i); });
+  }
+
+  /// Process-wide runner for the benches: sized by MPCP_THREADS /
+  /// hardware_concurrency at first use.
+  static SweepRunner& global();
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace mpcp::exp

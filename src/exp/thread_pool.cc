@@ -1,0 +1,120 @@
+#include "exp/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace mpcp::exp {
+
+int ThreadPool::defaultThreadCount() {
+  if (const char* env = std::getenv("MPCP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<int>(std::min(v, 1024L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping, queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::int64_t n,
+                             const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (threads_ == 1 || n == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::int64_t> next{0};
+    std::int64_t n = 0;
+    std::int64_t chunk = 1;
+    std::mutex err_mu;
+    std::int64_t err_at = -1;       // chunk start of the stored exception
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->n = n;
+  // ~8 chunks per thread balances load without hammering the cursor.
+  shared->chunk = std::max<std::int64_t>(1, n / (8 * threads_));
+
+  auto drain = [shared, &fn] {
+    for (;;) {
+      const std::int64_t begin =
+          shared->next.fetch_add(shared->chunk, std::memory_order_relaxed);
+      if (begin >= shared->n) return;
+      const std::int64_t end = std::min(begin + shared->chunk, shared->n);
+      try {
+        for (std::int64_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->err_mu);
+        // Keep the exception from the earliest chunk so reruns at a
+        // different thread count report the same failure.
+        if (shared->error == nullptr || begin < shared->err_at) {
+          shared->error = std::current_exception();
+          shared->err_at = begin;
+        }
+      }
+    }
+  };
+
+  // One drain closure per worker; the calling thread drains too, so all
+  // `threads_` threads cooperate on the same cursor.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < threads_ - 1; ++i) {
+      jobs_.emplace(drain);
+      ++inflight_;
+    }
+  }
+  work_cv_.notify_all();
+
+  drain();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace mpcp::exp

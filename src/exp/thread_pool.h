@@ -1,0 +1,64 @@
+// Fixed-size worker pool with a chunked parallel-for, built for the
+// experiment runner: thousands of independent, CPU-bound, deterministic
+// simulations fanned across cores.
+//
+// Design constraints (see DESIGN.md / ISSUE 1):
+//   * determinism is owned by the caller: parallelFor(n, fn) promises only
+//     that fn(i) runs exactly once for every i in [0, n) — callers derive
+//     all per-iteration state (RNG streams, output slots) from i alone, so
+//     results are bit-identical at any thread count, including 1;
+//   * the calling thread participates in the work, so a 1-thread pool
+//     spawns no workers and degenerates to a plain serial loop;
+//   * iterations are handed out in contiguous chunks via an atomic cursor
+//     to amortize synchronization on short tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mpcp::exp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining thread).
+  /// `threads <= 0` is clamped to 1.
+  explicit ThreadPool(int threads = defaultThreadCount());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int threadCount() const { return threads_; }
+
+  /// Runs fn(i) exactly once for each i in [0, n), fanned across the pool
+  /// in contiguous chunks; the calling thread participates. Blocks until
+  /// every iteration completed. If any iteration throws, the first
+  /// exception (lowest chunk start wins the race) is rethrown after all
+  /// remaining iterations ran. Not reentrant from inside fn.
+  void parallelFor(std::int64_t n,
+                   const std::function<void(std::int64_t)>& fn);
+
+  /// Thread count requested by the environment: MPCP_THREADS if set to a
+  /// positive integer, else std::thread::hardware_concurrency() (min 1).
+  static int defaultThreadCount();
+
+ private:
+  void workerLoop();
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for jobs
+  std::condition_variable done_cv_;   // parallelFor waits here for drain
+  std::queue<std::function<void()>> jobs_;
+  std::int64_t inflight_ = 0;  // queued + running job closures
+  bool stopping_ = false;
+};
+
+}  // namespace mpcp::exp

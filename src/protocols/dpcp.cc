@@ -67,6 +67,7 @@ LockOutcome DpcpProtocol::onLock(Job& j, ResourceId r) {
   if (s.holder == nullptr) {
     s.holder = &j;
     j.elevated = tables_->ceiling(r);
+    engine_->notePriorityChanged(j);
     engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = pi,
                    .resource = r, .priority = j.elevated});
     engine_->migrate(j, pi);
@@ -100,6 +101,7 @@ void DpcpProtocol::onUnlock(Job& j, ResourceId r) {
     }
   }
   j.elevated = remaining;
+  engine_->notePriorityChanged(j);
   if (remaining == kPriorityFloor) {
     engine_->emit({.kind = Ev::kGcsExit, .job = j.id, .processor = j.current,
                    .resource = r, .priority = j.base});

@@ -86,12 +86,14 @@ void PipProtocol::recomputeInheritance() {
       if (job == h) old = prio;
     }
     if (h->inherited != old) {
+      engine_->notePriorityChanged(*h);
       engine_->emit({.kind = Ev::kInherit, .job = h->id,
                      .processor = h->current, .priority = h->inherited});
     }
   }
   for (const auto& [job, prio] : before) {
     if (job->inherited == kPriorityFloor && prio != kPriorityFloor) {
+      engine_->notePriorityChanged(*job);
       engine_->emit({.kind = Ev::kInherit, .job = job->id,
                      .processor = job->current, .priority = job->base});
     }

@@ -15,10 +15,10 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol,
   running_.assign(static_cast<std::size_t>(procs), nullptr);
 
   const std::size_t n = system_.tasks().size();
-  next_release_.resize(n);
   instance_no_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    next_release_[i] = system_.tasks()[i].phase;
+    release_heap_.push({system_.tasks()[i].phase,
+                        static_cast<std::int32_t>(i)});
   }
   result_.processor_busy.assign(static_cast<std::size_t>(procs), 0);
   result_.per_task.resize(n);
@@ -39,6 +39,24 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol,
     horizon_ = std::min(horizon_, config_.horizon_cap);
   }
   MPCP_CHECK(horizon_ > 0, "simulation horizon must be positive");
+
+  // Reserve result storage up front: the expected job count is
+  // sum_i(horizon / T_i), and every releasing job appends one JobRecord
+  // (and, with the trace on, a handful of events and segments). Growing
+  // these vectors dominated long trace-recording runs.
+  std::int64_t expected_jobs = 0;
+  for (const Task& t : system_.tasks()) {
+    if (t.period > 0) expected_jobs += horizon_ / t.period + 1;
+  }
+  expected_jobs = std::min(expected_jobs, config_.max_jobs);
+  result_.jobs.reserve(static_cast<std::size_t>(expected_jobs));
+  if (config_.record_trace) {
+    constexpr std::int64_t kTraceReserveCap = 1 << 20;
+    result_.trace.reserve(static_cast<std::size_t>(
+        std::min(expected_jobs * 8, kTraceReserveCap)));
+    result_.segments.reserve(static_cast<std::size_t>(
+        std::min(expected_jobs * 4, kTraceReserveCap / 2)));
+  }
 }
 
 SimResult Engine::run() {
@@ -88,81 +106,82 @@ SimResult Engine::run() {
 }
 
 void Engine::releaseDueJobs() {
-  for (std::size_t i = 0; i < next_release_.size(); ++i) {
-    const Task& task = system_.tasks()[i];
-    while (next_release_[i] <= now_ && next_release_[i] < horizon_) {
-      if (++released_count_ > config_.max_jobs) {
-        throw InvariantError(strf("job cap exceeded (", config_.max_jobs,
-                                  "); runaway simulation?"));
-      }
-      // An unfinished previous instance past its deadline is a miss even
-      // before it completes — note it as soon as the overrun is visible.
-      noteOverrunMisses(task.id);
+  while (!release_heap_.empty()) {
+    const auto [due, task_idx] = release_heap_.top();
+    if (due > now_ || due >= horizon_) break;
+    release_heap_.pop();
+    const Task& task = system_.tasks()[static_cast<std::size_t>(task_idx)];
 
-      Job j;
-      j.id = JobId{task.id, instance_no_[i]++};
-      j.host = task.processor;
-      j.current = task.processor;
-      j.release = next_release_[i];
-      j.abs_deadline = j.release + task.relative_deadline;
-      j.base = task.priority;
-      j.state = JobState::kReady;
-      j.ready_seq = ++ready_seq_;
-      next_release_[i] += task.period;
-
-      jobs_.push_back(j);
-      Job& stored = jobs_.back();
-      ready_[static_cast<std::size_t>(stored.current.value())].push_back(
-          &stored);
-      emit({.t = now_, .kind = Ev::kRelease, .job = stored.id,
-            .processor = stored.host});
-      protocol_.onJobReleased(stored);
+    if (++released_count_ > config_.max_jobs) {
+      throw InvariantError(strf("job cap exceeded (", config_.max_jobs,
+                                "); runaway simulation?"));
     }
+    // An unfinished previous instance past its deadline is a miss even
+    // before it completes — note it as soon as the overrun is visible.
+    noteOverrunMisses(task.id);
+
+    Job& stored = pool_.allocate(
+        JobId{task.id, instance_no_[static_cast<std::size_t>(task_idx)]++});
+    stored.host = task.processor;
+    stored.current = task.processor;
+    stored.release = due;
+    stored.abs_deadline = due + task.relative_deadline;
+    stored.base = task.priority;
+    stored.state = JobState::kReady;
+    stored.ready_seq = ++ready_seq_;
+    release_heap_.push({due + task.period, task_idx});
+
+    readyQueue(stored.current)
+        .pushSeq(&stored, stored.effectivePriority(), stored.ready_seq);
+    emit({.t = now_, .kind = Ev::kRelease, .job = stored.id,
+          .processor = stored.host});
+    protocol_.onJobReleased(stored);
   }
 }
 
+bool Engine::suspEntryLive(const SuspEntry& e) const {
+  return e.job != nullptr && e.job->id == e.id &&
+         e.job->state == JobState::kWaiting && e.job->suspended_until == e.t;
+}
+
 void Engine::wakeDueSuspensions() {
-  for (auto it = timed_suspensions_.begin(); it != timed_suspensions_.end();) {
-    Job* j = *it;
-    if (j->suspended_until <= now_) {
-      j->suspended_until = -1;
-      emit({.t = now_, .kind = Ev::kSelfResume, .job = j->id,
-            .processor = j->current});
-      wake(*j);
-      it = timed_suspensions_.erase(it);
-    } else {
-      ++it;
+  while (!susp_heap_.empty()) {
+    const SuspEntry e = susp_heap_.top();
+    if (!suspEntryLive(e)) {  // retired or already woken: drop lazily
+      susp_heap_.pop();
+      continue;
     }
+    if (e.t > now_) break;
+    susp_heap_.pop();
+    Job* j = e.job;
+    j->suspended_until = -1;
+    emit({.t = now_, .kind = Ev::kSelfResume, .job = j->id,
+          .processor = j->current});
+    wake(*j);
   }
 }
 
 void Engine::noteOverrunMisses(TaskId task) {
-  for (Job& j : jobs_) {
+  pool_.forEachLive([&](Job& j) {
     // Strictly past the deadline: a job *at* its deadline with zero work
     // left completes within this instant's settle pass and is on time
     // (the finish-time check still catches every genuine late finish).
-    if (j.id.task == task && j.state != JobState::kFinished &&
-        now_ > j.abs_deadline && !j.miss_noted) {
+    if (j.id.task == task && now_ > j.abs_deadline && !j.miss_noted) {
       j.miss_noted = true;
       miss_seen_ = true;
       emit({.t = now_, .kind = Ev::kDeadlineMiss, .job = j.id,
             .processor = j.host});
     }
-  }
+  });
 }
 
 Job* Engine::pickHighest(int proc) const {
-  const auto& list = ready_[static_cast<std::size_t>(proc)];
-  Job* best = nullptr;
-  for (Job* j : list) {
-    MPCP_DCHECK(j->state == JobState::kReady && j->current.value() == proc,
-                "ready list corrupt on P" << proc);
-    if (!best || j->effectivePriority() > best->effectivePriority() ||
-        (j->effectivePriority() == best->effectivePriority() &&
-         j->ready_seq < best->ready_seq)) {
-      best = j;
-    }
-  }
+  const auto& q = ready_[static_cast<std::size_t>(proc)];
+  if (q.empty()) return nullptr;
+  Job* best = q.peek();
+  MPCP_DCHECK(best->state == JobState::kReady &&
+                  best->current.value() == proc,
+              "ready queue corrupt on P" << proc);
   return best;
 }
 
@@ -252,9 +271,8 @@ bool Engine::processRunnableOps(int proc) {
       j.op_index++;
       j.suspended_until = now_ + susp->duration;
       j.state = JobState::kWaiting;
-      auto& rlist = ready_[static_cast<std::size_t>(j.current.value())];
-      rlist.erase(std::remove(rlist.begin(), rlist.end(), &j), rlist.end());
-      timed_suspensions_.push_back(&j);
+      readyQueue(j.current).remove(&j);
+      susp_heap_.push({j.suspended_until, ++susp_seq_, &j, j.id});
       emit({.t = now_, .kind = Ev::kSelfSuspend, .job = j.id,
             .processor = j.current});
       slot = nullptr;
@@ -279,8 +297,7 @@ void Engine::finishJob(Job& j) {
                   << " semaphore(s)");
   j.state = JobState::kFinished;
   j.finish = now_;
-  auto& list = ready_[static_cast<std::size_t>(j.current.value())];
-  list.erase(std::remove(list.begin(), list.end(), &j), list.end());
+  readyQueue(j.current).remove(&j);
 
   emit({.t = now_, .kind = Ev::kFinish, .job = j.id, .processor = j.current});
   const bool missed = j.finish > j.abs_deadline;
@@ -291,9 +308,8 @@ void Engine::finishJob(Job& j) {
   }
   if (missed) miss_seen_ = true;
 
-  timed_suspensions_.erase(
-      std::remove(timed_suspensions_.begin(), timed_suspensions_.end(), &j),
-      timed_suspensions_.end());
+  // Any suspension-heap entry for j goes stale here (state kFinished) and
+  // is dropped lazily by wakeDueSuspensions()/nextEventTime().
   protocol_.onJobFinished(j);
 
   result_.jobs.push_back({.id = j.id,
@@ -305,21 +321,19 @@ void Engine::finishJob(Job& j) {
                           .preempted = j.preempted,
                           .suspended = j.suspended,
                           .missed = missed});
-  // Retire storage.
-  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
-    if (&*it == &j) {
-      jobs_.erase(it);
-      break;
-    }
-  }
+  // Retire storage: recycle the pool slot.
+  pool_.release(j);
 }
 
-Time Engine::nextEventTime() const {
+Time Engine::nextEventTime() {
   Time next = kTimeInfinity;
-  for (Time r : next_release_) next = std::min(next, r);
-  for (const Job* j : timed_suspensions_) {
-    next = std::min(next, j->suspended_until);
+  if (!release_heap_.empty()) {
+    next = std::min(next, release_heap_.top().first);
   }
+  while (!susp_heap_.empty() && !suspEntryLive(susp_heap_.top())) {
+    susp_heap_.pop();
+  }
+  if (!susp_heap_.empty()) next = std::min(next, susp_heap_.top().t);
   for (const Job* j : running_) {
     if (j != nullptr) {
       MPCP_DCHECK(j->op_remaining > 0,
@@ -345,10 +359,9 @@ void Engine::advanceTo(Time t) {
   }
 
   // Waiting-time attribution for every job that is not running.
-  for (Job& j : jobs_) {
-    if (j.state == JobState::kFinished) continue;
+  pool_.forEachLive([&](Job& j) {
     const Job* on_proc = running_[static_cast<std::size_t>(j.current.value())];
-    if (on_proc == &j) continue;  // it ran; accounted above
+    if (on_proc == &j) return;  // it ran; accounted above
     if (j.state == JobState::kWaiting) {
       if (j.suspended_until >= 0) {
         j.suspended += dt;  // voluntary: neither blocking nor preemption
@@ -363,7 +376,7 @@ void Engine::advanceTo(Time t) {
       // as priority inversion.
       j.blocked += dt;
     }
-  }
+  });
 
   now_ = t;
 }
@@ -393,8 +406,7 @@ ExecMode Engine::execModeOf(const Job& j) const {
 }
 
 void Engine::noteDeadlineMissesAtHorizon() {
-  for (Job& j : jobs_) {
-    if (j.state == JobState::kFinished) continue;
+  pool_.forEachLive([&](Job& j) {
     const bool missed = j.abs_deadline <= horizon_;
     if (missed) miss_seen_ = true;
     result_.jobs.push_back({.id = j.id,
@@ -406,7 +418,7 @@ void Engine::noteDeadlineMissesAtHorizon() {
                             .preempted = j.preempted,
                             .suspended = j.suspended,
                             .missed = missed});
-  }
+  });
   for (std::size_t i = 0; i < instance_no_.size(); ++i) {
     result_.per_task[i].jobs_released = instance_no_[i];
   }
@@ -417,8 +429,7 @@ void Engine::parkWaiting(Job& j, ResourceId r, JobId blocker) {
              "parkWaiting on non-ready job " << j.id);
   j.state = JobState::kWaiting;
   j.waiting_for = r;
-  auto& list = ready_[static_cast<std::size_t>(j.current.value())];
-  list.erase(std::remove(list.begin(), list.end(), &j), list.end());
+  readyQueue(j.current).remove(&j);
   if (running_[static_cast<std::size_t>(j.current.value())] == &j) {
     running_[static_cast<std::size_t>(j.current.value())] = nullptr;
   }
@@ -432,23 +443,34 @@ void Engine::wake(Job& j) {
   j.state = JobState::kReady;
   j.waiting_for = ResourceId();
   j.ready_seq = ++ready_seq_;
-  ready_[static_cast<std::size_t>(j.current.value())].push_back(&j);
+  readyQueue(j.current).pushSeq(&j, j.effectivePriority(), j.ready_seq);
   dirty_ = true;
 }
 
 void Engine::migrate(Job& j, ProcessorId target) {
   if (j.current == target) return;
-  auto& old_list = ready_[static_cast<std::size_t>(j.current.value())];
-  old_list.erase(std::remove(old_list.begin(), old_list.end(), &j),
-                 old_list.end());
+  readyQueue(j.current).remove(&j);
   if (running_[static_cast<std::size_t>(j.current.value())] == &j) {
     running_[static_cast<std::size_t>(j.current.value())] = nullptr;
   }
   emit({.t = now_, .kind = Ev::kMigrate, .job = j.id, .processor = target});
   j.current = target;
   if (j.state == JobState::kReady) {
-    ready_[static_cast<std::size_t>(target.value())].push_back(&j);
+    // Keep the original arrival stamp: a migrating job does not lose its
+    // FCFS position among equal priorities.
+    readyQueue(target).pushSeq(&j, j.effectivePriority(), j.ready_seq);
   }
+  dirty_ = true;
+}
+
+void Engine::notePriorityChanged(Job& j) {
+  if (j.state != JobState::kReady) return;  // re-keyed on wake()
+  auto& q = readyQueue(j.current);
+  const bool was_queued = q.remove(&j);
+  MPCP_DCHECK(was_queued,
+              "notePriorityChanged: ready job " << j.id
+                                                << " missing from queue");
+  q.pushSeq(&j, j.effectivePriority(), j.ready_seq);
   dirty_ = true;
 }
 
@@ -458,11 +480,6 @@ void Engine::emit(TraceEvent e) {
   result_.trace.push_back(e);
 }
 
-Job* Engine::findJob(JobId id) {
-  for (Job& j : jobs_) {
-    if (j.id == id) return &j;
-  }
-  return nullptr;
-}
+Job* Engine::findJob(JobId id) { return pool_.find(id); }
 
 }  // namespace mpcp

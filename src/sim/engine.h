@@ -15,6 +15,16 @@
 //   3. advance the clock to the next event (release or compute-segment
 //      completion), accruing per-job execution/blocking/preemption time.
 //
+// Hot-path data structures (ISSUE 1): job storage is a slot-indexed
+// JobPool (O(1) release/retire/find, no per-job allocation); pending
+// releases live in a min-heap keyed (time, task) instead of an O(tasks)
+// scan; timed suspensions live in a lazily-invalidated min-heap; and each
+// processor's ready set is a StablePriorityQueue ordered by (effective
+// priority, global arrival seq), so dispatch peeks the front instead of
+// scanning. Protocols that mutate a ready job's priority in place
+// (inheritance, gcs elevation) MUST call notePriorityChanged() so the
+// queue re-keys — wake()/migrate() re-key implicitly.
+//
 // Blocking attribution (used to validate the analysis): while a job J is
 // not running, each tick counts as *preemption* if J's current processor
 // is running a job with higher assigned (base) priority, and as *blocking*
@@ -26,12 +36,15 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
+#include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/stable_priority_queue.h"
 #include "common/types.h"
 #include "model/task_system.h"
 #include "sim/job.h"
+#include "sim/job_pool.h"
 #include "sim/protocol.h"
 #include "sim/result.h"
 
@@ -74,14 +87,35 @@ class Engine {
   /// Moves a job to another processor (DPCP critical-section migration).
   void migrate(Job& j, ProcessorId target);
 
+  /// Re-keys `j` in its processor's ready queue after the caller changed
+  /// its inherited/elevated priority in place. No-op for non-ready jobs
+  /// (they are keyed afresh on wake()). Protocols MUST call this after
+  /// every in-place priority change of a job they did not just park/wake.
+  void notePriorityChanged(Job& j);
+
   /// Emits a protocol-level trace event (engine fills the timestamp).
   void emit(TraceEvent e);
 
-  /// All live jobs waiting on resource `r` (diagnostics; protocols keep
-  /// their own queues).
+  /// Live job lookup by id — O(1) via the job pool (diagnostics;
+  /// protocols keep their own queues). nullptr once a job finished.
   [[nodiscard]] Job* findJob(JobId id);
 
  private:
+  /// Pending timed suspension, lazily invalidated: an entry is live iff
+  /// its job still matches (id, kWaiting, suspended_until == t).
+  struct SuspEntry {
+    Time t = 0;
+    std::uint64_t seq = 0;  // insertion order; FIFO among equal times
+    Job* job = nullptr;
+    JobId id;
+  };
+  struct SuspAfter {
+    bool operator()(const SuspEntry& a, const SuspEntry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
   void releaseDueJobs();
   void wakeDueSuspensions();
   void settle();
@@ -92,11 +126,17 @@ class Engine {
   void noteOverrunMisses(TaskId task);
   [[nodiscard]] Job* pickHighest(int proc) const;
   void finishJob(Job& j);
-  [[nodiscard]] Time nextEventTime() const;
+  /// Earliest upcoming release/wake/segment-completion time. Prunes stale
+  /// suspension-heap entries, hence non-const.
+  [[nodiscard]] Time nextEventTime();
   void advanceTo(Time t);
   void recordSegment(int proc, Job& j, Time begin, Time end);
   void noteDeadlineMissesAtHorizon();
   [[nodiscard]] ExecMode execModeOf(const Job& j) const;
+  [[nodiscard]] bool suspEntryLive(const SuspEntry& e) const;
+  [[nodiscard]] StablePriorityQueue<Job*>& readyQueue(ProcessorId p) {
+    return ready_[static_cast<std::size_t>(p.value())];
+  }
 
   const TaskSystem& system_;
   SyncProtocol& protocol_;
@@ -107,15 +147,23 @@ class Engine {
   bool ran_ = false;
   bool miss_seen_ = false;
 
-  std::list<Job> jobs_;                     // live jobs; stable addresses
-  std::vector<std::vector<Job*>> ready_;    // per processor
-  std::vector<Job*> running_;               // per processor, null = idle
-  std::vector<Time> next_release_;          // per task
-  std::vector<std::int64_t> instance_no_;   // per task
+  JobPool pool_;  // live jobs; stable addresses, O(1) id lookup
+  /// Per-processor ready set, best-first by (effective priority, arrival).
+  std::vector<StablePriorityQueue<Job*>> ready_;
+  std::vector<Job*> running_;  // per processor, null = idle
+  /// Pending releases: min-heap of (release time, task index); ties pop in
+  /// task order, matching the old per-task scan exactly.
+  std::priority_queue<std::pair<Time, std::int32_t>,
+                      std::vector<std::pair<Time, std::int32_t>>,
+                      std::greater<>>
+      release_heap_;
+  std::vector<std::int64_t> instance_no_;  // per task
   std::uint64_t ready_seq_ = 0;
   std::int64_t released_count_ = 0;
   bool dirty_ = false;  // set by wake/migrate/park to re-run settle passes
-  std::vector<Job*> timed_suspensions_;  // jobs with suspended_until >= 0
+  std::priority_queue<SuspEntry, std::vector<SuspEntry>, SuspAfter>
+      susp_heap_;
+  std::uint64_t susp_seq_ = 0;
 
   SimResult result_;
 };

@@ -63,6 +63,11 @@ struct Job {
   Duration suspended = 0;       ///< voluntary self-suspension time
   Time finish = -1;             ///< completion time, -1 while in flight
   bool miss_noted = false;      ///< deadline-miss trace event already emitted
+
+  // --- JobPool bookkeeping (engine-internal; protocols must not touch) ---
+  std::uint32_t pool_slot = 0;  ///< slab slot this job occupies
+  std::int32_t live_prev = -1;  ///< previous live job (release order)
+  std::int32_t live_next = -1;  ///< next live job (release order)
 };
 
 }  // namespace mpcp

@@ -1,0 +1,143 @@
+// Slot-indexed pool of in-flight jobs.
+//
+// The engine's old job store was a std::list<Job>: one heap allocation
+// per released job, O(live) walks to find a job by id, and O(live) erase
+// on completion. The pool replaces it with
+//   * chunked slab storage — addresses are stable for the pool's lifetime
+//     (protocols and ready queues hold Job*), no per-job allocation after
+//     a chunk fills;
+//   * a free list — a finished job's slot (and its `held` vector's
+//     capacity) is recycled by the next release;
+//   * an id index — JobId -> slot hash map, so findJob is O(1);
+//   * an intrusive doubly-linked live list in *release order* — the
+//     engine's accounting sweeps (waiting-time attribution, overrun
+//     checks, horizon flush) must see jobs in exactly the order the old
+//     list iterated, or traces and result rows would reorder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/job.h"
+
+namespace mpcp {
+
+class JobPool {
+ public:
+  static constexpr std::size_t kChunkSize = 128;
+
+  /// Returns a freshly reset Job with stable address, registered under
+  /// `id`. The job's pool_slot is filled in; `held` keeps any recycled
+  /// capacity but is empty.
+  Job& allocate(JobId id) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(size_);
+      if (slot / kChunkSize == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Job[]>(kChunkSize));
+      }
+      ++size_;
+    }
+    Job& j = at(slot);
+    // Reset in place, keeping the held vector's capacity across reuse.
+    std::vector<ResourceId> held = std::move(j.held);
+    held.clear();
+    j = Job{};
+    j.held = std::move(held);
+    j.id = id;
+    j.pool_slot = slot;
+
+    // Register before linking: a duplicate id must throw without leaving
+    // a half-linked orphan in the live list (the slot itself is leaked,
+    // which is fine — the check signals a fatal engine bug).
+    const bool inserted = index_.emplace(id, slot).second;
+    MPCP_CHECK(inserted, "JobPool: duplicate live job " << id);
+
+    // Append to the live list (release order).
+    j.live_prev = tail_;
+    j.live_next = -1;
+    if (tail_ >= 0) {
+      at(static_cast<std::uint32_t>(tail_)).live_next =
+          static_cast<std::int32_t>(slot);
+    } else {
+      head_ = static_cast<std::int32_t>(slot);
+    }
+    tail_ = static_cast<std::int32_t>(slot);
+    ++live_;
+    return j;
+  }
+
+  /// Unlinks a finished job and recycles its slot.
+  void release(Job& j) {
+    MPCP_CHECK(&at(j.pool_slot) == &j,
+               "JobPool::release: foreign job " << j.id);
+    const auto it = index_.find(j.id);
+    MPCP_CHECK(it != index_.end() && it->second == j.pool_slot,
+               "JobPool::release: job " << j.id << " not live");
+    index_.erase(it);
+
+    if (j.live_prev >= 0) {
+      at(static_cast<std::uint32_t>(j.live_prev)).live_next = j.live_next;
+    } else {
+      head_ = j.live_next;
+    }
+    if (j.live_next >= 0) {
+      at(static_cast<std::uint32_t>(j.live_next)).live_prev = j.live_prev;
+    } else {
+      tail_ = j.live_prev;
+    }
+    j.live_prev = j.live_next = -1;
+
+    free_.push_back(j.pool_slot);
+    --live_;
+  }
+
+  /// O(1) lookup of a live job; nullptr if the id is not live.
+  [[nodiscard]] Job* find(JobId id) {
+    const auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &at(it->second);
+  }
+
+  /// Slot a live job occupies (tests assert lookup stability).
+  [[nodiscard]] std::uint32_t slotOf(const Job& j) const {
+    return j.pool_slot;
+  }
+
+  [[nodiscard]] std::size_t liveCount() const { return live_; }
+  [[nodiscard]] std::size_t capacity() const { return size_; }
+
+  /// Visits every live job in release order. `fn` must not allocate or
+  /// release pool jobs, but may mutate the visited job.
+  template <typename Fn>
+  void forEachLive(Fn&& fn) {
+    for (std::int32_t s = head_; s >= 0;) {
+      Job& j = at(static_cast<std::uint32_t>(s));
+      s = j.live_next;  // read before fn in case fn parks/retires j
+      fn(j);
+    }
+  }
+
+ private:
+  [[nodiscard]] Job& at(std::uint32_t slot) {
+    return chunks_[slot / kChunkSize][slot % kChunkSize];
+  }
+  [[nodiscard]] const Job& at(std::uint32_t slot) const {
+    return chunks_[slot / kChunkSize][slot % kChunkSize];
+  }
+
+  std::vector<std::unique_ptr<Job[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<JobId, std::uint32_t> index_;
+  std::size_t size_ = 0;   // slots ever created
+  std::size_t live_ = 0;
+  std::int32_t head_ = -1;
+  std::int32_t tail_ = -1;
+};
+
+}  // namespace mpcp
