@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "analysis/profiles.h"
 #include "common/check.h"
@@ -63,33 +66,58 @@ std::vector<DpcpBlockingBreakdown> dpcpBlocking(const TaskSystem& system,
     }
 
     // ---- D3: agent interference per sync processor J_i visits.
-    // Lowest ceiling J_i uses on each sync processor.
-    std::map<std::int32_t, Priority> min_ceiling_on;  // proc -> ceiling
+    // Ceilings of the resources J_i uses, grouped by sync processor.
+    std::map<std::int32_t, std::vector<std::pair<ResourceId, Priority>>>
+        used_on;  // proc -> (resource, ceiling) J_i accesses there
     for (const SectionUse& access : pi.global_sections) {
       const ProcessorId sp = sync_of(access.resource);
-      const Priority c = tables.ceiling(access.resource);
-      auto [it, inserted] = min_ceiling_on.emplace(sp.value(), c);
-      if (!inserted && c < it->second) it->second = c;
+      used_on[sp.value()].emplace_back(access.resource,
+                                       tables.ceiling(access.resource));
     }
+    // Lowest ceiling J_i uses on proc, optionally excluding one resource.
+    const auto min_ceiling = [&](std::int32_t proc,
+                                 ResourceId excluded) -> std::optional<Priority> {
+      const auto it = used_on.find(proc);
+      if (it == used_on.end()) return std::nullopt;
+      std::optional<Priority> m;
+      for (const auto& [r, c] : it->second) {
+        if (r == excluded) continue;
+        if (!m.has_value() || c < *m) m = c;
+      }
+      return m;
+    };
     for (const Task& tj : system.tasks()) {
       if (tj.id == ti.id) continue;
       Duration interfering = 0;
       for (const SectionUse& z : profile(tj).global_sections) {
         const bool same_resource =
             pi.global_resources.count(z.resource.value()) != 0;
+        const std::int32_t sp = sync_of(z.resource).value();
         if (same_resource) {
           // Same-resource contention: the priority-ordered queue admits
           // one lower-priority holder per access (charged by D2) plus
           // re-entries of *higher-priority* tasks — the analogue of
           // MPCP's F3.
-          if (tj.priority > ti.priority) interfering += z.duration;
+          if (tj.priority > ti.priority) {
+            interfering += z.duration;
+            continue;
+          }
+          // A lower-priority task's section on a shared resource is
+          // charged once per access by D2 for the queue on that resource
+          // — but on the sync CPU it also delays J_i's agents for the
+          // *other* resources J_i uses there (equal-or-higher ceiling
+          // agents are not preemptable), a channel D2 does not cover.
+          const auto m = min_ceiling(sp, z.resource);
+          if (!m.has_value()) continue;  // J_i uses nothing else there
+          if (tables.ceiling(z.resource) < *m) continue;  // preempted
+          interfering += z.duration;
           continue;
         }
         // Other resources' agents competing for a sync processor J_i
         // visits, at a ceiling J_i's agents cannot preempt.
-        const auto it = min_ceiling_on.find(sync_of(z.resource).value());
-        if (it == min_ceiling_on.end()) continue;  // not a proc J_i visits
-        if (tables.ceiling(z.resource) < it->second) continue;  // preempted
+        const auto m = min_ceiling(sp, ResourceId());
+        if (!m.has_value()) continue;  // not a proc J_i visits
+        if (tables.ceiling(z.resource) < *m) continue;  // preempted
         interfering += z.duration;
       }
       if (interfering > 0) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "analysis/profiles.h"
 #include "common/check.h"
@@ -164,28 +167,66 @@ std::vector<HybridBlockingBreakdown> hybridBlocking(
     }
 
     // ---- D3': agent interference on visited sync processors.
-    std::map<std::int32_t, Priority> min_ceiling_on;
+    std::map<std::int32_t, std::vector<std::pair<ResourceId, Priority>>>
+        used_on;  // sync proc -> (resource, ceiling) J_i accesses there
     for (const SectionUse& access : pi.global_sections) {
       if (policy.of(access.resource) != GlobalPolicy::kMessageBased) continue;
       const ProcessorId sp = *sys.resource(access.resource).sync_processor;
-      const Priority c = tables.ceiling(access.resource);
-      auto [it, inserted] = min_ceiling_on.emplace(sp.value(), c);
-      if (!inserted && c < it->second) it->second = c;
+      used_on[sp.value()].emplace_back(access.resource,
+                                       tables.ceiling(access.resource));
     }
-    if (!min_ceiling_on.empty()) {
+    const auto min_ceiling = [&](std::int32_t proc,
+                                 ResourceId excluded) -> std::optional<Priority> {
+      const auto it = used_on.find(proc);
+      if (it == used_on.end()) return std::nullopt;
+      std::optional<Priority> m;
+      for (const auto& [r, c] : it->second) {
+        if (r == excluded) continue;
+        if (!m.has_value() || c < *m) m = c;
+      }
+      return m;
+    };
+    if (!used_on.empty()) {
       for (const Task& tj : sys.tasks()) {
         if (tj.id == ti.id) continue;
         Duration interfering = 0;
         for (const SectionUse& z : profile(tj).global_sections) {
-          if (policy.of(z.resource) != GlobalPolicy::kMessageBased) continue;
-          // Same-resource contention is already charged by F2' (one
-          // lower-priority holder per access) and F3' (higher-priority
-          // re-entries); D3' covers only *other* resources' agents.
-          if (pi.global_resources.count(z.resource.value()) != 0) continue;
-          const auto it = min_ceiling_on.find(
-              sys.resource(z.resource).sync_processor->value());
-          if (it == min_ceiling_on.end()) continue;
-          if (tables.ceiling(z.resource) < it->second) continue;
+          if (policy.of(z.resource) == GlobalPolicy::kSharedMemory) {
+            // A shared-memory gcs executes on tj's host at gcsPriority
+            // elevation — above every message-based agent ceiling — so
+            // when that host doubles as a sync processor J_i's agents
+            // visit, the section delays them. The shared-side terms
+            // never charge this cross-kind channel: F2' covers only
+            // the queue head of resources J_i itself locks, and F3'
+            // only instances of higher-priority tasks on them.
+            if (used_on.find(tj.processor.value()) == used_on.end()) continue;
+            if (is_local(tj) && tj.priority > ti.priority) continue;
+            if (tj.priority > ti.priority &&
+                pi.global_resources.count(z.resource.value()) != 0) {
+              continue;  // F3' already charges these instances
+            }
+            interfering += z.duration;
+            continue;
+          }
+          const std::int32_t sp =
+              sys.resource(z.resource).sync_processor->value();
+          if (pi.global_resources.count(z.resource.value()) != 0) {
+            // Same-resource queueing is charged by F2' (one lower-priority
+            // holder per access) and F3' (higher-priority re-entries) —
+            // but a lower-priority task's section also delays J_i's agents
+            // for the *other* resources J_i uses on that sync CPU
+            // (equal-or-higher ceilings are not preemptable), a channel
+            // the queue charges do not cover (mirrors blocking_dpcp D3).
+            if (tj.priority > ti.priority) continue;
+            const auto m = min_ceiling(sp, z.resource);
+            if (!m.has_value()) continue;
+            if (tables.ceiling(z.resource) < *m) continue;
+            interfering += z.duration;
+            continue;
+          }
+          const auto m = min_ceiling(sp, ResourceId());
+          if (!m.has_value()) continue;
+          if (tables.ceiling(z.resource) < *m) continue;
           interfering += z.duration;
         }
         if (interfering > 0) {

@@ -100,6 +100,10 @@ LockOutcome HybridProtocol::onLock(Job& j, ResourceId r) {
                    .resource = r, .priority = j.elevated});
     if (policy_.of(r) == GlobalPolicy::kMessageBased) {
       engine_->migrate(j, *system_->resource(r).sync_processor);
+      // Request-order queueing among equal-ceiling agents (see
+      // DpcpProtocol::onLock): the grant path restamps to match the
+      // handoff path's wake().
+      engine_->restampArrival(j);
     }
     return LockOutcome::kGranted;
   }

@@ -1,0 +1,187 @@
+#include "fuzz/fuzzer.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <system_error>
+
+#include "common/strf.h"
+#include "exp/sweep_runner.h"
+#include "fuzz/repro.h"
+#include "fuzz/shrink.h"
+#include "model/serialize.h"
+
+namespace mpcp::fuzz {
+
+namespace {
+
+/// One fuzz run: generate, oracle-check, return the failures (usually
+/// none). Runs on a SweepRunner worker; must stay self-contained.
+struct RunRow {
+  bool generated = false;
+  std::vector<OracleFailure> failures;
+  std::string system_text;  ///< serialized system when failures exist
+};
+
+std::string sanitizeForFilename(std::string s) {
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') c = '_';
+  }
+  return s;
+}
+
+}  // namespace
+
+WorkloadParams drawWorkloadParams(Rng& rng) {
+  WorkloadParams p;
+  p.processors = 2 + static_cast<int>(rng.uniformInt(0, 2));
+  p.tasks_per_processor = 2 + static_cast<int>(rng.uniformInt(0, 2));
+  p.utilization_per_processor = rng.uniformReal(0.25, 0.7);
+  p.global_resources = 1 + static_cast<int>(rng.uniformInt(0, 2));
+  p.max_gcs_per_task = 1 + static_cast<int>(rng.uniformInt(0, 2));
+  p.global_sharing_prob = rng.uniformReal(0.4, 0.95);
+  p.local_resources_per_processor = static_cast<int>(rng.uniformInt(0, 2));
+  p.max_lcs_per_task = 1;
+  p.local_sharing_prob = rng.uniformReal(0.0, 0.8);
+  p.cs_min = 1;
+  p.cs_max = 2 + rng.uniformInt(0, 28);
+  p.suspension_prob = rng.chance(0.4) ? rng.uniformReal(0.1, 0.5) : 0.0;
+  if (rng.chance(0.35)) {
+    // "Differential profile": short periods so the tick-stepped reference
+    // oracle's horizon covers several hyperperiods of real contention.
+    p.period_min = 20;
+    p.period_max = 200;
+    p.period_granularity = 5;
+  } else {
+    p.period_min = 1'000;
+    p.period_max = 20'000;
+    p.period_granularity = 1'000;  // keeps auto horizons simulable
+  }
+  return p;
+}
+
+FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  OracleOptions oracle_options;
+  oracle_options.protocols = options.protocols;
+  oracle_options.mutation = options.mutation;
+  oracle_options.horizon_cap = options.horizon_cap;
+  oracle_options.differential_horizon = options.differential_horizon;
+
+  exp::SweepRunner& runner = exp::SweepRunner::global();
+  FuzzReport report;
+
+  const int batch = std::max(runner.threadCount() * 4, 16);
+  for (int base = 0; base < options.runs; base += batch) {
+    if (options.time_budget_s > 0 && elapsed() >= options.time_budget_s) {
+      report.budget_exhausted = true;
+      break;
+    }
+    const int count = std::min(batch, options.runs - base);
+    const std::vector<RunRow> rows = runner.map(
+        count, options.seed + static_cast<std::uint64_t>(base),
+        [&](int /*s*/, Rng& rng) {
+          RunRow row;
+          const WorkloadParams params = drawWorkloadParams(rng);
+          const TaskSystem sys = generateWorkload(params, rng);
+          row.generated = true;
+          row.failures = checkSystem(sys, oracle_options);
+          if (!row.failures.empty()) {
+            row.system_text = serializeTaskSystemToString(sys);
+          }
+          return row;
+        });
+
+    // Fold in run order: reported findings are deterministic for a given
+    // (--runs, --seed) at any MPCP_THREADS.
+    for (int s = 0; s < count; ++s) {
+      const RunRow& row = rows[static_cast<std::size_t>(s)];
+      ++report.runs_executed;
+      if (row.failures.empty()) continue;
+      ++report.systems_with_findings;
+      if (static_cast<int>(report.findings.size()) >= options.max_findings) {
+        continue;  // keep counting, stop shrinking/writing
+      }
+
+      FuzzFinding finding;
+      finding.run_index = base + s;
+      finding.derived_seed =
+          options.seed + static_cast<std::uint64_t>(base + s);
+      finding.failure = row.failures.front();
+      log << "FINDING run=" << finding.run_index
+          << " seed=" << finding.derived_seed << " ["
+          << finding.failure.protocol << "] " << finding.failure.oracle
+          << ": " << finding.failure.details << "\n";
+
+      TaskSystem sys = parseTaskSystemFromString(row.system_text);
+      finding.tasks_before = static_cast<int>(sys.tasks().size());
+
+      if (options.shrink) {
+        OracleOptions shrink_options = oracle_options;
+        shrink_options.protocols = {finding.failure.protocol};
+        const std::string target_oracle = finding.failure.oracle;
+        const auto still_violates = [&](const TaskSystem& candidate) {
+          for (const OracleFailure& f :
+               checkSystem(candidate, shrink_options)) {
+            if (f.oracle == target_oracle) return true;
+          }
+          return false;
+        };
+        // The recorded failure came from the full-oracle pass; re-check
+        // under the narrowed protocol set before shrinking against it.
+        if (still_violates(sys)) {
+          const ShrinkResult shrunk = shrinkSystem(
+              sys, still_violates, options.max_shrink_evaluations);
+          finding.shrink_evaluations = shrunk.evaluations;
+          sys = shrunk.system;
+          log << "  shrunk " << finding.tasks_before << " -> "
+              << sys.tasks().size() << " tasks in " << shrunk.evaluations
+              << " evaluations" << (shrunk.hit_budget ? " (budget hit)" : "")
+              << "\n";
+        }
+      }
+      finding.tasks_after = static_cast<int>(sys.tasks().size());
+
+      ReproCase repro;
+      repro.protocol = finding.failure.protocol;
+      repro.oracle = finding.failure.oracle;
+      repro.mutation = options.mutation;
+      repro.seed = finding.derived_seed;
+      repro.horizon_cap = options.horizon_cap;
+      repro.differential_horizon = options.differential_horizon;
+      repro.system = sys;
+      finding.repro_text = writeRepro(repro);
+
+      const std::string dir =
+          options.corpus_dir.empty() ? "." : options.corpus_dir;
+      std::error_code ec;  // best-effort; the open below reports failure
+      std::filesystem::create_directories(dir, ec);
+      const std::string path =
+          strf(dir, "/repro-seed", finding.derived_seed, "-",
+               sanitizeForFilename(finding.failure.protocol), "-",
+               sanitizeForFilename(finding.failure.oracle), ".repro");
+      std::ofstream out(path);
+      out << finding.repro_text;
+      out.flush();
+      if (out) {
+        finding.repro_path = path;
+        log << "  wrote " << path << "\n";
+      } else {
+        log << "  warning: could not write " << path << "\n";
+      }
+      report.findings.push_back(std::move(finding));
+    }
+  }
+
+  report.elapsed_s = elapsed();
+  return report;
+}
+
+}  // namespace mpcp::fuzz

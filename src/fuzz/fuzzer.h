@@ -1,0 +1,73 @@
+// The generator-driven fuzz loop.
+//
+// Each run index i derives Rng(seed + i) (the SweepRunner convention, so
+// results are independent of thread count), draws randomized
+// WorkloadParams, generates a task system via src/taskgen/, and feeds it
+// to the oracle families in fuzz/oracles.h. Findings are shrunk
+// (fuzz/shrink.h) and serialized as self-contained repro files
+// (fuzz/repro.h).
+//
+// Runs fan out across exp::SweepRunner (MPCP_THREADS) in batches; the
+// wall-clock budget is checked between batches only, and per-run results
+// are folded in run order, so the set of *reported* findings for a given
+// (--runs, --seed) is deterministic at any thread count when no time
+// budget cuts the loop short.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz/mutations.h"
+#include "fuzz/oracles.h"
+#include "taskgen/generator.h"
+
+namespace mpcp::fuzz {
+
+struct FuzzOptions {
+  int runs = 200;
+  std::uint64_t seed = 1;
+  /// Wall-clock budget in seconds; 0 = unlimited (run all `runs`).
+  double time_budget_s = 0;
+  /// Protocols to exercise; empty = the full registry.
+  std::vector<std::string> protocols;
+  Mutation mutation = Mutation::kNone;
+  /// Directory for emitted repro files; empty = current directory.
+  std::string corpus_dir;
+  bool shrink = true;
+  int max_shrink_evaluations = 300;
+  Time horizon_cap = 200'000;
+  Time differential_horizon = 1'200;
+  /// Stop after this many findings (each one costs a shrink).
+  int max_findings = 8;
+};
+
+struct FuzzFinding {
+  int run_index = 0;
+  std::uint64_t derived_seed = 0;  ///< seed + run_index
+  OracleFailure failure;           ///< first failure of the run
+  int tasks_before = 0;            ///< task count pre-shrink
+  int tasks_after = 0;             ///< task count post-shrink
+  int shrink_evaluations = 0;
+  std::string repro_text;          ///< writeRepro() of the shrunk case
+  std::string repro_path;          ///< file written ("" if writing failed)
+};
+
+struct FuzzReport {
+  int runs_executed = 0;
+  int systems_with_findings = 0;
+  std::vector<FuzzFinding> findings;
+  double elapsed_s = 0;
+  bool budget_exhausted = false;  ///< time budget ended the loop early
+};
+
+/// Runs the loop; progress and findings go to `log`.
+[[nodiscard]] FuzzReport runFuzz(const FuzzOptions& options,
+                                 std::ostream& log);
+
+/// The per-run parameter draw, exposed for tests: deterministic in `rng`.
+[[nodiscard]] WorkloadParams drawWorkloadParams(Rng& rng);
+
+}  // namespace mpcp::fuzz

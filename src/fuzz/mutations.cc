@@ -1,0 +1,128 @@
+#include "fuzz/mutations.h"
+
+#include "common/check.h"
+#include "core/mpcp_protocol.h"
+#include "protocols/local_pcp.h"
+#include "protocols/sem_state.h"
+#include "sim/engine.h"
+
+namespace mpcp::fuzz {
+
+namespace {
+
+/// MpcpProtocol with the gcs elevation de-based: rule 3 assigns
+/// gcsPriority(S, host) - P_G, i.e. the highest remote-user priority in
+/// the *normal* band. Everything else (queueing, handoff, local PCP) is
+/// untouched, so only the ceiling-band oracles can tell the difference.
+class GcsBaseFlippedMpcp final : public SyncProtocol {
+ public:
+  GcsBaseFlippedMpcp(const TaskSystem& system, const PriorityTables& tables)
+      : system_(&system),
+        tables_(&tables),
+        local_(system, tables),
+        global_(system.resources().size()) {}
+
+  void attach(Engine& engine) override {
+    SyncProtocol::attach(engine);
+    local_.attach(engine);
+  }
+
+  LockOutcome onLock(Job& j, ResourceId r) override {
+    if (!system_->isGlobal(r)) return local_.onLock(j, r);
+
+    SemState& s = global_[static_cast<std::size_t>(r.value())];
+    if (s.holder == &j) return LockOutcome::kGranted;
+    if (s.holder == nullptr) {
+      s.holder = &j;
+      j.elevated = flippedElevation(j, r);
+      engine_->notePriorityChanged(j);
+      engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = j.host,
+                     .resource = r, .priority = j.elevated});
+      return LockOutcome::kGranted;
+    }
+    s.queue.push(&j, j.base);
+    engine_->parkWaiting(j, r, s.holder->id);
+    return LockOutcome::kWaiting;
+  }
+
+  void onUnlock(Job& j, ResourceId r) override {
+    if (!system_->isGlobal(r)) {
+      local_.onUnlock(j, r);
+      return;
+    }
+    SemState& s = global_[static_cast<std::size_t>(r.value())];
+    MPCP_CHECK(s.holder == &j,
+               j.id << " releasing " << r << " it does not hold");
+    j.elevated = kPriorityFloor;
+    engine_->notePriorityChanged(j);
+    engine_->emit({.kind = Ev::kGcsExit, .job = j.id, .processor = j.current,
+                   .resource = r, .priority = j.base});
+    if (s.queue.empty()) {
+      s.holder = nullptr;
+      engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
+                     .resource = r});
+      return;
+    }
+    Job* next = s.queue.pop();
+    s.holder = next;
+    next->elevated = flippedElevation(*next, r);
+    engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
+                   .resource = r, .other = next->id});
+    engine_->emit({.kind = Ev::kGcsEnter, .job = next->id,
+                   .processor = next->host, .resource = r,
+                   .priority = next->elevated});
+    engine_->wake(*next);
+  }
+
+  void onJobFinished(Job& j) override { local_.onJobFinished(j); }
+  [[nodiscard]] const char* name() const override {
+    return "mpcp[gcs-ceiling-base]";
+  }
+
+ private:
+  [[nodiscard]] Priority flippedElevation(const Job& j, ResourceId r) const {
+    return Priority(tables_->gcsPriority(r, j.host).urgency() -
+                    tables_->globalBase().urgency());
+  }
+
+  const TaskSystem* system_;
+  const PriorityTables* tables_;
+  LocalPcp local_;
+  std::vector<SemState> global_;
+};
+
+}  // namespace
+
+const char* toString(Mutation m) {
+  switch (m) {
+    case Mutation::kNone: return "none";
+    case Mutation::kGcsCeilingBase: return "gcs-ceiling-base";
+  }
+  return "?";
+}
+
+std::optional<Mutation> mutationFromName(const std::string& s) {
+  for (const Mutation m : allMutations()) {
+    if (s == toString(m)) return m;
+  }
+  if (s == "none") return Mutation::kNone;
+  return std::nullopt;
+}
+
+const std::vector<Mutation>& allMutations() {
+  static const std::vector<Mutation> kAll = {Mutation::kGcsCeilingBase};
+  return kAll;
+}
+
+std::unique_ptr<SyncProtocol> makeMpcpWithMutation(
+    Mutation m, const TaskSystem& system, const PriorityTables& tables) {
+  switch (m) {
+    case Mutation::kNone:
+      return std::make_unique<MpcpProtocol>(system, tables);
+    case Mutation::kGcsCeilingBase:
+      return std::make_unique<GcsBaseFlippedMpcp>(system, tables);
+  }
+  throw ConfigError("unknown mutation");
+}
+
+}  // namespace mpcp::fuzz

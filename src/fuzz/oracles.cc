@@ -1,0 +1,225 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strf.h"
+#include "core/simulate.h"
+#include "fuzz/protocols.h"
+#include "sim/reference_mpcp.h"
+#include "trace/invariants.h"
+
+namespace mpcp::fuzz {
+
+namespace {
+
+using FinishMap = std::map<std::pair<std::int32_t, std::int64_t>, Time>;
+
+FinishMap finishMapOf(const SimResult& r) {
+  FinishMap out;
+  for (const JobRecord& jr : r.jobs) {
+    out[{jr.id.task.value(), jr.id.instance}] = jr.finish;
+  }
+  return out;
+}
+
+/// First divergence between two finish maps; nullopt when identical.
+std::optional<std::string> diffFinishes(const TaskSystem& sys,
+                                        const FinishMap& a, const char* la,
+                                        const FinishMap& b, const char* lb) {
+  if (a.size() != b.size()) {
+    return strf(la, " released ", a.size(), " jobs, ", lb, " released ",
+                b.size());
+  }
+  for (const auto& [key, fa] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) {
+      return strf(sys.task(TaskId(key.first)).name, "#", key.second,
+                  " missing under ", lb);
+    }
+    if (it->second != fa) {
+      return strf(sys.task(TaskId(key.first)).name, "#", key.second,
+                  " finishes at t=", fa, " under ", la, " but t=", it->second,
+                  " under ", lb);
+    }
+  }
+  return std::nullopt;
+}
+
+Duration maxBlockedOf(const SimResult& r, TaskId t) {
+  Duration worst = 0;
+  for (const JobRecord& jr : r.jobs) {
+    if (jr.id.task == t) worst = std::max(worst, jr.blocked);
+  }
+  return worst;
+}
+
+void addReport(std::vector<OracleFailure>& out, const std::string& protocol,
+               const char* oracle, const InvariantReport& report) {
+  if (report.ok()) return;
+  out.push_back({protocol, strf("invariant:", oracle),
+                 strf(report.violations.front(), " (+",
+                      report.violations.size() - 1, " more)")});
+}
+
+}  // namespace
+
+std::vector<OracleFailure> checkSystem(const TaskSystem& system,
+                                       const OracleOptions& options) {
+  std::vector<OracleFailure> failures;
+  const std::vector<std::string>& selected =
+      options.protocols.empty() ? protocolNames() : options.protocols;
+  const auto wants = [&](const std::string& name) {
+    return std::find(selected.begin(), selected.end(), name) != selected.end();
+  };
+
+  const SimConfig config{.horizon_cap = options.horizon_cap};
+  const PriorityTables tables(system);
+  std::map<std::string, SimResult> runs;  // applicable protocols only
+
+  // Per-protocol runs: invariants (a) + soundness (b).
+  for (const std::string& name : protocolNames()) {
+    if (!wants(name)) continue;
+    std::optional<SimResult> sim;
+    try {
+      sim = tryRunProtocol(name, system, config, options.mutation);
+    } catch (const InvariantError& e) {
+      failures.push_back({name, "crash:invariant", e.what()});
+      continue;
+    }
+    if (!sim.has_value()) continue;  // protocol rejects this system shape
+
+    // (a) trace invariants.
+    addReport(failures, name, "mutual-exclusion",
+              checkMutualExclusion(system, *sim));
+    if (name != "none" && name != "pip") {
+      // FIFO queues ("none") order by arrival; PIP waiters can be boosted
+      // above their assigned priority, so the assigned-priority handoff
+      // audit applies to neither.
+      addReport(failures, name, "priority-handoff",
+                checkPriorityOrderedHandoff(system, *sim));
+    }
+    if (name == "mpcp") {
+      addReport(failures, name, "gcs-preemption",
+                checkGcsPreemptionRule(system, *sim));
+      addReport(failures, name, "gcs-priority",
+                checkGcsPriorityAssignment(system, *sim, tables,
+                                           GcsPriorityRule::kSharedMemory));
+    }
+    if (name == "dpcp") {
+      addReport(failures, name, "gcs-priority",
+                checkGcsPriorityAssignment(system, *sim, tables,
+                                           GcsPriorityRule::kMessageBased));
+    }
+
+    // (b) soundness: the *correct* protocol's analysis vs this run.
+    if (const auto analysis = tryAnalyzeProtocol(name, system)) {
+      const bool accepted =
+          analysis->report.rta_all || analysis->report.ll_all;
+      if (accepted && sim->any_deadline_miss) {
+        failures.push_back(
+            {name, "soundness:accepted-but-missed",
+             "analysis declared the system schedulable but the simulation "
+             "missed a deadline"});
+      }
+      if (!sim->any_deadline_miss) {
+        for (const Task& t : system.tasks()) {
+          const Duration bound =
+              analysis->blocking[static_cast<std::size_t>(t.id.value())];
+          const Duration observed = maxBlockedOf(*sim, t.id);
+          if (observed > bound) {
+            failures.push_back(
+                {name, "soundness:blocking-bound",
+                 strf(t.name, " observed blocking ", observed,
+                      " exceeds the analytical bound ", bound)});
+            break;  // one exceedance identifies the run; keep output small
+          }
+        }
+      }
+    }
+
+    runs.emplace(name, std::move(*sim));
+  }
+
+  if (!options.cross_checks) return failures;
+
+  // (c) cross-implementation differentials.
+  if (runs.count("mpcp") != 0) {
+    // Engine vs the independent tick-stepped reference, same short horizon.
+    try {
+      const auto engine_small =
+          tryRunProtocol("mpcp", system,
+                         SimConfig{.horizon = options.differential_horizon,
+                                   .record_trace = false},
+                         options.mutation);
+      if (engine_small.has_value()) {
+        const ReferenceResult ref =
+            simulateMpcpReference(system, options.differential_horizon);
+        FinishMap ref_map;
+        for (const ReferenceJobResult& rj : ref.jobs) {
+          ref_map[{rj.id.task.value(), rj.id.instance}] = rj.finish;
+        }
+        if (const auto diff = diffFinishes(system, finishMapOf(*engine_small),
+                                           "engine", ref_map, "reference")) {
+          failures.push_back({"mpcp", "cross:reference-mpcp", *diff});
+        }
+      }
+    } catch (const InvariantError& e) {
+      failures.push_back({"mpcp", "crash:invariant", e.what()});
+    }
+
+    // hybrid(all-shared) must equal MPCP job-for-job.
+    try {
+      const SimResult hyb =
+          simulateHybrid(system, HybridPolicy::allShared(system), config);
+      if (const auto diff =
+              diffFinishes(system, finishMapOf(runs.at("mpcp")), "mpcp",
+                           finishMapOf(hyb), "hybrid(all-shared)")) {
+        failures.push_back({"mpcp", "cross:hybrid-shared", *diff});
+      }
+    } catch (const ConfigError&) {
+    } catch (const InvariantError& e) {
+      failures.push_back({"hybrid", "crash:invariant", e.what()});
+    }
+  }
+
+  if (runs.count("dpcp") != 0) {
+    // hybrid(all-message) must equal DPCP job-for-job.
+    try {
+      const SimResult hyb =
+          simulateHybrid(system, HybridPolicy::allMessage(system), config);
+      if (const auto diff =
+              diffFinishes(system, finishMapOf(runs.at("dpcp")), "dpcp",
+                           finishMapOf(hyb), "hybrid(all-message)")) {
+        failures.push_back({"dpcp", "cross:hybrid-message", *diff});
+      }
+    } catch (const ConfigError&) {
+    } catch (const InvariantError& e) {
+      failures.push_back({"hybrid", "crash:invariant", e.what()});
+    }
+  }
+
+  if (!system.hasGlobalResources()) {
+    // With no globals every ceiling protocol degenerates to local PCP, so
+    // PCP / MPCP / DPCP must produce the identical schedule.
+    const char* kAgree[] = {"pcp", "mpcp", "dpcp"};
+    for (int i = 0; i + 1 < 3; ++i) {
+      const auto a = runs.find(kAgree[i]);
+      const auto b = runs.find(kAgree[i + 1]);
+      if (a == runs.end() || b == runs.end()) continue;
+      if (const auto diff =
+              diffFinishes(system, finishMapOf(a->second), kAgree[i],
+                           finishMapOf(b->second), kAgree[i + 1])) {
+        failures.push_back({strf(kAgree[i], "+", kAgree[i + 1]),
+                            "cross:no-global-agreement", *diff});
+      }
+    }
+  }
+
+  return failures;
+}
+
+}  // namespace mpcp::fuzz

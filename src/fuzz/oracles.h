@@ -1,0 +1,60 @@
+// Oracle families for the differential protocol fuzzer.
+//
+// Given one task system, checkSystem() runs every applicable protocol
+// through sim::Engine and evaluates three oracle families:
+//
+//   (a) invariant:*  — post-hoc trace invariants (trace/invariants.*):
+//       mutual exclusion everywhere; priority-ordered handoff for the
+//       priority-queued protocols; Theorem 2 (gcs never preempted by
+//       non-cs code) and rule-3 gcs priority assignment for MPCP; the
+//       message-based gcs priority rule for DPCP.
+//   (b) soundness:*  — analysis vs observation (core/blocking.*,
+//       analysis/blocking_*): an analysis-accepted system must not miss
+//       deadlines, and in a miss-free run every job's observed blocking
+//       must stay within its B_i bound.
+//   (c) cross:*      — differential checks across implementations:
+//       MPCP vs the independent tick-stepped reference simulator;
+//       hybrid(all-shared) ≡ MPCP and hybrid(all-message) ≡ DPCP job
+//       finish times; and on systems with no global resources, PCP, MPCP
+//       and DPCP must agree exactly (they all reduce to local PCP).
+//
+// Plus "crash:*" when an internal MPCP_CHECK trips during simulation —
+// an engine/protocol invariant failure is always a finding.
+//
+// Oracle ids are stable strings ("invariant:mutual-exclusion", ...); the
+// shrinker uses them to preserve "violates the same oracle" while
+// minimizing, and repro files record them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/mutations.h"
+#include "model/task_system.h"
+
+namespace mpcp::fuzz {
+
+struct OracleFailure {
+  std::string protocol;  ///< registry name ("mpcp", "hybrid", ...)
+  std::string oracle;    ///< stable id, e.g. "soundness:blocking-bound"
+  std::string details;   ///< first violation, human-readable
+};
+
+struct OracleOptions {
+  /// Protocols to exercise; empty = the full registry.
+  std::vector<std::string> protocols;
+  /// Fault injection (applies to the protocols the mutation targets).
+  Mutation mutation = Mutation::kNone;
+  /// Auto-horizon cap for the per-protocol runs.
+  Time horizon_cap = 200'000;
+  /// Horizon of the O(horizon x jobs) reference-simulator differential.
+  Time differential_horizon = 1'200;
+  /// Enable the cross-implementation family (c).
+  bool cross_checks = true;
+};
+
+/// Runs all oracles; returns every failure, deterministically ordered.
+[[nodiscard]] std::vector<OracleFailure> checkSystem(
+    const TaskSystem& system, const OracleOptions& options = {});
+
+}  // namespace mpcp::fuzz

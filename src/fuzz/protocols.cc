@@ -1,0 +1,87 @@
+#include "fuzz/protocols.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/protocol_factory.h"
+#include "core/simulate.h"
+
+namespace mpcp::fuzz {
+
+namespace {
+
+std::optional<ProtocolKind> kindOf(const std::string& name) {
+  if (name == "none") return ProtocolKind::kNone;
+  if (name == "none-prio") return ProtocolKind::kNonePrio;
+  if (name == "pip") return ProtocolKind::kPip;
+  if (name == "pcp") return ProtocolKind::kPcp;
+  if (name == "mpcp") return ProtocolKind::kMpcp;
+  if (name == "dpcp") return ProtocolKind::kDpcp;
+  return std::nullopt;  // "hybrid" has no ProtocolKind
+}
+
+}  // namespace
+
+const std::vector<std::string>& protocolNames() {
+  static const std::vector<std::string> kNames = {
+      "none", "none-prio", "pip", "pcp", "mpcp", "dpcp", "hybrid"};
+  return kNames;
+}
+
+bool protocolKnown(const std::string& name) {
+  const auto& names = protocolNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+HybridPolicy fuzzHybridPolicy(const TaskSystem& system) {
+  HybridPolicy policy = HybridPolicy::allShared(system);
+  for (const ResourceInfo& r : system.resources()) {
+    if (r.scope == ResourceScope::kGlobal && r.id.value() % 2 == 1) {
+      policy.set(r.id, GlobalPolicy::kMessageBased);
+    }
+  }
+  return policy;
+}
+
+std::optional<SimResult> tryRunProtocol(const std::string& name,
+                                        const TaskSystem& system,
+                                        const SimConfig& config,
+                                        Mutation mutation) {
+  try {
+    if (name == "hybrid") {
+      return simulateHybrid(system, fuzzHybridPolicy(system), config);
+    }
+    if (name == "mpcp" && mutation != Mutation::kNone) {
+      PriorityTables tables(system);
+      auto protocol = makeMpcpWithMutation(mutation, system, tables);
+      Engine engine(system, *protocol, config);
+      return engine.run();
+    }
+    const auto kind = kindOf(name);
+    if (!kind.has_value()) throw ConfigError("unknown protocol '" + name + "'");
+    return simulate(*kind, system, config);
+  } catch (const ConfigError&) {
+    return std::nullopt;  // protocol rejects this system shape
+  }
+}
+
+std::optional<ProtocolAnalysis> tryAnalyzeProtocol(const std::string& name,
+                                                   const TaskSystem& system) {
+  try {
+    if (name == "hybrid") return analyzeHybrid(system, fuzzHybridPolicy(system));
+    const auto kind = kindOf(name);
+    if (!kind.has_value()) return std::nullopt;
+    switch (*kind) {
+      case ProtocolKind::kPcp:
+      case ProtocolKind::kMpcp:
+      case ProtocolKind::kDpcp:
+        return analyzeUnder(*kind, system);
+      default:
+        return std::nullopt;  // no bounded-blocking analysis (Section 3.3)
+    }
+  } catch (const ConfigError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace mpcp::fuzz

@@ -1,0 +1,45 @@
+// The fuzzer's protocol registry: every synchronization protocol in the
+// repo, addressable by name, with uniform "try to run / try to analyze"
+// entry points that report inapplicability (e.g. PCP on a system with
+// global resources, MPCP on nested global sections) instead of throwing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/hybrid_protocol.h"
+#include "fuzz/mutations.h"
+#include "model/task_system.h"
+#include "sim/engine.h"
+#include "sim/result.h"
+
+namespace mpcp::fuzz {
+
+/// Canonical fuzzing order: "none", "none-prio", "pip", "pcp", "mpcp",
+/// "dpcp", "hybrid". Fixed so runs and reports are deterministic.
+[[nodiscard]] const std::vector<std::string>& protocolNames();
+[[nodiscard]] bool protocolKnown(const std::string& name);
+
+/// The fuzzer's deterministic mixed policy: global resources alternate
+/// shared-memory / message-based by resource id parity.
+[[nodiscard]] HybridPolicy fuzzHybridPolicy(const TaskSystem& system);
+
+/// Simulates `system` under the named protocol. Mutations apply to the
+/// protocols they target (currently: "mpcp"); other protocols run
+/// unmodified. Returns nullopt when the protocol rejects the system
+/// (ConfigError at construction) — that is inapplicability, not a bug.
+/// InvariantError (an engine/protocol internal check tripping) is NOT
+/// caught: the caller reports it as a finding.
+[[nodiscard]] std::optional<SimResult> tryRunProtocol(
+    const std::string& name, const TaskSystem& system,
+    const SimConfig& config, Mutation mutation = Mutation::kNone);
+
+/// Analytical blocking bounds of the *correct* protocol where one exists
+/// ("pcp" without globals, "mpcp", "dpcp", "hybrid"); nullopt for
+/// protocols without a bounded-blocking analysis or rejected systems.
+[[nodiscard]] std::optional<ProtocolAnalysis> tryAnalyzeProtocol(
+    const std::string& name, const TaskSystem& system);
+
+}  // namespace mpcp::fuzz

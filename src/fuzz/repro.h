@@ -1,0 +1,67 @@
+// Self-contained fuzz repro files: everything needed to re-execute one
+// finding bit-exactly — the serialized task system (model/serialize.*),
+// the protocol and oracle that fired, the fault injection (if any), and
+// the horizons the oracles ran with.
+//
+// Format (line-oriented; '#' comments; header keys then the task system):
+//
+//   # mpcp_fuzz repro v1
+//   protocol mpcp                  # registry name ("a+b" for agreement)
+//   oracle invariant:gcs-priority  # stable oracle id that fired
+//   mutation gcs-ceiling-base      # optional fault injection
+//   seed 1017                      # informational: generator RNG seed
+//   horizon-cap 200000
+//   differential-horizon 1200
+//   system                         # remainder = model/serialize.h format
+//   processors 2
+//   ...
+//
+// replay() re-runs the recorded protocol(s) through all applicable
+// oracles and renders a deterministic report: identical inputs produce a
+// byte-identical report string on every invocation and at any
+// MPCP_THREADS setting (replay is single-run and never fans out).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.h"
+#include "model/task_system.h"
+
+namespace mpcp::fuzz {
+
+struct ReproCase {
+  std::string protocol;  ///< registry name; "a+b" for cross-agreement
+  std::string oracle;    ///< oracle id recorded at discovery time
+  Mutation mutation = Mutation::kNone;
+  std::uint64_t seed = 0;  ///< informational (system is self-contained)
+  Time horizon_cap = 200'000;
+  Time differential_horizon = 1'200;
+  TaskSystem system;
+};
+
+/// Serializes `repro` in the format above.
+[[nodiscard]] std::string writeRepro(const ReproCase& repro);
+
+/// Parses a repro file. Throws ConfigError (with context) on malformed
+/// headers or task systems — fail loudly, never guess.
+[[nodiscard]] ReproCase parseRepro(const std::string& text);
+[[nodiscard]] ReproCase loadReproFile(const std::string& path);
+
+struct ReplayOutcome {
+  std::vector<OracleFailure> failures;
+  std::string report;  ///< deterministic human-readable summary
+  [[nodiscard]] bool clean() const { return failures.empty(); }
+  /// True if some failure matches the recorded oracle id.
+  [[nodiscard]] bool reproducesRecordedOracle(const ReproCase& r) const;
+};
+
+/// Re-executes the repro deterministically. `with_mutation` selects
+/// whether the recorded fault injection is applied (replaying a
+/// mutation-found repro without it should come back clean on a correct
+/// implementation — exactly what the corpus regression test asserts).
+[[nodiscard]] ReplayOutcome replay(const ReproCase& repro,
+                                   bool with_mutation = true);
+
+}  // namespace mpcp::fuzz

@@ -1,0 +1,223 @@
+#include "fuzz/shrink.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace mpcp::fuzz {
+
+namespace {
+
+Body bodyFromOps(const std::vector<Op>& ops) {
+  Body body;
+  for (const Op& op : ops) {
+    if (const auto* c = std::get_if<ComputeOp>(&op)) {
+      body.compute(c->duration);
+    } else if (const auto* s = std::get_if<SuspendOp>(&op)) {
+      body.suspend(s->duration);
+    } else if (const auto* l = std::get_if<LockOp>(&op)) {
+      body.lock(l->resource);
+    } else if (const auto* u = std::get_if<UnlockOp>(&op)) {
+      body.unlock(u->resource);
+    }
+  }
+  return body;
+}
+
+/// (lock index, unlock index) pairs of a well-formed op list, lock order.
+std::vector<std::pair<std::size_t, std::size_t>> sectionPairs(
+    const std::vector<Op>& ops) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::size_t> stack;  // indices into `pairs`
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (std::holds_alternative<LockOp>(ops[i])) {
+      pairs.emplace_back(i, i);  // unlock index patched on close
+      stack.push_back(pairs.size() - 1);
+    } else if (std::holds_alternative<UnlockOp>(ops[i])) {
+      if (stack.empty()) return {};  // malformed; nothing to offer
+      pairs[stack.back()].second = i;
+      stack.pop_back();
+    }
+  }
+  return stack.empty() ? pairs : std::vector<std::pair<std::size_t, std::size_t>>{};
+}
+
+std::vector<Op> withoutIndices(const std::vector<Op>& ops, std::size_t a,
+                               std::size_t b) {
+  std::vector<Op> out;
+  out.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i != a && i != b) out.push_back(ops[i]);
+  }
+  return out;
+}
+
+/// Shared driver: evaluates `candidate`; on success commits it to `work`.
+class Shrinker {
+ public:
+  Shrinker(MutableSystem work, const StillViolates& violates, int budget)
+      : work_(std::move(work)), violates_(violates), budget_(budget) {}
+
+  bool tryCandidate(MutableSystem candidate) {
+    if (result_.evaluations >= budget_) {
+      result_.hit_budget = true;
+      return false;
+    }
+    const auto built = candidate.tryBuild();
+    if (!built.has_value()) return false;  // edit made the system invalid
+    ++result_.evaluations;
+    if (!violates_(*built)) return false;
+    work_ = std::move(candidate);
+    ++result_.accepted;
+    return true;
+  }
+
+  [[nodiscard]] bool budgetLeft() const {
+    return result_.evaluations < budget_ && !result_.hit_budget;
+  }
+
+  MutableSystem work_;
+  ShrinkResult result_;
+
+ private:
+  const StillViolates& violates_;
+  int budget_;
+};
+
+bool passDropTasks(Shrinker& s) {
+  bool changed = false;
+  for (std::size_t i = s.work_.tasks.size(); i-- > 0 && s.budgetLeft();) {
+    if (s.work_.tasks.size() <= 1) break;
+    MutableSystem candidate = s.work_;
+    candidate.tasks.erase(candidate.tasks.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    changed |= s.tryCandidate(std::move(candidate));
+  }
+  return changed;
+}
+
+bool passDropSections(Shrinker& s) {
+  bool changed = false;
+  for (std::size_t t = 0; t < s.work_.tasks.size() && s.budgetLeft(); ++t) {
+    // Re-list sections after every accepted edit; iterate back-to-front so
+    // a rejected candidate leaves earlier pair indices valid.
+    auto pairs = sectionPairs(s.work_.tasks[t].body.ops());
+    for (std::size_t p = pairs.size(); p-- > 0 && s.budgetLeft();) {
+      MutableSystem candidate = s.work_;
+      candidate.tasks[t].body = bodyFromOps(withoutIndices(
+          s.work_.tasks[t].body.ops(), pairs[p].first, pairs[p].second));
+      if (s.tryCandidate(std::move(candidate))) {
+        changed = true;
+        pairs = sectionPairs(s.work_.tasks[t].body.ops());
+        p = pairs.size();
+      }
+    }
+  }
+  return changed;
+}
+
+bool passDropSuspends(Shrinker& s) {
+  bool changed = false;
+  for (std::size_t t = 0; t < s.work_.tasks.size() && s.budgetLeft(); ++t) {
+    const std::size_t initial_size = s.work_.tasks[t].body.ops().size();
+    for (std::size_t i = initial_size; i-- > 0 && s.budgetLeft();) {
+      if (i >= s.work_.tasks[t].body.ops().size()) continue;
+      if (!std::holds_alternative<SuspendOp>(
+              s.work_.tasks[t].body.ops()[i])) {
+        continue;
+      }
+      MutableSystem candidate = s.work_;
+      candidate.tasks[t].body = bodyFromOps(
+          withoutIndices(s.work_.tasks[t].body.ops(), i, i));
+      changed |= s.tryCandidate(std::move(candidate));
+    }
+  }
+  return changed;
+}
+
+bool passHalveDurations(Shrinker& s) {
+  bool changed = false;
+  for (std::size_t t = 0; t < s.work_.tasks.size() && s.budgetLeft(); ++t) {
+    for (std::size_t i = 0; i < s.work_.tasks[t].body.ops().size() &&
+                            s.budgetLeft();
+         ++i) {
+      std::vector<Op> ops = s.work_.tasks[t].body.ops();
+      Duration* d = nullptr;
+      if (auto* c = std::get_if<ComputeOp>(&ops[i])) d = &c->duration;
+      if (auto* sp = std::get_if<SuspendOp>(&ops[i])) d = &sp->duration;
+      if (d == nullptr || *d <= 1) continue;
+      *d /= 2;
+      MutableSystem candidate = s.work_;
+      candidate.tasks[t].body = bodyFromOps(ops);
+      changed |= s.tryCandidate(std::move(candidate));
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+MutableSystem MutableSystem::fromSystem(const TaskSystem& system) {
+  MutableSystem m;
+  m.processors = system.processorCount();
+  m.options = system.options();
+  for (const ResourceInfo& r : system.resources()) {
+    m.resource_names.push_back(r.name);
+    m.sync_pins.push_back(
+        r.sync_processor.has_value() ? r.sync_processor->value() : -1);
+  }
+  for (const Task& t : system.tasks()) {
+    TaskSpec spec;
+    spec.name = t.name;
+    spec.period = t.period;
+    spec.phase = t.phase;
+    spec.relative_deadline = t.relative_deadline;
+    spec.processor = t.processor.value();
+    spec.body = t.body;
+    m.tasks.push_back(std::move(spec));
+  }
+  return m;
+}
+
+std::optional<TaskSystem> MutableSystem::tryBuild() const {
+  try {
+    TaskSystemBuilder builder(processors, options);
+    for (std::size_t r = 0; r < resource_names.size(); ++r) {
+      const ResourceId id = builder.addResource(resource_names[r]);
+      if (sync_pins[r] >= 0) {
+        builder.assignSyncProcessor(id, ProcessorId(sync_pins[r]));
+      }
+    }
+    for (const TaskSpec& spec : tasks) builder.addTask(spec);
+    return std::move(builder).build();
+  } catch (const ConfigError&) {
+    return std::nullopt;
+  } catch (const InvariantError&) {
+    return std::nullopt;
+  }
+}
+
+ShrinkResult shrinkSystem(const TaskSystem& start,
+                          const StillViolates& still_violates,
+                          int max_evaluations) {
+  MPCP_CHECK(still_violates(start),
+             "shrinkSystem: the starting system does not violate the oracle");
+  Shrinker s(MutableSystem::fromSystem(start), still_violates,
+             max_evaluations);
+  bool changed = true;
+  while (changed && s.budgetLeft()) {
+    changed = false;
+    changed |= passDropTasks(s);
+    changed |= passDropSections(s);
+    changed |= passDropSuspends(s);
+    changed |= passHalveDurations(s);
+    ++s.result_.rounds;
+  }
+  const auto final_system = s.work_.tryBuild();
+  MPCP_CHECK(final_system.has_value(),
+             "shrinkSystem: accepted edits produced an unbuildable system");
+  s.result_.system = *final_system;
+  return s.result_;
+}
+
+}  // namespace mpcp::fuzz

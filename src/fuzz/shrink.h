@@ -1,0 +1,59 @@
+// Greedy repro minimization: given a task system that violates an oracle,
+// repeatedly try structure-removing transformations — drop a task, drop a
+// critical section (its lock/unlock pair), drop a suspension, halve a
+// duration — and keep each one that still violates the *same* oracle.
+// Runs passes to a fixpoint (or an evaluation budget), so shrunk corpus
+// entries stay small enough to read and debug by hand.
+//
+// Rebuilding after each edit goes through TaskSystemBuilder, so derived
+// facts (RM priorities, resource scopes, ceilings) are recomputed — a
+// shrink step that turns a global resource local or reorders priorities
+// is fine as long as the violation survives it.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/task.h"
+#include "model/task_system.h"
+
+namespace mpcp::fuzz {
+
+/// Editable mirror of TaskSystemBuilder's inputs. Round-trips through
+/// build(): priorities are left to rate-monotonic re-derivation (the same
+/// caveat as model/serialize.h).
+struct MutableSystem {
+  int processors = 1;
+  TaskSystemOptions options;
+  std::vector<std::string> resource_names;
+  /// Per-resource DPCP sync pin (processor index), -1 = none recorded.
+  std::vector<int> sync_pins;
+  std::vector<TaskSpec> tasks;
+
+  [[nodiscard]] static MutableSystem fromSystem(const TaskSystem& system);
+  /// Builds a TaskSystem; nullopt if the edit made it invalid (empty
+  /// bodies, no tasks, ...), which the shrinker treats as "revert".
+  [[nodiscard]] std::optional<TaskSystem> tryBuild() const;
+};
+
+/// Predicate: does this candidate system still violate the same oracle?
+using StillViolates = std::function<bool(const TaskSystem&)>;
+
+struct ShrinkResult {
+  TaskSystem system;   ///< minimized system (== input if nothing shrank)
+  int evaluations = 0; ///< candidate systems tested
+  int accepted = 0;    ///< edits kept
+  int rounds = 0;      ///< fixpoint passes executed
+  bool hit_budget = false;
+};
+
+/// Minimizes `start` under `still_violates` (which must be true for
+/// `start` itself; checked). `max_evaluations` bounds oracle re-runs so
+/// shrinking stays deterministic and time-boxed without wall clocks.
+[[nodiscard]] ShrinkResult shrinkSystem(const TaskSystem& start,
+                                        const StillViolates& still_violates,
+                                        int max_evaluations = 400);
+
+}  // namespace mpcp::fuzz

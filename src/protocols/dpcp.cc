@@ -71,6 +71,11 @@ LockOutcome DpcpProtocol::onLock(Job& j, ResourceId r) {
     engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = pi,
                    .resource = r, .priority = j.elevated});
     engine_->migrate(j, pi);
+    // Queue on the sync processor in request order: without the restamp
+    // the agent would carry the job's release-time stamp and jump ahead
+    // of equal-ceiling agents granted earlier (handoff-path agents get a
+    // fresh stamp via wake(), so this grant path must match).
+    engine_->restampArrival(j);
     return LockOutcome::kGranted;
   }
   s.queue.push(&j, j.base);

@@ -250,6 +250,20 @@ bool Engine::processRunnableOps(int proc) {
       continue;
     }
     if (const auto* l = std::get_if<LockOp>(&op)) {
+      // An earlier op in this drain (an unlock dropping j's elevation or
+      // inheritance, a handoff elevating a peer) may have left a strictly
+      // higher-priority job ready here. A real V() reevaluates scheduling
+      // before the task can issue its next P(), so yield instead of
+      // letting back-to-back critical sections run atomically — the F5
+      // blocking bound's once-per-resume argument depends on exactly this
+      // preemption point.
+      if (progress) {
+        Job* top = pickHighest(proc);
+        if (top != nullptr && top != &j &&
+            top->effectivePriority() > j.effectivePriority()) {
+          return true;  // j stays ready; settle() dispatches the preemptor
+        }
+      }
       const LockOutcome outcome = protocol_.onLock(j, l->resource);
       if (outcome == LockOutcome::kGranted) {
         j.held.push_back(l->resource);
@@ -461,6 +475,17 @@ void Engine::migrate(Job& j, ProcessorId target) {
     readyQueue(target).pushSeq(&j, j.effectivePriority(), j.ready_seq);
   }
   dirty_ = true;
+}
+
+void Engine::restampArrival(Job& j) {
+  j.ready_seq = ++ready_seq_;
+  if (j.state == JobState::kReady) {
+    auto& q = readyQueue(j.current);
+    if (q.remove(&j)) {
+      q.pushSeq(&j, j.effectivePriority(), j.ready_seq);
+    }
+    dirty_ = true;
+  }
 }
 
 void Engine::notePriorityChanged(Job& j) {

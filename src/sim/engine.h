@@ -87,6 +87,13 @@ class Engine {
   /// Moves a job to another processor (DPCP critical-section migration).
   void migrate(Job& j, ProcessorId target);
 
+  /// Gives `j` a fresh FCFS arrival stamp (and re-keys its queue entry if
+  /// ready). Agent dispatch to a sync processor uses this so equal-ceiling
+  /// agents queue in *request* order — migrate() alone keeps the original
+  /// stamp, which would let a never-blocked job's agent jump ahead of
+  /// agents already granted and waiting for the sync CPU.
+  void restampArrival(Job& j);
+
   /// Re-keys `j` in its processor's ready queue after the caller changed
   /// its inherited/elevated priority in place. No-op for non-ready jobs
   /// (they are keyed afresh on wake()). Protocols MUST call this after

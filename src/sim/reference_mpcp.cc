@@ -20,6 +20,7 @@ struct RJob {
   Duration done_in_op = 0;      // progress inside the current ComputeOp
   Time wake_at = -1;            // voluntary suspension end, -1 if none
   bool waiting_global = false;  // parked in some global semaphore queue
+  bool parked_local = false;    // ceiling-blocked on a local semaphore
   bool finished = false;
   std::vector<ResourceId> held;
   std::uint64_t eligible_seq = 0;  // FCFS tie-break, stamped on eligibility
@@ -45,6 +46,14 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
   std::deque<RJob> jobs;  // stable addresses
   std::map<std::int32_t, GlobalSem> globals;
   std::uint64_t seq = 0;
+  // Jobs whose local lock attempt was ceiling-blocked, per processor, in
+  // attempt order. The engine parks these out of the ready queue and
+  // re-wakes them (with a *fresh* arrival stamp) on the next local unlock
+  // on that processor; mirroring both halves keeps same-priority FIFO
+  // tie-breaks — a woken waiter vs a job released at the same instant —
+  // bit-identical to the engine.
+  std::vector<std::vector<RJob*>> parked_local_q(
+      static_cast<std::size_t>(procs));
 
   ReferenceResult result;
 
@@ -143,6 +152,12 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
         inh_changed = false;
         for (RJob& j : jobs) {
           if (j.finished || j.waiting_global || j.wake_at >= 0) continue;
+          // Only a job that actually attempted the lock and parked donates
+          // its priority (the engine's LocalPcp sets inheritance when the
+          // attempt blocks, not when a lock op is merely pending) — eager
+          // donation would boost the holder before the waiter's attempt
+          // and reorder same-priority FIFO tie-breaks.
+          if (!j.parked_local) continue;
           const auto& ops = opsOf(j);
           if (j.op >= ops.size()) continue;
           const auto* l = std::get_if<LockOp>(&ops[j.op]);
@@ -175,6 +190,7 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
           std::vector<RJob*> candidates;
           for (RJob& j : jobs) {
             if (j.finished || j.waiting_global || j.wake_at >= 0) continue;
+            if (j.parked_local) continue;  // out of the ready set until woken
             if (j.task->processor.value() != p) continue;
             candidates.push_back(&j);
           }
@@ -218,6 +234,31 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                 break;
               }
               if (const auto* l = std::get_if<LockOp>(&ops[j->op])) {
+                // Mirror the engine's V() scheduling point: if an earlier
+                // op in this drain left a strictly higher-priority job
+                // eligible on p, that job preempts before j's next P().
+                // Back-to-back critical sections must not run atomically —
+                // the F5 blocking bound's once-per-resume argument depends
+                // on this preemption opportunity.
+                if (progressed) {
+                  recomputeInheritance();
+                  bool preempted = false;
+                  for (RJob& o : jobs) {
+                    if (&o == j || o.finished || o.waiting_global ||
+                        o.wake_at >= 0 || o.parked_local) {
+                      continue;
+                    }
+                    if (o.task->processor.value() != p) continue;
+                    if (effective(o) > effective(*j)) {
+                      preempted = true;
+                      break;
+                    }
+                  }
+                  if (preempted) {
+                    stop_candidate_scan = true;
+                    break;  // j stays eligible; the re-run pass dispatches
+                  }
+                }
                 if (sys.isGlobal(l->resource)) {
                   GlobalSem& g = globals[l->resource.value()];
                   if (g.holder == nullptr || g.holder == j) {
@@ -247,9 +288,15 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                   progressed = true;
                   continue;
                 }
-                // Ceiling-blocked. If nothing was consumed, fall through
-                // to the next candidate; else re-run the pass.
+                // Ceiling-blocked: park like the engine's LocalPcp (the
+                // job leaves the ready set until a local unlock on this
+                // processor wakes it for a retry). If nothing was
+                // consumed, fall through to the next candidate; else
+                // re-run the pass.
+                j->parked_local = true;
+                parked_local_q[static_cast<std::size_t>(p)].push_back(j);
                 stop_candidate_scan = progressed;
+                progressed = true;  // parking mutated scheduler state
                 break;
               }
               if (const auto* u = std::get_if<UnlockOp>(&ops[j->op])) {
@@ -257,6 +304,17 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                            "reference: unlock order violated");
                 j->held.pop_back();
                 j->op++;
+                if (!sys.isGlobal(u->resource)) {
+                  // Blocking conditions changed: wake every parked job
+                  // for a retry, re-stamping arrival order exactly like
+                  // the engine's wake() (losers re-park on the retry).
+                  auto& parked = parked_local_q[static_cast<std::size_t>(p)];
+                  for (RJob* w : parked) {
+                    w->parked_local = false;
+                    w->eligible_seq = ++seq;
+                  }
+                  parked.clear();
+                }
                 if (sys.isGlobal(u->resource)) {
                   GlobalSem& g = globals[u->resource.value()];
                   MPCP_CHECK(g.holder == j, "reference: non-holder unlock");

@@ -138,21 +138,62 @@ InvariantReport checkGcsPreemptionRule(const TaskSystem& system,
   }
 
   // Any non-gcs execution segment overlapping a *different* job's gcs
-  // interval on the same processor violates Theorem 2.
+  // interval on the same processor violates Theorem 2. A per-processor
+  // time sweep keeps this near-linear (the naive all-pairs scan is
+  // quadratic, which the fuzzer's ~10^5-event traces cannot afford): walk
+  // items in begin order and compare each against only the currently
+  // active items of the other kind — at most one running job plus its
+  // preempters, not the whole trace.
+  struct SweepItem {
+    Time begin;
+    Time end;
+    JobId job;
+    bool is_gcs;
+    ExecMode mode;  // only meaningful for segments
+  };
+  std::map<std::int32_t, std::vector<SweepItem>> by_proc;
+  for (const GcsInterval& iv : intervals) {
+    by_proc[iv.proc].push_back(
+        {iv.begin, iv.end, iv.job, true, ExecMode::kGcs});
+  }
   for (const ExecSegment& s : result.segments) {
     if (s.mode == ExecMode::kGcs) continue;
-    for (const GcsInterval& iv : intervals) {
-      if (iv.proc != s.processor.value()) continue;
-      if (iv.job == s.job) continue;
-      const Time lo = std::max(s.begin, iv.begin);
-      const Time hi = std::min(s.end, iv.end);
-      if (lo < hi) {
-        report.violations.push_back(strf(
-            "t=[", lo, ",", hi, "): ", s.job, " ran ", toString(s.mode),
-            " code on P", iv.proc, " while ", iv.job,
-            " was inside a gcs there (",
-            system.task(iv.job.task).name, ")"));
+    by_proc[s.processor.value()].push_back(
+        {s.begin, s.end, s.job, false, s.mode});
+  }
+  for (auto& [proc, items] : by_proc) {
+    std::sort(items.begin(), items.end(),
+              [](const SweepItem& a, const SweepItem& b) {
+                return a.begin != b.begin ? a.begin < b.begin
+                                          : a.is_gcs < b.is_gcs;
+              });
+    std::vector<const SweepItem*> active_gcs;
+    std::vector<const SweepItem*> active_seg;
+    for (const SweepItem& item : items) {
+      const auto expire = [&](std::vector<const SweepItem*>& v) {
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [&](const SweepItem* a) {
+                                 return a->end <= item.begin;
+                               }),
+                v.end());
+      };
+      expire(active_gcs);
+      expire(active_seg);
+      for (const SweepItem* other : item.is_gcs ? active_seg : active_gcs) {
+        const SweepItem& seg = item.is_gcs ? *other : item;
+        const SweepItem& gcs = item.is_gcs ? item : *other;
+        if (gcs.job == seg.job) continue;
+        const Time lo = std::max(seg.begin, gcs.begin);
+        const Time hi = std::min(seg.end, gcs.end);
+        if (lo < hi) {
+          report.violations.push_back(strf(
+              "t=[", lo, ",", hi, "): ", seg.job, " ran ",
+              toString(seg.mode), " code on P", proc, " while ", gcs.job,
+              " was inside a gcs there (",
+              system.task(gcs.job.task).name, ")"));
+        }
       }
+      (item.is_gcs ? active_gcs : active_seg).push_back(&item);
     }
   }
   return report;

@@ -1,0 +1,71 @@
+// Regression gate over the committed corpus: every repro in tests/corpus
+// replays CLEAN on a correct implementation, and repros recorded against
+// a seeded mutation still reproduce their oracle when the fault is
+// re-injected. A fuzz finding that gets fixed leaves its shrunk repro
+// here so the bug class stays covered forever.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/repro.h"
+
+#ifndef MPCP_CORPUS_DIR
+#error "build must define MPCP_CORPUS_DIR"
+#endif
+
+namespace mpcp::fuzz {
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir(MPCP_CORPUS_DIR);
+  if (std::filesystem::exists(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".repro") {
+        files.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplay, CorpusIsNotEmpty) {
+  EXPECT_FALSE(corpusFiles().empty())
+      << "no .repro files under " << MPCP_CORPUS_DIR;
+}
+
+TEST(CorpusReplay, EveryEntryReplaysCleanWithoutMutation) {
+  for (const std::string& path : corpusFiles()) {
+    SCOPED_TRACE(path);
+    const ReproCase rc = loadReproFile(path);
+    const ReplayOutcome out = replay(rc, /*with_mutation=*/false);
+    EXPECT_TRUE(out.clean()) << out.report;
+  }
+}
+
+TEST(CorpusReplay, MutationEntriesStillReproduceTheirOracle) {
+  for (const std::string& path : corpusFiles()) {
+    const ReproCase rc = loadReproFile(path);
+    if (rc.mutation == Mutation::kNone) continue;
+    SCOPED_TRACE(path);
+    const ReplayOutcome out = replay(rc, /*with_mutation=*/true);
+    EXPECT_TRUE(out.reproducesRecordedOracle(rc)) << out.report;
+  }
+}
+
+TEST(CorpusReplay, ReplayIsDeterministic) {
+  for (const std::string& path : corpusFiles()) {
+    SCOPED_TRACE(path);
+    const ReproCase rc = loadReproFile(path);
+    const ReplayOutcome a = replay(rc);
+    const ReplayOutcome b = replay(rc);
+    EXPECT_EQ(a.report, b.report);
+  }
+}
+
+}  // namespace
+}  // namespace mpcp::fuzz

@@ -1,0 +1,205 @@
+// mpcp_fuzz — differential protocol fuzzer with deterministic replay.
+//
+//   mpcp_fuzz [--runs N] [--seed N] [--time-budget 120s|2m]
+//             [--protocols name,name,...] [--mutate NAME]
+//             [--corpus-dir DIR] [--no-shrink] [--expect-findings]
+//             [--horizon-cap N] [--differential-horizon N]
+//             [--max-findings N]
+//   mpcp_fuzz --replay FILE [--no-mutation] [--expect-findings]
+//   mpcp_fuzz --list-mutations
+//
+// Fuzz mode draws random task systems (seed s runs with Rng(seed + s), the
+// SweepRunner convention, so results are thread-count independent), runs
+// every protocol in the registry, and checks the oracle families in
+// src/fuzz/oracles.h. Failures are shrunk and written as self-contained
+// repro files; `--replay` re-executes one bit-exactly.
+//
+// Exit codes: 0 = clean (or findings present under --expect-findings),
+// 1 = violations found (or none found when expected), 2 = usage error.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/protocols.h"
+#include "fuzz/repro.h"
+
+using namespace mpcp;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: mpcp_fuzz [--runs N] [--seed N] [--time-budget Ns|Nm]\n"
+      "                 [--protocols name,name,...] [--mutate NAME]\n"
+      "                 [--corpus-dir DIR] [--no-shrink]\n"
+      "                 [--expect-findings] [--horizon-cap N]\n"
+      "                 [--differential-horizon N] [--max-findings N]\n"
+      "       mpcp_fuzz --replay FILE [--no-mutation] [--expect-findings]\n"
+      "       mpcp_fuzz --list-mutations\n";
+  return 2;
+}
+
+/// Pull "--flag value" / "--flag" options out of argv.
+struct Args {
+  std::map<std::string, std::string> options;  // value "" = bare flag
+
+  bool has(const std::string& key) const { return options.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() || it->second.empty() ? fallback : it->second;
+  }
+};
+
+bool parseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) return false;
+    std::string value;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    args.options[a.substr(2)] = value;
+  }
+  return true;
+}
+
+/// "120" or "120s" -> 120 seconds, "2m" -> 120 seconds. -1 on parse error.
+double parseBudget(const std::string& text) {
+  if (text.empty()) return -1;
+  double scale = 1;
+  std::string digits = text;
+  const char suffix = text.back();
+  if (suffix == 's' || suffix == 'm') {
+    scale = suffix == 'm' ? 60 : 1;
+    digits = text.substr(0, text.size() - 1);
+  }
+  try {
+    return std::stod(digits) * scale;
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+std::vector<std::string> splitCommas(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int listMutations() {
+  for (const fuzz::Mutation m : fuzz::allMutations()) {
+    if (m == fuzz::Mutation::kNone) continue;
+    std::cout << toString(m) << "\n";
+  }
+  return 0;
+}
+
+int replayMode(const Args& args) {
+  const fuzz::ReproCase repro = fuzz::loadReproFile(args.get("replay", ""));
+  const bool with_mutation = !args.has("no-mutation");
+  const fuzz::ReplayOutcome outcome = fuzz::replay(repro, with_mutation);
+  std::cout << outcome.report;
+  if (args.has("expect-findings")) {
+    return outcome.reproducesRecordedOracle(repro) ? 0 : 1;
+  }
+  return outcome.clean() ? 0 : 1;
+}
+
+int fuzzMode(const Args& args) {
+  fuzz::FuzzOptions options;
+  options.runs = std::stoi(args.get("runs", "200"));
+  options.seed = std::stoull(args.get("seed", "1"));
+  options.shrink = !args.has("no-shrink");
+  options.corpus_dir = args.get("corpus-dir", "");
+  options.horizon_cap = std::stoll(args.get("horizon-cap", "200000"));
+  options.differential_horizon =
+      std::stoll(args.get("differential-horizon", "1200"));
+  options.max_findings = std::stoi(args.get("max-findings", "8"));
+  if (args.has("time-budget")) {
+    options.time_budget_s = parseBudget(args.get("time-budget", ""));
+    if (options.time_budget_s < 0) {
+      std::cerr << "bad --time-budget '" << args.get("time-budget", "")
+                << "' (want e.g. 120s or 2m)\n";
+      return 2;
+    }
+  }
+  if (args.has("protocols")) {
+    options.protocols = splitCommas(args.get("protocols", ""));
+    for (const std::string& p : options.protocols) {
+      if (!fuzz::protocolKnown(p)) {
+        std::cerr << "unknown protocol '" << p << "'\n";
+        return 2;
+      }
+    }
+  }
+  if (args.has("mutate")) {
+    const auto m = fuzz::mutationFromName(args.get("mutate", ""));
+    if (!m.has_value()) {
+      std::cerr << "unknown mutation '" << args.get("mutate", "")
+                << "' (see --list-mutations)\n";
+      return 2;
+    }
+    options.mutation = *m;
+  }
+
+  const fuzz::FuzzReport report = fuzz::runFuzz(options, std::cout);
+  std::cout << "fuzz: " << report.runs_executed << "/" << options.runs
+            << " runs, " << report.systems_with_findings
+            << " systems with findings, " << report.findings.size()
+            << " repros, " << report.elapsed_s << "s"
+            << (report.budget_exhausted ? " (time budget exhausted)" : "")
+            << "\n";
+
+  bench::BenchJson json("fuzz");
+  json.set("runs_requested", options.runs);
+  json.set("runs_executed", report.runs_executed);
+  json.set("systems_with_findings", report.systems_with_findings);
+  json.set("repros_written", static_cast<int>(report.findings.size()));
+  json.set("mutation", toString(options.mutation));
+  json.set("seed", static_cast<std::int64_t>(options.seed));
+  json.set("elapsed_s", report.elapsed_s);
+  json.set("budget_exhausted", report.budget_exhausted);
+  json.write();
+
+  if (args.has("expect-findings")) {
+    if (report.systems_with_findings == 0) {
+      std::cerr << "expected findings, found none in "
+                << report.runs_executed << " runs\n";
+      return 1;
+    }
+    return 0;
+  }
+  return report.systems_with_findings == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, args)) return usage();
+  if (args.has("help")) return usage();
+  try {
+    if (args.has("list-mutations")) return listMutations();
+    if (args.has("replay")) return replayMode(args);
+    return fuzzMode(args);
+  } catch (const ConfigError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
