@@ -8,18 +8,38 @@
 //   (d) jobs suspended on a semaphore are signalled in priority order;
 //   (e) while a job is suspended on a global semaphore, a lower-priority
 //       job can execute on its processor.
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
+#include "analysis/report.h"
 #include "core/simulate.h"
 #include "taskgen/paper_examples.h"
 #include "trace/gantt.h"
 #include "trace/invariants.h"
+#include "trace/perfetto.h"
 
 using namespace mpcp;
 
 int main() {
   const paper::Example3 ex = paper::makeExample3();
   const SimResult r = simulate(ProtocolKind::kMpcp, ex.sys, {.horizon = 40});
+
+  // Interactive companion to the ASCII Gantt: the same run as a Perfetto
+  // trace, dropped next to the BENCH_*.json files ($MPCP_BENCH_DIR if
+  // set) so CI can upload it as an artifact.
+  {
+    const char* dir = std::getenv("MPCP_BENCH_DIR");
+    const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
+                             "paper_example4.perfetto.json";
+    std::ofstream out(path);
+    writePerfettoTrace(out, ex.sys, r);
+    if (out) {
+      std::cout << "wrote " << path << " (load in ui.perfetto.dev)\n";
+    } else {
+      std::cerr << "warning: could not write " << path << "\n";
+    }
+  }
 
   std::cout << "### Figure 5-1: Gantt of the first activation window\n"
             << renderGantt(ex.sys, r, {.end = 25}) << "\n"
@@ -99,6 +119,9 @@ int main() {
   std::cout << "  [info] local PCP blocking occurred in window: "
             << (local_pcp_active ? "yes" : "no (releases did not collide)")
             << "\n";
+
+  std::cout << "\n### Runtime counters\n"
+            << renderCountersReport(ex.sys, r.counters);
 
   std::cout << "\ndeadline misses: " << (r.any_deadline_miss ? "YES" : "none")
             << "\n";

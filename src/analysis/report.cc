@@ -89,4 +89,37 @@ std::string renderScheduleReport(const TaskSystem& system,
   return os.str();
 }
 
+std::string renderCountersReport(const TaskSystem& system,
+                                 const obs::Counters& c) {
+  std::ostringstream os;
+  os << "jobs: released=" << c.jobs_released
+     << " finished=" << c.jobs_finished
+     << " deadline-misses=" << c.deadline_misses << "\n";
+  os << "scheduling: preemptions=" << c.preemptions
+     << " gcs-preemptions=" << c.gcs_preemptions
+     << " migrations=" << c.migrations
+     << " inheritance-updates=" << c.inheritance_updates << "\n";
+  os << "ready-queue high-water marks:";
+  for (std::size_t p = 0; p < c.ready_hwm.size(); ++p) {
+    os << " P" << p << "=" << c.ready_hwm[p];
+  }
+  os << "\n";
+  os << padRight("semaphore", 14) << padRight("acquisitions", 14)
+     << padRight("contended", 11) << "handoffs\n";
+  os << std::string(47, '-') << "\n";
+  for (const ResourceInfo& r : system.resources()) {
+    const obs::ResourceCounters& rc = c.res(r.id);
+    os << padRight(r.name, 14) << padRight(strf(rc.acquisitions), 14)
+       << padRight(strf(rc.contended_waits), 11) << rc.handoffs << "\n";
+  }
+  os << "blocking time per task (ticks, log2 buckets):\n";
+  for (const Task& t : system.tasks()) {
+    os << "  " << padRight(t.name, 8)
+       << obs::renderHistogram(
+              c.task_blocking[static_cast<std::size_t>(t.id.value())])
+       << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace mpcp

@@ -7,6 +7,7 @@
 #include "analysis/ceilings.h"
 #include "analysis/schedulability.h"
 #include "model/task_system.h"
+#include "obs/counters.h"
 
 namespace mpcp {
 
@@ -22,5 +23,11 @@ namespace mpcp {
 /// Per-task schedulability verdict table (Theorem 3 + RTA).
 [[nodiscard]] std::string renderScheduleReport(
     const TaskSystem& system, const SchedulabilityReport& report);
+
+/// Runtime counters report with names resolved against `system` (semaphore
+/// and task names instead of the plain S#/tau# ids obs::renderCounters
+/// falls back to when no TaskSystem is available).
+[[nodiscard]] std::string renderCountersReport(const TaskSystem& system,
+                                               const obs::Counters& counters);
 
 }  // namespace mpcp

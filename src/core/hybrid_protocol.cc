@@ -152,6 +152,7 @@ void HybridProtocol::onUnlock(Job& j, ResourceId r) {
   Job* next = s.queue.pop();
   s.holder = next;
   next->elevated = std::max(next->elevated, elevationFor(*next, r));
+  engine_->counters().res(r).handoffs++;
   engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
                  .resource = r, .other = next->id});
   engine_->emit({.kind = Ev::kGcsEnter, .job = next->id,

@@ -86,6 +86,7 @@ void MpcpProtocol::onUnlock(Job& j, ResourceId r) {
   Job* next = s.queue.pop();
   s.holder = next;
   next->elevated = tables_->gcsPriority(r, next->host);
+  engine_->counters().res(r).handoffs++;
   engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
                  .resource = r, .other = next->id});
   engine_->emit({.kind = Ev::kGcsEnter, .job = next->id,

@@ -1,0 +1,22 @@
+#include "exp/counter_sweep.h"
+
+#include "core/simulate.h"
+
+namespace mpcp::exp {
+
+obs::Counters counterSweep(const CounterSweepOptions& options,
+                           SweepRunner* runner) {
+  SweepRunner& r = runner != nullptr ? *runner : SweepRunner::global();
+  auto rows = r.map(options.seeds, options.seed_base, [&](int, Rng& rng) {
+    const TaskSystem sys = generateWorkload(options.params, rng);
+    SimConfig config;
+    config.horizon = options.horizon;
+    config.record_trace = false;
+    return simulate(options.protocol, sys, config).counters;
+  });
+  obs::Counters total;
+  for (const obs::Counters& row : rows) total.merge(row);
+  return total;
+}
+
+}  // namespace mpcp::exp

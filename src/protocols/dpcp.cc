@@ -123,6 +123,7 @@ void DpcpProtocol::onUnlock(Job& j, ResourceId r) {
   s.holder = next;
   next->elevated = std::max(next->elevated, tables_->ceiling(r));
   const ProcessorId pi = *system_->resource(r).sync_processor;
+  engine_->counters().res(r).handoffs++;
   engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = pi,
                  .resource = r, .other = next->id});
   engine_->emit({.kind = Ev::kGcsEnter, .job = next->id, .processor = pi,

@@ -62,6 +62,7 @@ void LocalPcp::onUnlock(Job& j, ResourceId r) {
   // here in case this was j's last semaphore.
   if (j.inherited != kPriorityFloor) {
     j.inherited = kPriorityFloor;
+    engine_->counters().inheritance_updates++;
     engine_->notePriorityChanged(j);
     engine_->emit({.kind = Ev::kInherit, .job = j.id, .processor = j.current,
                    .priority = j.base});
@@ -117,6 +118,7 @@ void LocalPcp::recomputeInheritance(int proc) {
 
   for (const auto& [holder, prev] : old) {
     if (holder->inherited != prev) {
+      engine_->counters().inheritance_updates++;
       engine_->notePriorityChanged(*holder);
       engine_->emit({.kind = Ev::kInherit, .job = holder->id,
                      .processor = holder->current,

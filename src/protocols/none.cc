@@ -34,6 +34,7 @@ void NoProtocol::onUnlock(Job& j, ResourceId r) {
   }
   Job* next = s.queue.pop();
   s.holder = next;
+  engine_->counters().res(r).handoffs++;
   engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
                  .resource = r, .other = next->id});
   engine_->wake(*next);

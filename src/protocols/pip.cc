@@ -32,6 +32,7 @@ void PipProtocol::onUnlock(Job& j, ResourceId r) {
   } else {
     Job* next = s.queue.pop();
     s.holder = next;
+    engine_->counters().res(r).handoffs++;
     engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
                    .resource = r, .other = next->id});
     engine_->wake(*next);
@@ -86,6 +87,7 @@ void PipProtocol::recomputeInheritance() {
       if (job == h) old = prio;
     }
     if (h->inherited != old) {
+      engine_->counters().inheritance_updates++;
       engine_->notePriorityChanged(*h);
       engine_->emit({.kind = Ev::kInherit, .job = h->id,
                      .processor = h->current, .priority = h->inherited});
@@ -93,6 +95,7 @@ void PipProtocol::recomputeInheritance() {
   }
   for (const auto& [job, prio] : before) {
     if (job->inherited == kPriorityFloor && prio != kPriorityFloor) {
+      engine_->counters().inheritance_updates++;
       engine_->notePriorityChanged(*job);
       engine_->emit({.kind = Ev::kInherit, .job = job->id,
                      .processor = job->current, .priority = job->base});

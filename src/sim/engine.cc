@@ -21,6 +21,8 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol,
                         static_cast<std::int32_t>(i)});
   }
   result_.processor_busy.assign(static_cast<std::size_t>(procs), 0);
+  result_.counters.init(system_.resources().size(),
+                        static_cast<std::size_t>(procs), n);
   result_.per_task.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     result_.per_task[i].task = TaskId(static_cast<std::int32_t>(i));
@@ -133,6 +135,8 @@ void Engine::releaseDueJobs() {
 
     readyQueue(stored.current)
         .pushSeq(&stored, stored.effectivePriority(), stored.ready_seq);
+    result_.counters.jobs_released++;
+    noteReadyDepth(stored.current);
     emit({.t = now_, .kind = Ev::kRelease, .job = stored.id,
           .processor = stored.host});
     protocol_.onJobReleased(stored);
@@ -195,6 +199,10 @@ void Engine::settle() {
       if (j != running_[static_cast<std::size_t>(p)]) {
         Job* old = running_[static_cast<std::size_t>(p)];
         if (old != nullptr && old->state == JobState::kReady) {
+          result_.counters.preemptions++;
+          if (j != nullptr && j->elevated != kPriorityFloor) {
+            result_.counters.gcs_preemptions++;
+          }
           emit({.t = now_, .kind = Ev::kPreempt, .job = old->id,
                 .processor = ProcessorId(p),
                 .other = j ? j->id : JobId{}});
@@ -266,6 +274,7 @@ bool Engine::processRunnableOps(int proc) {
       }
       const LockOutcome outcome = protocol_.onLock(j, l->resource);
       if (outcome == LockOutcome::kGranted) {
+        result_.counters.res(l->resource).acquisitions++;
         j.held.push_back(l->resource);
         j.op_index++;
         emit({.t = now_, .kind = Ev::kLockGrant, .job = j.id,
@@ -321,6 +330,9 @@ void Engine::finishJob(Job& j) {
           .processor = j.current});
   }
   if (missed) miss_seen_ = true;
+  result_.counters.jobs_finished++;
+  if (missed) result_.counters.deadline_misses++;
+  result_.counters.recordBlocking(j.id.task, j.blocked);
 
   // Any suspension-heap entry for j goes stale here (state kFinished) and
   // is dropped lazily by wakeDueSuspensions()/nextEventTime().
@@ -422,7 +434,10 @@ ExecMode Engine::execModeOf(const Job& j) const {
 void Engine::noteDeadlineMissesAtHorizon() {
   pool_.forEachLive([&](Job& j) {
     const bool missed = j.abs_deadline <= horizon_;
-    if (missed) miss_seen_ = true;
+    if (missed) {
+      miss_seen_ = true;
+      result_.counters.deadline_misses++;
+    }
     result_.jobs.push_back({.id = j.id,
                             .release = j.release,
                             .abs_deadline = j.abs_deadline,
@@ -443,6 +458,7 @@ void Engine::parkWaiting(Job& j, ResourceId r, JobId blocker) {
              "parkWaiting on non-ready job " << j.id);
   j.state = JobState::kWaiting;
   j.waiting_for = r;
+  result_.counters.res(r).contended_waits++;
   readyQueue(j.current).remove(&j);
   if (running_[static_cast<std::size_t>(j.current.value())] == &j) {
     running_[static_cast<std::size_t>(j.current.value())] = nullptr;
@@ -458,11 +474,13 @@ void Engine::wake(Job& j) {
   j.waiting_for = ResourceId();
   j.ready_seq = ++ready_seq_;
   readyQueue(j.current).pushSeq(&j, j.effectivePriority(), j.ready_seq);
+  noteReadyDepth(j.current);
   dirty_ = true;
 }
 
 void Engine::migrate(Job& j, ProcessorId target) {
   if (j.current == target) return;
+  result_.counters.migrations++;
   readyQueue(j.current).remove(&j);
   if (running_[static_cast<std::size_t>(j.current.value())] == &j) {
     running_[static_cast<std::size_t>(j.current.value())] = nullptr;
@@ -473,6 +491,7 @@ void Engine::migrate(Job& j, ProcessorId target) {
     // Keep the original arrival stamp: a migrating job does not lose its
     // FCFS position among equal priorities.
     readyQueue(target).pushSeq(&j, j.effectivePriority(), j.ready_seq);
+    noteReadyDepth(target);
   }
   dirty_ = true;
 }

@@ -107,6 +107,12 @@ class Engine {
   /// protocols keep their own queues). nullptr once a job finished.
   [[nodiscard]] Job* findJob(JobId id);
 
+  /// Runtime counters for this run (part of the SimResult). Protocols
+  /// bump protocol-level quantities here (handoffs, inheritance updates);
+  /// the engine bumps everything on its own paths. Bumps must never
+  /// influence scheduling decisions.
+  [[nodiscard]] obs::Counters& counters() { return result_.counters; }
+
  private:
   /// Pending timed suspension, lazily invalidated: an entry is live iff
   /// its job still matches (id, kWaiting, suspended_until == t).
@@ -143,6 +149,10 @@ class Engine {
   [[nodiscard]] bool suspEntryLive(const SuspEntry& e) const;
   [[nodiscard]] StablePriorityQueue<Job*>& readyQueue(ProcessorId p) {
     return ready_[static_cast<std::size_t>(p.value())];
+  }
+  /// Samples the ready-queue depth for the high-water-mark counter.
+  void noteReadyDepth(ProcessorId p) {
+    result_.counters.noteReadyDepth(p, readyQueue(p).size());
   }
 
   const TaskSystem& system_;

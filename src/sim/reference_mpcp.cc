@@ -56,6 +56,8 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
       static_cast<std::size_t>(procs));
 
   ReferenceResult result;
+  result.counters.init(sys.resources().size(),
+                       static_cast<std::size_t>(procs), sys.tasks().size());
 
   // ---- helpers over the mutable state ---------------------------------
   const auto opsOf = [&](const RJob& j) -> const std::vector<Op>& {
@@ -263,12 +265,14 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                   GlobalSem& g = globals[l->resource.value()];
                   if (g.holder == nullptr || g.holder == j) {
                     g.holder = j;
+                    result.counters.res(l->resource).acquisitions++;
                     j->held.push_back(l->resource);
                     j->op++;
                     progressed = true;
                     continue;
                   }
                   g.queue.push_back(j);
+                  result.counters.res(l->resource).contended_waits++;
                   j->waiting_global = true;
                   progressed = true;
                   stop_candidate_scan = true;
@@ -283,6 +287,7 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                 // use the current map (matches the engine, which also
                 // tests with the state as-of the attempt).
                 if (blocker == nullptr || effective(*j) > top_ceiling) {
+                  result.counters.res(l->resource).acquisitions++;
                   j->held.push_back(l->resource);
                   j->op++;
                   progressed = true;
@@ -294,6 +299,7 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                 // consumed, fall through to the next candidate; else
                 // re-run the pass.
                 j->parked_local = true;
+                result.counters.res(l->resource).contended_waits++;
                 parked_local_q[static_cast<std::size_t>(p)].push_back(j);
                 stop_candidate_scan = progressed;
                 progressed = true;  // parking mutated scheduler state
@@ -330,6 +336,8 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                     RJob* next = *best;
                     g.queue.erase(best);
                     g.holder = next;
+                    result.counters.res(u->resource).handoffs++;
+                    result.counters.res(u->resource).acquisitions++;
                     next->held.push_back(u->resource);
                     next->op++;  // consume the pending LockOp
                     next->waiting_global = false;

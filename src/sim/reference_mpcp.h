@@ -19,6 +19,7 @@
 
 #include "common/types.h"
 #include "model/task_system.h"
+#include "obs/counters.h"
 
 namespace mpcp {
 
@@ -31,6 +32,10 @@ struct ReferenceJobResult {
 struct ReferenceResult {
   std::vector<ReferenceJobResult> jobs;  ///< release order per task
   bool any_deadline_miss = false;
+  /// Lock-path counters bumped at the same semantic sites as the engine
+  /// (grant, park, handoff), so acquisition/wait/handoff totals are
+  /// directly comparable across the two implementations.
+  obs::Counters counters;
 };
 
 /// Simulates `system` under MPCP rules for `horizon` ticks.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/counters.h"
 #include "sim/trace_event.h"
 
 namespace mpcp {
@@ -47,6 +48,9 @@ struct SimResult {
   std::vector<TaskStats> per_task;    ///< indexed by TaskId
   std::vector<TraceEvent> trace;      ///< empty unless SimConfig::record_trace
   std::vector<ExecSegment> segments;  ///< empty unless SimConfig::record_trace
+  /// Always-on runtime counters (independent of record_trace); cheap
+  /// uint64_t bumps that never perturb the schedule. See obs/counters.h.
+  obs::Counters counters;
 };
 
 }  // namespace mpcp

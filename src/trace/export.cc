@@ -1,15 +1,28 @@
 #include "trace/export.h"
 
-#include <algorithm>
-
 namespace mpcp {
 
 namespace {
 
-std::string safeName(const TaskSystem& system, TaskId id) {
-  std::string name = system.task(id).name;
-  std::replace(name.begin(), name.end(), ',', ';');
-  return name;
+// RFC 4180 field escaping: quote when the value contains a comma, a
+// double quote, or a line break, doubling embedded quotes. Workload
+// names are user input (config files, generators), so every string
+// field goes through here rather than being assumed clean.
+std::string csvField(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string taskField(const TaskSystem& system, TaskId id) {
+  return csvField(system.task(id).name);
 }
 
 }  // namespace
@@ -19,7 +32,7 @@ void writeJobsCsv(std::ostream& os, const TaskSystem& system,
   os << "task,instance,release,deadline,finish,response,executed,blocked,"
         "preempted,suspended,missed\n";
   for (const JobRecord& jr : result.jobs) {
-    os << safeName(system, jr.id.task) << ',' << jr.id.instance << ','
+    os << taskField(system, jr.id.task) << ',' << jr.id.instance << ','
        << jr.release << ',' << jr.abs_deadline << ',' << jr.finish << ','
        << jr.responseTime() << ',' << jr.executed << ',' << jr.blocked << ','
        << jr.preempted << ',' << jr.suspended << ','
@@ -32,17 +45,17 @@ void writeTraceCsv(std::ostream& os, const TaskSystem& system,
   os << "t,event,task,instance,processor,resource,priority,other_task,"
         "other_instance\n";
   for (const TraceEvent& e : result.trace) {
-    os << e.t << ',' << toString(e.kind) << ','
-       << safeName(system, e.job.task) << ',' << e.job.instance << ','
+    os << e.t << ',' << csvField(toString(e.kind)) << ','
+       << taskField(system, e.job.task) << ',' << e.job.instance << ','
        << (e.processor.valid() ? e.processor.value() : -1) << ','
        << (e.resource.valid()
-               ? system.resource(e.resource).name
+               ? csvField(system.resource(e.resource).name)
                : std::string{})
        << ','
        << (e.priority == kPriorityFloor ? std::string{}
                                         : std::to_string(e.priority.urgency()))
        << ','
-       << (e.other.task.valid() ? safeName(system, e.other.task)
+       << (e.other.task.valid() ? taskField(system, e.other.task)
                                 : std::string{})
        << ',' << (e.other.task.valid() ? e.other.instance : -1) << '\n';
   }
@@ -52,9 +65,9 @@ void writeSegmentsCsv(std::ostream& os, const TaskSystem& system,
                       const SimResult& result) {
   os << "processor,task,instance,begin,end,mode\n";
   for (const ExecSegment& s : result.segments) {
-    os << s.processor.value() << ',' << safeName(system, s.job.task) << ','
+    os << s.processor.value() << ',' << taskField(system, s.job.task) << ','
        << s.job.instance << ',' << s.begin << ',' << s.end << ','
-       << toString(s.mode) << '\n';
+       << csvField(toString(s.mode)) << '\n';
   }
 }
 

@@ -1,8 +1,9 @@
 // CSV export of simulation results, for spreadsheets / plotting scripts.
 // Three flat tables: job records, trace events, execution segments.
-// All writers escape nothing — every field is numeric or a known-safe
-// identifier (task names come from the user; commas in names are
-// replaced with ';').
+// String fields (task/semaphore names, event kinds, segment modes) are
+// escaped per RFC 4180: quoted when they contain a comma, quote, or line
+// break, with embedded quotes doubled — names are user input and pass
+// through verbatim otherwise.
 #pragma once
 
 #include <ostream>

@@ -1,0 +1,206 @@
+#include "trace/perfetto.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strf.h"
+
+namespace mpcp {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jobName(const TaskSystem& system, JobId id) {
+  return strf(system.task(id.task).name, '#', id.instance);
+}
+
+/// An async span opened by a kLockWait / kSelfSuspend event and closed
+/// by its matching grant/resume (or the horizon). Chrome matches the
+/// "b"/"e" pair on (cat, id, pid), so those are pinned at open time.
+struct OpenSpan {
+  JobId job;
+  ResourceId resource;  ///< invalid for suspension spans
+  int id = 0;
+  int pid = 0;
+  int tid = 0;
+};
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  void emit(const std::string& body) {
+    os_ << (first_ ? "\n    {" : ",\n    {") << body << "}";
+    first_ = false;
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void writePerfettoTrace(std::ostream& os, const TaskSystem& system,
+                        const SimResult& result) {
+  // Home processor fallback for events whose processor field is unset
+  // (e.g. a deadline miss recorded at the horizon).
+  const auto pidOf = [&](const TraceEvent& e) {
+    return e.processor.valid()
+               ? e.processor.value()
+               : system.task(e.job.task).processor.value();
+  };
+
+  // Pass 1: every (processor, task) pair that appears, so each gets a
+  // thread_name metadata record (a task can show up on several
+  // processors under DPCP).
+  std::set<std::pair<int, int>> threads;
+  for (const ExecSegment& s : result.segments) {
+    threads.emplace(s.processor.value(), s.job.task.value());
+  }
+  for (const TraceEvent& e : result.trace) {
+    if (e.kind == Ev::kLockWait || e.kind == Ev::kSelfSuspend ||
+        e.kind == Ev::kDeadlineMiss) {
+      threads.emplace(pidOf(e), e.job.task.value());
+    }
+  }
+
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  EventWriter w(os);
+
+  for (int p = 0; p < system.processorCount(); ++p) {
+    w.emit(strf("\"ph\":\"M\",\"pid\":", p,
+                ",\"name\":\"process_name\",\"args\":{\"name\":\"P", p,
+                "\"}"));
+    w.emit(strf("\"ph\":\"M\",\"pid\":", p,
+                ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":",
+                p, "}"));
+  }
+  for (const auto& [pid, tid] : threads) {
+    w.emit(strf("\"ph\":\"M\",\"pid\":", pid, ",\"tid\":", tid,
+                ",\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                jsonEscape(system.task(TaskId(tid)).name), "\"}"));
+  }
+
+  // Execution segments as complete events, one per contiguous run.
+  for (const ExecSegment& s : result.segments) {
+    w.emit(strf("\"ph\":\"X\",\"pid\":", s.processor.value(),
+                ",\"tid\":", s.job.task.value(), ",\"ts\":", s.begin,
+                ",\"dur\":", s.end - s.begin, ",\"cat\":\"",
+                toString(s.mode), "\",\"name\":\"",
+                jsonEscape(jobName(system, s.job)), "\""));
+  }
+
+  // Async spans for blocking and suspension, in trace order.
+  int next_id = 1;
+  std::vector<OpenSpan> open_blocking;
+  std::vector<OpenSpan> open_susp;
+
+  const auto findOpen = [](std::vector<OpenSpan>& v, JobId job,
+                           ResourceId r) -> std::vector<OpenSpan>::iterator {
+    for (auto it = v.begin(); it != v.end(); ++it) {
+      if (it->job == job && it->resource == r) return it;
+    }
+    return v.end();
+  };
+  const auto emitBegin = [&](const OpenSpan& sp, Time t, const char* cat,
+                             const std::string& name) {
+    w.emit(strf("\"ph\":\"b\",\"cat\":\"", cat, "\",\"id\":", sp.id,
+                ",\"pid\":", sp.pid, ",\"tid\":", sp.tid, ",\"ts\":", t,
+                ",\"name\":\"", jsonEscape(name), "\""));
+  };
+  const auto emitEnd = [&](const OpenSpan& sp, Time t, const char* cat) {
+    w.emit(strf("\"ph\":\"e\",\"cat\":\"", cat, "\",\"id\":", sp.id,
+                ",\"pid\":", sp.pid, ",\"tid\":", sp.tid, ",\"ts\":", t));
+  };
+
+  for (const TraceEvent& e : result.trace) {
+    switch (e.kind) {
+      case Ev::kLockWait: {
+        // A PCP wake-retry that loses again re-emits kLockWait while the
+        // original span is still open; keep the one span per episode.
+        if (findOpen(open_blocking, e.job, e.resource) !=
+            open_blocking.end()) {
+          break;
+        }
+        OpenSpan sp{e.job, e.resource, next_id++, pidOf(e),
+                    e.job.task.value()};
+        emitBegin(sp, e.t, "blocking",
+                  strf("wait ", system.resource(e.resource).name));
+        open_blocking.push_back(sp);
+        break;
+      }
+      case Ev::kLockGrant: {
+        auto it = findOpen(open_blocking, e.job, e.resource);
+        if (it != open_blocking.end()) {
+          emitEnd(*it, e.t, "blocking");
+          open_blocking.erase(it);
+        }
+        break;
+      }
+      case Ev::kSelfSuspend: {
+        OpenSpan sp{e.job, ResourceId{}, next_id++, pidOf(e),
+                    e.job.task.value()};
+        emitBegin(sp, e.t, "suspension", "suspended");
+        open_susp.push_back(sp);
+        break;
+      }
+      case Ev::kSelfResume: {
+        auto it = findOpen(open_susp, e.job, ResourceId{});
+        if (it != open_susp.end()) {
+          emitEnd(*it, e.t, "suspension");
+          open_susp.erase(it);
+        }
+        break;
+      }
+      case Ev::kDeadlineMiss: {
+        w.emit(strf("\"ph\":\"i\",\"pid\":", pidOf(e),
+                    ",\"tid\":", e.job.task.value(), ",\"ts\":", e.t,
+                    ",\"s\":\"t\",\"name\":\"deadline miss ",
+                    jsonEscape(jobName(system, e.job)), "\""));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Anything still blocked/suspended at the horizon: close there so the
+  // viewer renders a bounded span instead of dropping the event.
+  for (const OpenSpan& sp : open_blocking) {
+    emitEnd(sp, result.horizon, "blocking");
+  }
+  for (const OpenSpan& sp : open_susp) {
+    emitEnd(sp, result.horizon, "suspension");
+  }
+
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace mpcp

@@ -1,0 +1,209 @@
+// Perfetto (Chrome trace-event JSON) exporter: structural validation
+// with a minimal JSON parser, trace-event-format invariants, span
+// pairing, and a byte-exact golden file for the paper's Example 4 run.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/simulate.h"
+#include "model/task_system.h"
+#include "taskgen/paper_examples.h"
+#include "trace/perfetto.h"
+
+namespace mpcp {
+namespace {
+
+// --- minimal JSON syntax checker -------------------------------------
+// Enough of RFC 8259 to reject anything a real parser would: balanced
+// structure, quoted strings with escapes, numbers, literals. Values are
+// not interpreted, only consumed.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control character
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+// ---------------------------------------------------------------------
+
+std::string example4Trace() {
+  const paper::Example3 ex = paper::makeExample3();
+  const SimResult r = simulate(ProtocolKind::kMpcp, ex.sys, {.horizon = 40});
+  std::ostringstream os;
+  writePerfettoTrace(os, ex.sys, r);
+  return os.str();
+}
+
+std::size_t countOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Perfetto, Example4ExportIsValidJson) {
+  const std::string json = example4Trace();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Perfetto, Example4HasTrackMetadataAndSpans) {
+  const std::string json = example4Trace();
+  // One process_name record per processor.
+  EXPECT_EQ(countOccurrences(json, "\"process_name\""), 3u);
+  // Example 4's run has contention on the globals, so blocking spans
+  // must be present, and every opened span must be closed.
+  const std::size_t begins = countOccurrences(json, "\"ph\":\"b\"");
+  const std::size_t ends = countOccurrences(json, "\"ph\":\"e\"");
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+  // Execution segments made it across.
+  EXPECT_GT(countOccurrences(json, "\"ph\":\"X\""), 0u);
+}
+
+TEST(Perfetto, ExportIsDeterministic) {
+  EXPECT_EQ(example4Trace(), example4Trace());
+}
+
+TEST(Perfetto, EscapesHostileNamesIntoValidJson) {
+  TaskSystemBuilder b(1);
+  const ResourceId s = b.addResource("S\"quote\\slash");
+  b.addTask({.name = "evil\"name\nnewline", .period = 20, .processor = 0,
+             .body = Body{}.compute(1).section(s, 2)});
+  b.addTask({.name = "peer", .period = 40, .phase = 1, .processor = 0,
+             .body = Body{}.section(s, 1)});
+  const TaskSystem sys = std::move(b).build();
+  const SimResult r = simulate(ProtocolKind::kMpcp, sys, {.horizon = 60});
+  std::ostringstream os;
+  writePerfettoTrace(os, sys, r);
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+TEST(Perfetto, Example4MatchesGoldenFile) {
+  std::ifstream in(std::string(MPCP_GOLDEN_DIR) +
+                   "/paper_example4_perfetto.json");
+  ASSERT_TRUE(in) << "golden file missing";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(example4Trace(), golden.str())
+      << "regenerate tests/golden/paper_example4_perfetto.json if the "
+         "exporter's output format changed intentionally";
+}
+
+}  // namespace
+}  // namespace mpcp

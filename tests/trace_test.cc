@@ -141,6 +141,33 @@ TEST(Export, CsvTablesWellFormed) {
   EXPECT_NE(segs.str().find("gcs"), std::string::npos);
 }
 
+TEST(Export, CsvEscapesNamesPerRfc4180) {
+  // Task and semaphore names are user input: commas, quotes and
+  // newlines must come out quoted with embedded quotes doubled, not
+  // mangled or passed through raw.
+  TaskSystemBuilder b(1);
+  const ResourceId s = b.addResource("s,with\"quote");
+  b.addTask({.name = "a,b", .period = 20, .processor = 0,
+             .body = Body{}.compute(1).section(s, 2)});
+  const TaskSystem sys = std::move(b).build();
+  const SimResult r = simulate(ProtocolKind::kMpcp, sys, {.horizon = 20});
+
+  std::ostringstream jobs;
+  writeJobsCsv(jobs, sys, r);
+  EXPECT_NE(jobs.str().find("\"a,b\",0,"), std::string::npos);
+
+  std::ostringstream trace;
+  writeTraceCsv(trace, sys, r);
+  EXPECT_NE(trace.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(trace.str().find("\"s,with\"\"quote\""), std::string::npos);
+
+  std::ostringstream segs;
+  writeSegmentsCsv(segs, sys, r);
+  EXPECT_NE(segs.str().find("\"a,b\""), std::string::npos);
+  // Unquoted raw names must not appear outside the quoted form.
+  EXPECT_EQ(segs.str().find(",a,b,"), std::string::npos);
+}
+
 TEST(Invariants, CheckAllAggregates) {
   const paper::Example3 ex = paper::makeExample3();
   const SimResult r = simulate(ProtocolKind::kMpcp, ex.sys, {.horizon = 500});

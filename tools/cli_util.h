@@ -1,0 +1,87 @@
+// Shared command-line helpers for the tools/ binaries.
+//
+// Bare std::stoi/std::stoull on user input abort with an unhelpful
+// "std::invalid_argument: stoi" (or worse, silently accept "12abc" as
+// 12). These helpers parse the full token with std::from_chars / strtod,
+// name the offending flag, and enforce caller-declared ranges; mains
+// catch UsageError, print the message plus usage to stderr, and exit 2.
+#pragma once
+
+#include <cerrno>
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace mpcp::cli {
+
+/// A malformed command line. Not a ConfigError: the input file may be
+/// fine, it is the invocation that needs fixing, so the handler reprints
+/// usage.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+template <typename T>
+T parseIntegral(const std::string& flag, const std::string& text, T min,
+                T max) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (text.empty() || ec == std::errc::invalid_argument || ptr != end) {
+    throw UsageError(flag + " expects an integer, got '" + text + "'");
+  }
+  if (ec == std::errc::result_out_of_range || value < min || value > max) {
+    throw UsageError(flag + "=" + text + " is out of range [" +
+                     std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return value;
+}
+
+}  // namespace detail
+
+/// Parses a signed integer; the whole token must be consumed.
+inline std::int64_t parseInt(
+    const std::string& flag, const std::string& text,
+    std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t max = std::numeric_limits<std::int64_t>::max()) {
+  return detail::parseIntegral<std::int64_t>(flag, text, min, max);
+}
+
+/// Parses an unsigned integer (rejects "-1" outright rather than
+/// wrapping it to 2^64-1 the way std::stoull does).
+inline std::uint64_t parseUint(
+    const std::string& flag, const std::string& text,
+    std::uint64_t min = 0,
+    std::uint64_t max = std::numeric_limits<std::uint64_t>::max()) {
+  return detail::parseIntegral<std::uint64_t>(flag, text, min, max);
+}
+
+/// Parses a double; the whole token must be consumed.
+inline double parseDouble(
+    const std::string& flag, const std::string& text,
+    double min = std::numeric_limits<double>::lowest(),
+    double max = std::numeric_limits<double>::max()) {
+  if (text.empty()) {
+    throw UsageError(flag + " expects a number, got ''");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    throw UsageError(flag + " expects a number, got '" + text + "'");
+  }
+  if (value < min || value > max) {
+    throw UsageError(flag + "=" + text + " is out of range [" +
+                     std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return value;
+}
+
+}  // namespace mpcp::cli

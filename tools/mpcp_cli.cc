@@ -5,7 +5,10 @@
 //                            [--paper-literal-f5]
 //   mpcp_cli simulate <file> [--protocol mpcp|dpcp|pcp|pip|none]
 //                            [--horizon N] [--gantt [END]] [--narrative]
-//                            [--csv PREFIX]
+//                            [--csv PREFIX] [--perfetto FILE]
+//   mpcp_cli stats    <file> [--protocol ...] [--horizon N]
+//   mpcp_cli stats    --sweep [--protocol ...] [--seeds N] [--seed N]
+//                     [--horizon N] [generator knobs as for generate]
 //   mpcp_cli generate [--seed N] [--processors N] [--tasks-per-proc N]
 //                     [--util X] [--resources N] [--cs-max N]
 //                     [--suspend-prob X]
@@ -25,11 +28,14 @@
 #include "common/rng.h"
 #include "core/analyzer.h"
 #include "core/simulate.h"
+#include "exp/counter_sweep.h"
 #include "model/serialize.h"
 #include "taskgen/generator.h"
+#include "cli_util.h"
 #include "trace/export.h"
 #include "trace/gantt.h"
 #include "trace/invariants.h"
+#include "trace/perfetto.h"
 
 using namespace mpcp;
 
@@ -37,12 +43,16 @@ namespace {
 
 int usage() {
   std::cerr <<
-      "usage: mpcp_cli <tables|analyze|simulate|generate> [args]\n"
+      "usage: mpcp_cli <tables|analyze|simulate|stats|generate> [args]\n"
       "  tables   <file>\n"
       "  analyze  <file> [--protocol mpcp|dpcp|pcp] [--no-deferred]\n"
       "                  [--paper-literal-f5]\n"
       "  simulate <file> [--protocol mpcp|dpcp|pcp|pip|none] [--horizon N]\n"
       "                  [--gantt [END]] [--narrative] [--csv PREFIX]\n"
+      "                  [--perfetto FILE]\n"
+      "  stats    <file> [--protocol mpcp|dpcp|pcp|pip|none] [--horizon N]\n"
+      "  stats    --sweep [--protocol ...] [--seeds N] [--seed N]\n"
+      "           [--horizon N] [generator knobs as for generate]\n"
       "  generate [--seed N] [--processors N] [--tasks-per-proc N]\n"
       "           [--util X] [--resources N] [--cs-max N] [--suspend-prob X]\n"
       "  sensitivity <file> [--protocol mpcp|dpcp|pcp]\n";
@@ -124,7 +134,8 @@ int cmdSimulate(const Args& args) {
   const TaskSystem sys = load(args.positional[0]);
   const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
   SimConfig config;
-  config.horizon = std::stoll(args.get("horizon", "0"));
+  config.horizon =
+      cli::parseInt("--horizon", args.get("horizon", "0"), 0, kTimeInfinity);
   const SimResult r = simulate(kind, sys, config);
 
   std::cout << "protocol " << toString(kind) << ", horizon " << r.horizon
@@ -145,7 +156,7 @@ int cmdSimulate(const Args& args) {
   if (args.has("gantt")) {
     GanttOptions g;
     const std::string end = args.get("gantt", "");
-    if (!end.empty()) g.end = std::stoll(end);
+    if (!end.empty()) g.end = cli::parseInt("--gantt", end, 1, kTimeInfinity);
     std::cout << "\n" << renderGantt(sys, r, g);
   }
   if (args.has("narrative")) {
@@ -160,6 +171,13 @@ int cmdSimulate(const Args& args) {
     std::ofstream segs(prefix + "_segments.csv");
     writeSegmentsCsv(segs, sys, r);
     std::cout << "wrote " << prefix << "_{jobs,trace,segments}.csv\n";
+  }
+  if (args.has("perfetto")) {
+    const std::string path = args.get("perfetto", "trace.perfetto.json");
+    std::ofstream out(path);
+    if (!out) throw ConfigError("cannot write '" + path + "'");
+    writePerfettoTrace(out, sys, r);
+    std::cout << "wrote " << path << " (load in ui.perfetto.dev)\n";
   }
   return r.any_deadline_miss ? 1 : 0;
 }
@@ -183,15 +201,62 @@ int cmdSensitivity(const Args& args) {
   return 0;
 }
 
-int cmdGenerate(const Args& args) {
+/// Generator knobs shared by `generate` and `stats --sweep`. Counts
+/// that make no sense non-positive (processors, tasks) are rejected
+/// here rather than deep inside the generator.
+WorkloadParams workloadParamsFromArgs(const Args& args) {
   WorkloadParams p;
-  p.processors = std::stoi(args.get("processors", "4"));
-  p.tasks_per_processor = std::stoi(args.get("tasks-per-proc", "3"));
-  p.utilization_per_processor = std::stod(args.get("util", "0.4"));
-  p.global_resources = std::stoi(args.get("resources", "2"));
-  p.cs_max = std::stoll(args.get("cs-max", "20"));
-  p.suspension_prob = std::stod(args.get("suspend-prob", "0"));
-  Rng rng(std::stoull(args.get("seed", "1")));
+  p.processors = static_cast<int>(
+      cli::parseInt("--processors", args.get("processors", "4"), 1, 4096));
+  p.tasks_per_processor = static_cast<int>(cli::parseInt(
+      "--tasks-per-proc", args.get("tasks-per-proc", "3"), 1, 4096));
+  p.utilization_per_processor =
+      cli::parseDouble("--util", args.get("util", "0.4"), 0.0, 8.0);
+  p.global_resources = static_cast<int>(
+      cli::parseInt("--resources", args.get("resources", "2"), 0, 4096));
+  p.cs_max = cli::parseInt("--cs-max", args.get("cs-max", "20"), 1, 1'000'000);
+  p.suspension_prob = cli::parseDouble("--suspend-prob",
+                                       args.get("suspend-prob", "0"), 0.0, 1.0);
+  return p;
+}
+
+int cmdStats(const Args& args) {
+  const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
+  if (args.has("sweep")) {
+    exp::CounterSweepOptions o;
+    o.protocol = kind;
+    o.params = workloadParamsFromArgs(args);
+    o.seeds = static_cast<int>(
+        cli::parseInt("--seeds", args.get("seeds", "16"), 1, 1'000'000));
+    o.seed_base = cli::parseUint("--seed", args.get("seed", "1"));
+    o.horizon =
+        cli::parseInt("--horizon", args.get("horizon", "20000"), 1,
+                      kTimeInfinity);
+    const obs::Counters total = exp::counterSweep(o);
+    std::cout << "protocol " << toString(kind) << ", seeds " << o.seeds
+              << " (base " << o.seed_base << "), horizon " << o.horizon
+              << " per run:\n"
+              << obs::renderCounters(total);
+    return 0;
+  }
+  if (args.positional.empty()) {
+    throw cli::UsageError("stats needs a task-system file or --sweep");
+  }
+  const TaskSystem sys = load(args.positional[0]);
+  SimConfig config;
+  config.horizon =
+      cli::parseInt("--horizon", args.get("horizon", "0"), 0, kTimeInfinity);
+  config.record_trace = false;  // counters are always on; skip the trace
+  const SimResult r = simulate(kind, sys, config);
+  std::cout << "protocol " << toString(kind) << ", horizon " << r.horizon
+            << ":\n"
+            << renderCountersReport(sys, r.counters);
+  return 0;
+}
+
+int cmdGenerate(const Args& args) {
+  const WorkloadParams p = workloadParamsFromArgs(args);
+  Rng rng(cli::parseUint("--seed", args.get("seed", "1")));
   const TaskSystem sys = generateWorkload(p, rng);
   serializeTaskSystem(std::cout, sys);
   return 0;
@@ -207,8 +272,13 @@ int main(int argc, char** argv) {
     if (cmd == "tables") return cmdTables(args);
     if (cmd == "analyze") return cmdAnalyze(args);
     if (cmd == "simulate") return cmdSimulate(args);
+    if (cmd == "stats") return cmdStats(args);
     if (cmd == "generate") return cmdGenerate(args);
     if (cmd == "sensitivity") return cmdSensitivity(args);
+    std::cerr << "error: unknown command '" << cmd << "'\n";
+    return usage();
+  } catch (const cli::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cli_util.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/protocols.h"
 #include "fuzz/repro.h"
@@ -120,14 +121,20 @@ int replayMode(const Args& args) {
 
 int fuzzMode(const Args& args) {
   fuzz::FuzzOptions options;
-  options.runs = std::stoi(args.get("runs", "200"));
-  options.seed = std::stoull(args.get("seed", "1"));
+  options.runs = static_cast<int>(
+      cli::parseInt("--runs", args.get("runs", "200"), 1, 100'000'000));
+  options.seed = cli::parseUint("--seed", args.get("seed", "1"));
   options.shrink = !args.has("no-shrink");
   options.corpus_dir = args.get("corpus-dir", "");
-  options.horizon_cap = std::stoll(args.get("horizon-cap", "200000"));
+  options.horizon_cap = cli::parseInt(
+      "--horizon-cap", args.get("horizon-cap", "200000"), 1, kTimeInfinity);
   options.differential_horizon =
-      std::stoll(args.get("differential-horizon", "1200"));
-  options.max_findings = std::stoi(args.get("max-findings", "8"));
+      cli::parseInt("--differential-horizon",
+                    args.get("differential-horizon", "1200"), 1,
+                    kTimeInfinity);
+  options.max_findings = static_cast<int>(
+      cli::parseInt("--max-findings", args.get("max-findings", "8"), 1,
+                    1'000'000));
   if (args.has("time-budget")) {
     options.time_budget_s = parseBudget(args.get("time-budget", ""));
     if (options.time_budget_s < 0) {
@@ -195,6 +202,9 @@ int main(int argc, char** argv) {
     if (args.has("list-mutations")) return listMutations();
     if (args.has("replay")) return replayMode(args);
     return fuzzMode(args);
+  } catch (const cli::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
   } catch (const ConfigError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
