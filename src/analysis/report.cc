@@ -99,6 +99,13 @@ std::string renderCountersReport(const TaskSystem& system,
      << " gcs-preemptions=" << c.gcs_preemptions
      << " migrations=" << c.migrations
      << " inheritance-updates=" << c.inheritance_updates << "\n";
+  os << "faults: injected=" << c.faults_injected
+     << " contained=" << c.faults_contained
+     << " forced-releases=" << c.forced_releases
+     << " budget-kills=" << c.budget_kills
+     << " jobs-aborted=" << c.jobs_aborted
+     << " releases-skipped=" << c.releases_skipped
+     << " misses-while-degraded=" << c.misses_while_degraded << "\n";
   os << "ready-queue high-water marks:";
   for (std::size_t p = 0; p < c.ready_hwm.size(); ++p) {
     os << " P" << p << "=" << c.ready_hwm[p];

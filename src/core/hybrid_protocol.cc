@@ -92,6 +92,7 @@ LockOutcome HybridProtocol::onLock(Job& j, ResourceId r) {
   if (s.holder == &j) return LockOutcome::kGranted;  // handed off
   if (s.holder == nullptr) {
     s.holder = &j;
+    engine_->noteGlobalHolder(r, &j);
     // Message-based sections can nest: keep the highest elevation among
     // held message-based semaphores.
     j.elevated = std::max(j.elevated, elevationFor(j, r));
@@ -145,12 +146,14 @@ void HybridProtocol::onUnlock(Job& j, ResourceId r) {
 
   if (s.queue.empty()) {
     s.holder = nullptr;
+    engine_->noteGlobalHolder(r, nullptr);
     engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
                    .resource = r});
     return;
   }
   Job* next = s.queue.pop();
   s.holder = next;
+  engine_->noteGlobalHolder(r, next);
   next->elevated = std::max(next->elevated, elevationFor(*next, r));
   engine_->counters().res(r).handoffs++;
   engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,

@@ -45,6 +45,7 @@ LockOutcome MpcpProtocol::onLock(Job& j, ResourceId r) {
   if (s.holder == nullptr) {
     // Rule 5: atomic acquisition; rule 3: fixed gcs priority on entry.
     s.holder = &j;
+    engine_->noteGlobalHolder(r, &j);
     j.elevated = tables_->gcsPriority(r, j.host);
     engine_->notePriorityChanged(j);
     engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = j.host,
@@ -76,6 +77,7 @@ void MpcpProtocol::onUnlock(Job& j, ResourceId r) {
 
   if (s.queue.empty()) {
     s.holder = nullptr;
+    engine_->noteGlobalHolder(r, nullptr);
     engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
                    .resource = r});
     return;
@@ -85,6 +87,7 @@ void MpcpProtocol::onUnlock(Job& j, ResourceId r) {
   // must be able to preempt the moment it is signalled).
   Job* next = s.queue.pop();
   s.holder = next;
+  engine_->noteGlobalHolder(r, next);
   next->elevated = tables_->gcsPriority(r, next->host);
   engine_->counters().res(r).handoffs++;
   engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,

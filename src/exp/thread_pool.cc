@@ -47,10 +47,19 @@ void ThreadPool::workerLoop() {
       job = std::move(jobs_.front());
       jobs_.pop();
     }
-    job();
+    // A throwing job must not escape the worker thread (std::terminate)
+    // or skip the inflight_ decrement (parallelFor would wait forever):
+    // capture it and hand it back to the next parallelFor drain.
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --inflight_;
+      if (err != nullptr && task_error_ == nullptr) task_error_ = err;
     }
     done_cv_.notify_all();
   }
@@ -113,6 +122,12 @@ void ThreadPool::parallelFor(std::int64_t n,
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [this] { return inflight_ == 0; });
+    // An exception that escaped a job closure itself (not fn — drain
+    // catches those) surfaces here instead of killing the process.
+    if (task_error_ != nullptr && shared->error == nullptr) {
+      shared->error = task_error_;
+    }
+    task_error_ = nullptr;
   }
   if (shared->error) std::rethrow_exception(shared->error);
 }

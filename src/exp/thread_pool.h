@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -59,6 +60,9 @@ class ThreadPool {
   std::queue<std::function<void()>> jobs_;
   std::int64_t inflight_ = 0;  // queued + running job closures
   bool stopping_ = false;
+  /// First exception that escaped a job closure (guarded by mu_);
+  /// rethrown by the next parallelFor instead of std::terminate.
+  std::exception_ptr task_error_;
 };
 
 }  // namespace mpcp::exp

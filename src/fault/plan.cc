@@ -1,0 +1,435 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strf.h"
+#include "model/sections.h"
+
+namespace mpcp::fault {
+
+namespace {
+
+/// floor(base * factor) with a tiny guard so exact products (factors are
+/// quarter-steps, hence exactly representable) never round down.
+Duration stretch(Duration base, double factor) {
+  return static_cast<Duration>(
+      std::floor(static_cast<double>(base) * factor + 1e-9));
+}
+
+std::string specLabel(std::size_t i, const FaultSpec& s) {
+  return strf("fault spec #", i, " (", toString(s.kind), ")");
+}
+
+std::vector<std::string> splitOn(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : text) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::int64_t parseIndex(const std::string& field, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError(strf("fault plan: ", field, " expects a number, got '",
+                           text, "'"));
+  }
+}
+
+TaskId parseTask(const std::string& text, const TaskSystem& sys) {
+  for (const Task& t : sys.tasks()) {
+    if (t.name == text) return t.id;
+  }
+  return TaskId(static_cast<std::int32_t>(parseIndex("task", text)));
+}
+
+ResourceId parseResource(const std::string& text, const TaskSystem& sys) {
+  if (text == "*") return ResourceId{};
+  for (std::size_t r = 0; r < sys.resources().size(); ++r) {
+    if (sys.resources()[r].name == text) {
+      return ResourceId(static_cast<std::int32_t>(r));
+    }
+  }
+  return ResourceId(static_cast<std::int32_t>(parseIndex("resource", text)));
+}
+
+std::int64_t parseInstance(const std::string& text) {
+  if (text == "*") return -1;
+  return parseIndex("instance", text);
+}
+
+/// "x<factor>[+<delta>]" -> (factor, delta).
+void parseStretch(const std::string& text, FaultSpec& spec) {
+  if (text.empty() || text[0] != 'x') {
+    throw ConfigError(strf("fault plan: expected x<factor>[+<delta>], got '",
+                           text, "'"));
+  }
+  const std::size_t plus = text.find('+');
+  const std::string ftext = text.substr(1, plus == std::string::npos
+                                               ? std::string::npos
+                                               : plus - 1);
+  try {
+    std::size_t pos = 0;
+    spec.factor = std::stod(ftext, &pos);
+    if (pos != ftext.size()) throw std::invalid_argument(ftext);
+  } catch (const std::exception&) {
+    throw ConfigError(strf("fault plan: bad factor '", ftext, "'"));
+  }
+  if (plus != std::string::npos) {
+    spec.delta = parseIndex("delta", text.substr(plus + 1));
+  }
+}
+
+std::string formatFactor(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", f);
+  return buf;
+}
+
+std::string instText(std::int64_t inst) {
+  return inst < 0 ? "*" : std::to_string(inst);
+}
+
+std::string resourceText(ResourceId r, const TaskSystem& sys) {
+  return r.valid() ? sys.resources()[static_cast<std::size_t>(r.value())].name
+                   : std::string("*");
+}
+
+}  // namespace
+
+const char* toString(FaultKind k) {
+  switch (k) {
+    case FaultKind::kWcetOverrun: return "wcet";
+    case FaultKind::kCsOverrun: return "cs";
+    case FaultKind::kStuckHolder: return "stuck";
+    case FaultKind::kReleaseJitter: return "jitter";
+    case FaultKind::kProcStall: return "stall";
+  }
+  return "?";
+}
+
+bool FaultPlan::mirrorable() const { return !hasStalls(); }
+
+bool FaultPlan::hasStalls() const {
+  return std::any_of(specs.begin(), specs.end(), [](const FaultSpec& s) {
+    return s.kind == FaultKind::kProcStall;
+  });
+}
+
+void FaultPlan::validate(const TaskSystem& sys) const {
+  const auto n_tasks = static_cast<std::int32_t>(sys.tasks().size());
+  const auto n_res = static_cast<std::int32_t>(sys.resources().size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FaultSpec& s = specs[i];
+    if (s.kind == FaultKind::kProcStall) {
+      if (!s.processor.valid() || s.processor.value() >= sys.processorCount()) {
+        throw ConfigError(strf(specLabel(i, s), ": processor ", s.processor,
+                               " out of range [0, ", sys.processorCount(),
+                               ")"));
+      }
+      if (s.start < 0) {
+        throw ConfigError(strf(specLabel(i, s), ": start must be >= 0, got ",
+                               s.start));
+      }
+      if (s.length <= 0) {
+        throw ConfigError(strf(specLabel(i, s), ": length must be > 0, got ",
+                               s.length));
+      }
+      continue;
+    }
+    if (!s.task.valid() || s.task.value() >= n_tasks) {
+      throw ConfigError(strf(specLabel(i, s), ": task ", s.task,
+                             " out of range [0, ", n_tasks, ")"));
+    }
+    if (s.instance < -1) {
+      throw ConfigError(strf(specLabel(i, s), ": instance must be >= 0 or -1",
+                             " (every instance), got ", s.instance));
+    }
+    if (s.resource.valid() && s.resource.value() >= n_res) {
+      throw ConfigError(strf(specLabel(i, s), ": resource ", s.resource,
+                             " out of range [0, ", n_res, ")"));
+    }
+    switch (s.kind) {
+      case FaultKind::kWcetOverrun:
+      case FaultKind::kCsOverrun:
+        if (s.factor < 1.0) {
+          throw ConfigError(strf(specLabel(i, s),
+                                 ": factor must be >= 1, got ", s.factor));
+        }
+        if (s.delta < 0) {
+          throw ConfigError(strf(specLabel(i, s),
+                                 ": delta must be >= 0, got ", s.delta));
+        }
+        if (s.factor == 1.0 && s.delta == 0) {
+          throw ConfigError(strf(specLabel(i, s),
+                                 ": factor 1 with delta 0 injects nothing"));
+        }
+        break;
+      case FaultKind::kReleaseJitter:
+        if (s.delta <= 0) {
+          throw ConfigError(strf(specLabel(i, s),
+                                 ": jitter delta must be > 0, got ", s.delta));
+        }
+        break;
+      case FaultKind::kStuckHolder:
+      case FaultKind::kProcStall:
+        break;
+    }
+  }
+}
+
+ComputeEffect FaultPlan::computeEffect(TaskId task, std::int64_t instance,
+                                       Duration base, ResourceId inner,
+                                       bool allow_delta) const {
+  ComputeEffect eff{base, 0, false};
+  if (base <= 0) return eff;  // zero-length ops never accrue faults
+  for (const FaultSpec& s : specs) {
+    if (!s.matches(task, instance)) continue;
+    Duration d = eff.duration;
+    if (s.kind == FaultKind::kWcetOverrun && !inner.valid()) {
+      d = stretch(d, s.factor);
+      if (allow_delta && s.delta > 0) {
+        d += s.delta;
+        eff.delta_used = true;
+      }
+    } else if (s.kind == FaultKind::kCsOverrun && inner.valid() &&
+               (!s.resource.valid() || s.resource == inner)) {
+      d = stretch(d, s.factor) + s.delta;
+    } else {
+      continue;
+    }
+    if (d != eff.duration) {
+      eff.kinds |= bitOf(s.kind);
+      eff.duration = d;
+    }
+  }
+  return eff;
+}
+
+bool FaultPlan::stuckAt(TaskId task, std::int64_t instance,
+                        ResourceId r) const {
+  return std::any_of(specs.begin(), specs.end(), [&](const FaultSpec& s) {
+    return s.kind == FaultKind::kStuckHolder && s.matches(task, instance) &&
+           (!s.resource.valid() || s.resource == r);
+  });
+}
+
+Duration FaultPlan::releaseJitter(TaskId task, std::int64_t instance) const {
+  Duration jd = 0;
+  for (const FaultSpec& s : specs) {
+    if (s.kind == FaultKind::kReleaseJitter && s.matches(task, instance)) {
+      jd = std::max(jd, s.delta);
+    }
+  }
+  return jd;
+}
+
+bool FaultPlan::stalled(ProcessorId p, Time t) const {
+  return std::any_of(specs.begin(), specs.end(), [&](const FaultSpec& s) {
+    return s.kind == FaultKind::kProcStall && s.processor == p &&
+           s.start <= t && t < s.start + s.length;
+  });
+}
+
+Time FaultPlan::nextStallBoundary(Time t) const {
+  Time next = kTimeInfinity;
+  for (const FaultSpec& s : specs) {
+    if (s.kind != FaultKind::kProcStall) continue;
+    if (s.start > t) next = std::min(next, s.start);
+    if (s.start + s.length > t) next = std::min(next, s.start + s.length);
+  }
+  return next;
+}
+
+FaultPlan FaultPlan::random(Rng& rng, const TaskSystem& sys, int count) {
+  FaultPlan plan;
+  if (sys.tasks().empty()) return plan;
+  for (int i = 0; i < count; ++i) {
+    const Task& task = sys.tasks()[rng.index(sys.tasks().size())];
+    FaultSpec s;
+    s.task = task.id;
+    s.instance = rng.chance(0.5) ? -1 : rng.uniformInt(0, 3);
+    int kind = static_cast<int>(rng.uniformInt(0, 4));
+    // CS-targeted kinds need a section to aim at; jitter needs slack
+    // inside the period. Fall back to a plain WCET overrun otherwise.
+    if ((kind == 1 || kind == 2) && task.sections.empty()) kind = 0;
+    if (kind == 3 && task.period < 2) kind = 0;
+    switch (kind) {
+      case 0:
+        s.kind = FaultKind::kWcetOverrun;
+        s.factor = 1.0 + static_cast<double>(rng.uniformInt(1, 12)) / 4.0;
+        if (rng.chance(0.3)) s.delta = rng.uniformInt(1, 50);
+        break;
+      case 1:
+        s.kind = FaultKind::kCsOverrun;
+        s.resource = task.sections[rng.index(task.sections.size())].resource;
+        s.factor = 1.0 + static_cast<double>(rng.uniformInt(1, 12)) / 4.0;
+        break;
+      case 2:
+        s.kind = FaultKind::kStuckHolder;
+        s.resource = task.sections[rng.index(task.sections.size())].resource;
+        break;
+      case 3:
+        s.kind = FaultKind::kReleaseJitter;
+        s.delta = rng.uniformInt(1, std::min<Duration>(200, task.period - 1));
+        break;
+      default:
+        s.kind = FaultKind::kProcStall;
+        s.processor =
+            ProcessorId(static_cast<std::int32_t>(rng.index(
+                static_cast<std::size_t>(sys.processorCount()))));
+        s.start = rng.uniformInt(0, 2000);
+        s.length = rng.uniformInt(10, 400);
+        break;
+    }
+    plan.specs.push_back(s);
+  }
+  return plan;
+}
+
+ContainmentConfig containmentFromNames(const std::string& csv, double grace,
+                                       Duration watchdog_timeout) {
+  ContainmentConfig cc;
+  cc.grace = grace;
+  if (grace <= 0) {
+    throw ConfigError(strf("containment: grace must be > 0, got ", grace));
+  }
+  for (const std::string& name : splitOn(csv, ',')) {
+    if (name.empty() || name == "none") continue;
+    if (name == "budget-enforce") {
+      cc.budget_enforce = true;
+    } else if (name == "job-abort" || name == "skip-next-release") {
+      const MissAction action = name == "job-abort"
+                                    ? MissAction::kAbortJob
+                                    : MissAction::kSkipNextRelease;
+      if (cc.on_miss != MissAction::kNone && cc.on_miss != action) {
+        throw ConfigError(
+            "containment: job-abort and skip-next-release are exclusive");
+      }
+      cc.on_miss = action;
+    } else if (name == "watchdog") {
+      if (watchdog_timeout <= 0) {
+        throw ConfigError(strf("containment: watchdog needs a timeout > 0, ",
+                               "got ", watchdog_timeout));
+      }
+      cc.holder_watchdog = watchdog_timeout;
+    } else {
+      throw ConfigError(strf("containment: unknown policy '", name,
+                             "' (want none, budget-enforce, job-abort, ",
+                             "skip-next-release, watchdog)"));
+    }
+  }
+  return cc;
+}
+
+FaultPlan parsePlan(const std::string& text, const TaskSystem& sys) {
+  FaultPlan plan;
+  if (text.empty()) return plan;
+  for (const std::string& item : splitOn(text, ',')) {
+    if (item.empty()) continue;
+    const std::vector<std::string> f = splitOn(item, ':');
+    FaultSpec s;
+    const auto need = [&](std::size_t n) {
+      if (f.size() != n) {
+        throw ConfigError(strf("fault plan: '", item, "' has ", f.size() - 1,
+                               " fields, want ", n - 1));
+      }
+    };
+    if (f[0] == "wcet") {
+      need(4);
+      s.kind = FaultKind::kWcetOverrun;
+      s.task = parseTask(f[1], sys);
+      s.instance = parseInstance(f[2]);
+      parseStretch(f[3], s);
+    } else if (f[0] == "cs") {
+      need(5);
+      s.kind = FaultKind::kCsOverrun;
+      s.task = parseTask(f[1], sys);
+      s.instance = parseInstance(f[2]);
+      s.resource = parseResource(f[3], sys);
+      parseStretch(f[4], s);
+    } else if (f[0] == "stuck") {
+      need(4);
+      s.kind = FaultKind::kStuckHolder;
+      s.task = parseTask(f[1], sys);
+      s.instance = parseInstance(f[2]);
+      s.resource = parseResource(f[3], sys);
+    } else if (f[0] == "jitter") {
+      need(4);
+      s.kind = FaultKind::kReleaseJitter;
+      s.task = parseTask(f[1], sys);
+      s.instance = parseInstance(f[2]);
+      if (f[3].empty() || f[3][0] != '+') {
+        throw ConfigError(strf("fault plan: jitter expects +<delta>, got '",
+                               f[3], "'"));
+      }
+      s.delta = parseIndex("delta", f[3].substr(1));
+    } else if (f[0] == "stall") {
+      need(4);
+      s.kind = FaultKind::kProcStall;
+      std::string p = f[1];
+      if (!p.empty() && p[0] == 'P') p = p.substr(1);
+      s.processor =
+          ProcessorId(static_cast<std::int32_t>(parseIndex("processor", p)));
+      s.start = parseIndex("start", f[2]);
+      s.length = parseIndex("length", f[3]);
+    } else {
+      throw ConfigError(strf("fault plan: unknown fault kind '", f[0],
+                             "' (want wcet, cs, stuck, jitter, stall)"));
+    }
+    plan.specs.push_back(s);
+  }
+  plan.validate(sys);
+  return plan;
+}
+
+std::string formatPlan(const FaultPlan& plan, const TaskSystem& sys) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+    const FaultSpec& s = plan.specs[i];
+    if (i > 0) os << ',';
+    switch (s.kind) {
+      case FaultKind::kWcetOverrun:
+        os << "wcet:" << sys.task(s.task).name << ':' << instText(s.instance)
+           << ":x" << formatFactor(s.factor);
+        if (s.delta > 0) os << '+' << s.delta;
+        break;
+      case FaultKind::kCsOverrun:
+        os << "cs:" << sys.task(s.task).name << ':' << instText(s.instance)
+           << ':' << resourceText(s.resource, sys) << ":x"
+           << formatFactor(s.factor);
+        if (s.delta > 0) os << '+' << s.delta;
+        break;
+      case FaultKind::kStuckHolder:
+        os << "stuck:" << sys.task(s.task).name << ':' << instText(s.instance)
+           << ':' << resourceText(s.resource, sys);
+        break;
+      case FaultKind::kReleaseJitter:
+        os << "jitter:" << sys.task(s.task).name << ':'
+           << instText(s.instance) << ":+" << s.delta;
+        break;
+      case FaultKind::kProcStall:
+        os << "stall:P" << s.processor.value() << ':' << s.start << ':'
+           << s.length;
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mpcp::fault

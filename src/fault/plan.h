@@ -1,0 +1,163 @@
+// Deterministic fault injection and containment policy configuration.
+//
+// The paper's blocking bounds (Theorems 2-5) assume every job respects
+// its declared WCET and critical-section durations, holders always
+// release, releases are strictly periodic, and processors never pause.
+// A FaultPlan violates those assumptions on purpose — deterministically,
+// from a seed — so the simulator can measure how each protocol degrades
+// and whether a containment policy restores liveness:
+//   * kWcetOverrun   — stretch a job's non-critical compute by a factor
+//                      and/or a one-shot absolute delta;
+//   * kCsOverrun     — stretch compute *inside* a critical section;
+//   * kStuckHolder   — the job never executes the V(S) of a section:
+//                      it spins at the unlock site holding S forever;
+//   * kReleaseJitter — delay a job's release past its nominal time
+//                      (the deadline stays relative to the nominal);
+//   * kProcStall     — a processor executes nothing during [start,
+//                      start+length) (e.g. an SMM/firmware window).
+//
+// Containment is orthogonal and selected per run via ContainmentConfig:
+// observe only, budget-enforce (kill a gcs exceeding its declared
+// duration x grace), job-abort / skip-next-release on a deadline miss,
+// and a holder watchdog that force-releases a stuck global semaphore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "model/task_system.h"
+
+namespace mpcp::fault {
+
+enum class FaultKind {
+  kWcetOverrun,
+  kCsOverrun,
+  kStuckHolder,
+  kReleaseJitter,
+  kProcStall,
+};
+
+[[nodiscard]] const char* toString(FaultKind k);
+
+/// Bit for `k` in a per-job "already injected" mask.
+[[nodiscard]] constexpr std::uint32_t bitOf(FaultKind k) {
+  return std::uint32_t{1} << static_cast<int>(k);
+}
+
+/// One injected fault. Which fields matter depends on `kind`; unused
+/// fields keep their defaults.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kWcetOverrun;
+  TaskId task;                 ///< victim task (all kinds but kProcStall)
+  std::int64_t instance = -1;  ///< job instance; -1 = every instance
+  ResourceId resource;         ///< kCsOverrun/kStuckHolder; invalid = any
+  ProcessorId processor;       ///< kProcStall only
+  double factor = 1.0;         ///< multiplicative stretch, >= 1
+  Duration delta = 0;          ///< additive ticks (one-shot for WCET)
+  Time start = 0;              ///< kProcStall window start
+  Duration length = 0;         ///< kProcStall window length
+
+  [[nodiscard]] bool matches(TaskId t, std::int64_t inst) const {
+    return task == t && (instance < 0 || instance == inst);
+  }
+};
+
+/// Result of applying a plan to one compute op.
+struct ComputeEffect {
+  Duration duration = 0;     ///< stretched op length
+  std::uint32_t kinds = 0;   ///< bitOf() mask of kinds that changed it
+  bool delta_used = false;   ///< a one-shot WCET delta was consumed
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  [[nodiscard]] bool empty() const { return specs.empty(); }
+  /// True when the reference simulator can mirror every spec (everything
+  /// except processor stalls, which only the engine models).
+  [[nodiscard]] bool mirrorable() const;
+  [[nodiscard]] bool hasStalls() const;
+
+  /// Rejects specs referencing unknown tasks/resources/processors or
+  /// with nonsensical magnitudes. Error messages name the field.
+  void validate(const TaskSystem& sys) const;
+
+  /// Stretched duration for a compute op of `base` ticks run by
+  /// (task, instance). `inner` is the innermost held resource (invalid
+  /// when outside any critical section); `allow_delta` gates the
+  /// one-shot WCET delta (the caller clears it after first use).
+  [[nodiscard]] ComputeEffect computeEffect(TaskId task,
+                                            std::int64_t instance,
+                                            Duration base, ResourceId inner,
+                                            bool allow_delta) const;
+
+  /// True if (task, instance) never executes the V() of resource `r`.
+  [[nodiscard]] bool stuckAt(TaskId task, std::int64_t instance,
+                             ResourceId r) const;
+
+  /// Release delay for (task, instance); 0 = on time. Callers clamp to
+  /// period - 1 so at most one release is ever outstanding.
+  [[nodiscard]] Duration releaseJitter(TaskId task,
+                                       std::int64_t instance) const;
+
+  /// True if processor `p` is inside a stall window at time `t`.
+  [[nodiscard]] bool stalled(ProcessorId p, Time t) const;
+
+  /// Earliest stall-window edge strictly after `t` (kTimeInfinity when
+  /// none) — an extra wake-up candidate for the engine's event clock.
+  [[nodiscard]] Time nextStallBoundary(Time t) const;
+
+  /// Draws `count` specs aimed at `sys` (tasks that exist, resources
+  /// they actually lock). Deterministic in `rng`.
+  [[nodiscard]] static FaultPlan random(Rng& rng, const TaskSystem& sys,
+                                        int count);
+};
+
+/// What to do when a job misses its deadline while a containment policy
+/// is active.
+enum class MissAction {
+  kNone,
+  kAbortJob,          ///< retire the job at the next safe point
+  kSkipNextRelease,   ///< suppress the task's next release (load shed)
+};
+
+struct ContainmentConfig {
+  /// Kill a global critical section whose *executed* time inside the
+  /// section exceeds its declared duration x grace.
+  bool budget_enforce = false;
+  double grace = 1.0;
+  MissAction on_miss = MissAction::kNone;
+  /// Force-release a global semaphore whose holder has kept it for this
+  /// many ticks (0 = watchdog off).
+  Duration holder_watchdog = 0;
+
+  [[nodiscard]] bool any() const {
+    return budget_enforce || on_miss != MissAction::kNone ||
+           holder_watchdog > 0;
+  }
+};
+
+/// Parses "none" or a comma list of policy names: budget-enforce,
+/// job-abort, skip-next-release, watchdog. Throws ConfigError on unknown
+/// names or job-abort combined with skip-next-release.
+[[nodiscard]] ContainmentConfig containmentFromNames(const std::string& csv,
+                                                     double grace,
+                                                     Duration watchdog_timeout);
+
+/// Plan text grammar (whitespace-free, comma-separated; round-trips
+/// through formatPlan and survives single-token repro headers):
+///   wcet:<task>:<inst|*>:x<factor>[+<delta>]
+///   cs:<task>:<inst|*>:<res|*>:x<factor>[+<delta>]
+///   stuck:<task>:<inst|*>:<res|*>
+///   jitter:<task>:<inst|*>:+<delta>
+///   stall:P<proc>:<start>:<length>
+/// <task>/<res> accept a name ("tau1", "S0") or a bare index.
+[[nodiscard]] FaultPlan parsePlan(const std::string& text,
+                                  const TaskSystem& sys);
+[[nodiscard]] std::string formatPlan(const FaultPlan& plan,
+                                     const TaskSystem& sys);
+
+}  // namespace mpcp::fault

@@ -21,7 +21,8 @@ namespace {
 struct RunRow {
   bool generated = false;
   std::vector<OracleFailure> failures;
-  std::string system_text;  ///< serialized system when failures exist
+  std::string system_text;      ///< serialized system when failures exist
+  std::string fault_plan_text;  ///< formatPlan() in fault mode, same gate
 };
 
 std::string sanitizeForFilename(std::string s) {
@@ -75,6 +76,12 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
   oracle_options.horizon_cap = options.horizon_cap;
   oracle_options.differential_horizon = options.differential_horizon;
 
+  FaultOracleOptions fault_options;
+  fault_options.horizon_cap = options.horizon_cap;
+  fault_options.differential_horizon = options.differential_horizon;
+  fault_options.grace = options.fault_grace;
+  fault_options.watchdog_timeout = options.fault_watchdog;
+
   exp::SweepRunner& runner = exp::SweepRunner::global();
   FuzzReport report;
 
@@ -92,9 +99,19 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
           const WorkloadParams params = drawWorkloadParams(rng);
           const TaskSystem sys = generateWorkload(params, rng);
           row.generated = true;
-          row.failures = checkSystem(sys, oracle_options);
-          if (!row.failures.empty()) {
-            row.system_text = serializeTaskSystemToString(sys);
+          if (options.faults) {
+            const fault::FaultPlan plan =
+                fault::FaultPlan::random(rng, sys, options.fault_count);
+            row.failures = checkSystemFaults(sys, plan, fault_options);
+            if (!row.failures.empty()) {
+              row.system_text = serializeTaskSystemToString(sys);
+              row.fault_plan_text = fault::formatPlan(plan, sys);
+            }
+          } else {
+            row.failures = checkSystem(sys, oracle_options);
+            if (!row.failures.empty()) {
+              row.system_text = serializeTaskSystemToString(sys);
+            }
           }
           return row;
         });
@@ -123,7 +140,7 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
       TaskSystem sys = parseTaskSystemFromString(row.system_text);
       finding.tasks_before = static_cast<int>(sys.tasks().size());
 
-      if (options.shrink) {
+      if (options.shrink && row.fault_plan_text.empty()) {
         OracleOptions shrink_options = oracle_options;
         shrink_options.protocols = {finding.failure.protocol};
         const std::string target_oracle = finding.failure.oracle;
@@ -156,6 +173,9 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
       repro.seed = finding.derived_seed;
       repro.horizon_cap = options.horizon_cap;
       repro.differential_horizon = options.differential_horizon;
+      repro.fault_plan = row.fault_plan_text;
+      repro.fault_grace = options.fault_grace;
+      repro.fault_watchdog = options.fault_watchdog;
       repro.system = sys;
       finding.repro_text = writeRepro(repro);
 

@@ -42,6 +42,14 @@ struct FuzzOptions {
   Time differential_horizon = 1'200;
   /// Stop after this many findings (each one costs a shrink).
   int max_findings = 8;
+  /// Fault-injection mode: draw a random FaultPlan per run and check the
+  /// fault:* containment oracles instead of the differential families.
+  /// Shrinking is disabled (the plan's task/resource references pin the
+  /// system), and the plan is recorded in the repro file.
+  bool faults = false;
+  int fault_count = 2;          ///< specs per random plan
+  double fault_grace = 1.0;     ///< budget-enforce grace multiplier
+  Duration fault_watchdog = 500;  ///< holder-watchdog timeout (ticks)
 };
 
 struct FuzzFinding {

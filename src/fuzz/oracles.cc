@@ -222,4 +222,126 @@ std::vector<OracleFailure> checkSystem(const TaskSystem& system,
   return failures;
 }
 
+std::vector<FaultPolicy> faultPolicies(const FaultOracleOptions& options) {
+  using fault::ContainmentConfig;
+  using fault::MissAction;
+  std::vector<FaultPolicy> out;
+  out.push_back({"none", ContainmentConfig{}});
+  ContainmentConfig watchdog;
+  watchdog.holder_watchdog = options.watchdog_timeout;
+  out.push_back({"watchdog", watchdog});
+  ContainmentConfig budget;
+  budget.budget_enforce = true;
+  budget.grace = options.grace;
+  out.push_back({"budget-enforce", budget});
+  ContainmentConfig abort_job;
+  abort_job.on_miss = MissAction::kAbortJob;
+  out.push_back({"job-abort", abort_job});
+  ContainmentConfig skip;
+  skip.on_miss = MissAction::kSkipNextRelease;
+  out.push_back({"skip-next-release", skip});
+  return out;
+}
+
+std::vector<OracleFailure> checkSystemFaults(const TaskSystem& system,
+                                             const fault::FaultPlan& plan,
+                                             const FaultOracleOptions& options) {
+  std::vector<OracleFailure> failures;
+
+  // Policy sweep: MPCP + plan under each containment policy. Whatever the
+  // faults do, semaphore state must stay coherent (mutual exclusion) and
+  // every handoff — including forced releases and budget kills — must go
+  // to the highest-priority waiter.
+  for (const FaultPolicy& policy : faultPolicies(options)) {
+    SimConfig config{.horizon_cap = options.horizon_cap};
+    config.fault_plan = &plan;
+    config.containment = policy.config;
+    std::optional<SimResult> sim;
+    try {
+      sim = tryRunProtocol("mpcp", system, config);
+    } catch (const InvariantError& e) {
+      failures.push_back(
+          {"mpcp", "fault:crash", strf("policy ", policy.name, ": ", e.what())});
+      continue;
+    }
+    if (!sim.has_value()) return failures;  // MPCP rejects this system shape
+
+    const InvariantReport mutex = checkMutualExclusion(system, *sim);
+    if (!mutex.ok()) {
+      failures.push_back({"mpcp", "fault:mutual-exclusion",
+                          strf("policy ", policy.name, ": ",
+                               mutex.violations.front())});
+    }
+    const InvariantReport handoff = checkPriorityOrderedHandoff(system, *sim);
+    if (!handoff.ok()) {
+      failures.push_back({"mpcp", "fault:priority-handoff",
+                          strf("policy ", policy.name, ": ",
+                               handoff.violations.front())});
+    }
+  }
+
+  // Neutrality: with NO plan, containment machinery that cannot trigger
+  // (budget at grace 1.0, a watchdog that never times out) must leave the
+  // schedule byte-identical to a plain run.
+  try {
+    const auto plain = tryRunProtocol(
+        "mpcp", system,
+        SimConfig{.horizon_cap = options.horizon_cap, .record_trace = false});
+    if (plain.has_value()) {
+      const FinishMap plain_map = finishMapOf(*plain);
+      fault::ContainmentConfig inert_budget;
+      inert_budget.budget_enforce = true;
+      inert_budget.grace = 1.0;
+      fault::ContainmentConfig inert_watchdog;
+      inert_watchdog.holder_watchdog = kTimeInfinity;
+      const std::pair<const char*, fault::ContainmentConfig> inert[] = {
+          {"budget(grace=1)", inert_budget}, {"watchdog(inf)", inert_watchdog}};
+      for (const auto& [label, cc] : inert) {
+        SimConfig config{.horizon_cap = options.horizon_cap,
+                         .record_trace = false};
+        config.containment = cc;
+        const auto guarded = tryRunProtocol("mpcp", system, config);
+        if (!guarded.has_value()) continue;
+        if (const auto diff = diffFinishes(system, plain_map, "plain",
+                                           finishMapOf(*guarded), label)) {
+          failures.push_back({"mpcp", "fault:neutral-containment",
+                              strf(label, ": ", *diff)});
+        }
+      }
+    }
+  } catch (const InvariantError& e) {
+    failures.push_back({"mpcp", "fault:crash", e.what()});
+  }
+
+  // Differential under faults: the reference simulator mirrors every
+  // fault class except processor stalls, so for mirrorable plans the
+  // engine under policy "none" must still agree with it tick for tick.
+  if (plan.mirrorable()) {
+    try {
+      SimConfig config{.horizon = options.differential_horizon,
+                       .record_trace = false};
+      config.fault_plan = &plan;
+      const auto engine_small = tryRunProtocol("mpcp", system, config);
+      if (engine_small.has_value()) {
+        const ReferenceResult ref =
+            simulateMpcpReference(system, options.differential_horizon, &plan);
+        FinishMap ref_map;
+        for (const ReferenceJobResult& rj : ref.jobs) {
+          ref_map[{rj.id.task.value(), rj.id.instance}] = rj.finish;
+        }
+        if (const auto diff =
+                diffFinishes(system, finishMapOf(*engine_small), "engine",
+                             ref_map, "reference")) {
+          failures.push_back({"mpcp", "fault:cross-reference", *diff});
+        }
+      }
+    } catch (const ConfigError&) {
+    } catch (const InvariantError& e) {
+      failures.push_back({"mpcp", "fault:crash", e.what()});
+    }
+  }
+
+  return failures;
+}
+
 }  // namespace mpcp::fuzz

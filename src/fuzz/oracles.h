@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.h"
 #include "fuzz/mutations.h"
 #include "model/task_system.h"
 
@@ -56,5 +57,50 @@ struct OracleOptions {
 /// Runs all oracles; returns every failure, deterministically ordered.
 [[nodiscard]] std::vector<OracleFailure> checkSystem(
     const TaskSystem& system, const OracleOptions& options = {});
+
+// ---------------------------------------------------------------------
+// Fault-injection mode (ISSUE 4): instead of comparing protocols against
+// each other, run MPCP with a FaultPlan under every containment policy
+// and check the properties that must survive *arbitrary* misbehavior:
+//
+//   fault:crash             — no MPCP_CHECK may trip, faults or not;
+//   fault:mutual-exclusion  — a contained fault never corrupts semaphore
+//                             state (two holders of one resource);
+//   fault:priority-handoff  — forced releases and budget kills still hand
+//                             off to the highest-priority waiter (rule 3);
+//   fault:neutral-containment — inert policies (budget grace 1.0, a
+//                             watchdog that can never fire) with NO plan
+//                             are schedule-identical to a plain run;
+//   fault:cross-reference   — for mirrorable plans, the engine under
+//                             policy "none" matches the tick-stepped
+//                             reference with the same plan.
+
+struct FaultOracleOptions {
+  Time horizon_cap = 200'000;
+  /// Horizon of the engine-vs-reference differential under the plan.
+  Time differential_horizon = 1'200;
+  /// Grace multiplier for the budget-enforce policy run.
+  double grace = 1.0;
+  /// Timeout for the holder-watchdog policy run.
+  Duration watchdog_timeout = 500;
+};
+
+/// One named containment policy exercised by the fault oracles.
+struct FaultPolicy {
+  std::string name;
+  fault::ContainmentConfig config;
+};
+
+/// The fixed policy sweep ("none", "watchdog", "budget-enforce",
+/// "job-abort", "skip-next-release"), parameterized by `options`.
+/// Exposed so replay reports and tests fingerprint the same runs.
+[[nodiscard]] std::vector<FaultPolicy> faultPolicies(
+    const FaultOracleOptions& options);
+
+/// Runs MPCP with `plan` under every containment policy and evaluates the
+/// fault:* oracles above. Deterministically ordered.
+[[nodiscard]] std::vector<OracleFailure> checkSystemFaults(
+    const TaskSystem& system, const fault::FaultPlan& plan,
+    const FaultOracleOptions& options = {});
 
 }  // namespace mpcp::fuzz

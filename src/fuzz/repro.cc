@@ -58,6 +58,11 @@ std::string writeRepro(const ReproCase& repro) {
   os << "seed " << repro.seed << "\n";
   os << "horizon-cap " << repro.horizon_cap << "\n";
   os << "differential-horizon " << repro.differential_horizon << "\n";
+  if (!repro.fault_plan.empty()) {
+    os << "fault-plan " << repro.fault_plan << "\n";
+    os << "fault-grace " << repro.fault_grace << "\n";
+    os << "fault-watchdog " << repro.fault_watchdog << "\n";
+  }
   os << "system\n";
   serializeTaskSystem(os, repro.system);
   return os.str();
@@ -109,6 +114,12 @@ ReproCase parseRepro(const std::string& text) {
       repro.horizon_cap = std::stoll(value);
     } else if (key == "differential-horizon") {
       repro.differential_horizon = std::stoll(value);
+    } else if (key == "fault-plan") {
+      repro.fault_plan = value;  // validated against the system below
+    } else if (key == "fault-grace") {
+      repro.fault_grace = std::stod(value);
+    } else if (key == "fault-watchdog") {
+      repro.fault_watchdog = std::stoll(value);
     } else {
       throw ConfigError(strf("repro parse error at line ", line_no,
                              ": unknown header key '", key, "'"));
@@ -123,6 +134,11 @@ ReproCase parseRepro(const std::string& text) {
   std::ostringstream rest;
   rest << in.rdbuf();
   repro.system = parseTaskSystemFromString(rest.str());
+  if (!repro.fault_plan.empty()) {
+    // Fail loudly at load time, not mid-replay: the plan must resolve
+    // against the recorded system.
+    (void)fault::parsePlan(repro.fault_plan, repro.system);
+  }
   return repro;
 }
 
@@ -141,7 +157,72 @@ bool ReplayOutcome::reproducesRecordedOracle(const ReproCase& r) const {
   return false;
 }
 
+namespace {
+
+/// Fault-mode replay: re-run the fault:* oracle suite and fingerprint the
+/// MPCP schedule under every containment policy.
+ReplayOutcome replayFaults(const ReproCase& repro, bool with_plan) {
+  const fault::FaultPlan full = fault::parsePlan(repro.fault_plan, repro.system);
+  const fault::FaultPlan plan = with_plan ? full : fault::FaultPlan{};
+  FaultOracleOptions options;
+  options.horizon_cap = repro.horizon_cap;
+  options.differential_horizon = repro.differential_horizon;
+  options.grace = repro.fault_grace;
+  options.watchdog_timeout = repro.fault_watchdog;
+
+  ReplayOutcome outcome;
+  outcome.failures = checkSystemFaults(repro.system, plan, options);
+
+  std::ostringstream os;
+  os << "replay fault-plan=" << (with_plan ? repro.fault_plan : "(none)")
+     << " grace=" << repro.fault_grace
+     << " watchdog=" << repro.fault_watchdog
+     << " recorded-oracle=" << repro.oracle << "\n";
+  os << "system tasks=" << repro.system.tasks().size()
+     << " processors=" << repro.system.processorCount()
+     << " resources=" << repro.system.resources().size() << "\n";
+  // Per-policy schedule fingerprints — the bit-exactness witness.
+  for (const FaultPolicy& policy : faultPolicies(options)) {
+    SimConfig config{.horizon_cap = repro.horizon_cap};
+    config.fault_plan = &plan;
+    config.containment = policy.config;
+    std::optional<SimResult> sim;
+    try {
+      sim = tryRunProtocol("mpcp", repro.system, config);
+    } catch (const InvariantError& e) {
+      os << "run mpcp/" << policy.name << ": crashed (" << e.what() << ")\n";
+      continue;
+    }
+    if (!sim.has_value()) {
+      os << "run mpcp/" << policy.name << ": not applicable\n";
+      continue;
+    }
+    std::ostringstream hex;
+    hex << std::hex << finishHash(*sim);
+    os << "run mpcp/" << policy.name << ": jobs=" << sim->jobs.size()
+       << " finish-hash=0x" << hex.str()
+       << " deadline-miss=" << (sim->any_deadline_miss ? 1 : 0) << "\n";
+  }
+  os << "failures " << outcome.failures.size() << "\n";
+  for (const OracleFailure& f : outcome.failures) {
+    os << "  [" << f.protocol << "] " << f.oracle << ": " << f.details
+       << "\n";
+  }
+  os << "verdict "
+     << (outcome.failures.empty()
+             ? "CLEAN"
+             : outcome.reproducesRecordedOracle(repro)
+                   ? "VIOLATION (recorded oracle reproduced)"
+                   : "VIOLATION (different oracle)")
+     << "\n";
+  outcome.report = os.str();
+  return outcome;
+}
+
+}  // namespace
+
 ReplayOutcome replay(const ReproCase& repro, bool with_mutation) {
+  if (!repro.fault_plan.empty()) return replayFaults(repro, with_mutation);
   OracleOptions options;
   options.protocols = splitProtocols(repro.protocol);
   options.mutation = with_mutation ? repro.mutation : Mutation::kNone;

@@ -12,6 +12,9 @@
 //   seed 1017                      # informational: generator RNG seed
 //   horizon-cap 200000
 //   differential-horizon 1200
+//   fault-plan stuck:tau1:0:S0     # fault-mode only (fault/plan.h grammar;
+//   fault-grace 1                  #   whitespace-free by construction)
+//   fault-watchdog 500
 //   system                         # remainder = model/serialize.h format
 //   processors 2
 //   ...
@@ -38,6 +41,12 @@ struct ReproCase {
   std::uint64_t seed = 0;  ///< informational (system is self-contained)
   Time horizon_cap = 200'000;
   Time differential_horizon = 1'200;
+  /// Fault-mode repros: the injected plan (fault/plan.h grammar, empty =
+  /// not a fault finding) plus the containment parameters the fault:*
+  /// oracles ran with.
+  std::string fault_plan;
+  double fault_grace = 1.0;
+  Duration fault_watchdog = 500;
   TaskSystem system;
 };
 
@@ -61,6 +70,9 @@ struct ReplayOutcome {
 /// whether the recorded fault injection is applied (replaying a
 /// mutation-found repro without it should come back clean on a correct
 /// implementation — exactly what the corpus regression test asserts).
+/// Fault-mode repros (fault_plan non-empty) run the fault:* oracle suite;
+/// there `with_mutation = false` replays with an empty plan, which a
+/// correct implementation must also pass (neutral containment).
 [[nodiscard]] ReplayOutcome replay(const ReproCase& repro,
                                    bool with_mutation = true);
 

@@ -124,10 +124,20 @@ TaskSystem TaskSystemBuilder::build() && {
     task.sections = extractSections(spec.body);  // throws on bad nesting
     task.wcet = spec.body.totalCompute();
     for (const CriticalSection& cs : task.sections) {
-      if (static_cast<std::size_t>(cs.resource.value()) >=
-          resource_names_.size()) {
+      if (!cs.resource.valid() ||
+          static_cast<std::size_t>(cs.resource.value()) >=
+              resource_names_.size()) {
         throw ConfigError(strf(spec.name, ": references undeclared resource ",
                                cs.resource));
+      }
+      // Derived today (section content is part of the body), but contain-
+      // ment budgets trust cs.duration, so reject drift loudly by name.
+      if (cs.duration < 0 || cs.duration > task.wcet) {
+        throw ConfigError(strf(
+            spec.name, ": critical section on ",
+            resource_names_[static_cast<std::size_t>(cs.resource.value())],
+            " has duration ", cs.duration, " outside [0, wcet=", task.wcet,
+            "]"));
       }
     }
     sys.tasks_.push_back(std::move(task));

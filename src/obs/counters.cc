@@ -49,6 +49,8 @@ void Counters::init(std::size_t n_resources, std::size_t n_processors,
   task_blocking.assign(n_tasks, {});
   jobs_released = jobs_finished = deadline_misses = 0;
   preemptions = gcs_preemptions = migrations = inheritance_updates = 0;
+  faults_injected = faults_contained = forced_releases = budget_kills = 0;
+  jobs_aborted = releases_skipped = misses_while_degraded = 0;
 }
 
 std::uint64_t Counters::totalAcquisitions() const {
@@ -95,6 +97,13 @@ void Counters::merge(const Counters& other) {
   gcs_preemptions += other.gcs_preemptions;
   migrations += other.migrations;
   inheritance_updates += other.inheritance_updates;
+  faults_injected += other.faults_injected;
+  faults_contained += other.faults_contained;
+  forced_releases += other.forced_releases;
+  budget_kills += other.budget_kills;
+  jobs_aborted += other.jobs_aborted;
+  releases_skipped += other.releases_skipped;
+  misses_while_degraded += other.misses_while_degraded;
 }
 
 std::string renderHistogram(const BlockingHistogram& h) {
@@ -128,6 +137,13 @@ std::string renderCounters(const Counters& c) {
   os << "locks: acquisitions=" << c.totalAcquisitions()
      << " contended-waits=" << c.totalContendedWaits()
      << " handoffs=" << c.totalHandoffs() << "\n";
+  os << "faults: injected=" << c.faults_injected
+     << " contained=" << c.faults_contained
+     << " forced-releases=" << c.forced_releases
+     << " budget-kills=" << c.budget_kills
+     << " jobs-aborted=" << c.jobs_aborted
+     << " releases-skipped=" << c.releases_skipped
+     << " misses-while-degraded=" << c.misses_while_degraded << "\n";
   os << "ready-queue high-water marks:";
   for (std::size_t p = 0; p < c.ready_hwm.size(); ++p) {
     os << " P" << p << "=" << c.ready_hwm[p];

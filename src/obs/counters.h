@@ -85,6 +85,16 @@ struct Counters {
   std::uint64_t migrations = 0;       ///< DPCP/hybrid agent moves (each hop)
   std::uint64_t inheritance_updates = 0;
 
+  // Fault-injection / containment path (src/fault). Zero in any run
+  // without a FaultPlan or containment policy.
+  std::uint64_t faults_injected = 0;   ///< plan specs that took effect
+  std::uint64_t faults_contained = 0;  ///< containment actions, total
+  std::uint64_t forced_releases = 0;   ///< watchdog semaphore revocations
+  std::uint64_t budget_kills = 0;      ///< gcs budget-enforce aborts
+  std::uint64_t jobs_aborted = 0;      ///< job-abort retirements
+  std::uint64_t releases_skipped = 0;  ///< skip-next-release suppressions
+  std::uint64_t misses_while_degraded = 0;  ///< misses after any injection
+
   Counters() = default;
   Counters(std::size_t n_resources, std::size_t n_processors,
            std::size_t n_tasks) {

@@ -66,6 +66,7 @@ LockOutcome DpcpProtocol::onLock(Job& j, ResourceId r) {
   if (s.holder == &j) return LockOutcome::kGranted;  // handed off below
   if (s.holder == nullptr) {
     s.holder = &j;
+    engine_->noteGlobalHolder(r, &j);
     j.elevated = tables_->ceiling(r);
     engine_->notePriorityChanged(j);
     engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = pi,
@@ -115,12 +116,14 @@ void DpcpProtocol::onUnlock(Job& j, ResourceId r) {
 
   if (s.queue.empty()) {
     s.holder = nullptr;
+    engine_->noteGlobalHolder(r, nullptr);
     engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
                    .resource = r});
     return;
   }
   Job* next = s.queue.pop();
   s.holder = next;
+  engine_->noteGlobalHolder(r, next);
   next->elevated = std::max(next->elevated, tables_->ceiling(r));
   const ProcessorId pi = *system_->resource(r).sync_processor;
   engine_->counters().res(r).handoffs++;

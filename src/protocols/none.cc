@@ -11,6 +11,7 @@ LockOutcome NoProtocol::onLock(Job& j, ResourceId r) {
   SemState& s = sems_[static_cast<std::size_t>(r.value())];
   if (s.holder == nullptr) {
     s.holder = &j;
+    engine_->noteGlobalHolder(r, &j);
     return LockOutcome::kGranted;
   }
   if (s.holder == &j) return LockOutcome::kGranted;  // handed off while parked
@@ -28,12 +29,14 @@ void NoProtocol::onUnlock(Job& j, ResourceId r) {
   MPCP_CHECK(s.holder == &j, j.id << " releasing " << r << " it does not hold");
   if (s.queue.empty()) {
     s.holder = nullptr;
+    engine_->noteGlobalHolder(r, nullptr);
     engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
                    .resource = r});
     return;
   }
   Job* next = s.queue.pop();
   s.holder = next;
+  engine_->noteGlobalHolder(r, next);
   engine_->counters().res(r).handoffs++;
   engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
                  .resource = r, .other = next->id});

@@ -13,6 +13,7 @@ LockOutcome PipProtocol::onLock(Job& j, ResourceId r) {
   SemState& s = sems_[static_cast<std::size_t>(r.value())];
   if (s.holder == nullptr) {
     s.holder = &j;
+    engine_->noteGlobalHolder(r, &j);
     return LockOutcome::kGranted;
   }
   if (s.holder == &j) return LockOutcome::kGranted;
@@ -27,11 +28,13 @@ void PipProtocol::onUnlock(Job& j, ResourceId r) {
   MPCP_CHECK(s.holder == &j, j.id << " releasing " << r << " it does not hold");
   if (s.queue.empty()) {
     s.holder = nullptr;
+    engine_->noteGlobalHolder(r, nullptr);
     engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
                    .resource = r});
   } else {
     Job* next = s.queue.pop();
     s.holder = next;
+    engine_->noteGlobalHolder(r, next);
     engine_->counters().res(r).handoffs++;
     engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
                    .resource = r, .other = next->id});

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/strf.h"
@@ -26,6 +27,23 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol,
   result_.per_task.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     result_.per_task[i].task = TaskId(static_cast<std::int32_t>(i));
+  }
+
+  if (config_.fault_plan != nullptr && !config_.fault_plan->empty()) {
+    config_.fault_plan->validate(system_);
+    plan_ = config_.fault_plan;
+  }
+  armed_ = plan_ != nullptr || config_.containment.any();
+  if (armed_) {
+    jitter_.assign(n, {});
+    skip_next_.assign(n, false);
+    skipped_.assign(n, 0);
+  }
+  if (config_.containment.holder_watchdog > 0) {
+    watchdog_.assign(system_.resources().size(), {});
+  }
+  if (plan_ != nullptr && plan_->hasStalls()) {
+    stall_noted_.assign(plan_->specs.size(), false);
   }
 
   if (config_.horizon > 0) {
@@ -67,9 +85,17 @@ SimResult Engine::run() {
   protocol_.attach(*this);
 
   while (true) {
+    if (config_.cancel != nullptr &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      throw SimCancelled();
+    }
     releaseDueJobs();
     wakeDueSuspensions();
+    if (!stall_noted_.empty()) noteStallWindows();
     settle();
+    if (armed_) {
+      while (applyContainment()) settle();
+    }
     if (miss_seen_ && config_.stop_on_deadline_miss) break;
     Time next = std::min(nextEventTime(), horizon_);
     if (next <= now_) break;  // now_ == horizon_: done
@@ -82,6 +108,9 @@ SimResult Engine::run() {
   // released at the horizon itself).
   wakeDueSuspensions();
   settle();
+  if (armed_) {
+    while (applyContainment()) settle();
+  }
 
   noteDeadlineMissesAtHorizon();
 
@@ -112,7 +141,44 @@ void Engine::releaseDueJobs() {
     const auto [due, task_idx] = release_heap_.top();
     if (due > now_ || due >= horizon_) break;
     release_heap_.pop();
-    const Task& task = system_.tasks()[static_cast<std::size_t>(task_idx)];
+    const auto ti = static_cast<std::size_t>(task_idx);
+    const Task& task = system_.tasks()[ti];
+
+    // Fault hooks: release jitter defers the release (the deadline stays
+    // tied to the nominal time), skip-next-release suppresses it outright.
+    Time nominal = due;
+    bool from_jitter = false;
+    if (armed_) {
+      if (jitter_[ti].at == due) {
+        nominal = jitter_[ti].nominal;
+        jitter_[ti] = {};
+        from_jitter = true;
+      } else if (plan_ != nullptr) {
+        Duration jd = plan_->releaseJitter(task.id, instance_no_[ti]);
+        jd = std::min<Duration>(jd, task.period - 1);
+        if (jd > 0) {
+          jitter_[ti] = {due + jd, due};
+          release_heap_.push({due + jd, task_idx});
+          release_heap_.push({due + task.period, task_idx});
+          result_.counters.faults_injected++;
+          emit({.t = now_, .kind = Ev::kFaultInjected,
+                .job = JobId{task.id, instance_no_[ti]},
+                .processor = task.processor});
+          continue;
+        }
+      }
+      if (!from_jitter && skip_next_[ti]) {
+        skip_next_[ti] = false;
+        skipped_[ti]++;
+        result_.counters.releases_skipped++;
+        result_.counters.faults_contained++;
+        emit({.t = now_, .kind = Ev::kReleaseSkipped,
+              .job = JobId{task.id, instance_no_[ti]++},
+              .processor = task.processor});
+        release_heap_.push({due + task.period, task_idx});
+        continue;
+      }
+    }
 
     if (++released_count_ > config_.max_jobs) {
       throw InvariantError(strf("job cap exceeded (", config_.max_jobs,
@@ -122,16 +188,16 @@ void Engine::releaseDueJobs() {
     // before it completes — note it as soon as the overrun is visible.
     noteOverrunMisses(task.id);
 
-    Job& stored = pool_.allocate(
-        JobId{task.id, instance_no_[static_cast<std::size_t>(task_idx)]++});
+    Job& stored = pool_.allocate(JobId{task.id, instance_no_[ti]++});
     stored.host = task.processor;
     stored.current = task.processor;
     stored.release = due;
-    stored.abs_deadline = due + task.relative_deadline;
+    stored.abs_deadline = nominal + task.relative_deadline;
     stored.base = task.priority;
     stored.state = JobState::kReady;
     stored.ready_seq = ++ready_seq_;
-    release_heap_.push({due + task.period, task_idx});
+    // A jittered release already queued the next nominal one at deferral.
+    if (!from_jitter) release_heap_.push({due + task.period, task_idx});
 
     readyQueue(stored.current)
         .pushSeq(&stored, stored.effectivePriority(), stored.ready_seq);
@@ -173,6 +239,9 @@ void Engine::noteOverrunMisses(TaskId task) {
     if (j.id.task == task && now_ > j.abs_deadline && !j.miss_noted) {
       j.miss_noted = true;
       miss_seen_ = true;
+      if (result_.counters.faults_injected > 0) {
+        result_.counters.misses_while_degraded++;
+      }
       emit({.t = now_, .kind = Ev::kDeadlineMiss, .job = j.id,
             .processor = j.host});
     }
@@ -195,7 +264,12 @@ void Engine::settle() {
   while (changed) {
     changed = false;
     for (int p = 0; p < procs; ++p) {
-      Job* j = pickHighest(p);
+      // A transiently stalled processor dispatches nothing: its jobs stay
+      // ready and the waiting time is attributed as blocking.
+      Job* j = (!stall_noted_.empty() &&
+                plan_->stalled(ProcessorId(p), now_))
+                   ? nullptr
+                   : pickHighest(p);
       if (j != running_[static_cast<std::size_t>(p)]) {
         Job* old = running_[static_cast<std::size_t>(p)];
         if (old != nullptr && old->state == JobState::kReady) {
@@ -250,7 +324,10 @@ bool Engine::processRunnableOps(int proc) {
 
     const Op& op = ops[j.op_index];
     if (const auto* c = std::get_if<ComputeOp>(&op)) {
-      if (j.op_remaining < 0) j.op_remaining = c->duration;
+      if (j.op_remaining < 0) {
+        j.op_remaining = plan_ != nullptr ? injectedComputeLen(j, c->duration)
+                                          : c->duration;
+      }
       if (j.op_remaining > 0) return progress;  // needs clock time
       j.op_index++;
       j.op_remaining = -1;
@@ -276,6 +353,10 @@ bool Engine::processRunnableOps(int proc) {
       if (outcome == LockOutcome::kGranted) {
         result_.counters.res(l->resource).acquisitions++;
         j.held.push_back(l->resource);
+        if (config_.containment.budget_enforce &&
+            system_.isGlobal(l->resource)) {
+          armBudget(j, l->resource);
+        }
         j.op_index++;
         emit({.t = now_, .kind = Ev::kLockGrant, .job = j.id,
               .processor = j.current, .resource = l->resource});
@@ -303,11 +384,36 @@ bool Engine::processRunnableOps(int proc) {
       return true;
     }
     const auto& u = std::get<UnlockOp>(op);
+    if (armed_) {
+      // The watchdog already revoked this semaphore: its V() is a no-op.
+      const auto fr = std::find(j.force_released.begin(),
+                                j.force_released.end(), u.resource);
+      if (fr != j.force_released.end()) {
+        j.force_released.erase(fr);
+        j.op_index++;
+        j.op_remaining = -1;
+        progress = true;
+        continue;
+      }
+      if (plan_ != nullptr && !j.held.empty() && j.held.back() == u.resource &&
+          plan_->stuckAt(j.id.task, j.id.instance, u.resource)) {
+        // Stuck holder: never executes this V() — burn clock time at the
+        // unlock site until the horizon (or until a watchdog revocation
+        // consumes the op from under us).
+        noteFault(j, fault::FaultKind::kStuckHolder, u.resource);
+        if (j.op_remaining <= 0) j.op_remaining = horizon_ - now_ + 1;
+        return progress;
+      }
+    }
     MPCP_CHECK(!j.held.empty() && j.held.back() == u.resource,
                j.id << " unlocking " << u.resource
                     << " which is not its innermost held semaphore");
     protocol_.onUnlock(j, u.resource);
     j.held.pop_back();
+    if (j.gcs_budget >= 0 && u.resource == j.gcs_resource) {
+      j.gcs_budget = -1;  // section completed within budget: disarm
+      j.gcs_consumed = 0;
+    }
     j.op_index++;
     progress = true;
   }
@@ -326,6 +432,9 @@ void Engine::finishJob(Job& j) {
   const bool missed = j.finish > j.abs_deadline;
   if (missed && !j.miss_noted) {
     j.miss_noted = true;
+    if (result_.counters.faults_injected > 0) {
+      result_.counters.misses_while_degraded++;
+    }
     emit({.t = now_, .kind = Ev::kDeadlineMiss, .job = j.id,
           .processor = j.current});
   }
@@ -367,6 +476,36 @@ Time Engine::nextEventTime() {
       next = std::min(next, now_ + j->op_remaining);
     }
   }
+  if (armed_) {
+    const fault::ContainmentConfig& cc = config_.containment;
+    if (!stall_noted_.empty()) {
+      next = std::min(next, plan_->nextStallBoundary(now_));
+    }
+    if (cc.budget_enforce) {
+      for (const Job* j : running_) {
+        if (j != nullptr && j->gcs_budget >= 0) {
+          next = std::min(next,
+                          now_ + std::max<Duration>(
+                                     1, j->gcs_budget + 1 - j->gcs_consumed));
+        }
+      }
+    }
+    if (cc.holder_watchdog > 0) {
+      for (const WatchdogEntry& w : watchdog_) {
+        if (w.since < 0) continue;
+        const Time fire = w.since > kTimeInfinity - cc.holder_watchdog
+                              ? kTimeInfinity
+                              : w.since + cc.holder_watchdog;
+        next = std::min(next, std::max(now_ + 1, fire));
+      }
+    }
+    if (cc.on_miss != fault::MissAction::kNone) {
+      pool_.forEachLive([&](Job& j) {
+        if (j.miss_policy_applied) return;
+        next = std::min(next, std::max(now_ + 1, j.abs_deadline + 1));
+      });
+    }
+  }
   return next;
 }
 
@@ -380,6 +519,7 @@ void Engine::advanceTo(Time t) {
     j->op_remaining -= dt;
     MPCP_DCHECK(j->op_remaining >= 0, "segment overrun for " << j->id);
     j->executed += dt;
+    if (armed_ && j->gcs_budget >= 0) j->gcs_consumed += dt;
     result_.processor_busy[p] += dt;
     recordSegment(static_cast<int>(p), *j, now_, t);
   }
@@ -437,6 +577,9 @@ void Engine::noteDeadlineMissesAtHorizon() {
     if (missed) {
       miss_seen_ = true;
       result_.counters.deadline_misses++;
+      if (!j.miss_noted && result_.counters.faults_injected > 0) {
+        result_.counters.misses_while_degraded++;
+      }
     }
     result_.jobs.push_back({.id = j.id,
                             .release = j.release,
@@ -449,8 +592,242 @@ void Engine::noteDeadlineMissesAtHorizon() {
                             .missed = missed});
   });
   for (std::size_t i = 0; i < instance_no_.size(); ++i) {
-    result_.per_task[i].jobs_released = instance_no_[i];
+    result_.per_task[i].jobs_released =
+        instance_no_[i] - (armed_ ? skipped_[i] : 0);
   }
+}
+
+// ----- fault-injection / containment (src/fault) -----
+
+Duration Engine::injectedComputeLen(Job& j, Duration base) {
+  const ResourceId inner = j.held.empty() ? ResourceId{} : j.held.back();
+  const fault::ComputeEffect eff = plan_->computeEffect(
+      j.id.task, j.id.instance, base, inner, !j.wcet_delta_applied);
+  if (eff.delta_used) j.wcet_delta_applied = true;
+  if ((eff.kinds & fault::bitOf(fault::FaultKind::kWcetOverrun)) != 0) {
+    noteFault(j, fault::FaultKind::kWcetOverrun, ResourceId{});
+  }
+  if ((eff.kinds & fault::bitOf(fault::FaultKind::kCsOverrun)) != 0) {
+    noteFault(j, fault::FaultKind::kCsOverrun, inner);
+  }
+  return eff.duration;
+}
+
+void Engine::noteFault(Job& j, fault::FaultKind kind, ResourceId r) {
+  const std::uint32_t bit = fault::bitOf(kind);
+  if ((j.faults_noted & bit) != 0) return;  // once per kind per job
+  j.faults_noted |= bit;
+  result_.counters.faults_injected++;
+  emit({.t = now_, .kind = Ev::kFaultInjected, .job = j.id,
+        .processor = j.current, .resource = r});
+}
+
+void Engine::noteStallWindows() {
+  for (std::size_t i = 0; i < stall_noted_.size(); ++i) {
+    const fault::FaultSpec& s = plan_->specs[i];
+    if (stall_noted_[i] || s.kind != fault::FaultKind::kProcStall) continue;
+    if (s.start <= now_ && now_ < s.start + s.length) {
+      stall_noted_[i] = true;
+      result_.counters.faults_injected++;
+      emit({.t = now_, .kind = Ev::kFaultInjected, .processor = s.processor});
+    }
+  }
+}
+
+void Engine::noteGlobalHolder(ResourceId r, const Job* holder) {
+  if (config_.containment.holder_watchdog <= 0) return;
+  if (!system_.isGlobal(r)) return;
+  WatchdogEntry& w = watchdog_[static_cast<std::size_t>(r.value())];
+  if (holder == nullptr) {
+    w = {};
+    return;
+  }
+  if (w.since >= 0 && w.holder == holder->id) return;  // unchanged holder
+  w.holder = holder->id;
+  w.since = now_;
+}
+
+bool Engine::applyContainment() {
+  bool fired = false;
+  const fault::ContainmentConfig& cc = config_.containment;
+
+  if (cc.holder_watchdog > 0) {
+    for (std::size_t r = 0; r < watchdog_.size(); ++r) {
+      WatchdogEntry& w = watchdog_[r];
+      if (w.since < 0 || now_ - w.since < cc.holder_watchdog) continue;
+      Job* h = pool_.find(w.holder);
+      if (h == nullptr) {  // holder retired without a transition report
+        w = {};
+        continue;
+      }
+      if (h->state != JobState::kReady) continue;  // retry at a safe point
+      forceRelease(*h, ResourceId(static_cast<std::int32_t>(r)));
+      fired = true;
+    }
+  }
+
+  if (cc.budget_enforce) {
+    // Collect first: budgetKill hands the semaphore off and wakes peers,
+    // which must not perturb this sweep.
+    std::vector<Job*> kills;
+    pool_.forEachLive([&](Job& j) {
+      if (j.gcs_budget >= 0 && j.gcs_consumed > j.gcs_budget &&
+          j.state == JobState::kReady) {
+        kills.push_back(&j);
+      }
+    });
+    for (Job* j : kills) {
+      budgetKill(*j);
+      fired = true;
+    }
+  }
+
+  if (cc.on_miss != fault::MissAction::kNone) {
+    std::vector<Job*> aborts;
+    pool_.forEachLive([&](Job& j) {
+      if (now_ > j.abs_deadline && !j.miss_policy_applied) {
+        j.miss_policy_applied = true;
+        if (!j.miss_noted) {
+          j.miss_noted = true;
+          miss_seen_ = true;
+          if (result_.counters.faults_injected > 0) {
+            result_.counters.misses_while_degraded++;
+          }
+          emit({.t = now_, .kind = Ev::kDeadlineMiss, .job = j.id,
+                .processor = j.host});
+        }
+        if (cc.on_miss == fault::MissAction::kSkipNextRelease) {
+          skip_next_[static_cast<std::size_t>(j.id.task.value())] = true;
+        } else {
+          j.abort_pending = true;
+        }
+      }
+      // Abort only at a safe point: ready and holding nothing (aborting a
+      // holder or a queued waiter would corrupt protocol state). A job
+      // parked at a global Lock op may already be the *designated* holder
+      // — rule 7 hands the semaphore over before the job re-dispatches to
+      // consume the grant, and held stays empty across that gap — so
+      // defer until the cursor moves past the op (the abort then fires
+      // after its V(), when the job provably holds nothing).
+      if (j.abort_pending && j.state == JobState::kReady && j.held.empty() &&
+          !atGlobalLockOp(j)) {
+        aborts.push_back(&j);
+      }
+    });
+    for (Job* j : aborts) {
+      abortJob(*j);
+      fired = true;
+    }
+  }
+  return fired;
+}
+
+void Engine::armBudget(Job& j, ResourceId r) {
+  for (const CriticalSection& cs : system_.task(j.id.task).sections) {
+    if (cs.lock_index != j.op_index) continue;
+    MPCP_CHECK(cs.resource == r,
+               "budget arming: section at op " << j.op_index
+                                               << " locks a different semaphore");
+    j.gcs_budget = std::llround(static_cast<double>(cs.duration) *
+                                config_.containment.grace);
+    j.gcs_consumed = 0;
+    j.gcs_resource = r;
+    j.gcs_unlock_index = cs.unlock_index;
+    return;
+  }
+}
+
+void Engine::forceRelease(Job& j, ResourceId r) {
+  emit({.t = now_, .kind = Ev::kForcedRelease, .job = j.id,
+        .processor = j.current, .resource = r});
+  result_.counters.forced_releases++;
+  result_.counters.faults_contained++;
+  if (std::find(j.held.begin(), j.held.end(), r) == j.held.end()) {
+    // The semaphore was handed to j but j has not re-dispatched to consume
+    // the grant: revoke it at the protocol level only. j's pending P()
+    // simply re-queues when it next runs.
+    protocol_.onUnlock(j, r);
+    dirty_ = true;
+    return;
+  }
+  const auto& ops = system_.task(j.id.task).body.ops();
+  while (!j.held.empty()) {
+    const ResourceId top = j.held.back();
+    protocol_.onUnlock(j, top);
+    j.held.pop_back();
+    if (j.gcs_budget >= 0 && top == j.gcs_resource) {
+      j.gcs_budget = -1;
+      j.gcs_consumed = 0;
+    }
+    const auto* u = j.op_index < ops.size()
+                        ? std::get_if<UnlockOp>(&ops[j.op_index])
+                        : nullptr;
+    if (u != nullptr && u->resource == top) {
+      // The job sits right at this V() (a stuck holder burning time):
+      // consume the op so the rest of the body can run.
+      j.op_index++;
+      j.op_remaining = -1;
+    } else {
+      j.force_released.push_back(top);
+    }
+    if (top == r) break;
+  }
+  dirty_ = true;
+}
+
+void Engine::budgetKill(Job& j) {
+  MPCP_CHECK(j.gcs_budget >= 0, "budgetKill on unarmed job " << j.id);
+  const ResourceId r = j.gcs_resource;
+  emit({.t = now_, .kind = Ev::kBudgetKill, .job = j.id,
+        .processor = j.current, .resource = r});
+  result_.counters.budget_kills++;
+  result_.counters.faults_contained++;
+  while (!j.held.empty()) {
+    const ResourceId top = j.held.back();
+    protocol_.onUnlock(j, top);
+    j.held.pop_back();
+    if (top == r) break;
+  }
+  // Descend: skip the rest of the section body and its V().
+  j.op_index = j.gcs_unlock_index + 1;
+  j.op_remaining = -1;
+  j.gcs_budget = -1;
+  j.gcs_consumed = 0;
+  dirty_ = true;
+}
+
+bool Engine::atGlobalLockOp(const Job& j) const {
+  const auto& ops = system_.task(j.id.task).body.ops();
+  if (j.op_index >= ops.size()) return false;
+  const auto* lock = std::get_if<LockOp>(&ops[j.op_index]);
+  return lock != nullptr && system_.isGlobal(lock->resource);
+}
+
+void Engine::abortJob(Job& j) {
+  MPCP_CHECK(j.held.empty(), "abortJob on holder " << j.id);
+  emit({.t = now_, .kind = Ev::kJobAbort, .job = j.id,
+        .processor = j.current});
+  j.state = JobState::kFinished;
+  readyQueue(j.current).remove(&j);
+  auto& slot = running_[static_cast<std::size_t>(j.current.value())];
+  if (slot == &j) slot = nullptr;
+  result_.counters.jobs_aborted++;
+  result_.counters.faults_contained++;
+  result_.counters.deadline_misses++;
+  result_.counters.recordBlocking(j.id.task, j.blocked);
+  protocol_.onJobFinished(j);
+  result_.jobs.push_back({.id = j.id,
+                          .release = j.release,
+                          .abs_deadline = j.abs_deadline,
+                          .finish = -1,
+                          .executed = j.executed,
+                          .blocked = j.blocked,
+                          .preempted = j.preempted,
+                          .suspended = j.suspended,
+                          .missed = true,
+                          .aborted = true});
+  pool_.release(j);
+  dirty_ = true;
 }
 
 void Engine::parkWaiting(Job& j, ResourceId r, JobId blocker) {

@@ -35,13 +35,16 @@
 // compared to the situation where no semaphores are present".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <queue>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "common/stable_priority_queue.h"
 #include "common/types.h"
+#include "fault/plan.h"
 #include "model/task_system.h"
 #include "sim/job.h"
 #include "sim/job_pool.h"
@@ -61,6 +64,21 @@ struct SimConfig {
   bool record_trace = true;
   /// Safety valve: abort if more jobs than this are released.
   std::int64_t max_jobs = 2'000'000;
+  /// Fault-injection plan (not owned; must outlive the engine). Null or
+  /// empty = no injection, and every fault hook stays schedule-neutral.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Containment policies (all off by default).
+  fault::ContainmentConfig containment;
+  /// Cooperative cancellation (not owned): the run loop polls this flag
+  /// and throws SimCancelled when it becomes true. Used by the sweep
+  /// runner's wall-clock watchdog to stop runaway simulations.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Thrown by Engine::run() when SimConfig::cancel is raised mid-run.
+class SimCancelled : public std::runtime_error {
+ public:
+  SimCancelled() : std::runtime_error("simulation cancelled") {}
 };
 
 class Engine {
@@ -113,6 +131,12 @@ class Engine {
   /// influence scheduling decisions.
   [[nodiscard]] obs::Counters& counters() { return result_.counters; }
 
+  /// Protocols report every global-semaphore holder transition here
+  /// (acquire, handoff, or release with `holder == nullptr`) so the
+  /// stuck-holder watchdog can time residence. No-op unless the watchdog
+  /// policy is active and `r` is global.
+  void noteGlobalHolder(ResourceId r, const Job* holder);
+
  private:
   /// Pending timed suspension, lazily invalidated: an entry is live iff
   /// its job still matches (id, kWaiting, suspended_until == t).
@@ -132,6 +156,32 @@ class Engine {
   void releaseDueJobs();
   void wakeDueSuspensions();
   void settle();
+  // ----- fault-injection / containment (src/fault) -----
+  /// Applies the fault plan to a compute op about to start; records the
+  /// injection (counter + trace instant) the first time each kind fires
+  /// for a job.
+  [[nodiscard]] Duration injectedComputeLen(Job& j, Duration base);
+  void noteFault(Job& j, fault::FaultKind kind, ResourceId r);
+  /// Emits kFaultInjected once per processor-stall window as the clock
+  /// enters it.
+  void noteStallWindows();
+  /// Fires every containment policy whose trigger has been reached.
+  /// Returns true if anything changed (caller re-settles).
+  bool applyContainment();
+  /// Arms the gcs budget when `j` enters the section whose LockOp is at
+  /// the current op cursor.
+  void armBudget(Job& j, ResourceId r);
+  /// Watchdog action: revoke `r` (and anything nested above it) from `j`.
+  void forceRelease(Job& j, ResourceId r);
+  /// Budget-enforce action: abort the armed gcs and descend past its V().
+  void budgetKill(Job& j);
+  /// True while `j`'s op cursor sits on a global Lock op — the window in
+  /// which a handoff may have designated `j` holder before it re-ran to
+  /// consume the grant. Aborting there would dangle the protocol's
+  /// holder pointer, so the miss policy waits it out.
+  [[nodiscard]] bool atGlobalLockOp(const Job& j) const;
+  /// Job-abort action: retire `j` (records an aborted JobRecord).
+  void abortJob(Job& j);
   /// Consumes zero-duration ops for the dispatched job on `proc`.
   /// Returns true if any op was consumed (the job's eligibility or
   /// priority may have changed, so the caller must re-dispatch).
@@ -181,6 +231,29 @@ class Engine {
   std::priority_queue<SuspEntry, std::vector<SuspEntry>, SuspAfter>
       susp_heap_;
   std::uint64_t susp_seq_ = 0;
+
+  // ----- fault-injection / containment state -----
+  /// Validated non-empty plan, or nullptr. armed_ is true when either a
+  /// plan or any containment policy is active; every fault hook on a hot
+  /// path is gated on it so fault-free runs take the exact HEAD schedule.
+  const fault::FaultPlan* plan_ = nullptr;
+  bool armed_ = false;
+  /// Per-resource stuck-holder watchdog (sized when the policy is on).
+  struct WatchdogEntry {
+    JobId holder;
+    Time since = -1;  ///< holder transition time; -1 = not held
+  };
+  std::vector<WatchdogEntry> watchdog_;
+  /// Release-jitter deferral, one outstanding entry per task at most
+  /// (jitter is clamped below the period).
+  struct JitterPending {
+    Time at = -1;      ///< deferred (actual) release time
+    Time nominal = 0;  ///< nominal release the deadline stays tied to
+  };
+  std::vector<JitterPending> jitter_;       // per task
+  std::vector<bool> skip_next_;             // per task (skip-next-release)
+  std::vector<std::int64_t> skipped_;       // per task, suppressed releases
+  std::vector<bool> stall_noted_;           // per plan spec (kProcStall)
 
   SimResult result_;
 };

@@ -64,6 +64,21 @@ struct Job {
   Time finish = -1;             ///< completion time, -1 while in flight
   bool miss_noted = false;      ///< deadline-miss trace event already emitted
 
+  // --- fault-injection / containment state (engine-internal; all inert
+  // unless the run has a FaultPlan or an active ContainmentConfig) ---
+  /// budget-enforce allowance for the current gcs; -1 = not armed.
+  Duration gcs_budget = -1;
+  Duration gcs_consumed = 0;    ///< ticks executed since entering that gcs
+  ResourceId gcs_resource;      ///< semaphore the armed budget belongs to
+  std::size_t gcs_unlock_index = 0;  ///< op index of its matching V()
+  /// Semaphores the watchdog revoked from this job: the corresponding
+  /// pending UnlockOps are consumed as no-ops when reached.
+  std::vector<ResourceId> force_released;
+  std::uint32_t faults_noted = 0;    ///< fault::bitOf mask already recorded
+  bool wcet_delta_applied = false;   ///< one-shot WCET delta consumed
+  bool abort_pending = false;        ///< retire at next safe point
+  bool miss_policy_applied = false;  ///< on-miss containment already decided
+
   // --- JobPool bookkeeping (engine-internal; protocols must not touch) ---
   std::uint32_t pool_slot = 0;  ///< slab slot this job occupies
   std::int32_t live_prev = -1;  ///< previous live job (release order)

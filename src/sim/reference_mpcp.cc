@@ -24,21 +24,35 @@ struct RJob {
   bool finished = false;
   std::vector<ResourceId> held;
   std::uint64_t eligible_seq = 0;  // FCFS tie-break, stamped on eligibility
+  // Fault mirroring (inert without a plan/watchdog):
+  Duration cur_len = -1;             // injected length of the current compute
+  bool wcet_delta_applied = false;   // one-shot WCET delta consumed
+  std::uint32_t faults_noted = 0;    // fault::bitOf mask already counted
+  std::vector<ResourceId> force_released;  // revoked; pending V()s are no-ops
 };
 
 struct GlobalSem {
   RJob* holder = nullptr;
   std::deque<RJob*> queue;  // arrival order; selection scans by priority
+  Time since = -1;          // last holder transition (watchdog clock)
 };
 
 }  // namespace
 
-ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
+ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon,
+                                      const fault::FaultPlan* plan,
+                                      Duration holder_watchdog) {
   const PriorityTables tables(sys);
   const int procs = sys.processorCount();
+  if (plan != nullptr && plan->empty()) plan = nullptr;
+  if (plan != nullptr) plan->validate(sys);
 
   std::vector<Time> next_release(sys.tasks().size());
   std::vector<std::int64_t> instance(sys.tasks().size(), 0);
+  // Deferred (jittered) releases: at most one outstanding per task since
+  // jitter is clamped below the period.
+  std::vector<Time> jit_at(sys.tasks().size(), -1);
+  std::vector<Time> jit_nominal(sys.tasks().size(), 0);
   for (const Task& t : sys.tasks()) {
     next_release[static_cast<std::size_t>(t.id.value())] = t.phase;
   }
@@ -87,6 +101,28 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
     return e;
   };
 
+  // Counts one injection per fault kind per job, like the engine.
+  const auto noteFault = [&](RJob& j, fault::FaultKind kind) {
+    const std::uint32_t bit = fault::bitOf(kind);
+    if ((j.faults_noted & bit) != 0) return;
+    j.faults_noted |= bit;
+    result.counters.faults_injected++;
+  };
+  // Applies the plan to a compute op about to start.
+  const auto refComputeLen = [&](RJob& j, Duration base) {
+    const ResourceId inner = j.held.empty() ? ResourceId{} : j.held.back();
+    const fault::ComputeEffect eff = plan->computeEffect(
+        j.id.task, j.id.instance, base, inner, !j.wcet_delta_applied);
+    if (eff.delta_used) j.wcet_delta_applied = true;
+    if ((eff.kinds & fault::bitOf(fault::FaultKind::kWcetOverrun)) != 0) {
+      noteFault(j, fault::FaultKind::kWcetOverrun);
+    }
+    if ((eff.kinds & fault::bitOf(fault::FaultKind::kCsOverrun)) != 0) {
+      noteFault(j, fault::FaultKind::kCsOverrun);
+    }
+    return eff.duration;
+  };
+
   // Runs through `horizon` inclusive: the final iteration performs the
   // zero-time fixpoint only (no execution), mirroring the engine's
   // final settle() so completions landing exactly on the horizon count.
@@ -94,16 +130,37 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
     const bool final_instant = now == horizon;
     // 1. Releases.
     for (const Task& t : sys.tasks()) {
-      auto& nr = next_release[static_cast<std::size_t>(t.id.value())];
-      while (nr <= now && nr < horizon) {
+      const auto ti = static_cast<std::size_t>(t.id.value());
+      auto& nr = next_release[ti];
+      const auto makeJob = [&](Time actual, Time nominal) {
         RJob j;
-        j.id = JobId{t.id, instance[static_cast<std::size_t>(t.id.value())]++};
+        j.id = JobId{t.id, instance[ti]++};
         j.task = &t;
-        j.release = nr;
-        j.deadline = nr + t.relative_deadline;
+        j.release = actual;
+        j.deadline = nominal + t.relative_deadline;
         j.eligible_seq = ++seq;
-        nr += t.period;
         jobs.push_back(j);
+      };
+      // A jitter-deferred release comes due independently of nr; its
+      // deadline stays tied to the nominal release time.
+      if (jit_at[ti] >= 0 && jit_at[ti] <= now && jit_at[ti] < horizon) {
+        makeJob(jit_at[ti], jit_nominal[ti]);
+        jit_at[ti] = -1;
+      }
+      while (nr <= now && nr < horizon) {
+        if (plan != nullptr) {
+          Duration jd = plan->releaseJitter(t.id, instance[ti]);
+          jd = std::min<Duration>(jd, t.period - 1);
+          if (jd > 0) {
+            jit_at[ti] = nr + jd;
+            jit_nominal[ti] = nr;
+            result.counters.faults_injected++;
+            nr += t.period;
+            continue;
+          }
+        }
+        makeJob(nr, nr);
+        nr += t.period;
       }
     }
     // 2. Voluntary wakes.
@@ -111,6 +168,62 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
       if (!j.finished && j.wake_at >= 0 && j.wake_at <= now) {
         j.wake_at = -1;
         j.eligible_seq = ++seq;
+      }
+    }
+
+    // 2b. Stuck-holder watchdog: revoke any global semaphore whose holder
+    //     has kept it for `holder_watchdog` ticks and hand it to the
+    //     highest-priority waiter — the reference half of the engine's
+    //     watchdog containment policy. Deferred while the holder is not
+    //     schedulable (parity with the engine's ready-state guard).
+    if (holder_watchdog > 0) {
+      for (auto& [rv, g] : globals) {
+        if (g.holder == nullptr || g.since < 0 ||
+            now - g.since < holder_watchdog) {
+          continue;
+        }
+        RJob* h = g.holder;
+        if (h->finished || h->waiting_global || h->wake_at >= 0 ||
+            h->parked_local) {
+          continue;
+        }
+        const ResourceId r(rv);
+        result.counters.forced_releases++;
+        result.counters.faults_contained++;
+        MPCP_CHECK(!h->held.empty() && h->held.back() == r,
+                   "reference: forced release of non-innermost semaphore");
+        h->held.pop_back();
+        const auto& hops = opsOf(*h);
+        const auto* u = h->op < hops.size()
+                            ? std::get_if<UnlockOp>(&hops[h->op])
+                            : nullptr;
+        if (u != nullptr && u->resource == r) {
+          // The holder sits right at this V() (stuck, burning time):
+          // consume it so the rest of the body runs.
+          h->op++;
+          h->done_in_op = 0;
+          h->cur_len = -1;
+        } else {
+          h->force_released.push_back(r);
+        }
+        g.holder = nullptr;
+        g.since = -1;
+        if (!g.queue.empty()) {
+          auto best = g.queue.begin();
+          for (auto it = g.queue.begin(); it != g.queue.end(); ++it) {
+            if ((*it)->task->priority > (*best)->task->priority) best = it;
+          }
+          RJob* next = *best;
+          g.queue.erase(best);
+          g.holder = next;
+          g.since = now;
+          result.counters.res(r).handoffs++;
+          result.counters.res(r).acquisitions++;
+          next->held.push_back(r);
+          next->op++;  // consume the pending LockOp
+          next->waiting_global = false;
+          next->eligible_seq = ++seq;
+        }
       }
     }
 
@@ -264,6 +377,7 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                 if (sys.isGlobal(l->resource)) {
                   GlobalSem& g = globals[l->resource.value()];
                   if (g.holder == nullptr || g.holder == j) {
+                    if (g.holder == nullptr) g.since = now;
                     g.holder = j;
                     result.counters.res(l->resource).acquisitions++;
                     j->held.push_back(l->resource);
@@ -306,6 +420,27 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                 break;
               }
               if (const auto* u = std::get_if<UnlockOp>(&ops[j->op])) {
+                // Watchdog already revoked this semaphore: the V() is a
+                // no-op.
+                const auto fr = std::find(j->force_released.begin(),
+                                          j->force_released.end(),
+                                          u->resource);
+                if (fr != j->force_released.end()) {
+                  j->force_released.erase(fr);
+                  j->op++;
+                  progressed = true;
+                  continue;
+                }
+                if (plan != nullptr && !j->held.empty() &&
+                    j->held.back() == u->resource &&
+                    plan->stuckAt(j->id.task, j->id.instance, u->resource)) {
+                  // Stuck holder: never executes this V(); burns clock
+                  // time at the unlock site like a compute op.
+                  noteFault(*j, fault::FaultKind::kStuckHolder);
+                  if (!progressed) chosen = j;  // runnable-as-is (burning)
+                  stop_candidate_scan = true;
+                  break;
+                }
                 MPCP_CHECK(!j->held.empty() && j->held.back() == u->resource,
                            "reference: unlock order violated");
                 j->held.pop_back();
@@ -325,6 +460,7 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                   GlobalSem& g = globals[u->resource.value()];
                   MPCP_CHECK(g.holder == j, "reference: non-holder unlock");
                   g.holder = nullptr;
+                  g.since = -1;
                   if (!g.queue.empty()) {
                     auto best = g.queue.begin();
                     for (auto it = g.queue.begin(); it != g.queue.end();
@@ -336,6 +472,7 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
                     RJob* next = *best;
                     g.queue.erase(best);
                     g.holder = next;
+                    g.since = now;
                     result.counters.res(u->resource).handoffs++;
                     result.counters.res(u->resource).acquisitions++;
                     next->held.push_back(u->resource);
@@ -373,11 +510,18 @@ ReferenceResult simulateMpcpReference(const TaskSystem& sys, Time horizon) {
       RJob* j = runner[static_cast<std::size_t>(p)];
       if (j == nullptr) continue;
       const auto& ops = opsOf(*j);
-      const auto& c = std::get<ComputeOp>(ops[j->op]);
-      if (++j->done_in_op == c.duration) {
-        j->op++;
-        j->done_in_op = 0;
+      if (const auto* c = std::get_if<ComputeOp>(&ops[j->op])) {
+        if (j->cur_len < 0) {
+          j->cur_len = plan != nullptr ? refComputeLen(*j, c->duration)
+                                       : c->duration;
+        }
+        if (++j->done_in_op >= j->cur_len) {
+          j->op++;
+          j->done_in_op = 0;
+          j->cur_len = -1;
+        }
       }
+      // else: a stuck holder burning time at its V() — no progress.
     }
   }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "fault/plan.h"
 #include "model/task_system.h"
 #include "obs/counters.h"
 
@@ -41,7 +42,16 @@ struct ReferenceResult {
 /// Simulates `system` under MPCP rules for `horizon` ticks.
 /// Supports the full op set (compute/lock/unlock/suspend); requires
 /// non-nested global sections like MpcpProtocol.
-[[nodiscard]] ReferenceResult simulateMpcpReference(const TaskSystem& system,
-                                                    Time horizon);
+///
+/// `plan` (optional, not owned) mirrors the engine's fault injection for
+/// the mirrorable fault classes (WCET/cs overrun, stuck holder, release
+/// jitter — NOT processor stalls; see FaultPlan::mirrorable()), so
+/// differential oracles stay meaningful under injected faults.
+/// `holder_watchdog` > 0 force-releases a global semaphore whose holder
+/// has kept it that long, handing off to the highest-priority waiter —
+/// the reference half of the engine's watchdog containment policy.
+[[nodiscard]] ReferenceResult simulateMpcpReference(
+    const TaskSystem& system, Time horizon,
+    const fault::FaultPlan* plan = nullptr, Duration holder_watchdog = 0);
 
 }  // namespace mpcp

@@ -21,6 +21,7 @@ struct JobRecord {
   Duration preempted = 0;
   Duration suspended = 0;     ///< voluntary self-suspension time
   bool missed = false;
+  bool aborted = false;       ///< retired by the job-abort policy
 
   [[nodiscard]] Duration responseTime() const {
     return finish < 0 ? -1 : finish - release;

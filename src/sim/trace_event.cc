@@ -19,6 +19,11 @@ const char* toString(Ev ev) {
     case Ev::kSelfResume: return "self-resume";
     case Ev::kFinish: return "finish";
     case Ev::kDeadlineMiss: return "DEADLINE-MISS";
+    case Ev::kFaultInjected: return "fault-injected";
+    case Ev::kForcedRelease: return "forced-release";
+    case Ev::kBudgetKill: return "budget-kill";
+    case Ev::kJobAbort: return "job-abort";
+    case Ev::kReleaseSkipped: return "release-skipped";
   }
   return "?";
 }

@@ -30,7 +30,12 @@ enum class Ev {
   kSelfSuspend, ///< job began a voluntary timed suspension
   kSelfResume,  ///< a voluntary suspension elapsed
   kFinish,      ///< job completed
-  kDeadlineMiss ///< completion (or horizon) after the absolute deadline
+  kDeadlineMiss,///< completion (or horizon) after the absolute deadline
+  kFaultInjected,  ///< a FaultPlan spec first took effect (fault layer)
+  kForcedRelease,  ///< watchdog revoked a stuck holder's semaphore
+  kBudgetKill,     ///< budget-enforce aborted an overrunning gcs
+  kJobAbort,       ///< job retired after a deadline miss (job-abort policy)
+  kReleaseSkipped  ///< release suppressed (skip-next-release policy)
 };
 
 const char* toString(Ev ev);

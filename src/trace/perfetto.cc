@@ -89,6 +89,14 @@ void writePerfettoTrace(std::ostream& os, const TaskSystem& system,
         e.kind == Ev::kDeadlineMiss) {
       threads.emplace(pidOf(e), e.job.task.value());
     }
+    // Fault/containment instants carry a job except for processor
+    // stalls, which are process-scoped (no thread row needed).
+    if ((e.kind == Ev::kFaultInjected || e.kind == Ev::kForcedRelease ||
+         e.kind == Ev::kBudgetKill || e.kind == Ev::kJobAbort ||
+         e.kind == Ev::kReleaseSkipped) &&
+        e.job.task.valid()) {
+      threads.emplace(pidOf(e), e.job.task.value());
+    }
   }
 
   os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
@@ -184,6 +192,38 @@ void writePerfettoTrace(std::ostream& os, const TaskSystem& system,
                     ",\"tid\":", e.job.task.value(), ",\"ts\":", e.t,
                     ",\"s\":\"t\",\"name\":\"deadline miss ",
                     jsonEscape(jobName(system, e.job)), "\""));
+        break;
+      }
+      case Ev::kFaultInjected:
+      case Ev::kForcedRelease:
+      case Ev::kBudgetKill:
+      case Ev::kJobAbort:
+      case Ev::kReleaseSkipped: {
+        static const auto nameOf = [](Ev k) {
+          switch (k) {
+            case Ev::kFaultInjected: return "fault injected";
+            case Ev::kForcedRelease: return "forced release";
+            case Ev::kBudgetKill: return "budget kill";
+            case Ev::kJobAbort: return "job abort";
+            default: return "release skipped";
+          }
+        };
+        std::string name = nameOf(e.kind);
+        if (e.resource.valid()) {
+          name += strf(" ", system.resource(e.resource).name);
+        }
+        if (!e.job.task.valid()) {
+          // Processor stall window: no job to attach to — process scope.
+          w.emit(strf("\"ph\":\"i\",\"pid\":",
+                      e.processor.valid() ? e.processor.value() : 0,
+                      ",\"ts\":", e.t, ",\"s\":\"p\",\"name\":\"",
+                      jsonEscape(name + " (stall)"), "\""));
+          break;
+        }
+        name += strf(" ", jobName(system, e.job));
+        w.emit(strf("\"ph\":\"i\",\"pid\":", pidOf(e),
+                    ",\"tid\":", e.job.task.value(), ",\"ts\":", e.t,
+                    ",\"s\":\"t\",\"name\":\"", jsonEscape(name), "\""));
         break;
       }
       default:

@@ -47,6 +47,19 @@ TEST(CorpusReplay, EveryEntryReplaysCleanWithoutMutation) {
   }
 }
 
+TEST(CorpusReplay, FaultEntriesReplayCleanWithTheirPlan) {
+  // Fault-plan repros record *fixed* containment bugs: the full fault
+  // suite (all policies + neutrality + differential) must pass with the
+  // recorded plan re-applied, not just with the plan stripped.
+  for (const std::string& path : corpusFiles()) {
+    const ReproCase rc = loadReproFile(path);
+    if (rc.fault_plan.empty()) continue;
+    SCOPED_TRACE(path);
+    const ReplayOutcome out = replay(rc, /*with_mutation=*/true);
+    EXPECT_TRUE(out.clean()) << out.report;
+  }
+}
+
 TEST(CorpusReplay, MutationEntriesStillReproduceTheirOracle) {
   for (const std::string& path : corpusFiles()) {
     const ReproCase rc = loadReproFile(path);

@@ -1,0 +1,255 @@
+// FaultPlan unit tests: text grammar round-trips, named-field
+// validation, compute-op stretching semantics, and the containment
+// policy parser. The injection *behavior* (what the engine does with a
+// plan) lives in fault_containment_test.cc.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "fault/plan.h"
+#include "model/task_system.h"
+#include "taskgen/generator.h"
+
+namespace mpcp {
+namespace {
+
+using fault::ContainmentConfig;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultSpec;
+using fault::MissAction;
+using fault::formatPlan;
+using fault::parsePlan;
+
+/// Two processors sharing G; L is local to P0.
+TaskSystem twoProcSystem() {
+  TaskSystemBuilder b(2);
+  const ResourceId g = b.addResource("G");
+  const ResourceId l = b.addResource("L");
+  b.addTask({.name = "tau1", .period = 100, .processor = 0,
+             .body = Body{}.compute(2).section(g, 3).section(l, 1)});
+  b.addTask({.name = "tau2", .period = 200, .processor = 1,
+             .body = Body{}.compute(1).section(g, 2).compute(1)});
+  return std::move(b).build();
+}
+
+TEST(FaultPlan, ParseFormatRoundTrip) {
+  const TaskSystem sys = twoProcSystem();
+  const std::string text =
+      "wcet:tau1:*:x2.5,cs:tau2:0:G:x1.5+3,stuck:tau1:1:G,"
+      "jitter:tau2:*:+7,stall:P1:100:50";
+  const FaultPlan plan = parsePlan(text, sys);
+  ASSERT_EQ(plan.specs.size(), 5u);
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kWcetOverrun);
+  EXPECT_EQ(plan.specs[0].instance, -1);
+  EXPECT_DOUBLE_EQ(plan.specs[0].factor, 2.5);
+  EXPECT_EQ(plan.specs[1].kind, FaultKind::kCsOverrun);
+  EXPECT_EQ(plan.specs[1].resource, ResourceId(0));
+  EXPECT_EQ(plan.specs[1].delta, 3);
+  EXPECT_EQ(plan.specs[2].kind, FaultKind::kStuckHolder);
+  EXPECT_EQ(plan.specs[2].instance, 1);
+  EXPECT_EQ(plan.specs[3].kind, FaultKind::kReleaseJitter);
+  EXPECT_EQ(plan.specs[3].delta, 7);
+  EXPECT_EQ(plan.specs[4].kind, FaultKind::kProcStall);
+  EXPECT_EQ(plan.specs[4].processor, ProcessorId(1));
+
+  // The canonical rendering survives another parse/format cycle exactly
+  // (the repro-file contract: headers are single whitespace-free tokens).
+  const std::string canon = formatPlan(plan, sys);
+  EXPECT_EQ(canon.find(' '), std::string::npos);
+  EXPECT_EQ(formatPlan(parsePlan(canon, sys), sys), canon);
+}
+
+TEST(FaultPlan, ParseAcceptsBareIndices) {
+  const TaskSystem sys = twoProcSystem();
+  const FaultPlan plan = parsePlan("stuck:0:*:1", sys);
+  ASSERT_EQ(plan.specs.size(), 1u);
+  EXPECT_EQ(plan.specs[0].task, TaskId(0));
+  EXPECT_EQ(plan.specs[0].resource, ResourceId(1));
+}
+
+TEST(FaultPlan, ParseRejectsBadInput) {
+  const TaskSystem sys = twoProcSystem();
+  EXPECT_THROW((void)parsePlan("melt:tau1:*", sys), ConfigError);
+  EXPECT_THROW((void)parsePlan("wcet:tau1:*", sys), ConfigError);     // arity
+  EXPECT_THROW((void)parsePlan("wcet:tau1:*:2.5", sys), ConfigError); // no 'x'
+  EXPECT_THROW((void)parsePlan("jitter:tau2:*:7", sys), ConfigError); // no '+'
+  EXPECT_THROW((void)parsePlan("wcet:tau9:*:x2", sys), ConfigError);  // task
+}
+
+TEST(FaultPlan, ValidateNamesTheBadField) {
+  const TaskSystem sys = twoProcSystem();
+  const auto expectError = [&](FaultSpec s, const char* needle) {
+    FaultPlan p;
+    p.specs.push_back(s);
+    try {
+      p.validate(sys);
+      FAIL() << "expected ConfigError mentioning '" << needle << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expectError({.kind = FaultKind::kWcetOverrun, .task = TaskId(7),
+               .factor = 2.0},
+              "task");
+  expectError({.kind = FaultKind::kWcetOverrun, .task = TaskId(0),
+               .factor = 0.5},
+              "factor");
+  expectError({.kind = FaultKind::kWcetOverrun, .task = TaskId(0),
+               .factor = 1.0, .delta = 0},
+              "injects nothing");
+  expectError({.kind = FaultKind::kCsOverrun, .task = TaskId(0),
+               .resource = ResourceId(9), .factor = 2.0},
+              "resource");
+  expectError({.kind = FaultKind::kReleaseJitter, .task = TaskId(0),
+               .delta = 0},
+              "delta");
+  expectError({.kind = FaultKind::kProcStall, .processor = ProcessorId(5),
+               .length = 10},
+              "processor");
+  expectError({.kind = FaultKind::kProcStall, .processor = ProcessorId(0),
+               .length = 0},
+              "length");
+}
+
+TEST(FaultPlan, ComputeEffectStretchesOutsideAndInsideSections) {
+  const TaskSystem sys = twoProcSystem();
+  FaultPlan plan = parsePlan("wcet:tau1:*:x2+5,cs:tau1:*:G:x3", sys);
+
+  // Outside any section: WCET factor applies, delta only when allowed.
+  const auto out = plan.computeEffect(TaskId(0), 0, 10, ResourceId{}, true);
+  EXPECT_EQ(out.duration, 25);  // 10*2 + 5
+  EXPECT_TRUE(out.delta_used);
+  EXPECT_EQ(out.kinds, fault::bitOf(FaultKind::kWcetOverrun));
+  const auto no_delta =
+      plan.computeEffect(TaskId(0), 0, 10, ResourceId{}, false);
+  EXPECT_EQ(no_delta.duration, 20);
+  EXPECT_FALSE(no_delta.delta_used);
+
+  // Inside G: only the cs spec fires; inside L: neither does.
+  const auto in_g = plan.computeEffect(TaskId(0), 0, 3, ResourceId(0), true);
+  EXPECT_EQ(in_g.duration, 9);
+  EXPECT_EQ(in_g.kinds, fault::bitOf(FaultKind::kCsOverrun));
+  const auto in_l = plan.computeEffect(TaskId(0), 0, 3, ResourceId(1), true);
+  EXPECT_EQ(in_l.duration, 3);
+  EXPECT_EQ(in_l.kinds, 0u);
+
+  // Wrong task / wrong instance: untouched.
+  FaultPlan one = parsePlan("wcet:tau1:2:x2", sys);
+  EXPECT_EQ(one.computeEffect(TaskId(0), 0, 10, ResourceId{}, true).duration,
+            10);
+  EXPECT_EQ(one.computeEffect(TaskId(0), 2, 10, ResourceId{}, true).duration,
+            20);
+  EXPECT_EQ(one.computeEffect(TaskId(1), 2, 10, ResourceId{}, true).duration,
+            10);
+}
+
+TEST(FaultPlan, StuckJitterStallQueries) {
+  const TaskSystem sys = twoProcSystem();
+  const FaultPlan plan =
+      parsePlan("stuck:tau1:1:G,jitter:tau2:0:+9,stall:P0:100:50", sys);
+  EXPECT_TRUE(plan.stuckAt(TaskId(0), 1, ResourceId(0)));
+  EXPECT_FALSE(plan.stuckAt(TaskId(0), 0, ResourceId(0)));
+  EXPECT_FALSE(plan.stuckAt(TaskId(0), 1, ResourceId(1)));
+  EXPECT_EQ(plan.releaseJitter(TaskId(1), 0), 9);
+  EXPECT_EQ(plan.releaseJitter(TaskId(1), 1), 0);
+  EXPECT_FALSE(plan.stalled(ProcessorId(0), 99));
+  EXPECT_TRUE(plan.stalled(ProcessorId(0), 100));
+  EXPECT_TRUE(plan.stalled(ProcessorId(0), 149));
+  EXPECT_FALSE(plan.stalled(ProcessorId(0), 150));
+  EXPECT_FALSE(plan.stalled(ProcessorId(1), 120));
+  EXPECT_EQ(plan.nextStallBoundary(0), 100);
+  EXPECT_EQ(plan.nextStallBoundary(100), 150);
+  EXPECT_EQ(plan.nextStallBoundary(150), kTimeInfinity);
+  EXPECT_TRUE(plan.hasStalls());
+  EXPECT_FALSE(plan.mirrorable());
+  EXPECT_TRUE(parsePlan("stuck:tau1:*:*", sys).mirrorable());
+}
+
+TEST(FaultPlan, RandomPlansValidate) {
+  WorkloadParams params;
+  params.processors = 3;
+  params.tasks_per_processor = 2;
+  params.global_resources = 2;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const TaskSystem sys = generateWorkload(params, rng);
+    const FaultPlan plan = FaultPlan::random(rng, sys, 4);
+    EXPECT_EQ(plan.specs.size(), 4u);
+    EXPECT_NO_THROW(plan.validate(sys)) << "seed " << seed;
+    // random() -> format -> parse must round-trip too.
+    const std::string text = formatPlan(plan, sys);
+    EXPECT_EQ(formatPlan(parsePlan(text, sys), sys), text);
+  }
+}
+
+TEST(ContainmentConfig, FromNames) {
+  EXPECT_FALSE(fault::containmentFromNames("none", 1.0, 500).any());
+  EXPECT_FALSE(fault::containmentFromNames("", 1.0, 500).any());
+
+  const ContainmentConfig cc = fault::containmentFromNames(
+      "budget-enforce,watchdog,skip-next-release", 1.5, 250);
+  EXPECT_TRUE(cc.budget_enforce);
+  EXPECT_DOUBLE_EQ(cc.grace, 1.5);
+  EXPECT_EQ(cc.holder_watchdog, 250);
+  EXPECT_EQ(cc.on_miss, MissAction::kSkipNextRelease);
+  EXPECT_TRUE(cc.any());
+
+  EXPECT_THROW(
+      (void)fault::containmentFromNames("job-abort,skip-next-release", 1.0,
+                                        500),
+      ConfigError);
+  EXPECT_THROW((void)fault::containmentFromNames("frobnicate", 1.0, 500),
+               ConfigError);
+  EXPECT_THROW((void)fault::containmentFromNames("watchdog", 1.0, 0),
+               ConfigError);
+  EXPECT_THROW((void)fault::containmentFromNames("budget-enforce", 0.0, 500),
+               ConfigError);
+}
+
+TEST(ModelValidation, BuilderNamesBadFields) {
+  // Satellite of the fault work: malformed systems fail at build() with
+  // the offending task named, so CLI/fuzz inputs never reach the engine.
+  const auto expectError = [](auto&& mutate, const char* needle) {
+    TaskSystemBuilder b(2);
+    const ResourceId g = b.addResource("G");
+    mutate(b, g);
+    try {
+      (void)std::move(b).build();
+      FAIL() << "expected ConfigError mentioning '" << needle << "'";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expectError(
+      [](TaskSystemBuilder& b, ResourceId) {
+        b.addTask({.name = "bad", .period = 0, .processor = 0,
+                   .body = Body{}.compute(1)});
+      },
+      "period");
+  expectError(
+      [](TaskSystemBuilder& b, ResourceId) {
+        b.addTask({.name = "bad", .period = 10, .processor = 5,
+                   .body = Body{}.compute(1)});
+      },
+      "processor");
+  expectError(
+      [](TaskSystemBuilder& b, ResourceId) {
+        b.addTask({.name = "bad", .period = 10, .processor = 0,
+                   .body = Body{}});
+      },
+      "compute");
+  expectError(
+      [](TaskSystemBuilder& b, ResourceId) {
+        b.addTask({.name = "bad", .period = 10, .processor = 0,
+                   .body = Body{}.section(ResourceId(3), 2)});
+      },
+      "undeclared resource");
+}
+
+}  // namespace
+}  // namespace mpcp

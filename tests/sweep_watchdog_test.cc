@@ -1,0 +1,139 @@
+// Hardened-sweep tests: the wall-clock watchdog in mapGuarded cancels a
+// runaway simulation (via SimConfig::cancel -> SimCancelled) and records
+// a RunFailure while every other seed still produces its row, at any
+// thread count; ThreadPool propagates a worker exception instead of
+// terminating and stays usable afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/simulate.h"
+#include "exp/sweep_runner.h"
+#include "exp/thread_pool.h"
+#include "model/task_system.h"
+
+namespace mpcp {
+namespace {
+
+TaskSystem tinySystem() {
+  TaskSystemBuilder b(1);
+  b.addTask({.name = "t", .period = 10, .processor = 0,
+             .body = Body{}.compute(3)});
+  return std::move(b).build();
+}
+
+/// Simulates `sys` with the guard's cancel flag wired in. `horizon` huge
+/// = a runaway run only the watchdog can stop.
+std::int64_t guardedRun(const TaskSystem& sys, Time horizon,
+                        const exp::RunGuard& guard) {
+  SimConfig config;
+  config.horizon = horizon;
+  config.record_trace = false;
+  config.max_jobs = std::numeric_limits<std::int64_t>::max();
+  config.cancel = guard.cancel;
+  return static_cast<std::int64_t>(
+      simulate(ProtocolKind::kMpcp, sys, config).jobs.size());
+}
+
+TEST(SweepWatchdog, RunawayRunIsCancelledOthersSurvive) {
+  const TaskSystem sys = tinySystem();
+  constexpr int kSeeds = 5;
+  constexpr int kRunaway = 2;
+
+  for (const int threads : {1, 2, 4}) {
+    exp::SweepRunner runner(threads);
+    exp::GuardOptions opt;
+    opt.wall_limit_s = 0.05;
+    const auto out = runner.mapGuarded(
+        kSeeds, /*seed_base=*/7, opt,
+        [&](int s, Rng&, const exp::RunGuard& guard) {
+          const Time horizon = s == kRunaway ? Time{2'000'000'000} : Time{200};
+          return guardedRun(sys, horizon, guard);
+        });
+
+    ASSERT_EQ(out.failures.size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(out.failures[0].seed, kRunaway);
+    EXPECT_TRUE(out.failures[0].timed_out);
+    EXPECT_FALSE(out.failures[0].error.empty());
+    ASSERT_EQ(out.rows.size(), static_cast<std::size_t>(kSeeds));
+    for (int s = 0; s < kSeeds; ++s) {
+      if (s == kRunaway) {
+        EXPECT_FALSE(out.rows[static_cast<std::size_t>(s)].has_value());
+      } else {
+        ASSERT_TRUE(out.rows[static_cast<std::size_t>(s)].has_value())
+            << "seed " << s << " threads=" << threads;
+        EXPECT_EQ(*out.rows[static_cast<std::size_t>(s)], 20);  // 200/10 jobs
+      }
+    }
+  }
+}
+
+TEST(SweepWatchdog, ThrowingRunBecomesFailureNotTimeout) {
+  exp::SweepRunner runner(2);
+  const auto out = runner.mapGuarded(
+      4, /*seed_base=*/1, exp::GuardOptions{},
+      [](int s, Rng&, const exp::RunGuard&) -> int {
+        if (s == 1) throw std::runtime_error("boom");
+        return s * 10;
+      });
+  ASSERT_EQ(out.failures.size(), 1u);
+  EXPECT_EQ(out.failures[0].seed, 1);
+  EXPECT_FALSE(out.failures[0].timed_out);
+  EXPECT_EQ(out.failures[0].error, "boom");
+  EXPECT_EQ(*out.rows[0], 0);
+  EXPECT_FALSE(out.rows[1].has_value());
+  EXPECT_EQ(*out.rows[2], 20);
+  EXPECT_EQ(*out.rows[3], 30);
+}
+
+TEST(SweepWatchdog, EngineThrowsSimCancelledOnRaisedFlag) {
+  const TaskSystem sys = tinySystem();
+  std::atomic<bool> cancel{true};
+  SimConfig config;
+  config.horizon = 1000;
+  config.cancel = &cancel;
+  EXPECT_THROW((void)simulate(ProtocolKind::kMpcp, sys, config),
+               SimCancelled);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesAndPoolSurvives) {
+  exp::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallelFor(16, [&](std::int64_t i) {
+      ++ran;
+      if (i == 5) throw std::runtime_error("task failed");
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  // Every iteration still ran (the pool drains before rethrowing) and the
+  // pool is reusable — a dead worker would hang this second call.
+  EXPECT_EQ(ran.load(), 16);
+  std::atomic<int> again{0};
+  pool.parallelFor(8, [&](std::int64_t) { ++again; });
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAcrossManyThrowers) {
+  exp::ThreadPool pool(4);
+  try {
+    pool.parallelFor(64, [&](std::int64_t i) {
+      if (i % 2 == 0) throw std::runtime_error("even failed");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "even failed");
+  }
+  std::atomic<int> ok{0};
+  pool.parallelFor(4, [&](std::int64_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -12,6 +12,10 @@
 //   mpcp_cli generate [--seed N] [--processors N] [--tasks-per-proc N]
 //                     [--util X] [--resources N] [--cs-max N]
 //                     [--suspend-prob X]
+//   mpcp_cli faults   <file> [--plan SPEC | --random N [--seed S]]
+//                            [--policy none|csv] [--grace X]
+//                            [--watchdog-timeout N] [--protocol ...]
+//                            [--horizon N] [--counters] [--perfetto FILE]
 //
 // Task-system files use the format documented in model/serialize.h.
 // `generate` writes one to stdout, so the commands compose:
@@ -29,6 +33,7 @@
 #include "core/analyzer.h"
 #include "core/simulate.h"
 #include "exp/counter_sweep.h"
+#include "fault/plan.h"
 #include "model/serialize.h"
 #include "taskgen/generator.h"
 #include "cli_util.h"
@@ -43,7 +48,8 @@ namespace {
 
 int usage() {
   std::cerr <<
-      "usage: mpcp_cli <tables|analyze|simulate|stats|generate> [args]\n"
+      "usage: mpcp_cli <tables|analyze|simulate|stats|generate|sensitivity|"
+      "faults> [args]\n"
       "  tables   <file>\n"
       "  analyze  <file> [--protocol mpcp|dpcp|pcp] [--no-deferred]\n"
       "                  [--paper-literal-f5]\n"
@@ -55,7 +61,12 @@ int usage() {
       "           [--horizon N] [generator knobs as for generate]\n"
       "  generate [--seed N] [--processors N] [--tasks-per-proc N]\n"
       "           [--util X] [--resources N] [--cs-max N] [--suspend-prob X]\n"
-      "  sensitivity <file> [--protocol mpcp|dpcp|pcp]\n";
+      "  sensitivity <file> [--protocol mpcp|dpcp|pcp]\n"
+      "  faults   <file> [--plan SPEC | --random N [--seed S]]\n"
+      "           [--policy none|budget-enforce,job-abort,skip-next-release,\n"
+      "            watchdog] [--grace X] [--watchdog-timeout N]\n"
+      "           [--protocol ...] [--horizon N] [--counters]\n"
+      "           [--perfetto FILE]\n";
   return 2;
 }
 
@@ -254,6 +265,72 @@ int cmdStats(const Args& args) {
   return 0;
 }
 
+// Run one system under an injected fault plan and a containment policy.
+// `--plan` takes the fault/plan.h grammar; `--random N` draws N specs
+// from `--seed`. `--policy` is "none" or a comma list (budget-enforce,
+// job-abort, skip-next-release, watchdog).
+int cmdFaults(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const TaskSystem sys = load(args.positional[0]);
+  const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
+  if (args.has("plan") && args.has("random")) {
+    throw cli::UsageError("--plan and --random are mutually exclusive");
+  }
+
+  fault::FaultPlan plan;
+  if (args.has("plan")) {
+    plan = fault::parsePlan(args.get("plan", ""), sys);
+  } else if (args.has("random")) {
+    const int count = static_cast<int>(
+        cli::parseInt("--random", args.get("random", "2"), 1, 64));
+    Rng rng(cli::parseUint("--seed", args.get("seed", "1")));
+    plan = fault::FaultPlan::random(rng, sys, count);
+  }
+  const double grace =
+      cli::parseDouble("--grace", args.get("grace", "1"), 1.0, 100.0);
+  const Duration watchdog =
+      cli::parseInt("--watchdog-timeout", args.get("watchdog-timeout", "500"),
+                    1, kTimeInfinity);
+  const std::string policy = args.get("policy", "none");
+  const fault::ContainmentConfig containment =
+      fault::containmentFromNames(policy, grace, watchdog);
+
+  SimConfig config;
+  config.horizon =
+      cli::parseInt("--horizon", args.get("horizon", "0"), 0, kTimeInfinity);
+  config.fault_plan = plan.empty() ? nullptr : &plan;
+  config.containment = containment;
+  const SimResult r = simulate(kind, sys, config);
+
+  std::cout << "protocol " << toString(kind) << ", horizon " << r.horizon
+            << ", policy " << policy << "\n";
+  std::cout << "plan: " << (plan.empty() ? "(none)" : fault::formatPlan(plan, sys))
+            << "\n";
+  std::cout << (r.any_deadline_miss ? "DEADLINE MISS" : "no misses") << "\n";
+  for (const TaskStats& st : r.per_task) {
+    const Task& t = sys.task(st.task);
+    std::cout << "  " << t.name << ": jobs=" << st.jobs_finished
+              << " max-response=" << st.max_response
+              << " max-blocking=" << st.max_blocked
+              << " misses=" << st.deadline_misses << "\n";
+  }
+  const InvariantReport rep = checkMutualExclusion(sys, r);
+  if (!rep.ok()) {
+    std::cout << "INVARIANT VIOLATION: " << rep.violations.front() << "\n";
+  }
+  if (args.has("counters")) {
+    std::cout << "\n" << renderCountersReport(sys, r.counters);
+  }
+  if (args.has("perfetto")) {
+    const std::string path = args.get("perfetto", "trace.perfetto.json");
+    std::ofstream out(path);
+    if (!out) throw ConfigError("cannot write '" + path + "'");
+    writePerfettoTrace(out, sys, r);
+    std::cout << "wrote " << path << " (load in ui.perfetto.dev)\n";
+  }
+  return r.any_deadline_miss ? 1 : 0;
+}
+
 int cmdGenerate(const Args& args) {
   const WorkloadParams p = workloadParamsFromArgs(args);
   Rng rng(cli::parseUint("--seed", args.get("seed", "1")));
@@ -275,6 +352,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmdStats(args);
     if (cmd == "generate") return cmdGenerate(args);
     if (cmd == "sensitivity") return cmdSensitivity(args);
+    if (cmd == "faults") return cmdFaults(args);
     std::cerr << "error: unknown command '" << cmd << "'\n";
     return usage();
   } catch (const cli::UsageError& e) {

@@ -39,8 +39,17 @@ int usage() {
       "                 [--corpus-dir DIR] [--no-shrink]\n"
       "                 [--expect-findings] [--horizon-cap N]\n"
       "                 [--differential-horizon N] [--max-findings N]\n"
+      "                 [--faults] [--fault-count N] [--fault-grace X]\n"
+      "                 [--fault-watchdog N]\n"
       "       mpcp_fuzz --replay FILE [--no-mutation] [--expect-findings]\n"
-      "       mpcp_fuzz --list-mutations\n";
+      "       mpcp_fuzz --list-mutations\n"
+      "\n"
+      "--faults switches to fault-injection mode: each run draws a random\n"
+      "FaultPlan (--fault-count specs) and checks the fault:* containment\n"
+      "oracles (crash, mutual exclusion, priority handoff, neutral\n"
+      "containment, engine-vs-reference under the plan) across all\n"
+      "containment policies. Shrinking is disabled; repro files record\n"
+      "the plan and replay through the same oracle suite.\n";
   return 2;
 }
 
@@ -161,6 +170,18 @@ int fuzzMode(const Args& args) {
     }
     options.mutation = *m;
   }
+  options.faults = args.has("faults");
+  options.fault_count = static_cast<int>(
+      cli::parseInt("--fault-count", args.get("fault-count", "2"), 1, 64));
+  options.fault_grace =
+      cli::parseDouble("--fault-grace", args.get("fault-grace", "1"), 1.0, 100.0);
+  options.fault_watchdog = cli::parseInt(
+      "--fault-watchdog", args.get("fault-watchdog", "500"), 1, kTimeInfinity);
+  if (options.faults && options.mutation != fuzz::Mutation::kNone) {
+    std::cerr << "--faults and --mutate are mutually exclusive (fault mode "
+                 "runs the protocols unmutated)\n";
+    return 2;
+  }
 
   const fuzz::FuzzReport report = fuzz::runFuzz(options, std::cout);
   std::cout << "fuzz: " << report.runs_executed << "/" << options.runs
@@ -176,6 +197,7 @@ int fuzzMode(const Args& args) {
   json.set("systems_with_findings", report.systems_with_findings);
   json.set("repros_written", static_cast<int>(report.findings.size()));
   json.set("mutation", toString(options.mutation));
+  json.set("faults", options.faults);
   json.set("seed", static_cast<std::int64_t>(options.seed));
   json.set("elapsed_s", report.elapsed_s);
   json.set("budget_exhausted", report.budget_exhausted);
