@@ -1,0 +1,104 @@
+// CampaignJournal — the durable ledger behind resumable sweeps and fuzz
+// campaigns (ISSUE 5).
+//
+// An append-only text file, one CRC-framed record per line:
+//
+//   <crc32-hex8> <kind> <key> <escaped-payload>\n
+//
+// where <kind> is meta|start|done|fail, <key> is the canonical run key
+// (whitespace-free), and the payload is backslash-escaped so arbitrary
+// bytes (CSV rows, error text) fit on one line. The CRC covers
+// "<kind> <key> <escaped-payload>".
+//
+// Durability contract:
+//   * every append is a single write(2) followed by fsync(2), so a record
+//     either lands whole or not at all from the journal's point of view —
+//     a driver killed with SIGKILL mid-append leaves at most one torn
+//     line at the tail;
+//   * the loader is torn-tail tolerant: a final line without a newline
+//     (any truncation offset inside the last record) is dropped silently
+//     and reported via JournalLoad::torn_tail;
+//   * an interior line that fails its CRC or does not parse is skipped
+//     and counted in JournalLoad::corrupt_lines — one bad sector never
+//     poisons the rest of the campaign.
+//
+// Record semantics (enforced by the campaign runner, not the journal):
+//   meta  — config fingerprint; resuming under different options is an
+//           error, caught by comparing this record;
+//   start — the run was dispatched (crash forensics: a start with no
+//           done/fail means the driver died mid-run);
+//   done  — the run completed; payload is its serialized result row,
+//           reused verbatim on resume so aggregates are byte-identical;
+//   fail  — the run failed permanently (retries exhausted); re-run on
+//           resume, since the failure may have been environmental.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpcp::exec {
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes`. Exposed for tests.
+[[nodiscard]] std::uint32_t crc32(const std::string& bytes);
+
+/// Escapes backslash / newline / carriage return so any payload is a
+/// single journal line; unescapeLine inverts it exactly.
+[[nodiscard]] std::string escapeLine(const std::string& raw);
+[[nodiscard]] std::string unescapeLine(const std::string& escaped);
+
+enum class RecordKind { kMeta, kStart, kDone, kFail };
+
+[[nodiscard]] const char* toString(RecordKind kind);
+
+struct JournalRecord {
+  RecordKind kind = RecordKind::kStart;
+  std::string key;
+  std::string payload;  ///< unescaped
+};
+
+/// Result of parsing a journal. Missing file == empty journal.
+struct JournalLoad {
+  std::vector<JournalRecord> records;  ///< valid records, file order
+  std::uint64_t corrupt_lines = 0;     ///< CRC/format failures (interior)
+  bool torn_tail = false;              ///< final record was truncated
+  std::string meta;                    ///< payload of the first meta record
+
+  [[nodiscard]] bool empty() const {
+    return records.empty() && corrupt_lines == 0 && !torn_tail;
+  }
+
+  /// Final state per key: payload of the last `done` record. Keys whose
+  /// last record is `start` or `fail` are absent — they must be re-run.
+  [[nodiscard]] std::map<std::string, std::string> completed() const;
+};
+
+[[nodiscard]] JournalLoad parseJournal(const std::string& text);
+[[nodiscard]] JournalLoad loadJournalFile(const std::string& path);
+
+/// Append handle. Thread-safe: concurrent appends from pool workers are
+/// serialized internally; each record is written + fsync'd before
+/// append() returns, so a completed run survives any subsequent crash.
+class CampaignJournal {
+ public:
+  /// Opens `path` for append, creating it. Throws ConfigError on failure.
+  explicit CampaignJournal(const std::string& path);
+  ~CampaignJournal();
+
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  void append(RecordKind kind, const std::string& key,
+              const std::string& payload);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mu_;
+};
+
+}  // namespace mpcp::exec

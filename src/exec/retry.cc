@@ -1,0 +1,38 @@
+#include "exec/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/rng.h"
+#include "exec/interrupt.h"
+
+namespace mpcp::exec {
+
+std::chrono::milliseconds retryDelay(const RetryPolicy& policy, int attempt) {
+  if (policy.base_delay.count() <= 0) return std::chrono::milliseconds{0};
+  const int shift = std::clamp(attempt - 1, 0, 20);
+  const auto uncapped = policy.base_delay * (std::int64_t{1} << shift);
+  const auto capped = std::min(uncapped, policy.max_delay);
+  Rng rng(policy.jitter_seed + static_cast<std::uint64_t>(attempt));
+  const double u = rng.uniformReal(0.5, 1.0);
+  return std::chrono::milliseconds(
+      static_cast<std::int64_t>(static_cast<double>(capped.count()) * u));
+}
+
+exp::ExecResult RetryingExecutor::execute(
+    const std::function<std::string()>& body) {
+  const int attempts = std::max(1, policy_.max_attempts);
+  exp::ExecResult last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = inner_.execute(body);
+    last.attempts = attempt;
+    if (last.ok) return last;
+    if (attempt == attempts || interrupted()) break;
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    const auto delay = retryDelay(policy_, attempt);
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+  return last;
+}
+
+}  // namespace mpcp::exec

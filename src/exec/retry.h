@@ -1,0 +1,57 @@
+// RetryPolicy — capped exponential backoff with deterministic jitter.
+//
+// Failed runs (worker crash, timeout, transient I/O) are retried up to
+// max_attempts before being recorded as permanently failed. The delay
+// before attempt k+1 is
+//
+//   min(base_delay * 2^(k-1), max_delay) * u,   u in [0.5, 1.0)
+//
+// where u is drawn from Rng(jitter_seed + k) — *seed-derived*, so a
+// given policy produces the same delay sequence on every machine and
+// every rerun (no wall-clock or global-RNG dependence; retryDelay() is a
+// pure function and the unit tests pin it).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "exp/run_executor.h"
+
+namespace mpcp::exec {
+
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total attempts (1 = no retry)
+  std::chrono::milliseconds base_delay{0};   ///< 0 = retry immediately
+  std::chrono::milliseconds max_delay{2000};  ///< backoff cap pre-jitter
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Delay before attempt `attempt + 1`, given that attempt `attempt`
+/// (1-based) just failed. Deterministic in (policy, attempt).
+[[nodiscard]] std::chrono::milliseconds retryDelay(const RetryPolicy& policy,
+                                                   int attempt);
+
+/// Decorator: executes through `inner`, retrying failures per `policy`.
+/// Gives up early (no sleep, no further attempts) once exec::interrupted()
+/// is raised, so Ctrl-C never waits out a backoff.
+class RetryingExecutor final : public exp::RunExecutor {
+ public:
+  RetryingExecutor(exp::RunExecutor& inner, const RetryPolicy& policy)
+      : inner_(inner), policy_(policy) {}
+
+  [[nodiscard]] exp::ExecResult execute(
+      const std::function<std::string()>& body) override;
+
+  /// Total retries performed across all execute() calls (for counters).
+  [[nodiscard]] std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  exp::RunExecutor& inner_;
+  RetryPolicy policy_;
+  std::atomic<std::uint64_t> retries_{0};
+};
+
+}  // namespace mpcp::exec

@@ -1,0 +1,244 @@
+#include "exec/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "common/strf.h"
+#include "exec/interrupt.h"
+
+namespace mpcp::exec {
+
+namespace {
+
+/// Writes all of `data` to `fd`, retrying on EINTR/partial writes.
+/// Async-usable in the child (no allocation, no locks).
+bool writeAll(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Child side: run the body, frame the result, _exit. Never returns.
+[[noreturn]] void childMain(int result_fd, int stderr_fd,
+                            const SubprocessLimits& limits,
+                            const std::function<std::string()>& body) {
+  // The child must never run the driver's signal handler or outlive an
+  // interrupt sweep accidentally re-registered: reset to defaults.
+  signal(SIGINT, SIG_DFL);
+  signal(SIGTERM, SIG_DFL);
+  // Worker stderr (engine diagnostics, CHECK messages printed by
+  // libraries, sanitizer reports) goes to the capture pipe.
+  if (stderr_fd >= 0) dup2(stderr_fd, STDERR_FILENO);
+
+  if (limits.rss_limit_mb > 0) {
+    struct rlimit rl;
+    rl.rlim_cur = rl.rlim_max = limits.rss_limit_mb * 1024 * 1024;
+    setrlimit(RLIMIT_DATA, &rl);
+  }
+
+  std::uint8_t status = 0;
+  std::string payload;
+  try {
+    payload = body();
+  } catch (const std::exception& e) {
+    status = 1;
+    payload = e.what();
+  } catch (...) {
+    status = 1;
+    payload = "unknown exception in worker";
+  }
+
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint8_t header[5] = {
+      status, static_cast<std::uint8_t>(len & 0xff),
+      static_cast<std::uint8_t>((len >> 8) & 0xff),
+      static_cast<std::uint8_t>((len >> 16) & 0xff),
+      static_cast<std::uint8_t>((len >> 24) & 0xff)};
+  bool ok = writeAll(result_fd, reinterpret_cast<const char*>(header), 5);
+  ok = ok && writeAll(result_fd, payload.data(), payload.size());
+  // _exit, not exit: the child shares the driver's atexit list and stdio
+  // buffers; flushing them here would duplicate driver output.
+  _exit(ok ? (status == 0 ? 0 : 1) : 2);
+}
+
+void setNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Drains whatever is currently readable. Returns false on EOF.
+bool drainInto(int fd, std::string& buf) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR
+               ? false
+               : true;
+  }
+}
+
+/// Decodes a complete frame out of `raw` if present.
+bool parseFrame(const std::string& raw, std::uint8_t& status,
+                std::string& payload) {
+  if (raw.size() < 5) return false;
+  status = static_cast<std::uint8_t>(raw[0]);
+  const std::uint32_t len =
+      static_cast<std::uint8_t>(raw[1]) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(raw[2])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(raw[3])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(raw[4])) << 24);
+  if (raw.size() < 5 + static_cast<std::size_t>(len)) return false;
+  payload = raw.substr(5, len);
+  return true;
+}
+
+}  // namespace
+
+exp::ExecResult SubprocessExecutor::execute(
+    const std::function<std::string()>& body) {
+  exp::ExecResult result;
+
+  int res_pipe[2];
+  int err_pipe[2];
+  if (pipe(res_pipe) != 0) {
+    result.error = strf("pipe() failed: ", std::strerror(errno));
+    return result;
+  }
+  if (pipe(err_pipe) != 0) {
+    result.error = strf("pipe() failed: ", std::strerror(errno));
+    ::close(res_pipe[0]);
+    ::close(res_pipe[1]);
+    return result;
+  }
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    result.error = strf("fork() failed: ", std::strerror(errno));
+    for (const int fd : {res_pipe[0], res_pipe[1], err_pipe[0], err_pipe[1]}) {
+      ::close(fd);
+    }
+    return result;
+  }
+
+  if (pid == 0) {
+    ::close(res_pipe[0]);
+    ::close(err_pipe[0]);
+    childMain(res_pipe[1], err_pipe[1], limits_, body);  // never returns
+  }
+
+  ::close(res_pipe[1]);
+  ::close(err_pipe[1]);
+  setNonBlocking(res_pipe[0]);
+  setNonBlocking(err_pipe[0]);
+  registerWorkerPid(pid);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto wallExceeded = [&] {
+    if (limits_.wall_limit_s <= 0) return false;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return elapsed >= limits_.wall_limit_s;
+  };
+
+  std::string raw;
+  std::string err_tail;
+  int wstatus = 0;
+  bool reaped = false;
+
+  const auto drainBoth = [&] {
+    drainInto(res_pipe[0], raw);
+    drainInto(err_pipe[0], err_tail);
+    if (limits_.stderr_tail_bytes > 0 &&
+        err_tail.size() > limits_.stderr_tail_bytes) {
+      err_tail.erase(0, err_tail.size() - limits_.stderr_tail_bytes);
+    }
+  };
+
+  while (!reaped) {
+    struct pollfd fds[2] = {{res_pipe[0], POLLIN, 0}, {err_pipe[0], POLLIN, 0}};
+    poll(fds, 2, 50);  // short tick: bounds waitpid/timeout latency
+    drainBoth();
+
+    const pid_t w = waitpid(pid, &wstatus, WNOHANG);
+    if (w == pid) {
+      reaped = true;
+      break;
+    }
+    if (w < 0 && errno != EINTR) {
+      // ECHILD: someone reaped it behind our back; treat as lost.
+      result.error = strf("waitpid failed: ", std::strerror(errno));
+      break;
+    }
+    if (wallExceeded()) {
+      kill(pid, SIGKILL);
+      result.timed_out = true;
+      while (waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+      }
+      reaped = true;
+      break;
+    }
+  }
+  // The child is gone: pick up anything still buffered in the pipes.
+  drainBoth();
+  unregisterWorkerPid(pid);
+  ::close(res_pipe[0]);
+  ::close(err_pipe[0]);
+
+  result.stderr_tail = err_tail;
+  if (result.timed_out) {
+    result.signal = SIGKILL;
+    result.error = strf("worker exceeded wall limit (", limits_.wall_limit_s,
+                        "s), killed");
+    return result;
+  }
+  if (!reaped) return result;  // waitpid error, already described
+
+  if (WIFSIGNALED(wstatus)) {
+    result.signal = WTERMSIG(wstatus);
+    result.error = strf("worker killed by signal ", result.signal, " (",
+                        strsignal(result.signal), ")");
+    return result;
+  }
+  result.exit_code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+
+  std::uint8_t status = 0;
+  std::string payload;
+  if (parseFrame(raw, status, payload)) {
+    if (status == 0) {
+      result.ok = true;
+      result.payload = std::move(payload);
+    } else {
+      result.error = payload.empty() ? "worker reported failure" : payload;
+    }
+    return result;
+  }
+  result.error = strf("worker exited (code ", result.exit_code,
+                      ") without a complete result frame");
+  return result;
+}
+
+}  // namespace mpcp::exec

@@ -1,0 +1,66 @@
+// SubprocessExecutor — crash-isolated execution of one run body per
+// forked worker process.
+//
+// execute() forks; the child runs the body and writes the payload back
+// over a pipe as one length-prefixed frame
+//
+//   [status: 1 byte (0 = ok, 1 = body threw)] [len: 4 bytes LE] [bytes]
+//
+// then _exit()s (never returning into the driver's stack, atexit
+// handlers, or stdio buffers). The parent polls the result and stderr
+// pipes, reaps the child with waitpid, and decodes the status:
+//
+//   * frame status 0        -> ExecResult{ok, payload}
+//   * frame status 1        -> the body threw; error = exception text
+//     relayed through the frame (a CHECK failure in the engine surfaces
+//     here with its full message)
+//   * WIFSIGNALED           -> crash (segfault, abort, OOM-kill…):
+//     error names the signal, ExecResult::signal carries it
+//   * nonzero exit, no frame-> error names the exit code
+//   * wall limit exceeded   -> child is SIGKILLed; timed_out = true
+//
+// In every case the driver stays alive and keeps the last
+// `stderr_tail_bytes` of the worker's stderr for forensics.
+//
+// Concurrency: the executor is stateless per call; SweepRunner pool
+// threads fork independently, so the subprocess pool is bounded by the
+// pool's thread count. Forked pids are registered with exec/interrupt.h
+// while alive, so a Ctrl-C on the driver SIGKILLs the whole crew instead
+// of leaking orphans. Because sibling children can inherit each other's
+// pipe write-ends (forks race), the parent never relies on pipe EOF: it
+// reaps via waitpid and then drains whatever is buffered.
+//
+// The memory ceiling uses RLIMIT_DATA (brk + private anonymous mmaps,
+// i.e. the heap) rather than RLIMIT_AS, so sanitizer shadow mappings
+// don't trip it; an allocation beyond the limit fails inside the child as
+// std::bad_alloc (relayed as a status-1 frame) or kills it outright.
+#pragma once
+
+#include <cstdint>
+
+#include "exp/run_executor.h"
+
+namespace mpcp::exec {
+
+struct SubprocessLimits {
+  /// Wall-clock ceiling per run in seconds; 0 disables it.
+  double wall_limit_s = 0;
+  /// Heap ceiling (RLIMIT_DATA) in MiB; 0 disables it.
+  std::uint64_t rss_limit_mb = 0;
+  /// How much worker stderr to keep for crash forensics.
+  std::size_t stderr_tail_bytes = 4096;
+};
+
+class SubprocessExecutor final : public exp::RunExecutor {
+ public:
+  explicit SubprocessExecutor(SubprocessLimits limits = {})
+      : limits_(limits) {}
+
+  [[nodiscard]] exp::ExecResult execute(
+      const std::function<std::string()>& body) override;
+
+ private:
+  SubprocessLimits limits_;
+};
+
+}  // namespace mpcp::exec

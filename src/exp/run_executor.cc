@@ -1,0 +1,19 @@
+#include "exp/run_executor.h"
+
+#include <exception>
+
+namespace mpcp::exp {
+
+ExecResult InThreadExecutor::execute(
+    const std::function<std::string()>& body) {
+  ExecResult r;
+  try {
+    r.payload = body();
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
+}  // namespace mpcp::exp

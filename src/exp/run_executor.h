@@ -1,0 +1,55 @@
+// Pluggable run-execution strategy for payload-producing sweeps.
+//
+// A sweep/campaign driver hands the executor a *body* — a closure that
+// performs one run and returns its result serialized as a byte string
+// (a CSV row, a repro, …). Strings are the contract because the
+// subprocess executor (src/exec/subprocess.h) must move the result
+// across a process boundary; the in-thread executor below simply calls
+// the body. Either way the driver gets a structured ExecResult instead
+// of an exception or a dead process:
+//
+//   * InThreadExecutor (here)          — body runs on the calling pool
+//     thread; std::exception escapes become !ok results. Fast, but a
+//     segfault or abort in the body takes the driver down with it.
+//   * exec::SubprocessExecutor         — body runs in a forked child with
+//     optional wall-clock and address-space ceilings; any death (signal,
+//     nonzero exit, timeout) is decoded into ExecResult fields.
+//   * exec::RetryingExecutor           — decorator adding capped
+//     exponential backoff with deterministic, seed-derived jitter.
+//
+// Lives in exp/ (not exec/) so SweepRunner-level code can accept a
+// RunExecutor& without exp depending on the process-management layer.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace mpcp::exp {
+
+/// Outcome of executing one run body, however it was executed.
+struct ExecResult {
+  bool ok = false;
+  std::string payload;      ///< body() return value when ok
+  std::string error;        ///< human-readable failure when !ok
+  int exit_code = 0;        ///< worker exit status (0 for in-thread)
+  int signal = 0;           ///< terminating signal, 0 = none
+  bool timed_out = false;   ///< killed by the wall-clock limit
+  std::string stderr_tail;  ///< last bytes of worker stderr (subprocess)
+  int attempts = 1;         ///< total attempts taken (>1 after retries)
+};
+
+class RunExecutor {
+ public:
+  virtual ~RunExecutor() = default;
+  [[nodiscard]] virtual ExecResult execute(
+      const std::function<std::string()>& body) = 0;
+};
+
+/// Runs the body on the calling thread; exceptions become failures.
+class InThreadExecutor final : public RunExecutor {
+ public:
+  [[nodiscard]] ExecResult execute(
+      const std::function<std::string()>& body) override;
+};
+
+}  // namespace mpcp::exp

@@ -33,13 +33,21 @@
 
 namespace mpcp::exp {
 
-/// One run that did not produce a row (threw, or was cancelled by the
-/// wall-clock watchdog). Sweeps carry these alongside the surviving rows
-/// instead of aborting the whole batch.
+/// One run that did not produce a row (threw, was cancelled by the
+/// wall-clock watchdog, or — under a subprocess executor — crashed or
+/// was killed). Sweeps carry these alongside the surviving rows instead
+/// of aborting the whole batch.
 struct RunFailure {
   int seed = -1;
   std::string error;
-  bool timed_out = false;  ///< cancelled by the wall-clock watchdog
+  bool timed_out = false;  ///< cancelled/killed by a wall-clock limit
+  // Filled by the crash-isolated executor path (src/exec): how the
+  // worker process died and what it last wrote to stderr. All zero/empty
+  // for in-thread failures.
+  int signal = 0;            ///< terminating signal (SIGSEGV, SIGKILL, …)
+  int exit_code = 0;         ///< worker exit status when it exited
+  std::string stderr_tail;   ///< last bytes of worker stderr
+  int attempts = 1;          ///< attempts spent before giving up
 };
 
 /// Per-run ceilings for mapGuarded.

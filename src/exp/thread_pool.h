@@ -38,9 +38,17 @@ class ThreadPool {
 
   /// Runs fn(i) exactly once for each i in [0, n), fanned across the pool
   /// in contiguous chunks; the calling thread participates. Blocks until
-  /// every iteration completed. If any iteration throws, the first
-  /// exception (lowest chunk start wins the race) is rethrown after all
-  /// remaining iterations ran. Not reentrant from inside fn.
+  /// every iteration completed. Not reentrant from inside fn.
+  ///
+  /// Multi-exception contract (tested in thread_pool_test.cc): when two
+  /// or more iterations throw concurrently, exactly ONE exception is
+  /// rethrown here — the one from the chunk with the lowest starting
+  /// index, so reruns at a different thread count report the same
+  /// failure — and every other exception is swallowed. Exceptions never
+  /// escape a worker thread (no std::terminate), every chunk that did
+  /// not throw still runs to completion (only the throwing chunk's
+  /// remaining iterations are skipped), and the pool stays usable for
+  /// the next parallelFor.
   void parallelFor(std::int64_t n,
                    const std::function<void(std::int64_t)>& fn);
 

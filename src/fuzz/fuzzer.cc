@@ -1,12 +1,18 @@
 #include "fuzz/fuzzer.h"
 
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <ostream>
+#include <set>
 #include <system_error>
 
+#include "common/check.h"
 #include "common/strf.h"
+#include "exec/interrupt.h"
+#include "exec/journal.h"
 #include "exp/sweep_runner.h"
 #include "fuzz/repro.h"
 #include "fuzz/shrink.h"
@@ -20,6 +26,8 @@ namespace {
 /// none). Runs on a SweepRunner worker; must stay self-contained.
 struct RunRow {
   bool generated = false;
+  bool skipped = false;  ///< campaign resume: journal already has this key
+  bool not_run = false;  ///< interrupt raised before this run started
   std::vector<OracleFailure> failures;
   std::string system_text;      ///< serialized system when failures exist
   std::string fault_plan_text;  ///< formatPlan() in fault mode, same gate
@@ -32,7 +40,45 @@ std::string sanitizeForFilename(std::string s) {
   return s;
 }
 
+/// Canonical campaign journal key for run index i.
+std::string fuzzRunKey(int index) { return strf("r", index); }
+
+/// Everything that shapes what a run index produces goes into the
+/// fingerprint; --runs, the time budget, and output paths deliberately
+/// not (extending a campaign with more runs is the point of resuming).
+std::string campaignFingerprint(const FuzzOptions& o) {
+  std::string protocols;
+  for (const std::string& p : o.protocols) {
+    protocols += p;
+    protocols += ',';
+  }
+  return strf("fuzz-v1 seed=", o.seed, " protocols=", protocols,
+              " mutation=", toString(o.mutation),
+              " horizon-cap=", o.horizon_cap,
+              " differential-horizon=", o.differential_horizon,
+              " shrink=", o.shrink ? 1 : 0,
+              " max-shrink=", o.max_shrink_evaluations,
+              " faults=", o.faults ? 1 : 0, " fault-count=", o.fault_count,
+              " fault-grace=", o.fault_grace,
+              " fault-watchdog=", o.fault_watchdog);
+}
+
 }  // namespace
+
+std::string findingSignature(const std::string& protocol,
+                             const std::string& oracle,
+                             const std::string& system_text) {
+  // FNV-1a 64-bit over the (shrunk) system text.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : system_text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(h));
+  return strf(protocol, ':', oracle, '@', hex);
+}
 
 WorkloadParams drawWorkloadParams(Rng& rng) {
   WorkloadParams p;
@@ -85,17 +131,68 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
   exp::SweepRunner& runner = exp::SweepRunner::global();
   FuzzReport report;
 
+  // Campaign mode: load the journal, refuse config mismatches, and seed
+  // the crash-signature set from findings recorded by previous runs.
+  const bool campaign = !options.campaign_path.empty();
+  std::unique_ptr<exec::CampaignJournal> journal;
+  std::set<std::string> done_keys;
+  std::set<std::string> seen_signatures;
+  if (campaign) {
+    const exec::JournalLoad loaded =
+        exec::loadJournalFile(options.campaign_path);
+    report.journal_corrupt_lines = loaded.corrupt_lines;
+    const std::string fingerprint = campaignFingerprint(options);
+    if (!loaded.empty()) {
+      if (!options.resume) {
+        throw ConfigError("campaign journal '" + options.campaign_path +
+                          "' already has records; pass --resume to continue "
+                          "it or remove the file to start over");
+      }
+      if (loaded.meta != fingerprint) {
+        throw ConfigError("campaign journal '" + options.campaign_path +
+                          "' was recorded under a different configuration");
+      }
+    }
+    for (const auto& [key, payload] : loaded.completed()) {
+      done_keys.insert(key);
+      // Payloads: "clean", "overflow", "finding <sig>[ dup]".
+      if (payload.rfind("finding ", 0) == 0) {
+        std::string sig = payload.substr(8);
+        const bool dup = sig.size() > 4 && sig.ends_with(" dup");
+        if (dup) sig.resize(sig.size() - 4);
+        seen_signatures.insert(sig);
+        if (!dup) ++report.previous_findings;
+      }
+    }
+    journal = std::make_unique<exec::CampaignJournal>(options.campaign_path);
+    if (loaded.empty()) {
+      journal->append(exec::RecordKind::kMeta, "config", fingerprint);
+    }
+  }
+
   const int batch = std::max(runner.threadCount() * 4, 16);
   for (int base = 0; base < options.runs; base += batch) {
     if (options.time_budget_s > 0 && elapsed() >= options.time_budget_s) {
       report.budget_exhausted = true;
       break;
     }
+    if (exec::interrupted()) {
+      report.interrupted = true;
+      break;
+    }
     const int count = std::min(batch, options.runs - base);
     const std::vector<RunRow> rows = runner.map(
         count, options.seed + static_cast<std::uint64_t>(base),
-        [&](int /*s*/, Rng& rng) {
+        [&](int s, Rng& rng) {
           RunRow row;
+          if (campaign && done_keys.count(fuzzRunKey(base + s)) != 0) {
+            row.skipped = true;
+            return row;
+          }
+          if (exec::interrupted()) {
+            row.not_run = true;
+            return row;
+          }
           const WorkloadParams params = drawWorkloadParams(rng);
           const TaskSystem sys = generateWorkload(params, rng);
           row.generated = true;
@@ -120,11 +217,26 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
     // (--runs, --seed) at any MPCP_THREADS.
     for (int s = 0; s < count; ++s) {
       const RunRow& row = rows[static_cast<std::size_t>(s)];
+      if (row.skipped) {
+        ++report.resumed_skips;
+        continue;
+      }
+      if (row.not_run || exec::interrupted()) {
+        report.interrupted = true;
+        break;  // un-journaled rows in this batch simply re-run on resume
+      }
+      const std::string key = fuzzRunKey(base + s);
       ++report.runs_executed;
-      if (row.failures.empty()) continue;
+      if (row.failures.empty()) {
+        if (journal) journal->append(exec::RecordKind::kDone, key, "clean");
+        continue;
+      }
       ++report.systems_with_findings;
       if (static_cast<int>(report.findings.size()) >= options.max_findings) {
-        continue;  // keep counting, stop shrinking/writing
+        // Keep counting, stop shrinking/writing. "overflow" (not "clean")
+        // so the journal never claims a finding-bearing run was clean.
+        if (journal) journal->append(exec::RecordKind::kDone, key, "overflow");
+        continue;
       }
 
       FuzzFinding finding;
@@ -166,6 +278,24 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
       }
       finding.tasks_after = static_cast<int>(sys.tasks().size());
 
+      // Campaign dedupe: a signature seen earlier in this campaign (or in
+      // a previous run of it) is the same bug rediscovered — count it,
+      // journal it, but don't write another repro file.
+      std::string signature;
+      if (campaign) {
+        signature =
+            findingSignature(finding.failure.protocol, finding.failure.oracle,
+                             serializeTaskSystemToString(sys));
+        if (!seen_signatures.insert(signature).second) {
+          ++report.duplicate_findings;
+          log << "  duplicate of known finding " << signature
+              << " (repro not re-written)\n";
+          journal->append(exec::RecordKind::kDone, key,
+                          "finding " + signature + " dup");
+          continue;
+        }
+      }
+
       ReproCase repro;
       repro.protocol = finding.failure.protocol;
       repro.oracle = finding.failure.oracle;
@@ -196,8 +326,12 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
       } else {
         log << "  warning: could not write " << path << "\n";
       }
+      if (journal) {
+        journal->append(exec::RecordKind::kDone, key, "finding " + signature);
+      }
       report.findings.push_back(std::move(finding));
     }
+    if (report.interrupted) break;
   }
 
   report.elapsed_s = elapsed();

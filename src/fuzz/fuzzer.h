@@ -50,6 +50,14 @@ struct FuzzOptions {
   int fault_count = 2;          ///< specs per random plan
   double fault_grace = 1.0;     ///< budget-enforce grace multiplier
   Duration fault_watchdog = 500;  ///< holder-watchdog timeout (ticks)
+  /// Campaign mode (ISSUE 5): journal every run to this file so a killed
+  /// campaign resumes with --resume, skipping completed run indices, and
+  /// findings dedupe by crash signature (oracle + shrunk-system hash)
+  /// across the whole campaign — a rediscovered bug is counted, not
+  /// re-shrunk or re-written. Empty = classic one-shot mode, whose output
+  /// is byte-identical to pre-campaign builds.
+  std::string campaign_path;
+  bool resume = false;
 };
 
 struct FuzzFinding {
@@ -69,11 +77,24 @@ struct FuzzReport {
   std::vector<FuzzFinding> findings;
   double elapsed_s = 0;
   bool budget_exhausted = false;  ///< time budget ended the loop early
+  // Campaign-mode bookkeeping (zero in one-shot mode).
+  int resumed_skips = 0;       ///< run indices satisfied from the journal
+  int previous_findings = 0;   ///< distinct findings recorded by prior runs
+  int duplicate_findings = 0;  ///< findings deduped by crash signature
+  std::uint64_t journal_corrupt_lines = 0;  ///< CRC-bad lines skipped
+  bool interrupted = false;    ///< SIGINT/SIGTERM ended the loop early
 };
 
 /// Runs the loop; progress and findings go to `log`.
 [[nodiscard]] FuzzReport runFuzz(const FuzzOptions& options,
                                  std::ostream& log);
+
+/// Campaign dedupe key: "<protocol>:<oracle>@<fnv1a64 of system_text>".
+/// Two findings with the same signature are the same bug for campaign
+/// accounting — same oracle tripped by the same (shrunk) system.
+[[nodiscard]] std::string findingSignature(const std::string& protocol,
+                                           const std::string& oracle,
+                                           const std::string& system_text);
 
 /// The per-run parameter draw, exposed for tests: deterministic in `rng`.
 [[nodiscard]] WorkloadParams drawWorkloadParams(Rng& rng);

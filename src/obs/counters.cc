@@ -106,6 +106,29 @@ void Counters::merge(const Counters& other) {
   misses_while_degraded += other.misses_while_degraded;
 }
 
+void ExecutorCounters::merge(const ExecutorCounters& other) {
+  dispatched += other.dispatched;
+  completed += other.completed;
+  retries += other.retries;
+  crashes += other.crashes;
+  timeouts += other.timeouts;
+  failed += other.failed;
+  resumed_skips += other.resumed_skips;
+  journal_corrupt_lines += other.journal_corrupt_lines;
+  duplicate_findings += other.duplicate_findings;
+}
+
+std::string renderExecutorCounters(const ExecutorCounters& c) {
+  std::ostringstream os;
+  os << "executor: dispatched=" << c.dispatched
+     << " completed=" << c.completed << " retries=" << c.retries
+     << " crashes=" << c.crashes << " timeouts=" << c.timeouts
+     << " failed=" << c.failed << " resumed-skips=" << c.resumed_skips
+     << " journal-corrupt-lines=" << c.journal_corrupt_lines
+     << " duplicate-findings=" << c.duplicate_findings;
+  return os.str();
+}
+
 std::string renderHistogram(const BlockingHistogram& h) {
   std::ostringstream os;
   os << "samples=" << h.samples << " max=" << h.max_blocked

@@ -132,6 +132,29 @@ struct Counters {
   void merge(const Counters& other);
 };
 
+/// Driver-side run-execution counters (filled by the src/exec campaign
+/// runner and the fuzz campaign loop, never by a simulation): how many
+/// runs were dispatched/completed, how many worker crashes and wall-limit
+/// kills the subprocess executor absorbed, how many retries the
+/// RetryPolicy spent, and how much work a --resume skipped. Sums
+/// throughout, so merge order never matters.
+struct ExecutorCounters {
+  std::uint64_t dispatched = 0;     ///< runs handed to an executor
+  std::uint64_t completed = 0;      ///< runs that produced a payload
+  std::uint64_t retries = 0;        ///< extra attempts after a failure
+  std::uint64_t crashes = 0;        ///< workers that died on a signal
+  std::uint64_t timeouts = 0;       ///< wall-limit SIGKILLs
+  std::uint64_t failed = 0;         ///< permanent RunFailure records
+  std::uint64_t resumed_skips = 0;  ///< keys satisfied from the journal
+  std::uint64_t journal_corrupt_lines = 0;  ///< CRC-bad lines skipped
+  std::uint64_t duplicate_findings = 0;  ///< fuzz crash-signature dedupes
+
+  void merge(const ExecutorCounters& other);
+};
+
+/// One-line "executor: dispatched=.. completed=.. ..." summary.
+[[nodiscard]] std::string renderExecutorCounters(const ExecutorCounters& c);
+
 /// One-line histogram summary: "samples=.. max=.. total=..  [lo,hi):n ...".
 [[nodiscard]] std::string renderHistogram(const BlockingHistogram& h);
 

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Kill -9 the sweep driver mid-campaign, resume from the journal, and
+# demand a byte-identical aggregate CSV at several thread counts — the
+# ISSUE 5 acceptance scenario. $1 = mpcp_cli binary, $2 = scratch dir.
+set -eu
+cli="$1"
+workdir="$2"
+mkdir -p "$workdir"
+cd "$workdir"
+
+for threads in 1 2 4; do
+  rm -f golden.csv resumed.csv partial.csv j.journal
+  MPCP_THREADS=$threads "$cli" sweep --seeds 6 --seed 7 --horizon 5000 \
+      --out golden.csv 2>/dev/null
+
+  # Slow runs down so the SIGKILL lands mid-campaign; any later landing
+  # (even after completion) still exercises the resume path.
+  MPCP_THREADS=$threads "$cli" sweep --seeds 6 --seed 7 --horizon 5000 \
+      --journal j.journal --per-run-sleep-ms 300 \
+      --out partial.csv 2>/dev/null &
+  pid=$!
+  sleep 1
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+
+  MPCP_THREADS=$threads "$cli" sweep --seeds 6 --seed 7 --horizon 5000 \
+      --journal j.journal --resume --out resumed.csv 2>resume.err
+  cmp golden.csv resumed.csv || {
+    echo "FAIL: resumed CSV differs from golden at MPCP_THREADS=$threads" >&2
+    exit 1
+  }
+  grep -q 'resumed-skips=' resume.err || {
+    echo "FAIL: executor counters missing from resume stderr" >&2
+    exit 1
+  }
+  echo "MPCP_THREADS=$threads: byte-identical after kill -9 + --resume"
+done
+echo OK

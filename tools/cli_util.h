@@ -10,7 +10,10 @@
 #include <cerrno>
 #include <charconv>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -82,6 +85,39 @@ inline double parseDouble(
                      std::to_string(min) + ", " + std::to_string(max) + "]");
   }
   return value;
+}
+
+/// Fails fast when `path` cannot be written. Opens in append mode (never
+/// truncates an existing file) and removes the file again if the probe
+/// created it. Call BEFORE launching a sweep/campaign, so hours of work
+/// never die on a typo'd output path (UsageError -> exit 2).
+inline void probeWritableFile(const std::string& flag,
+                              const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const bool existed = fs::exists(path, ec);
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    throw UsageError(flag + ": cannot write '" + path + "'");
+  }
+  probe.close();
+  if (!existed) std::remove(path.c_str());
+}
+
+/// Fails fast when `dir` cannot be created or written into. Probes with
+/// a throwaway file that is removed again.
+inline void probeWritableDir(const std::string& flag,
+                             const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best effort; the probe decides
+  const std::string probe_path = dir + "/.mpcp-write-probe";
+  std::ofstream probe(probe_path);
+  if (!probe) {
+    throw UsageError(flag + ": cannot write into directory '" + dir + "'");
+  }
+  probe.close();
+  std::remove(probe_path.c_str());
 }
 
 }  // namespace mpcp::cli

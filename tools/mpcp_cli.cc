@@ -6,9 +6,13 @@
 //   mpcp_cli simulate <file> [--protocol mpcp|dpcp|pcp|pip|none]
 //                            [--horizon N] [--gantt [END]] [--narrative]
 //                            [--csv PREFIX] [--perfetto FILE]
-//   mpcp_cli stats    <file> [--protocol ...] [--horizon N]
+//   mpcp_cli stats    <file> [--protocol ...] [--horizon N] [--out FILE]
 //   mpcp_cli stats    --sweep [--protocol ...] [--seeds N] [--seed N]
 //                     [--horizon N] [generator knobs as for generate]
+//   mpcp_cli sweep    [--protocol ...] [--seeds N] [--seed N] [--horizon N]
+//                     [--out FILE.csv] [--journal FILE] [--resume]
+//                     [--isolate] [--wall-limit S] [--rss-limit-mb N]
+//                     [--retries N] [--retry-base-ms N] [--jitter-seed N]
 //   mpcp_cli generate [--seed N] [--processors N] [--tasks-per-proc N]
 //                     [--util X] [--resources N] [--cs-max N]
 //                     [--suspend-prob X]
@@ -20,18 +24,29 @@
 // Task-system files use the format documented in model/serialize.h.
 // `generate` writes one to stdout, so the commands compose:
 //   mpcp_cli generate --seed 7 > w.mpcp && mpcp_cli analyze w.mpcp
+#include <array>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/report.h"
 #include "analysis/sensitivity.h"
 #include "common/rng.h"
+#include "common/strf.h"
 #include "core/analyzer.h"
 #include "core/simulate.h"
+#include "exec/campaign.h"
+#include "exec/interrupt.h"
+#include "exec/subprocess.h"
 #include "exp/counter_sweep.h"
 #include "fault/plan.h"
 #include "model/serialize.h"
@@ -48,8 +63,8 @@ namespace {
 
 int usage() {
   std::cerr <<
-      "usage: mpcp_cli <tables|analyze|simulate|stats|generate|sensitivity|"
-      "faults> [args]\n"
+      "usage: mpcp_cli <tables|analyze|simulate|stats|sweep|generate|"
+      "sensitivity|faults> [args]\n"
       "  tables   <file>\n"
       "  analyze  <file> [--protocol mpcp|dpcp|pcp] [--no-deferred]\n"
       "                  [--paper-literal-f5]\n"
@@ -57,8 +72,16 @@ int usage() {
       "                  [--gantt [END]] [--narrative] [--csv PREFIX]\n"
       "                  [--perfetto FILE]\n"
       "  stats    <file> [--protocol mpcp|dpcp|pcp|pip|none] [--horizon N]\n"
+      "           [--out FILE]\n"
       "  stats    --sweep [--protocol ...] [--seeds N] [--seed N]\n"
-      "           [--horizon N] [generator knobs as for generate]\n"
+      "           [--horizon N] [--out FILE]\n"
+      "           [generator knobs as for generate]\n"
+      "  sweep    [--protocol ...] [--seeds N] [--seed N] [--horizon N]\n"
+      "           [generator knobs as for generate] [--out FILE.csv]\n"
+      "           [--journal FILE] [--resume] [--isolate]\n"
+      "           [--wall-limit SECONDS] [--rss-limit-mb N]\n"
+      "           [--retries N] [--retry-base-ms N] [--jitter-seed N]\n"
+      "           (testing aids: [--per-run-sleep-ms N] [--crash-seed K])\n"
       "  generate [--seed N] [--processors N] [--tasks-per-proc N]\n"
       "           [--util X] [--resources N] [--cs-max N] [--suspend-prob X]\n"
       "  sensitivity <file> [--protocol mpcp|dpcp|pcp]\n"
@@ -144,6 +167,18 @@ int cmdSimulate(const Args& args) {
   if (args.positional.empty()) return usage();
   const TaskSystem sys = load(args.positional[0]);
   const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
+  // Probe output paths before simulating, so a typo'd path fails in
+  // milliseconds instead of after the run.
+  const std::string csv_prefix = args.get("csv", "out");
+  if (args.has("csv")) {
+    for (const char* suffix : {"_jobs.csv", "_trace.csv", "_segments.csv"}) {
+      cli::probeWritableFile("--csv", csv_prefix + suffix);
+    }
+  }
+  const std::string perfetto_path = args.get("perfetto", "trace.perfetto.json");
+  if (args.has("perfetto")) {
+    cli::probeWritableFile("--perfetto", perfetto_path);
+  }
   SimConfig config;
   config.horizon =
       cli::parseInt("--horizon", args.get("horizon", "0"), 0, kTimeInfinity);
@@ -174,21 +209,19 @@ int cmdSimulate(const Args& args) {
     std::cout << "\n" << renderNarrative(sys, r);
   }
   if (args.has("csv")) {
-    const std::string prefix = args.get("csv", "out");
-    std::ofstream jobs(prefix + "_jobs.csv");
+    std::ofstream jobs(csv_prefix + "_jobs.csv");
     writeJobsCsv(jobs, sys, r);
-    std::ofstream trace(prefix + "_trace.csv");
+    std::ofstream trace(csv_prefix + "_trace.csv");
     writeTraceCsv(trace, sys, r);
-    std::ofstream segs(prefix + "_segments.csv");
+    std::ofstream segs(csv_prefix + "_segments.csv");
     writeSegmentsCsv(segs, sys, r);
-    std::cout << "wrote " << prefix << "_{jobs,trace,segments}.csv\n";
+    std::cout << "wrote " << csv_prefix << "_{jobs,trace,segments}.csv\n";
   }
   if (args.has("perfetto")) {
-    const std::string path = args.get("perfetto", "trace.perfetto.json");
-    std::ofstream out(path);
-    if (!out) throw ConfigError("cannot write '" + path + "'");
+    std::ofstream out(perfetto_path);
+    if (!out) throw ConfigError("cannot write '" + perfetto_path + "'");
     writePerfettoTrace(out, sys, r);
-    std::cout << "wrote " << path << " (load in ui.perfetto.dev)\n";
+    std::cout << "wrote " << perfetto_path << " (load in ui.perfetto.dev)\n";
   }
   return r.any_deadline_miss ? 1 : 0;
 }
@@ -231,8 +264,24 @@ WorkloadParams workloadParamsFromArgs(const Args& args) {
   return p;
 }
 
+/// Writes `text` to `path`, or stdout when `path` is empty.
+void emitText(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ConfigError("cannot write '" + path + "'");
+  out << text;
+}
+
 int cmdStats(const Args& args) {
   const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
+  const std::string out_path = args.get("out", "");
+  if (args.has("out")) {
+    if (out_path.empty()) throw cli::UsageError("--out needs a file path");
+    cli::probeWritableFile("--out", out_path);
+  }
   if (args.has("sweep")) {
     exp::CounterSweepOptions o;
     o.protocol = kind;
@@ -244,10 +293,10 @@ int cmdStats(const Args& args) {
         cli::parseInt("--horizon", args.get("horizon", "20000"), 1,
                       kTimeInfinity);
     const obs::Counters total = exp::counterSweep(o);
-    std::cout << "protocol " << toString(kind) << ", seeds " << o.seeds
-              << " (base " << o.seed_base << "), horizon " << o.horizon
-              << " per run:\n"
-              << obs::renderCounters(total);
+    emitText(out_path,
+             strf("protocol ", toString(kind), ", seeds ", o.seeds, " (base ",
+                  o.seed_base, "), horizon ", o.horizon, " per run:\n",
+                  obs::renderCounters(total)));
     return 0;
   }
   if (args.positional.empty()) {
@@ -259,10 +308,145 @@ int cmdStats(const Args& args) {
       cli::parseInt("--horizon", args.get("horizon", "0"), 0, kTimeInfinity);
   config.record_trace = false;  // counters are always on; skip the trace
   const SimResult r = simulate(kind, sys, config);
-  std::cout << "protocol " << toString(kind) << ", horizon " << r.horizon
-            << ":\n"
-            << renderCountersReport(sys, r.counters);
+  emitText(out_path, strf("protocol ", toString(kind), ", horizon ", r.horizon,
+                          ":\n", renderCountersReport(sys, r.counters)));
   return 0;
+}
+
+/// The journaled, crash-isolated seed sweep (the ISSUE 5 campaign loop).
+/// Each seed generates a workload under the shared per-seed RNG
+/// convention, runs RTA plus a traceless simulation, and serializes one
+/// CSV row; rows cross the executor boundary as strings so the body can
+/// run in a forked worker under --isolate. `done` rows from a resumed
+/// journal are reused verbatim, which is what makes the aggregate CSV
+/// byte-identical to an uninterrupted sweep.
+///
+/// Testing aids --per-run-sleep-ms / --crash-seed exist for the
+/// kill-and-resume and crash-isolation smoke tests; they never affect row
+/// bytes, so they are excluded from the config fingerprint.
+int cmdSweep(const Args& args) {
+  const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
+  const WorkloadParams params = workloadParamsFromArgs(args);
+  const int seeds = static_cast<int>(
+      cli::parseInt("--seeds", args.get("seeds", "16"), 1, 1'000'000));
+  const std::uint64_t seed_base =
+      cli::parseUint("--seed", args.get("seed", "1"));
+  const Time horizon = cli::parseInt("--horizon", args.get("horizon", "20000"),
+                                     1, kTimeInfinity);
+
+  // Fail fast on unwritable outputs: probe both files before any run.
+  const std::string out_path = args.get("out", "");
+  if (args.has("out")) {
+    if (out_path.empty()) throw cli::UsageError("--out needs a file path");
+    cli::probeWritableFile("--out", out_path);
+  }
+
+  exec::CampaignOptions copt;
+  copt.journal_path = args.get("journal", "");
+  copt.resume = args.has("resume");
+  if (args.has("journal")) {
+    if (copt.journal_path.empty()) {
+      throw cli::UsageError("--journal needs a file path");
+    }
+    cli::probeWritableFile("--journal", copt.journal_path);
+  }
+  // Everything that shapes row bytes goes into the fingerprint; execution
+  // strategy (journal, isolate, retries, testing aids) deliberately not.
+  copt.config_fingerprint = strf(
+      "sweep-v1 protocol=", toString(kind), " seeds=", seeds,
+      " seed=", seed_base, " horizon=", horizon,
+      " processors=", params.processors,
+      " tasks-per-proc=", params.tasks_per_processor,
+      " util=", params.utilization_per_processor,
+      " resources=", params.global_resources, " cs-max=", params.cs_max,
+      " suspend-prob=", params.suspension_prob);
+
+  copt.retry.max_attempts =
+      1 + static_cast<int>(
+              cli::parseInt("--retries", args.get("retries", "0"), 0, 16));
+  copt.retry.base_delay = std::chrono::milliseconds(
+      cli::parseInt("--retry-base-ms", args.get("retry-base-ms", "0"), 0,
+                    60'000));
+  copt.retry.jitter_seed =
+      cli::parseUint("--jitter-seed", args.get("jitter-seed", "1"));
+
+  exec::SubprocessLimits limits;
+  limits.wall_limit_s = cli::parseDouble(
+      "--wall-limit", args.get("wall-limit", "0"), 0.0, 86'400.0);
+  limits.rss_limit_mb = cli::parseUint("--rss-limit-mb",
+                                       args.get("rss-limit-mb", "0"), 0,
+                                       1'048'576);
+  const bool isolate = args.has("isolate") || limits.wall_limit_s > 0 ||
+                       limits.rss_limit_mb > 0;
+  exec::SubprocessExecutor subprocess(limits);
+  if (isolate) copt.executor = &subprocess;
+
+  const int sleep_ms = static_cast<int>(cli::parseInt(
+      "--per-run-sleep-ms", args.get("per-run-sleep-ms", "0"), 0, 60'000));
+  const std::int64_t crash_seed = cli::parseInt(
+      "--crash-seed", args.get("crash-seed", "-1"), -1, 1'000'000);
+
+  const auto body = [=](int s, Rng& rng) -> std::string {
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    if (crash_seed >= 0 && s == crash_seed) std::raise(SIGKILL);
+    const TaskSystem sys = generateWorkload(params, rng);
+    const ProtocolAnalysis analysis = analyzeUnder(kind, sys);
+    SimConfig config;
+    config.horizon = horizon;
+    config.record_trace = false;
+    const SimResult r = simulate(kind, sys, config);
+    const obs::Counters& c = r.counters;
+    return strf(seed_base + static_cast<std::uint64_t>(s), ',',
+                analysis.report.rta_all ? 1 : 0, ',', c.deadline_misses, ',',
+                c.jobs_released, ',', c.jobs_finished, ',',
+                c.totalAcquisitions(), ',', c.totalContendedWaits(), ',',
+                c.totalHandoffs(), ',', c.preemptions, ',', c.migrations);
+  };
+
+  const exec::CampaignOutcome outcome =
+      exec::runCampaign(exp::SweepRunner::global(), seeds, seed_base, copt,
+                        body);
+
+  // Assemble the CSV in seed order. On interrupt the completed rows are
+  // still flushed (the journal has them too), but the totals row is held
+  // back so a partial file is never mistaken for a finished sweep.
+  std::ostringstream csv;
+  csv << "seed,rta_ok,deadline_misses,jobs_released,jobs_finished,"
+         "acquisitions,contended_waits,handoffs,preemptions,migrations\n";
+  std::array<std::uint64_t, 9> totals{};
+  for (const std::optional<std::string>& payload : outcome.payloads) {
+    if (!payload.has_value()) continue;
+    csv << *payload << "\n";
+    std::istringstream fields(*payload);
+    std::string field;
+    for (int col = -1; col < 9 && std::getline(fields, field, ','); ++col) {
+      if (col >= 0) totals[static_cast<std::size_t>(col)] += std::stoull(field);
+    }
+  }
+  if (!outcome.interrupted) {
+    csv << "total";
+    for (const std::uint64_t t : totals) csv << ',' << t;
+    csv << "\n";
+  }
+  emitText(out_path, csv.str());
+
+  for (const exp::RunFailure& f : outcome.failures) {
+    std::cerr << "run failed: seed=" << seed_base + static_cast<std::uint64_t>(f.seed)
+              << " attempts=" << f.attempts;
+    if (f.signal != 0) std::cerr << " signal=" << f.signal;
+    if (f.exit_code != 0) std::cerr << " exit=" << f.exit_code;
+    if (f.timed_out) std::cerr << " timed-out";
+    std::cerr << ": " << f.error << "\n";
+    if (!f.stderr_tail.empty()) {
+      std::cerr << "  stderr tail: " << f.stderr_tail << "\n";
+    }
+  }
+  std::cerr << obs::renderExecutorCounters(outcome.exec) << "\n";
+
+  if (outcome.interrupted) return exec::interruptExitCode();
+  return outcome.failures.empty() ? 0 : 1;
 }
 
 // Run one system under an injected fault plan and a containment policy.
@@ -275,6 +459,10 @@ int cmdFaults(const Args& args) {
   const ProtocolKind kind = protocolFromName(args.get("protocol", "mpcp"));
   if (args.has("plan") && args.has("random")) {
     throw cli::UsageError("--plan and --random are mutually exclusive");
+  }
+  const std::string perfetto_path = args.get("perfetto", "trace.perfetto.json");
+  if (args.has("perfetto")) {
+    cli::probeWritableFile("--perfetto", perfetto_path);
   }
 
   fault::FaultPlan plan;
@@ -322,11 +510,10 @@ int cmdFaults(const Args& args) {
     std::cout << "\n" << renderCountersReport(sys, r.counters);
   }
   if (args.has("perfetto")) {
-    const std::string path = args.get("perfetto", "trace.perfetto.json");
-    std::ofstream out(path);
-    if (!out) throw ConfigError("cannot write '" + path + "'");
+    std::ofstream out(perfetto_path);
+    if (!out) throw ConfigError("cannot write '" + perfetto_path + "'");
     writePerfettoTrace(out, sys, r);
-    std::cout << "wrote " << path << " (load in ui.perfetto.dev)\n";
+    std::cout << "wrote " << perfetto_path << " (load in ui.perfetto.dev)\n";
   }
   return r.any_deadline_miss ? 1 : 0;
 }
@@ -339,22 +526,31 @@ int cmdGenerate(const Args& args) {
   return 0;
 }
 
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "tables") return cmdTables(args);
+  if (cmd == "analyze") return cmdAnalyze(args);
+  if (cmd == "simulate") return cmdSimulate(args);
+  if (cmd == "stats") return cmdStats(args);
+  if (cmd == "sweep") return cmdSweep(args);
+  if (cmd == "generate") return cmdGenerate(args);
+  if (cmd == "sensitivity") return cmdSensitivity(args);
+  if (cmd == "faults") return cmdFaults(args);
+  std::cerr << "error: unknown command '" << cmd << "'\n";
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Ctrl-C / SIGTERM raise a flag the sweep loop polls (and SIGKILL any
+  // live workers); commands finish flushing and exit 128+signo.
+  exec::installInterruptHandlers();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Args args = parseArgs(argc, argv, 2);
   try {
-    if (cmd == "tables") return cmdTables(args);
-    if (cmd == "analyze") return cmdAnalyze(args);
-    if (cmd == "simulate") return cmdSimulate(args);
-    if (cmd == "stats") return cmdStats(args);
-    if (cmd == "generate") return cmdGenerate(args);
-    if (cmd == "sensitivity") return cmdSensitivity(args);
-    if (cmd == "faults") return cmdFaults(args);
-    std::cerr << "error: unknown command '" << cmd << "'\n";
-    return usage();
+    const int rc = dispatch(cmd, args);
+    return exec::interrupted() ? exec::interruptExitCode() : rc;
   } catch (const cli::UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return usage();

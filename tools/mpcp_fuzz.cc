@@ -16,6 +16,7 @@
 //
 // Exit codes: 0 = clean (or findings present under --expect-findings),
 // 1 = violations found (or none found when expected), 2 = usage error.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -24,6 +25,7 @@
 
 #include "bench_util.h"
 #include "cli_util.h"
+#include "exec/interrupt.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/protocols.h"
 #include "fuzz/repro.h"
@@ -41,8 +43,14 @@ int usage() {
       "                 [--differential-horizon N] [--max-findings N]\n"
       "                 [--faults] [--fault-count N] [--fault-grace X]\n"
       "                 [--fault-watchdog N]\n"
+      "                 [--campaign FILE [--resume]]\n"
       "       mpcp_fuzz --replay FILE [--no-mutation] [--expect-findings]\n"
       "       mpcp_fuzz --list-mutations\n"
+      "\n"
+      "--campaign journals every run to FILE; a killed campaign resumes\n"
+      "with --resume, skipping completed run indices, and findings dedupe\n"
+      "by crash signature (oracle + shrunk-system hash) across the whole\n"
+      "campaign. Ctrl-C flushes the journal and exits 130.\n"
       "\n"
       "--faults switches to fault-injection mode: each run draws a random\n"
       "FaultPlan (--fault-count specs) and checks the fault:* containment\n"
@@ -182,6 +190,29 @@ int fuzzMode(const Args& args) {
                  "runs the protocols unmutated)\n";
     return 2;
   }
+  if (args.has("campaign")) {
+    options.campaign_path = args.get("campaign", "");
+    if (options.campaign_path.empty()) {
+      throw cli::UsageError("--campaign needs a file path");
+    }
+  }
+  options.resume = args.has("resume");
+  if (options.resume && options.campaign_path.empty()) {
+    throw cli::UsageError("--resume needs --campaign FILE");
+  }
+
+  // Fail fast on unwritable outputs before any run: the repro corpus
+  // directory (probed first — the campaign journal may live inside it),
+  // the campaign journal, and the bench JSON sink if one is set.
+  if (!options.corpus_dir.empty()) {
+    cli::probeWritableDir("--corpus-dir", options.corpus_dir);
+  }
+  if (!options.campaign_path.empty()) {
+    cli::probeWritableFile("--campaign", options.campaign_path);
+  }
+  if (std::getenv("MPCP_BENCH_DIR") != nullptr) {
+    cli::probeWritableFile("MPCP_BENCH_DIR", bench::BenchJson("fuzz").path());
+  }
 
   const fuzz::FuzzReport report = fuzz::runFuzz(options, std::cout);
   std::cout << "fuzz: " << report.runs_executed << "/" << options.runs
@@ -189,7 +220,17 @@ int fuzzMode(const Args& args) {
             << " systems with findings, " << report.findings.size()
             << " repros, " << report.elapsed_s << "s"
             << (report.budget_exhausted ? " (time budget exhausted)" : "")
-            << "\n";
+            << (report.interrupted ? " (interrupted)" : "") << "\n";
+  if (!options.campaign_path.empty()) {
+    std::cout << "campaign: " << report.resumed_skips << " resumed skips, "
+              << report.previous_findings << " previous findings, "
+              << report.duplicate_findings << " duplicates";
+    if (report.journal_corrupt_lines > 0) {
+      std::cout << ", " << report.journal_corrupt_lines
+                << " corrupt journal lines skipped";
+    }
+    std::cout << "\n";
+  }
 
   bench::BenchJson json("fuzz");
   json.set("runs_requested", options.runs);
@@ -201,8 +242,13 @@ int fuzzMode(const Args& args) {
   json.set("seed", static_cast<std::int64_t>(options.seed));
   json.set("elapsed_s", report.elapsed_s);
   json.set("budget_exhausted", report.budget_exhausted);
+  json.set("campaign", !options.campaign_path.empty());
+  json.set("resumed_skips", report.resumed_skips);
+  json.set("duplicate_findings", report.duplicate_findings);
+  json.set("interrupted", report.interrupted);
   json.write();
 
+  if (report.interrupted) return exec::interruptExitCode();
   if (args.has("expect-findings")) {
     if (report.systems_with_findings == 0) {
       std::cerr << "expected findings, found none in "
@@ -217,6 +263,10 @@ int fuzzMode(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Ctrl-C / SIGTERM raise a flag the fuzz loop polls between runs; the
+  // campaign journal stays valid for --resume and the exit code is
+  // 128+signo (130 for SIGINT).
+  mpcp::exec::installInterruptHandlers();
   Args args;
   if (!parseArgs(argc, argv, args)) return usage();
   if (args.has("help")) return usage();
