@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -49,15 +50,62 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+// ----- baseline provenance -----
+// Every BENCH_*.json records where its numbers came from, so a baseline
+// comparison (tools/bench_diff) can tell an apples-to-apples regression
+// from a hardware change: bench_diff downgrades failures to warnings
+// when the CPU model differs from the baseline's.
+
+/// Commit the numbers were measured at: $GITHUB_SHA (Actions) or
+/// $MPCP_GIT_SHA (local override), else "unknown".
+inline std::string gitSha() {
+  for (const char* var : {"GITHUB_SHA", "MPCP_GIT_SHA"}) {
+    const char* v = std::getenv(var);
+    if (v != nullptr && *v != '\0') return v;
+  }
+  return "unknown";
+}
+
+/// First "model name" entry of /proc/cpuinfo, or "unknown".
+inline std::string cpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const auto first = line.find_first_not_of(" \t", colon + 1);
+    if (first == std::string::npos) continue;
+    return line.substr(first);
+  }
+  return "unknown";
+}
+
+/// UTC timestamp of the run, ISO 8601.
+inline std::string isoDate() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 /// Accumulates key/number pairs and writes them as BENCH_<name>.json —
 /// one flat JSON object per bench run, so successive PRs (or successive
 /// local runs) can be diffed into a perf trajectory. Output lands in
 /// $MPCP_BENCH_DIR if set, else the current directory.
+///
+/// Schema v2: every file carries provenance (git_sha, cpu_model, date)
+/// in addition to the bench's own flat numeric fields.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {
     set("bench", name_);
-    set("schema_version", std::int64_t{1});
+    set("schema_version", std::int64_t{2});
+    set("git_sha", gitSha());
+    set("cpu_model", cpuModel());
+    set("date", isoDate());
   }
 
   void set(const std::string& key, double v) {

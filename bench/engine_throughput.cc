@@ -1,19 +1,30 @@
-// E14 — engine/runner throughput microbenchmark.
+// E14 — engine/runner throughput suite.
 //
-// Measures the raw speed of the discrete-event engine (jobs/sec with the
-// trace off, events/sec with it on) and of a multi-seed simulation sweep
-// run serially vs fanned across the SweepRunner thread pool. Asserts that
-// the parallel sweep is bit-identical to the serial one (digest match) and
-// emits BENCH_engine.json so every PR records a perf trajectory (see
-// EXPERIMENTS.md, "Running the benchmarks").
+// Measures the raw speed of the discrete-event engine across four
+// trace-off scenarios that stress different hot paths, plus a trace-on
+// events/sec phase and a serial-vs-parallel sweep determinism check:
 //
-// MPCP_BENCH_QUICK=1 shrinks every phase (the ctest registration uses it);
-// MPCP_THREADS pins the parallel phase's thread count.
+//   small      4x3  tasks — dispatch/settle overhead dominates
+//   large      16x8 tasks (128) — the headline jobs/sec scenario the
+//              perf gate tracks (bench/baselines/BENCH_engine.json)
+//   contended  8x6 tasks, every task sharing few global semaphores with
+//              long sections — protocol queueing and handoff paths
+//   fault      8x6 tasks with an armed fault plan + containment — the
+//              armed-path overhead (jitter, budgets, watchdog scans)
+//
+// Results land in BENCH_engine.json (schema v2, per-scenario keys with
+// provenance; see bench_util.h) for tools/bench_diff to compare against
+// bench/baselines/. MPCP_BENCH_QUICK=1 shrinks every phase (ctest and
+// the CI perf job use it with pinned seeds, so numbers are comparable
+// run to run); MPCP_BENCH_ONLY=<scenario> runs a single scenario
+// (profiling); MPCP_THREADS pins the parallel phase's thread count.
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "bench_util.h"
+#include "fault/plan.h"
 
 using namespace mpcp;
 using namespace mpcp::bench;
@@ -44,7 +55,56 @@ WorkloadParams largeParams() {
   return p;
 }
 
+WorkloadParams contendedParams() {
+  WorkloadParams p;
+  p.processors = 8;
+  p.tasks_per_processor = 6;
+  p.utilization_per_processor = 0.5;
+  p.global_resources = 3;
+  p.max_gcs_per_task = 3;
+  p.global_sharing_prob = 1.0;
+  p.cs_max = 60;
+  return p;
+}
+
 constexpr std::uint64_t kSeedBase = 42'000;
+
+/// True when `name` should run (MPCP_BENCH_ONLY filter).
+bool scenarioSelected(const std::string& name) {
+  const char* only = std::getenv("MPCP_BENCH_ONLY");
+  return only == nullptr || name == only;
+}
+
+/// Runs `sims` generate+simulate iterations and records
+/// <name>_{sims,jobs,wall_s,jobs_per_sec} in `json`.
+void throughputScenario(BenchJson& json, const std::string& name,
+                        const WorkloadParams& params, int sims,
+                        std::uint64_t seed_base,
+                        const fault::FaultPlan* plan = nullptr,
+                        fault::ContainmentConfig containment = {}) {
+  if (!scenarioSelected(name)) return;
+  printHeader("engine throughput, " + name + " (trace off)");
+  std::int64_t jobs = 0;
+  WallTimer timer;
+  for (int s = 0; s < sims; ++s) {
+    Rng rng(seed_base + static_cast<std::uint64_t>(s));
+    const TaskSystem sys = generateWorkload(params, rng);
+    const SimResult r = simulate(ProtocolKind::kMpcp, sys,
+                                 {.horizon_cap = 300'000,
+                                  .record_trace = false,
+                                  .fault_plan = plan,
+                                  .containment = containment});
+    jobs += static_cast<std::int64_t>(r.jobs.size());
+  }
+  const double wall = timer.seconds();
+  const double jps = static_cast<double>(jobs) / wall;
+  std::cout << "sims " << sims << ", jobs " << jobs << ", wall " << wall
+            << " s, jobs/sec " << jps << "\n";
+  json.set(name + "_sims", sims);
+  json.set(name + "_jobs", jobs);
+  json.set(name + "_wall_s", wall);
+  json.set(name + "_jobs_per_sec", jps);
+}
 
 /// FNV-1a fold of one simulation's observable outcome: finish times,
 /// blocking, and miss bits of every job record, in record order. Any
@@ -79,8 +139,10 @@ std::uint64_t sweepSeed(Rng& rng) {
 
 int main() {
   const bool quick = std::getenv("MPCP_BENCH_QUICK") != nullptr;
-  const int engine_seeds = quick ? 20 : 200;
+  const int small_seeds = quick ? 20 : 200;
   const int large_seeds = quick ? 3 : 20;
+  const int contended_seeds = quick ? 5 : 40;
+  const int fault_seeds = quick ? 5 : 40;
   const int trace_seeds = quick ? 10 : 60;
   const int sweep_seeds = quick ? 40 : 400;
 
@@ -89,97 +151,89 @@ int main() {
   json.set("hardware_concurrency",
            static_cast<std::int64_t>(std::thread::hardware_concurrency()));
 
-  printHeader("engine throughput (trace off): generate + simulate");
-  std::int64_t jobs = 0;
-  WallTimer engine_timer;
-  for (int s = 0; s < engine_seeds; ++s) {
-    Rng rng(kSeedBase + static_cast<std::uint64_t>(s));
-    const TaskSystem sys = generateWorkload(throughputParams(), rng);
-    const SimResult r = simulate(ProtocolKind::kMpcp, sys,
-                                 {.horizon_cap = 300'000,
-                                  .record_trace = false});
-    jobs += static_cast<std::int64_t>(r.jobs.size());
+  throughputScenario(json, "small", throughputParams(), small_seeds,
+                     kSeedBase);
+  throughputScenario(json, "large", largeParams(), large_seeds,
+                     kSeedBase + 500);
+
+  throughputScenario(json, "contended", contendedParams(), contended_seeds,
+                     kSeedBase + 1000);
+
+  // Armed run: a plan that fires on every instance of a few tasks plus
+  // active containment, so the fault hooks (injection, budget clocks,
+  // watchdog scans, full dirty-mask settles) are all on the clock.
+  fault::FaultPlan plan;
+  plan.specs.push_back({.kind = fault::FaultKind::kWcetOverrun,
+                        .task = TaskId(0),
+                        .instance = -1,
+                        .factor = 1.3});
+  plan.specs.push_back({.kind = fault::FaultKind::kReleaseJitter,
+                        .task = TaskId(1),
+                        .instance = -1,
+                        .delta = 7});
+  fault::ContainmentConfig containment;
+  containment.budget_enforce = true;
+  containment.grace = 2.0;
+  containment.holder_watchdog = 500;
+  throughputScenario(json, "fault", contendedParams(), fault_seeds,
+                     kSeedBase + 1500, &plan, containment);
+
+  if (scenarioSelected("trace")) {
+    printHeader("engine throughput (trace on): events/sec");
+    std::int64_t events = 0;
+    WallTimer trace_timer;
+    for (int s = 0; s < trace_seeds; ++s) {
+      Rng rng(kSeedBase + static_cast<std::uint64_t>(s));
+      const TaskSystem sys = generateWorkload(throughputParams(), rng);
+      const SimResult r = simulate(ProtocolKind::kMpcp, sys,
+                                   {.horizon_cap = 300'000,
+                                    .record_trace = true});
+      events += static_cast<std::int64_t>(r.trace.size());
+    }
+    const double trace_s = trace_timer.seconds();
+    const double events_per_sec = static_cast<double>(events) / trace_s;
+    std::cout << "sims " << trace_seeds << ", events " << events << ", wall "
+              << trace_s << " s, events/sec " << events_per_sec << "\n";
+    json.set("trace_sims", trace_seeds);
+    json.set("trace_events", events);
+    json.set("trace_wall_s", trace_s);
+    json.set("trace_events_per_sec", events_per_sec);
   }
-  const double engine_s = engine_timer.seconds();
-  const double jobs_per_sec = static_cast<double>(jobs) / engine_s;
-  std::cout << "sims " << engine_seeds << ", jobs " << jobs << ", wall "
-            << engine_s << " s, jobs/sec " << jobs_per_sec << "\n";
-  json.set("small_sims", engine_seeds);
-  json.set("small_jobs", jobs);
-  json.set("small_wall_s", engine_s);
-  json.set("small_jobs_per_sec", jobs_per_sec);
 
-  printHeader("engine throughput, large system (128 tasks, trace off)");
-  std::int64_t large_jobs = 0;
-  WallTimer large_timer;
-  for (int s = 0; s < large_seeds; ++s) {
-    Rng rng(kSeedBase + 500 + static_cast<std::uint64_t>(s));
-    const TaskSystem sys = generateWorkload(largeParams(), rng);
-    const SimResult r = simulate(ProtocolKind::kMpcp, sys,
-                                 {.horizon_cap = 300'000,
-                                  .record_trace = false});
-    large_jobs += static_cast<std::int64_t>(r.jobs.size());
+  bool deterministic = true;
+  if (scenarioSelected("sweep")) {
+    printHeader("multi-seed sweep: serial vs parallel SweepRunner");
+    auto seedFn = [](int /*s*/, Rng& rng) { return sweepSeed(rng); };
+
+    exp::SweepRunner serial(1);
+    WallTimer serial_timer;
+    const std::vector<std::uint64_t> serial_digests =
+        serial.map(sweep_seeds, kSeedBase + 9000, seedFn);
+    const double serial_s = serial_timer.seconds();
+
+    const int par_threads = exp::ThreadPool::defaultThreadCount();
+    exp::SweepRunner parallel(par_threads);
+    WallTimer par_timer;
+    const std::vector<std::uint64_t> par_digests =
+        parallel.map(sweep_seeds, kSeedBase + 9000, seedFn);
+    const double par_s = par_timer.seconds();
+
+    deterministic = serial_digests == par_digests;
+    const double speedup = par_s > 0 ? serial_s / par_s : 0.0;
+    const double sweep_sims_per_sec =
+        par_s > 0 ? static_cast<double>(sweep_seeds) / par_s : 0.0;
+    std::cout << "seeds " << sweep_seeds << ", serial " << serial_s
+              << " s, parallel(" << par_threads << " threads) " << par_s
+              << " s, speedup " << speedup << "x, digests "
+              << (deterministic ? "identical" : "DIVERGED") << "\n";
+    json.set("sweep_seeds", sweep_seeds);
+    json.set("sweep_serial_wall_s", serial_s);
+    json.set("sweep_parallel_wall_s", par_s);
+    json.set("sweep_threads", par_threads);
+    json.set("sweep_speedup", speedup);
+    json.set("sweep_sims_per_sec", sweep_sims_per_sec);
+    json.set("sweep_deterministic", deterministic);
   }
-  const double large_s = large_timer.seconds();
-  const double large_jobs_per_sec = static_cast<double>(large_jobs) / large_s;
-  std::cout << "sims " << large_seeds << ", jobs " << large_jobs << ", wall "
-            << large_s << " s, jobs/sec " << large_jobs_per_sec << "\n";
-  json.set("large_sims", large_seeds);
-  json.set("large_jobs", large_jobs);
-  json.set("large_wall_s", large_s);
-  json.set("large_jobs_per_sec", large_jobs_per_sec);
-
-  printHeader("engine throughput (trace on): events/sec");
-  std::int64_t events = 0;
-  WallTimer trace_timer;
-  for (int s = 0; s < trace_seeds; ++s) {
-    Rng rng(kSeedBase + static_cast<std::uint64_t>(s));
-    const TaskSystem sys = generateWorkload(throughputParams(), rng);
-    const SimResult r = simulate(ProtocolKind::kMpcp, sys,
-                                 {.horizon_cap = 300'000,
-                                  .record_trace = true});
-    events += static_cast<std::int64_t>(r.trace.size());
-  }
-  const double trace_s = trace_timer.seconds();
-  const double events_per_sec = static_cast<double>(events) / trace_s;
-  std::cout << "sims " << trace_seeds << ", events " << events << ", wall "
-            << trace_s << " s, events/sec " << events_per_sec << "\n";
-  json.set("trace_sims", trace_seeds);
-  json.set("trace_events", events);
-  json.set("trace_wall_s", trace_s);
-  json.set("trace_events_per_sec", events_per_sec);
-
-  printHeader("multi-seed sweep: serial vs parallel SweepRunner");
-  auto seedFn = [](int /*s*/, Rng& rng) { return sweepSeed(rng); };
-
-  exp::SweepRunner serial(1);
-  WallTimer serial_timer;
-  const std::vector<std::uint64_t> serial_digests =
-      serial.map(sweep_seeds, kSeedBase + 9000, seedFn);
-  const double serial_s = serial_timer.seconds();
-
-  const int par_threads = exp::ThreadPool::defaultThreadCount();
-  exp::SweepRunner parallel(par_threads);
-  WallTimer par_timer;
-  const std::vector<std::uint64_t> par_digests =
-      parallel.map(sweep_seeds, kSeedBase + 9000, seedFn);
-  const double par_s = par_timer.seconds();
-
-  const bool deterministic = serial_digests == par_digests;
-  const double speedup = par_s > 0 ? serial_s / par_s : 0.0;
-  const double sweep_sims_per_sec =
-      par_s > 0 ? static_cast<double>(sweep_seeds) / par_s : 0.0;
-  std::cout << "seeds " << sweep_seeds << ", serial " << serial_s
-            << " s, parallel(" << par_threads << " threads) " << par_s
-            << " s, speedup " << speedup << "x, digests "
-            << (deterministic ? "identical" : "DIVERGED") << "\n";
-  json.set("sweep_seeds", sweep_seeds);
-  json.set("sweep_serial_wall_s", serial_s);
-  json.set("sweep_parallel_wall_s", par_s);
-  json.set("sweep_threads", par_threads);
-  json.set("sweep_speedup", speedup);
-  json.set("sweep_sims_per_sec", sweep_sims_per_sec);
-  json.set("sweep_deterministic", deterministic);
 
   json.write();
 

@@ -83,6 +83,9 @@ class StablePriorityQueue {
                        [&](const Entry& e) { return e.value == value; });
   }
 
+  /// Pre-sizes backing storage (allocation-free steady state).
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 

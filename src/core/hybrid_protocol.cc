@@ -72,6 +72,7 @@ HybridProtocol::HybridProtocol(const TaskSystem& system,
       }
     }
   }
+  reserveSemQueues(global_, 2 * system.tasks().size());
 }
 
 void HybridProtocol::attach(Engine& engine) {

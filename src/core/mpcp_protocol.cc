@@ -28,6 +28,9 @@ MpcpProtocol::MpcpProtocol(const TaskSystem& system,
       }
     }
   }
+  // A task can have at most a handful of live jobs at once (overrunning
+  // releases); 2x the task count covers every queue's worst case.
+  reserveSemQueues(global_, 2 * system.tasks().size());
 }
 
 void MpcpProtocol::attach(Engine& engine) {

@@ -40,6 +40,7 @@ DpcpProtocol::DpcpProtocol(const TaskSystem& system,
       }
     }
   }
+  reserveSemQueues(global_, 2 * system.tasks().size());
 }
 
 void DpcpProtocol::attach(Engine& engine) {

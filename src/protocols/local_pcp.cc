@@ -9,7 +9,18 @@ namespace mpcp {
 LocalPcp::LocalPcp(const TaskSystem& system, const PriorityTables& tables)
     : system_(&system),
       tables_(&tables),
-      procs_(static_cast<std::size_t>(system.processorCount())) {}
+      procs_(static_cast<std::size_t>(system.processorCount())) {
+  // Pre-size everything the lock/unlock paths append to, so a warmed-up
+  // run never reallocates: held sems per processor are bounded by the
+  // resource count, parked jobs by the live-job count (~2x tasks).
+  const std::size_t max_parked = 2 * system.tasks().size() + 4;
+  for (ProcState& ps : procs_) {
+    ps.locked.reserve(system.resources().size() + 4);
+    ps.parked.reserve(max_parked);
+  }
+  wake_scratch_.reserve(max_parked);
+  old_scratch_.reserve(system.resources().size() + 4);
+}
 
 const LocalPcp::LockedSem* LocalPcp::blockingSem(int proc,
                                                  const Job& j) const {
@@ -70,9 +81,10 @@ void LocalPcp::onUnlock(Job& j, ResourceId r) {
 
   // Blocking conditions changed: wake every parked job for a retry. The
   // dispatcher serves them highest-priority-first; losers re-park.
-  std::vector<Job*> to_wake;
-  to_wake.swap(ps.parked);
-  for (Job* w : to_wake) engine_->wake(*w);
+  // (Copy into scratch rather than swap: ps.parked keeps its capacity.)
+  wake_scratch_.assign(ps.parked.begin(), ps.parked.end());
+  ps.parked.clear();
+  for (Job* w : wake_scratch_) engine_->wake(*w);
 
   recomputeInheritance(proc);
 }
@@ -90,11 +102,11 @@ void LocalPcp::onJobFinished(Job& j) {
 void LocalPcp::recomputeInheritance(int proc) {
   ProcState& ps = procs_[static_cast<std::size_t>(proc)];
 
-  std::vector<std::pair<Job*, Priority>> old;
+  old_scratch_.clear();
   for (const LockedSem& ls : ps.locked) {
-    if (std::none_of(old.begin(), old.end(),
+    if (std::none_of(old_scratch_.begin(), old_scratch_.end(),
                      [&](const auto& p) { return p.first == ls.holder; })) {
-      old.emplace_back(ls.holder, ls.holder->inherited);
+      old_scratch_.emplace_back(ls.holder, ls.holder->inherited);
       ls.holder->inherited = kPriorityFloor;
     }
   }
@@ -116,7 +128,7 @@ void LocalPcp::recomputeInheritance(int proc) {
     }
   }
 
-  for (const auto& [holder, prev] : old) {
+  for (const auto& [holder, prev] : old_scratch_) {
     if (holder->inherited != prev) {
       engine_->counters().inheritance_updates++;
       engine_->notePriorityChanged(*holder);

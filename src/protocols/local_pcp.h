@@ -62,6 +62,10 @@ class LocalPcp {
   const PriorityTables* tables_;
   Engine* engine_ = nullptr;
   std::vector<ProcState> procs_;
+  // Scratch buffers (members so the lock/unlock paths stay
+  // allocation-free once warmed; never used reentrantly).
+  std::vector<Job*> wake_scratch_;
+  std::vector<std::pair<Job*, Priority>> old_scratch_;
 };
 
 }  // namespace mpcp

@@ -5,7 +5,9 @@
 namespace mpcp {
 
 NoProtocol::NoProtocol(const TaskSystem& system, QueueOrder order)
-    : order_(order), sems_(system.resources().size()) {}
+    : order_(order), sems_(system.resources().size()) {
+  reserveSemQueues(sems_, 2 * system.tasks().size());
+}
 
 LockOutcome NoProtocol::onLock(Job& j, ResourceId r) {
   SemState& s = sems_[static_cast<std::size_t>(r.value())];

@@ -7,7 +7,11 @@
 namespace mpcp {
 
 PipProtocol::PipProtocol(const TaskSystem& system)
-    : sems_(system.resources().size()) {}
+    : sems_(system.resources().size()) {
+  reserveSemQueues(sems_, 2 * system.tasks().size());
+  boosted_.reserve(sems_.size());
+  before_.reserve(sems_.size());
+}
 
 LockOutcome PipProtocol::onLock(Job& j, ResourceId r) {
   SemState& s = sems_[static_cast<std::size_t>(r.value())];
@@ -51,10 +55,9 @@ void PipProtocol::onJobFinished(Job& j) {
 }
 
 void PipProtocol::recomputeInheritance() {
-  std::vector<std::pair<Job*, Priority>> before;
-  before.reserve(boosted_.size());
+  before_.clear();
   for (Job* h : boosted_) {
-    before.emplace_back(h, h->inherited);
+    before_.emplace_back(h, h->inherited);
     h->inherited = kPriorityFloor;
   }
   boosted_.clear();
@@ -86,7 +89,7 @@ void PipProtocol::recomputeInheritance() {
   // a real change in the final state).
   for (Job* h : boosted_) {
     Priority old = kPriorityFloor;
-    for (const auto& [job, prio] : before) {
+    for (const auto& [job, prio] : before_) {
       if (job == h) old = prio;
     }
     if (h->inherited != old) {
@@ -96,7 +99,7 @@ void PipProtocol::recomputeInheritance() {
                      .processor = h->current, .priority = h->inherited});
     }
   }
-  for (const auto& [job, prio] : before) {
+  for (const auto& [job, prio] : before_) {
     if (job->inherited == kPriorityFloor && prio != kPriorityFloor) {
       engine_->counters().inheritance_updates++;
       engine_->notePriorityChanged(*job);

@@ -32,6 +32,9 @@ class PipProtocol final : public SyncProtocol {
 
   std::vector<SemState> sems_;
   std::vector<Job*> boosted_;  // jobs whose `inherited` we set last pass
+  // Scratch for recomputeInheritance(); a member so the recompute path
+  // stays allocation-free once warmed.
+  std::vector<std::pair<Job*, Priority>> before_;
 };
 
 }  // namespace mpcp

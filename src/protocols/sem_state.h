@@ -16,4 +16,13 @@ struct SemState {
   StablePriorityQueue<Job*> queue;
 };
 
+/// Pre-sizes every wait queue so steady-state locking never reallocates
+/// (part of the zero-allocation-per-run guarantee; see DESIGN.md). The
+/// bound is callers' worst case on simultaneous waiters, typically a
+/// small multiple of the task count.
+inline void reserveSemQueues(std::vector<SemState>& sems,
+                             std::size_t waiters) {
+  for (SemState& s : sems) s.queue.reserve(waiters);
+}
+
 }  // namespace mpcp

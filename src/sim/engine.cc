@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
@@ -17,10 +18,6 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol,
 
   const std::size_t n = system_.tasks().size();
   instance_no_.assign(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    release_heap_.push({system_.tasks()[i].phase,
-                        static_cast<std::int32_t>(i)});
-  }
   result_.processor_busy.assign(static_cast<std::size_t>(procs), 0);
   result_.counters.init(system_.resources().size(),
                         static_cast<std::size_t>(procs), n);
@@ -60,6 +57,12 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol,
   }
   MPCP_CHECK(horizon_ > 0, "simulation horizon must be positive");
 
+  // Initial releases (after the horizon is known: scheduleRelease drops
+  // entries the run could never process, as the old heap effectively did).
+  for (std::size_t i = 0; i < n; ++i) {
+    scheduleRelease(system_.tasks()[i].phase, static_cast<std::int32_t>(i));
+  }
+
   // Reserve result storage up front: the expected job count is
   // sum_i(horizon / T_i), and every releasing job appends one JobRecord
   // (and, with the trace on, a handful of events and segments). Growing
@@ -77,6 +80,53 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol,
     result_.segments.reserve(static_cast<std::size_t>(
         std::min(expected_jobs * 4, kTraceReserveCap / 2)));
   }
+
+  // ----- allocation-free steady state (DESIGN.md, "Engine hot path") -----
+  // Everything the run loop touches is sized here: pool slots (with
+  // overrun headroom — an unfinished instance keeps its slot while the
+  // next releases), per-slot held capacity (static nesting depth), ready
+  // queues, calendar-queue node pools and drain batches, and the arena
+  // scratch. A run that exceeds an estimate falls back to ordinary vector
+  // growth rather than failing; tests/allocation_test.cc holds the line.
+  std::size_t max_depth = 0;
+  std::vector<std::size_t> tasks_on_proc(static_cast<std::size_t>(procs), 0);
+  for (const Task& t : system_.tasks()) {
+    tasks_on_proc[static_cast<std::size_t>(t.processor.value())]++;
+    std::size_t depth = 0;
+    std::size_t peak = 0;
+    for (const Op& op : t.body.ops()) {
+      if (std::holds_alternative<LockOp>(op)) {
+        peak = std::max(peak, ++depth);
+      } else if (std::holds_alternative<UnlockOp>(op) && depth > 0) {
+        --depth;
+      }
+    }
+    max_depth = std::max(max_depth, peak);
+  }
+  const std::size_t expected_live = 4 * n + 64;
+  pool_.configure(n, expected_live, max_depth, /*per_task_reserve=*/8);
+  for (std::size_t p = 0; p < ready_.size(); ++p) {
+    ready_[p].reserve(4 * tasks_on_proc[p] + 16);
+  }
+  release_wheel_.reserve(2 * n + 8);
+  susp_wheel_.reserve(expected_live);
+  release_batch_.reserve(n + 8);
+  susp_batch_.reserve(expected_live);
+  if (armed_) contain_scratch_.reserve(expected_live);
+
+  dirty_words_ = (static_cast<std::size_t>(procs) + 63) / 64;
+  proc_dirty_ = arena_.allocZeroed<std::uint64_t>(dirty_words_);
+  run_slot_ = arena_.alloc<std::int32_t>(static_cast<std::size_t>(procs));
+  run_base_ = arena_.alloc<std::int32_t>(static_cast<std::size_t>(procs));
+  seg_ = arena_.alloc<Seg>(static_cast<std::size_t>(procs));
+  seg_end_ = arena_.alloc<Time>(static_cast<std::size_t>(procs));
+  for (int p = 0; p < procs; ++p) {
+    run_slot_[static_cast<std::size_t>(p)] = -1;  // all idle initially
+    run_base_[static_cast<std::size_t>(p)] = 0;
+    seg_[static_cast<std::size_t>(p)] = {};
+    seg_end_[static_cast<std::size_t>(p)] = kTimeInfinity;
+  }
+  eager_ = config_.record_trace || armed_;
 }
 
 SimResult Engine::run() {
@@ -111,6 +161,10 @@ SimResult Engine::run() {
   if (armed_) {
     while (applyContainment()) settle();
   }
+  // Credit any still-running segment its progress up to the final clock
+  // (lazy mode defers this to settle visits, and an undisturbed segment
+  // may span the horizon).
+  for (std::size_t p = 0; p < running_.size(); ++p) flushSeg(p, now_);
 
   noteDeadlineMissesAtHorizon();
 
@@ -137,10 +191,13 @@ SimResult Engine::run() {
 }
 
 void Engine::releaseDueJobs() {
-  while (!release_heap_.empty()) {
-    const auto [due, task_idx] = release_heap_.top();
-    if (due > now_ || due >= horizon_) break;
-    release_heap_.pop();
+  if (release_wheel_.earliest() > now_) return;
+  release_wheel_.drainAt(now_, release_batch_);
+  // Whole-tick batch; ascending task index matches the old heap's
+  // (time, task) pop order exactly.
+  std::sort(release_batch_.begin(), release_batch_.end());
+  const Time due = now_;
+  for (const std::int32_t task_idx : release_batch_) {
     const auto ti = static_cast<std::size_t>(task_idx);
     const Task& task = system_.tasks()[ti];
 
@@ -158,10 +215,10 @@ void Engine::releaseDueJobs() {
         jd = std::min<Duration>(jd, task.period - 1);
         if (jd > 0) {
           jitter_[ti] = {due + jd, due};
-          release_heap_.push({due + jd, task_idx});
-          release_heap_.push({due + task.period, task_idx});
+          scheduleRelease(due + jd, task_idx);
+          scheduleRelease(due + task.period, task_idx);
           result_.counters.faults_injected++;
-          emit({.t = now_, .kind = Ev::kFaultInjected,
+          emit({.kind = Ev::kFaultInjected,
                 .job = JobId{task.id, instance_no_[ti]},
                 .processor = task.processor});
           continue;
@@ -172,10 +229,10 @@ void Engine::releaseDueJobs() {
         skipped_[ti]++;
         result_.counters.releases_skipped++;
         result_.counters.faults_contained++;
-        emit({.t = now_, .kind = Ev::kReleaseSkipped,
-              .job = JobId{task.id, instance_no_[ti]++},
+        const JobId skipped_id{task.id, instance_no_[ti]++};
+        emit({.kind = Ev::kReleaseSkipped, .job = skipped_id,
               .processor = task.processor});
-        release_heap_.push({due + task.period, task_idx});
+        scheduleRelease(due + task.period, task_idx);
         continue;
       }
     }
@@ -196,56 +253,69 @@ void Engine::releaseDueJobs() {
     stored.base = task.priority;
     stored.state = JobState::kReady;
     stored.ready_seq = ++ready_seq_;
+    stored.ops = task.body.ops().data();
+    stored.op_count = task.body.ops().size();
+    pool_.setProc(stored.pool_slot, task.processor.value());
+    pool_.setBase(stored.pool_slot, task.priority.urgency());
+    pool_.setWaitMark(stored.pool_slot, now_);
+    reclassifyWait(stored.pool_slot);
     // A jittered release already queued the next nominal one at deferral.
-    if (!from_jitter) release_heap_.push({due + task.period, task_idx});
+    if (!from_jitter) scheduleRelease(due + task.period, task_idx);
 
     readyQueue(stored.current)
         .pushSeq(&stored, stored.effectivePriority(), stored.ready_seq);
+    touchProc(stored.current);
     result_.counters.jobs_released++;
     noteReadyDepth(stored.current);
-    emit({.t = now_, .kind = Ev::kRelease, .job = stored.id,
-          .processor = stored.host});
+    if (tracing()) {
+      emit({.kind = Ev::kRelease, .job = stored.id, .processor = stored.host});
+    }
     protocol_.onJobReleased(stored);
   }
 }
 
-bool Engine::suspEntryLive(const SuspEntry& e) const {
-  return e.job != nullptr && e.job->id == e.id &&
-         e.job->state == JobState::kWaiting && e.job->suspended_until == e.t;
-}
-
 void Engine::wakeDueSuspensions() {
-  while (!susp_heap_.empty()) {
-    const SuspEntry e = susp_heap_.top();
-    if (!suspEntryLive(e)) {  // retired or already woken: drop lazily
-      susp_heap_.pop();
+  if (susp_wheel_.earliest() > now_) return;
+  susp_wheel_.drainAt(now_, susp_batch_);
+  // FIFO among equal times, exactly the old heap's (t, seq) order.
+  std::sort(susp_batch_.begin(), susp_batch_.end(),
+            [](const SuspPending& a, const SuspPending& b) {
+              return a.seq < b.seq;
+            });
+  for (const SuspPending& e : susp_batch_) {
+    Job* j = e.job;
+    // Stale entries (job retired, or no longer suspended to this tick)
+    // are dropped silently, as the old lazily-invalidated heap did.
+    if (j == nullptr || !(j->id == e.id) ||
+        j->state != JobState::kWaiting || j->suspended_until != now_) {
       continue;
     }
-    if (e.t > now_) break;
-    susp_heap_.pop();
-    Job* j = e.job;
     j->suspended_until = -1;
-    emit({.t = now_, .kind = Ev::kSelfResume, .job = j->id,
-          .processor = j->current});
+    if (tracing()) {
+      emit({.kind = Ev::kSelfResume, .job = j->id, .processor = j->current});
+    }
     wake(*j);
   }
 }
 
 void Engine::noteOverrunMisses(TaskId task) {
-  pool_.forEachLive([&](Job& j) {
+  // Live instances of one task, in release order — the old full live-list
+  // walk filtered to this task visited them in exactly this order.
+  for (const std::uint32_t s :
+       pool_.taskSlots(static_cast<std::size_t>(task.value()))) {
+    Job& j = pool_.jobAt(s);
     // Strictly past the deadline: a job *at* its deadline with zero work
     // left completes within this instant's settle pass and is on time
     // (the finish-time check still catches every genuine late finish).
-    if (j.id.task == task && now_ > j.abs_deadline && !j.miss_noted) {
+    if (now_ > j.abs_deadline && !j.miss_noted) {
       j.miss_noted = true;
       miss_seen_ = true;
       if (result_.counters.faults_injected > 0) {
         result_.counters.misses_while_degraded++;
       }
-      emit({.t = now_, .kind = Ev::kDeadlineMiss, .job = j.id,
-            .processor = j.host});
+      emit({.kind = Ev::kDeadlineMiss, .job = j.id, .processor = j.host});
     }
-  });
+  }
 }
 
 Job* Engine::pickHighest(int proc) const {
@@ -258,54 +328,115 @@ Job* Engine::pickHighest(int proc) const {
   return best;
 }
 
-void Engine::settle() {
+int Engine::nextDirtyProc(int from) const {
   const int procs = system_.processorCount();
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (int p = 0; p < procs; ++p) {
-      // A transiently stalled processor dispatches nothing: its jobs stay
-      // ready and the waiting time is attributed as blocking.
-      Job* j = (!stall_noted_.empty() &&
-                plan_->stalled(ProcessorId(p), now_))
-                   ? nullptr
-                   : pickHighest(p);
-      if (j != running_[static_cast<std::size_t>(p)]) {
-        Job* old = running_[static_cast<std::size_t>(p)];
-        if (old != nullptr && old->state == JobState::kReady) {
-          result_.counters.preemptions++;
-          if (j != nullptr && j->elevated != kPriorityFloor) {
-            result_.counters.gcs_preemptions++;
-          }
-          emit({.t = now_, .kind = Ev::kPreempt, .job = old->id,
-                .processor = ProcessorId(p),
-                .other = j ? j->id : JobId{}});
-        }
-        running_[static_cast<std::size_t>(p)] = j;
-        if (j != nullptr) {
-          emit({.t = now_, .kind = Ev::kStart, .job = j->id,
-                .processor = ProcessorId(p)});
-        }
-        changed = true;
+  if (from >= procs) return -1;
+  std::size_t w = static_cast<std::size_t>(from) >> 6;
+  std::uint64_t word =
+      proc_dirty_[w] & (~std::uint64_t{0} << (static_cast<std::size_t>(from) & 63));
+  while (true) {
+    if (word != 0) {
+      return static_cast<int>((w << 6) +
+                              static_cast<std::size_t>(std::countr_zero(word)));
+    }
+    if (++w >= dirty_words_) return -1;
+    word = proc_dirty_[w];
+  }
+}
+
+void Engine::settle() {
+  // Visit dirty processors in ascending order; a visit that changes
+  // anything re-marks the processors it affected, and marks at or below
+  // the cursor wait for the next scan. This replays the old full-pass
+  // fixed point exactly: a pass visited every processor ascending, but
+  // visits whose inputs had not changed were no-ops — the dirty mask
+  // skips precisely those, so the sequence of *effective* visits (and
+  // hence every emitted event) is identical.
+  if (armed_) markAllProcs();  // fault hooks may act at a distance
+  int cursor = 0;
+  while (true) {
+    const int p = nextDirtyProc(cursor);
+    if (p < 0) {
+      if (cursor == 0) return;  // a full scan found nothing: quiescent
+      cursor = 0;               // wrap for the next scan
+      continue;
+    }
+    proc_dirty_[static_cast<std::size_t>(p) >> 6] &=
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(p) & 63));
+    settleProc(p);
+    cursor = p + 1;
+  }
+}
+
+void Engine::settleProc(int p) {
+  const auto pi = static_cast<std::size_t>(p);
+  // Bring the running job's executed/op_remaining up to date before any
+  // dispatch decision reads them (no-op in eager mode).
+  flushSeg(pi, now_);
+  // A transiently stalled processor dispatches nothing: its jobs stay
+  // ready and the waiting time is attributed as blocking.
+  Job* j = (!stall_noted_.empty() && plan_->stalled(ProcessorId(p), now_))
+               ? nullptr
+               : pickHighest(p);
+  bool changed = false;
+  if (j != running_[pi]) {
+    Job* old = running_[pi];
+    if (old != nullptr && old->state == JobState::kReady) {
+      result_.counters.preemptions++;
+      if (j != nullptr && j->elevated != kPriorityFloor) {
+        result_.counters.gcs_preemptions++;
       }
-      if (running_[static_cast<std::size_t>(p)] != nullptr) {
-        // Any consumed op (lock, unlock, completion) can change priorities
-        // or eligibility anywhere, so re-run the dispatch pass.
-        changed |= processRunnableOps(p);
-        if (running_[static_cast<std::size_t>(p)] == nullptr ||
-            running_[static_cast<std::size_t>(p)]->state !=
-                JobState::kReady) {
-          changed = true;  // job finished or parked; re-dispatch
-          running_[static_cast<std::size_t>(p)] = nullptr;
-        }
+      if (tracing()) {
+        emit({.kind = Ev::kPreempt, .job = old->id,
+              .processor = ProcessorId(p), .other = j ? j->id : JobId{}});
       }
     }
-    // Any wake()/migrate() triggered by op processing set dirty_.
-    if (dirty_) {
-      dirty_ = false;
-      changed = true;
+    running_[pi] = j;
+    if (j != nullptr && tracing()) {
+      emit({.kind = Ev::kStart, .job = j->id, .processor = ProcessorId(p)});
+    }
+    changed = true;
+  }
+  if (running_[pi] != nullptr) {
+    // Any consumed op (lock, unlock, completion) can change priorities
+    // or eligibility anywhere, so revisit this processor until stable.
+    changed |= processRunnableOps(p);
+    if (running_[pi] == nullptr ||
+        running_[pi]->state != JobState::kReady) {
+      changed = true;  // job finished or parked; re-dispatch
+      running_[pi] = nullptr;
     }
   }
+  // Re-anchor the processor's segment record to the (possibly new)
+  // running job. Mid-settle a dispatched job can sit at a Lock op after
+  // a yield (op_remaining <= 0) — the pass re-visits p before
+  // convergence (changed is true) and re-anchors; at convergence every
+  // running job is mid-ComputeOp.
+  Job* rj = running_[pi];
+  if (rj != nullptr && rj->op_remaining > 0) {
+    seg_[pi] = {rj, now_};
+    seg_end_[pi] = now_ + rj->op_remaining;
+  } else {
+    seg_[pi].job = nullptr;
+    seg_end_[pi] = kTimeInfinity;
+  }
+  // Refresh the dispatch signature; when occupancy changed, the wait
+  // classes of this processor's ready set were computed against stale
+  // inputs — flush (zero elapsed within the instant) and reclassify
+  // them. The ready queue holds exactly the Phase::kReady jobs of p,
+  // including the running one. Doing this here keeps advanceTo() free of
+  // per-Job dereferences.
+  const std::int32_t rs =
+      rj != nullptr ? static_cast<std::int32_t>(rj->pool_slot) : -1;
+  const std::int32_t rb = rj != nullptr ? rj->base.urgency() : 0;
+  if (rs != run_slot_[pi] || (rs >= 0 && rb != run_base_[pi])) {
+    run_slot_[pi] = rs;
+    run_base_[pi] = rb;
+    for (const auto& e : ready_[pi].entries()) {
+      retimeWait(e.value->pool_slot);
+    }
+  }
+  if (changed) touchProc(p);
 }
 
 bool Engine::processRunnableOps(int proc) {
@@ -313,16 +444,14 @@ bool Engine::processRunnableOps(int proc) {
   bool progress = false;
   while (slot != nullptr && slot->state == JobState::kReady) {
     Job& j = *slot;
-    const Task& task = system_.task(j.id.task);
-    const auto& ops = task.body.ops();
 
-    if (j.op_index >= ops.size()) {
+    if (j.op_index >= j.op_count) {
       finishJob(j);
       slot = nullptr;
       return true;
     }
 
-    const Op& op = ops[j.op_index];
+    const Op& op = j.ops[j.op_index];
     if (const auto* c = std::get_if<ComputeOp>(&op)) {
       if (j.op_remaining < 0) {
         j.op_remaining = plan_ != nullptr ? injectedComputeLen(j, c->duration)
@@ -358,8 +487,10 @@ bool Engine::processRunnableOps(int proc) {
           armBudget(j, l->resource);
         }
         j.op_index++;
-        emit({.t = now_, .kind = Ev::kLockGrant, .job = j.id,
-              .processor = j.current, .resource = l->resource});
+        if (tracing()) {
+          emit({.kind = Ev::kLockGrant, .job = j.id, .processor = j.current,
+                .resource = l->resource});
+        }
         progress = true;
         continue;
       }
@@ -375,12 +506,21 @@ bool Engine::processRunnableOps(int proc) {
       j.op_index++;
       j.suspended_until = now_ + susp->duration;
       j.state = JobState::kWaiting;
+      pool_.setPhase(j.pool_slot, JobPool::Phase::kSuspended);
+      retimeWait(j.pool_slot);
       readyQueue(j.current).remove(&j);
-      susp_heap_.push({j.suspended_until, ++susp_seq_, &j, j.id});
-      emit({.t = now_, .kind = Ev::kSelfSuspend, .job = j.id,
-            .processor = j.current});
+      // Wakes past the horizon can never fire (the run ends first); the
+      // old heap kept and never popped them.
+      if (j.suspended_until <= horizon_) {
+        susp_wheel_.schedule(j.suspended_until, {++susp_seq_, &j, j.id});
+      } else {
+        ++susp_seq_;  // keep the stamp stream identical either way
+      }
+      if (tracing()) {
+        emit({.kind = Ev::kSelfSuspend, .job = j.id, .processor = j.current});
+      }
       slot = nullptr;
-      dirty_ = true;
+      touchProc(j.current);
       return true;
     }
     const auto& u = std::get<UnlockOp>(op);
@@ -428,23 +568,26 @@ void Engine::finishJob(Job& j) {
   j.finish = now_;
   readyQueue(j.current).remove(&j);
 
-  emit({.t = now_, .kind = Ev::kFinish, .job = j.id, .processor = j.current});
+  if (tracing()) {
+    emit({.kind = Ev::kFinish, .job = j.id, .processor = j.current});
+  }
   const bool missed = j.finish > j.abs_deadline;
   if (missed && !j.miss_noted) {
     j.miss_noted = true;
     if (result_.counters.faults_injected > 0) {
       result_.counters.misses_while_degraded++;
     }
-    emit({.t = now_, .kind = Ev::kDeadlineMiss, .job = j.id,
-          .processor = j.current});
+    emit({.kind = Ev::kDeadlineMiss, .job = j.id, .processor = j.current});
   }
   if (missed) miss_seen_ = true;
   result_.counters.jobs_finished++;
   if (missed) result_.counters.deadline_misses++;
-  result_.counters.recordBlocking(j.id.task, j.blocked);
+  flushWait(j.pool_slot);
+  const JobPool::Waits w = pool_.waits(j.pool_slot);
+  result_.counters.recordBlocking(j.id.task, w.blocked);
 
-  // Any suspension-heap entry for j goes stale here (state kFinished) and
-  // is dropped lazily by wakeDueSuspensions()/nextEventTime().
+  // Any pending suspension entry for j goes stale here (state kFinished)
+  // and is dropped at its drain tick.
   protocol_.onJobFinished(j);
 
   result_.jobs.push_back({.id = j.id,
@@ -452,29 +595,21 @@ void Engine::finishJob(Job& j) {
                           .abs_deadline = j.abs_deadline,
                           .finish = j.finish,
                           .executed = j.executed,
-                          .blocked = j.blocked,
-                          .preempted = j.preempted,
-                          .suspended = j.suspended,
+                          .blocked = w.blocked,
+                          .preempted = w.preempted,
+                          .suspended = w.suspended,
                           .missed = missed});
   // Retire storage: recycle the pool slot.
   pool_.release(j);
 }
 
 Time Engine::nextEventTime() {
-  Time next = kTimeInfinity;
-  if (!release_heap_.empty()) {
-    next = std::min(next, release_heap_.top().first);
-  }
-  while (!susp_heap_.empty() && !suspEntryLive(susp_heap_.top())) {
-    susp_heap_.pop();
-  }
-  if (!susp_heap_.empty()) next = std::min(next, susp_heap_.top().t);
-  for (const Job* j : running_) {
-    if (j != nullptr) {
-      MPCP_DCHECK(j->op_remaining > 0,
-                  "settle left " << j->id << " dispatched but not computing");
-      next = std::min(next, now_ + j->op_remaining);
-    }
+  Time next = release_wheel_.earliest();
+  next = std::min(next, susp_wheel_.earliest());
+  for (std::size_t p = 0; p < running_.size(); ++p) {
+    MPCP_DCHECK(seg_[p].job == nullptr || seg_end_[p] > now_,
+                "stale segment on P" << p);
+    next = std::min(next, seg_end_[p]);
   }
   if (armed_) {
     const fault::ContainmentConfig& cc = config_.containment;
@@ -513,36 +648,29 @@ void Engine::advanceTo(Time t) {
   const Duration dt = t - now_;
   MPCP_CHECK(dt > 0, "advanceTo must move forward");
 
-  for (std::size_t p = 0; p < running_.size(); ++p) {
-    Job* j = running_[p];
-    if (j == nullptr) continue;
-    j->op_remaining -= dt;
-    MPCP_DCHECK(j->op_remaining >= 0, "segment overrun for " << j->id);
-    j->executed += dt;
-    if (armed_ && j->gcs_budget >= 0) j->gcs_consumed += dt;
-    result_.processor_busy[p] += dt;
-    recordSegment(static_cast<int>(p), *j, now_, t);
-  }
-
-  // Waiting-time attribution for every job that is not running.
-  pool_.forEachLive([&](Job& j) {
-    const Job* on_proc = running_[static_cast<std::size_t>(j.current.value())];
-    if (on_proc == &j) return;  // it ran; accounted above
-    if (j.state == JobState::kWaiting) {
-      if (j.suspended_until >= 0) {
-        j.suspended += dt;  // voluntary: neither blocking nor preemption
-      } else {
-        j.blocked += dt;  // semaphore wait: blocking, never preemption
-      }
-    } else if (on_proc != nullptr && on_proc->base > j.base) {
-      j.preempted += dt;  // legitimate higher-assigned-priority work
-    } else {
-      // Lower-assigned-priority job boosted by inheritance or a gcs, or
-      // (pathologically) an idle processor while this job is ready: count
-      // as priority inversion.
-      j.blocked += dt;
+  // Dispatch signatures, wait classes, and busy accrual are all
+  // maintained at settle/flush time — in lazy mode this loop only scans
+  // the contiguous completion-time array (idle = infinity, never == t)
+  // and marks processors whose segment completes at `t`.
+  if (eager_) {
+    for (std::size_t p = 0; p < running_.size(); ++p) {
+      Job* j = seg_[p].job;
+      if (j == nullptr) continue;
+      MPCP_DCHECK(j == running_[p] && seg_end_[p] >= t,
+                  "segment overrun for " << j->id);
+      flushSeg(p, t);
+      if (armed_ && j->gcs_budget >= 0) j->gcs_consumed += dt;
+      recordSegment(static_cast<int>(p), *j, now_, t);
+      if (seg_end_[p] == t) touchProc(static_cast<int>(p));
     }
-  });
+  } else {
+    for (std::size_t p = 0; p < running_.size(); ++p) {
+      MPCP_DCHECK(seg_[p].job == nullptr ||
+                      (seg_[p].job == running_[p] && seg_end_[p] >= t),
+                  "segment overrun on P" << p);
+      if (seg_end_[p] == t) touchProc(static_cast<int>(p));
+    }
+  }
 
   now_ = t;
 }
@@ -581,14 +709,16 @@ void Engine::noteDeadlineMissesAtHorizon() {
         result_.counters.misses_while_degraded++;
       }
     }
+    flushWait(j.pool_slot);
+    const JobPool::Waits w = pool_.waits(j.pool_slot);
     result_.jobs.push_back({.id = j.id,
                             .release = j.release,
                             .abs_deadline = j.abs_deadline,
                             .finish = -1,
                             .executed = j.executed,
-                            .blocked = j.blocked,
-                            .preempted = j.preempted,
-                            .suspended = j.suspended,
+                            .blocked = w.blocked,
+                            .preempted = w.preempted,
+                            .suspended = w.suspended,
                             .missed = missed});
   });
   for (std::size_t i = 0; i < instance_no_.size(); ++i) {
@@ -618,8 +748,8 @@ void Engine::noteFault(Job& j, fault::FaultKind kind, ResourceId r) {
   if ((j.faults_noted & bit) != 0) return;  // once per kind per job
   j.faults_noted |= bit;
   result_.counters.faults_injected++;
-  emit({.t = now_, .kind = Ev::kFaultInjected, .job = j.id,
-        .processor = j.current, .resource = r});
+  emit({.kind = Ev::kFaultInjected, .job = j.id, .processor = j.current,
+        .resource = r});
 }
 
 void Engine::noteStallWindows() {
@@ -629,7 +759,7 @@ void Engine::noteStallWindows() {
     if (s.start <= now_ && now_ < s.start + s.length) {
       stall_noted_[i] = true;
       result_.counters.faults_injected++;
-      emit({.t = now_, .kind = Ev::kFaultInjected, .processor = s.processor});
+      emit({.kind = Ev::kFaultInjected, .processor = s.processor});
     }
   }
 }
@@ -669,21 +799,21 @@ bool Engine::applyContainment() {
   if (cc.budget_enforce) {
     // Collect first: budgetKill hands the semaphore off and wakes peers,
     // which must not perturb this sweep.
-    std::vector<Job*> kills;
+    contain_scratch_.clear();
     pool_.forEachLive([&](Job& j) {
       if (j.gcs_budget >= 0 && j.gcs_consumed > j.gcs_budget &&
           j.state == JobState::kReady) {
-        kills.push_back(&j);
+        contain_scratch_.push_back(&j);
       }
     });
-    for (Job* j : kills) {
+    for (Job* j : contain_scratch_) {
       budgetKill(*j);
       fired = true;
     }
   }
 
   if (cc.on_miss != fault::MissAction::kNone) {
-    std::vector<Job*> aborts;
+    contain_scratch_.clear();
     pool_.forEachLive([&](Job& j) {
       if (now_ > j.abs_deadline && !j.miss_policy_applied) {
         j.miss_policy_applied = true;
@@ -693,8 +823,7 @@ bool Engine::applyContainment() {
           if (result_.counters.faults_injected > 0) {
             result_.counters.misses_while_degraded++;
           }
-          emit({.t = now_, .kind = Ev::kDeadlineMiss, .job = j.id,
-                .processor = j.host});
+          emit({.kind = Ev::kDeadlineMiss, .job = j.id, .processor = j.host});
         }
         if (cc.on_miss == fault::MissAction::kSkipNextRelease) {
           skip_next_[static_cast<std::size_t>(j.id.task.value())] = true;
@@ -711,10 +840,10 @@ bool Engine::applyContainment() {
       // after its V(), when the job provably holds nothing).
       if (j.abort_pending && j.state == JobState::kReady && j.held.empty() &&
           !atGlobalLockOp(j)) {
-        aborts.push_back(&j);
+        contain_scratch_.push_back(&j);
       }
     });
-    for (Job* j : aborts) {
+    for (Job* j : contain_scratch_) {
       abortJob(*j);
       fired = true;
     }
@@ -738,8 +867,8 @@ void Engine::armBudget(Job& j, ResourceId r) {
 }
 
 void Engine::forceRelease(Job& j, ResourceId r) {
-  emit({.t = now_, .kind = Ev::kForcedRelease, .job = j.id,
-        .processor = j.current, .resource = r});
+  emit({.kind = Ev::kForcedRelease, .job = j.id, .processor = j.current,
+        .resource = r});
   result_.counters.forced_releases++;
   result_.counters.faults_contained++;
   if (std::find(j.held.begin(), j.held.end(), r) == j.held.end()) {
@@ -747,10 +876,9 @@ void Engine::forceRelease(Job& j, ResourceId r) {
     // the grant: revoke it at the protocol level only. j's pending P()
     // simply re-queues when it next runs.
     protocol_.onUnlock(j, r);
-    dirty_ = true;
+    touchProc(j.current);
     return;
   }
-  const auto& ops = system_.task(j.id.task).body.ops();
   while (!j.held.empty()) {
     const ResourceId top = j.held.back();
     protocol_.onUnlock(j, top);
@@ -759,8 +887,8 @@ void Engine::forceRelease(Job& j, ResourceId r) {
       j.gcs_budget = -1;
       j.gcs_consumed = 0;
     }
-    const auto* u = j.op_index < ops.size()
-                        ? std::get_if<UnlockOp>(&ops[j.op_index])
+    const auto* u = j.op_index < j.op_count
+                        ? std::get_if<UnlockOp>(&j.ops[j.op_index])
                         : nullptr;
     if (u != nullptr && u->resource == top) {
       // The job sits right at this V() (a stuck holder burning time):
@@ -772,14 +900,14 @@ void Engine::forceRelease(Job& j, ResourceId r) {
     }
     if (top == r) break;
   }
-  dirty_ = true;
+  touchProc(j.current);
 }
 
 void Engine::budgetKill(Job& j) {
   MPCP_CHECK(j.gcs_budget >= 0, "budgetKill on unarmed job " << j.id);
   const ResourceId r = j.gcs_resource;
-  emit({.t = now_, .kind = Ev::kBudgetKill, .job = j.id,
-        .processor = j.current, .resource = r});
+  emit({.kind = Ev::kBudgetKill, .job = j.id, .processor = j.current,
+        .resource = r});
   result_.counters.budget_kills++;
   result_.counters.faults_contained++;
   while (!j.held.empty()) {
@@ -793,41 +921,45 @@ void Engine::budgetKill(Job& j) {
   j.op_remaining = -1;
   j.gcs_budget = -1;
   j.gcs_consumed = 0;
-  dirty_ = true;
+  touchProc(j.current);
 }
 
 bool Engine::atGlobalLockOp(const Job& j) const {
-  const auto& ops = system_.task(j.id.task).body.ops();
-  if (j.op_index >= ops.size()) return false;
-  const auto* lock = std::get_if<LockOp>(&ops[j.op_index]);
+  if (j.op_index >= j.op_count) return false;
+  const auto* lock = std::get_if<LockOp>(&j.ops[j.op_index]);
   return lock != nullptr && system_.isGlobal(lock->resource);
 }
 
 void Engine::abortJob(Job& j) {
   MPCP_CHECK(j.held.empty(), "abortJob on holder " << j.id);
-  emit({.t = now_, .kind = Ev::kJobAbort, .job = j.id,
-        .processor = j.current});
+  emit({.kind = Ev::kJobAbort, .job = j.id, .processor = j.current});
   j.state = JobState::kFinished;
   readyQueue(j.current).remove(&j);
   auto& slot = running_[static_cast<std::size_t>(j.current.value())];
-  if (slot == &j) slot = nullptr;
+  if (slot == &j) {
+    slot = nullptr;
+    seg_[static_cast<std::size_t>(j.current.value())].job = nullptr;
+    seg_end_[static_cast<std::size_t>(j.current.value())] = kTimeInfinity;
+  }
   result_.counters.jobs_aborted++;
   result_.counters.faults_contained++;
   result_.counters.deadline_misses++;
-  result_.counters.recordBlocking(j.id.task, j.blocked);
+  flushWait(j.pool_slot);
+  const JobPool::Waits w = pool_.waits(j.pool_slot);
+  result_.counters.recordBlocking(j.id.task, w.blocked);
   protocol_.onJobFinished(j);
   result_.jobs.push_back({.id = j.id,
                           .release = j.release,
                           .abs_deadline = j.abs_deadline,
                           .finish = -1,
                           .executed = j.executed,
-                          .blocked = j.blocked,
-                          .preempted = j.preempted,
-                          .suspended = j.suspended,
+                          .blocked = w.blocked,
+                          .preempted = w.preempted,
+                          .suspended = w.suspended,
                           .missed = true,
                           .aborted = true});
+  touchProc(j.current);
   pool_.release(j);
-  dirty_ = true;
 }
 
 void Engine::parkWaiting(Job& j, ResourceId r, JobId blocker) {
@@ -835,14 +967,20 @@ void Engine::parkWaiting(Job& j, ResourceId r, JobId blocker) {
              "parkWaiting on non-ready job " << j.id);
   j.state = JobState::kWaiting;
   j.waiting_for = r;
+  pool_.setPhase(j.pool_slot, JobPool::Phase::kBlocked);
+  retimeWait(j.pool_slot);
   result_.counters.res(r).contended_waits++;
   readyQueue(j.current).remove(&j);
   if (running_[static_cast<std::size_t>(j.current.value())] == &j) {
     running_[static_cast<std::size_t>(j.current.value())] = nullptr;
+    seg_[static_cast<std::size_t>(j.current.value())].job = nullptr;
+    seg_end_[static_cast<std::size_t>(j.current.value())] = kTimeInfinity;
   }
-  emit({.t = now_, .kind = Ev::kLockWait, .job = j.id,
-        .processor = j.current, .resource = r, .other = blocker});
-  dirty_ = true;
+  if (tracing()) {
+    emit({.kind = Ev::kLockWait, .job = j.id, .processor = j.current,
+          .resource = r, .other = blocker});
+  }
+  touchProc(j.current);
 }
 
 void Engine::wake(Job& j) {
@@ -850,9 +988,11 @@ void Engine::wake(Job& j) {
   j.state = JobState::kReady;
   j.waiting_for = ResourceId();
   j.ready_seq = ++ready_seq_;
+  pool_.setPhase(j.pool_slot, JobPool::Phase::kReady);
+  retimeWait(j.pool_slot);
   readyQueue(j.current).pushSeq(&j, j.effectivePriority(), j.ready_seq);
   noteReadyDepth(j.current);
-  dirty_ = true;
+  touchProc(j.current);
 }
 
 void Engine::migrate(Job& j, ProcessorId target) {
@@ -860,17 +1000,26 @@ void Engine::migrate(Job& j, ProcessorId target) {
   result_.counters.migrations++;
   readyQueue(j.current).remove(&j);
   if (running_[static_cast<std::size_t>(j.current.value())] == &j) {
-    running_[static_cast<std::size_t>(j.current.value())] = nullptr;
+    const auto p = static_cast<std::size_t>(j.current.value());
+    flushSeg(p, now_);  // preserve mid-segment progress across the move
+    running_[p] = nullptr;
+    seg_[p].job = nullptr;
+    seg_end_[p] = kTimeInfinity;
   }
-  emit({.t = now_, .kind = Ev::kMigrate, .job = j.id, .processor = target});
+  if (tracing()) {
+    emit({.kind = Ev::kMigrate, .job = j.id, .processor = target});
+  }
+  touchProc(j.current);
   j.current = target;
+  pool_.setProc(j.pool_slot, target.value());
+  retimeWait(j.pool_slot);
   if (j.state == JobState::kReady) {
     // Keep the original arrival stamp: a migrating job does not lose its
     // FCFS position among equal priorities.
     readyQueue(target).pushSeq(&j, j.effectivePriority(), j.ready_seq);
     noteReadyDepth(target);
   }
-  dirty_ = true;
+  touchProc(target);
 }
 
 void Engine::restampArrival(Job& j) {
@@ -880,7 +1029,7 @@ void Engine::restampArrival(Job& j) {
     if (q.remove(&j)) {
       q.pushSeq(&j, j.effectivePriority(), j.ready_seq);
     }
-    dirty_ = true;
+    touchProc(j.current);
   }
 }
 
@@ -892,7 +1041,7 @@ void Engine::notePriorityChanged(Job& j) {
               "notePriorityChanged: ready job " << j.id
                                                 << " missing from queue");
   q.pushSeq(&j, j.effectivePriority(), j.ready_seq);
-  dirty_ = true;
+  touchProc(j.current);
 }
 
 void Engine::emit(TraceEvent e) {

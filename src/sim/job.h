@@ -1,4 +1,13 @@
 // Runtime job state inside the simulation engine.
+//
+// Split layout (hot-path restructuring): the fields the engine's
+// per-event accounting loop reads for *every* live job — run phase,
+// current processor, assigned priority, waiting-time accumulators — live
+// in the JobPool's slot-indexed parallel arrays (see job_pool.h), not
+// here. The Job struct keeps everything touched only for the few
+// dispatched/transitioning jobs per event. The engine mirrors `state`,
+// `current` and `base` into the pool arrays at every transition;
+// protocols keep mutating the Job fields exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -6,6 +15,7 @@
 
 #include "common/priority.h"
 #include "common/types.h"
+#include "model/body.h"
 
 namespace mpcp {
 
@@ -29,6 +39,10 @@ struct Job {
   std::size_t op_index = 0;
   /// Remaining ticks of the current ComputeOp; -1 = not yet entered.
   Duration op_remaining = -1;
+  /// The task body's op array, cached at release so the op-consumption
+  /// loop skips the TaskSystem::task() indirection per op.
+  const Op* ops = nullptr;
+  std::size_t op_count = 0;
   /// Stack of currently held resources (LIFO by construction).
   std::vector<ResourceId> held;
 
@@ -57,10 +71,9 @@ struct Job {
   std::uint64_t ready_seq = 0;
 
   // --- accounting ---
+  // blocked/preempted/suspended accumulators live in the JobPool's SoA
+  // arrays (bumped for every live job per advance; see JobPool::Waits).
   Duration executed = 0;        ///< ticks actually run
-  Duration blocked = 0;         ///< priority-inversion waiting (counts toward B_i)
-  Duration preempted = 0;       ///< waiting behind higher-assigned-priority work
-  Duration suspended = 0;       ///< voluntary self-suspension time
   Time finish = -1;             ///< completion time, -1 while in flight
   bool miss_noted = false;      ///< deadline-miss trace event already emitted
 
@@ -81,8 +94,6 @@ struct Job {
 
   // --- JobPool bookkeeping (engine-internal; protocols must not touch) ---
   std::uint32_t pool_slot = 0;  ///< slab slot this job occupies
-  std::int32_t live_prev = -1;  ///< previous live job (release order)
-  std::int32_t live_next = -1;  ///< next live job (release order)
 };
 
 }  // namespace mpcp

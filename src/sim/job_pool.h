@@ -1,26 +1,37 @@
-// Slot-indexed pool of in-flight jobs.
+// Slot-indexed pool of in-flight jobs + the engine's hot-state arrays.
 //
-// The engine's old job store was a std::list<Job>: one heap allocation
-// per released job, O(live) walks to find a job by id, and O(live) erase
-// on completion. The pool replaces it with
-//   * chunked slab storage — addresses are stable for the pool's lifetime
-//     (protocols and ready queues hold Job*), no per-job allocation after
-//     a chunk fills;
-//   * a free list — a finished job's slot (and its `held` vector's
-//     capacity) is recycled by the next release;
-//   * an id index — JobId -> slot hash map, so findJob is O(1);
+// Storage is a chunked slab (stable addresses — protocols and ready
+// queues hold Job*) with a free list, so a finished job's slot (and its
+// `held` vector's capacity) is recycled by the next release. configure()
+// pre-creates the expected number of slots so steady-state
+// allocate()/release() performs no heap allocation at all.
+//
+// Hot state is structure-of-arrays, keyed by slot: the engine's
+// per-event accounting walk (waiting-time attribution over every live
+// job) reads `phase / proc / base priority` and bumps one of three
+// wait accumulators — with the old Job-object layout that walk chased a
+// pointer per job and dragged whole ~250-byte Job structs through the
+// cache; here it streams a few contiguous arrays. The engine mirrors
+// job state into these arrays at every transition; Job remains the
+// authoritative record protocols see.
+//
+// Live-set indexes:
 //   * an intrusive doubly-linked live list in *release order* — the
-//     engine's accounting sweeps (waiting-time attribution, overrun
-//     checks, horizon flush) must see jobs in exactly the order the old
-//     list iterated, or traces and result rows would reorder.
+//     engine's sweeps (waiting-time attribution, horizon flush) must see
+//     jobs in exactly the order the old std::list iterated, or traces
+//     and result rows would reorder;
+//   * per-task live-slot vectors (release order within the task) —
+//     find() scans the handful of live instances of one task instead of
+//     hashing, and the overrun check walks exactly one task's instances.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
+#include "common/types.h"
 #include "sim/job.h"
 
 namespace mpcp {
@@ -29,10 +40,65 @@ class JobPool {
  public:
   static constexpr std::size_t kChunkSize = 128;
 
+  /// Run phase mirrored from Job::state (+ the suspended/blocked split
+  /// of kWaiting) — the only discriminant the accounting walk needs.
+  enum class Phase : std::uint8_t { kReady = 0, kBlocked = 1, kSuspended = 2 };
+
+  /// Per-slot waiting-time accumulators (moved out of Job; maintained
+  /// lazily — see WaitClass).
+  struct Waits {
+    Duration blocked = 0;    ///< priority-inversion waiting (toward B_i)
+    Duration preempted = 0;  ///< behind higher-assigned-priority work
+    Duration suspended = 0;  ///< voluntary self-suspension
+  };
+
+  /// Which accumulator a job's elapsing time belongs to *right now*. The
+  /// engine keeps (class, mark-time) per slot and flushes `now - mark`
+  /// into the class's accumulator only when the class changes — a job's
+  /// classification is piecewise constant between state transitions, so
+  /// the flushed sums are identical to per-advance accrual, without the
+  /// O(live) walk per clock advance.
+  enum class WaitClass : std::uint8_t {
+    kRun = 0,        ///< dispatched: accrues nothing here
+    kBlocked = 1,    ///< Waits::blocked
+    kPreempted = 2,  ///< Waits::preempted
+    kSuspended = 3,  ///< Waits::suspended
+  };
+
+  /// Sizes every internal structure for a run: pre-creates `expected_slots`
+  /// job slots (each with `held_capacity` reserved), sizes the per-task
+  /// index for `n_tasks` tasks and reserves `per_task_reserve` live slots
+  /// per task. Steady-state allocate()/release() then never allocates
+  /// (allocation-order growth remains as a fallback if a run exceeds the
+  /// estimate). Must be called before the first allocate().
+  void configure(std::size_t n_tasks, std::size_t expected_slots,
+                 std::size_t held_capacity, std::size_t per_task_reserve) {
+    MPCP_CHECK(size_ == 0, "JobPool::configure() on a used pool");
+    held_capacity_ = held_capacity;
+    if (task_slots_.size() < n_tasks) task_slots_.resize(n_tasks);
+    for (auto& v : task_slots_) v.reserve(per_task_reserve);
+    while (size_ < expected_slots) {
+      const auto slot = static_cast<std::uint32_t>(size_);
+      if (slot / kChunkSize == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Job[]>(kChunkSize));
+        growSoa();
+      }
+      at(slot).held.reserve(held_capacity_);
+      ++size_;
+    }
+    // The free list pops from the back: fill it descending so jobs claim
+    // slot 0 first, matching the grow-in-order path.
+    free_.reserve(size_);
+    for (std::size_t s = size_; s > 0; --s) {
+      free_.push_back(static_cast<std::uint32_t>(s - 1));
+    }
+  }
+
   /// Returns a freshly reset Job with stable address, registered under
   /// `id`. The job's pool_slot is filled in; `held` keeps any recycled
-  /// capacity but is empty.
+  /// capacity but is empty. The engine stamps proc/base right after.
   Job& allocate(JobId id) {
+    MPCP_CHECK(id.task.valid(), "JobPool: job with invalid task id");
     std::uint32_t slot;
     if (!free_.empty()) {
       slot = free_.back();
@@ -41,6 +107,7 @@ class JobPool {
       slot = static_cast<std::uint32_t>(size_);
       if (slot / kChunkSize == chunks_.size()) {
         chunks_.push_back(std::make_unique<Job[]>(kChunkSize));
+        growSoa();
       }
       ++size_;
     }
@@ -50,58 +117,84 @@ class JobPool {
     held.clear();
     j = Job{};
     j.held = std::move(held);
+    if (j.held.capacity() < held_capacity_) j.held.reserve(held_capacity_);
     j.id = id;
     j.pool_slot = slot;
 
     // Register before linking: a duplicate id must throw without leaving
     // a half-linked orphan in the live list (the slot itself is leaked,
     // which is fine — the check signals a fatal engine bug).
-    const bool inserted = index_.emplace(id, slot).second;
-    MPCP_CHECK(inserted, "JobPool: duplicate live job " << id);
+    const auto t = static_cast<std::size_t>(id.task.value());
+    if (t >= task_slots_.size()) task_slots_.resize(t + 1);
+    auto& slots = task_slots_[t];
+    for (const std::uint32_t s : slots) {
+      MPCP_CHECK(at(s).id.instance != id.instance,
+                 "JobPool: duplicate live job " << id);
+    }
+    slots.push_back(slot);
 
     // Append to the live list (release order).
-    j.live_prev = tail_;
-    j.live_next = -1;
+    live_prev_[slot] = tail_;
+    live_next_[slot] = -1;
     if (tail_ >= 0) {
-      at(static_cast<std::uint32_t>(tail_)).live_next =
+      live_next_[static_cast<std::size_t>(tail_)] =
           static_cast<std::int32_t>(slot);
     } else {
       head_ = static_cast<std::int32_t>(slot);
     }
     tail_ = static_cast<std::int32_t>(slot);
     ++live_;
+
+    phase_[slot] = Phase::kReady;
+    waits_[slot] = {};
+    wait_cls_[slot] = WaitClass::kRun;
+    wait_mark_[slot] = 0;  // engine stamps the release time right after
     return j;
   }
 
   /// Unlinks a finished job and recycles its slot.
   void release(Job& j) {
-    MPCP_CHECK(&at(j.pool_slot) == &j,
+    MPCP_CHECK(j.pool_slot < size_ && &at(j.pool_slot) == &j,
                "JobPool::release: foreign job " << j.id);
-    const auto it = index_.find(j.id);
-    MPCP_CHECK(it != index_.end() && it->second == j.pool_slot,
+    const auto t = static_cast<std::size_t>(j.id.task.value());
+    MPCP_CHECK(t < task_slots_.size(), "JobPool::release: job " << j.id
+                                                                << " not live");
+    auto& slots = task_slots_[t];
+    const auto it = std::find(slots.begin(), slots.end(), j.pool_slot);
+    MPCP_CHECK(it != slots.end(),
                "JobPool::release: job " << j.id << " not live");
-    index_.erase(it);
+    slots.erase(it);  // preserves release order among remaining instances
 
-    if (j.live_prev >= 0) {
-      at(static_cast<std::uint32_t>(j.live_prev)).live_next = j.live_next;
+    const std::uint32_t slot = j.pool_slot;
+    if (live_prev_[slot] >= 0) {
+      live_next_[static_cast<std::size_t>(live_prev_[slot])] =
+          live_next_[slot];
     } else {
-      head_ = j.live_next;
+      head_ = live_next_[slot];
     }
-    if (j.live_next >= 0) {
-      at(static_cast<std::uint32_t>(j.live_next)).live_prev = j.live_prev;
+    if (live_next_[slot] >= 0) {
+      live_prev_[static_cast<std::size_t>(live_next_[slot])] =
+          live_prev_[slot];
     } else {
-      tail_ = j.live_prev;
+      tail_ = live_prev_[slot];
     }
-    j.live_prev = j.live_next = -1;
+    live_prev_[slot] = live_next_[slot] = -1;
 
-    free_.push_back(j.pool_slot);
+    free_.push_back(slot);
     --live_;
   }
 
-  /// O(1) lookup of a live job; nullptr if the id is not live.
+  /// Lookup of a live job — scans the job's task's live instances (a
+  /// handful at most; no hashing). nullptr if the id is not live.
   [[nodiscard]] Job* find(JobId id) {
-    const auto it = index_.find(id);
-    return it == index_.end() ? nullptr : &at(it->second);
+    if (!id.task.valid()) return nullptr;
+    const auto t = static_cast<std::size_t>(id.task.value());
+    if (t >= task_slots_.size()) return nullptr;
+    for (const std::uint32_t s : task_slots_[t]) {
+      Job& j = at(s);
+      if (j.id.instance == id.instance) return &j;
+    }
+    return nullptr;
   }
 
   /// Slot a live job occupies (tests assert lookup stability).
@@ -117,11 +210,51 @@ class JobPool {
   template <typename Fn>
   void forEachLive(Fn&& fn) {
     for (std::int32_t s = head_; s >= 0;) {
-      Job& j = at(static_cast<std::uint32_t>(s));
-      s = j.live_next;  // read before fn in case fn parks/retires j
-      fn(j);
+      const std::int32_t next = live_next_[static_cast<std::size_t>(s)];
+      fn(at(static_cast<std::uint32_t>(s)));
+      s = next;  // read before fn in case fn released the visited job
     }
   }
+
+  // ----- slot-indexed hot state (engine accounting paths) -----
+
+  [[nodiscard]] Job& jobAt(std::uint32_t slot) { return at(slot); }
+  [[nodiscard]] std::int32_t liveHead() const { return head_; }
+  [[nodiscard]] std::int32_t liveNext(std::int32_t slot) const {
+    return live_next_[static_cast<std::size_t>(slot)];
+  }
+
+  [[nodiscard]] Phase phase(std::uint32_t slot) const { return phase_[slot]; }
+  void setPhase(std::uint32_t slot, Phase p) { phase_[slot] = p; }
+  [[nodiscard]] std::int32_t procOf(std::uint32_t slot) const {
+    return proc_[slot];
+  }
+  void setProc(std::uint32_t slot, std::int32_t proc) { proc_[slot] = proc; }
+  [[nodiscard]] std::int32_t baseOf(std::uint32_t slot) const {
+    return base_[slot];
+  }
+  void setBase(std::uint32_t slot, std::int32_t urgency) {
+    base_[slot] = urgency;
+  }
+  [[nodiscard]] Waits& waits(std::uint32_t slot) { return waits_[slot]; }
+  [[nodiscard]] const Waits& waits(std::uint32_t slot) const {
+    return waits_[slot];
+  }
+  [[nodiscard]] WaitClass waitClass(std::uint32_t slot) const {
+    return wait_cls_[slot];
+  }
+  void setWaitClass(std::uint32_t slot, WaitClass c) { wait_cls_[slot] = c; }
+  [[nodiscard]] Time waitMark(std::uint32_t slot) const {
+    return wait_mark_[slot];
+  }
+  void setWaitMark(std::uint32_t slot, Time t) { wait_mark_[slot] = t; }
+
+  /// Live slots of one task, in release order (overrun sweeps).
+  [[nodiscard]] const std::vector<std::uint32_t>& taskSlots(
+      std::size_t task) const {
+    return task_slots_[task];
+  }
+  [[nodiscard]] std::size_t taskCount() const { return task_slots_.size(); }
 
  private:
   [[nodiscard]] Job& at(std::uint32_t slot) {
@@ -131,13 +264,37 @@ class JobPool {
     return chunks_[slot / kChunkSize][slot % kChunkSize];
   }
 
+  /// Keeps every SoA array sized to the slab capacity (chunk granular).
+  void growSoa() {
+    const std::size_t cap = chunks_.size() * kChunkSize;
+    phase_.resize(cap, Phase::kReady);
+    proc_.resize(cap, -1);
+    base_.resize(cap, 0);
+    waits_.resize(cap);
+    wait_cls_.resize(cap, WaitClass::kRun);
+    wait_mark_.resize(cap, 0);
+    live_prev_.resize(cap, -1);
+    live_next_.resize(cap, -1);
+  }
+
   std::vector<std::unique_ptr<Job[]>> chunks_;
   std::vector<std::uint32_t> free_;
-  std::unordered_map<JobId, std::uint32_t> index_;
+  std::vector<std::vector<std::uint32_t>> task_slots_;  // per task, live
+  std::size_t held_capacity_ = 0;
   std::size_t size_ = 0;   // slots ever created
   std::size_t live_ = 0;
   std::int32_t head_ = -1;
   std::int32_t tail_ = -1;
+
+  // Parallel slot-indexed arrays (see class comment).
+  std::vector<Phase> phase_;
+  std::vector<std::int32_t> proc_;
+  std::vector<std::int32_t> base_;
+  std::vector<Waits> waits_;
+  std::vector<WaitClass> wait_cls_;
+  std::vector<Time> wait_mark_;
+  std::vector<std::int32_t> live_prev_;
+  std::vector<std::int32_t> live_next_;
 };
 
 }  // namespace mpcp

@@ -1,0 +1,244 @@
+// Zero-allocation guarantee for the simulator hot path: once an Engine
+// has been constructed (setup), run() must perform no heap allocations.
+// This is what keeps sweep/fuzz/fault campaigns free of per-event
+// allocator traffic (see DESIGN.md, "Allocation-free hot path").
+//
+// Mechanism: the test overrides the global operator new/delete family
+// with a counting shim over malloc/free. Counting is enabled only
+// around engine.run(), so gtest bookkeeping and setup allocations are
+// not charged. The zero assertion applies in -DNDEBUG builds (the
+// Release configuration the perf suite and CI perf gate measure);
+// other builds run the same sweep and only report, so the test stays
+// registered — and the sweep itself exercised — everywhere.
+//
+// Under ASan/TSan the sanitizer owns the allocator; the shim is
+// compiled out and the test skips.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "common/rng.h"
+#include "core/protocol_factory.h"
+#include "core/simulate.h"
+#include "sim/engine.h"
+#include "taskgen/generator.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MPCP_ALLOC_TEST_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MPCP_ALLOC_TEST_SANITIZED 1
+#endif
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_new_calls{0};
+
+inline void noteAlloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+#ifndef MPCP_ALLOC_TEST_SANITIZED
+
+namespace {
+
+void* countedAlloc(std::size_t size) {
+  noteAlloc();
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* countedAlignedAlloc(std::size_t size, std::size_t align) {
+  noteAlloc();
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  noteAlloc();
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  noteAlloc();
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // !MPCP_ALLOC_TEST_SANITIZED
+
+namespace mpcp {
+namespace {
+
+WorkloadParams contendedParams() {
+  WorkloadParams params;
+  params.processors = 4;
+  params.tasks_per_processor = 4;
+  params.utilization_per_processor = 0.5;
+  params.global_resources = 3;
+  params.max_gcs_per_task = 3;
+  params.global_sharing_prob = 1.0;
+  params.local_resources_per_processor = 1;
+  params.max_lcs_per_task = 1;
+  params.local_sharing_prob = 0.8;
+  params.cs_max = 60;
+  params.suspension_prob = 0.3;
+  return params;
+}
+
+/// One measured run: setup (uncounted) then run() (counted). Returns the
+/// number of operator-new calls observed during run().
+std::size_t allocationsDuringRun(ProtocolKind kind, std::uint64_t seed) {
+  Rng rng(seed);
+  WorkloadParams params = contendedParams();
+  if (kind == ProtocolKind::kPcp) {
+    // PCP has no global semaphores: single processor, locals only.
+    params.processors = 1;
+    params.global_resources = 0;
+    params.max_gcs_per_task = 0;
+    params.global_sharing_prob = 0.0;
+    params.local_resources_per_processor = 3;
+    params.max_lcs_per_task = 2;
+  }
+  TaskSystem system = generateWorkload(params, rng);
+  PriorityTables tables(system);
+  auto protocol = makeProtocol(kind, system, tables);
+  SimConfig config;
+  config.record_trace = false;
+  config.horizon = 300'000;
+
+  Engine engine(system, *protocol, config);
+  g_new_calls.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  SimResult result = engine.run();
+  g_counting.store(false, std::memory_order_relaxed);
+  // Keep the result alive past the counting window so its destructor's
+  // frees are unambiguous, and sanity-check the run did real work.
+  EXPECT_GT(result.jobs.size(), 0u) << toString(kind) << " seed " << seed;
+  return g_new_calls.load(std::memory_order_relaxed);
+}
+
+TEST(Allocation, ZeroPerRunAfterSetupAcrossProtocolSweep) {
+#ifdef MPCP_ALLOC_TEST_SANITIZED
+  GTEST_SKIP() << "sanitizer build owns the allocator; shim compiled out";
+#else
+  const ProtocolKind kinds[] = {ProtocolKind::kNone, ProtocolKind::kNonePrio,
+                                ProtocolKind::kPip,  ProtocolKind::kPcp,
+                                ProtocolKind::kMpcp, ProtocolKind::kDpcp};
+  const std::uint64_t seeds[] = {101, 202, 303};
+  for (ProtocolKind kind : kinds) {
+    for (std::uint64_t seed : seeds) {
+      const std::size_t allocs = allocationsDuringRun(kind, seed);
+#ifdef NDEBUG
+      EXPECT_EQ(allocs, 0u)
+          << toString(kind) << " seed " << seed
+          << ": run() allocated after setup";
+#else
+      // DCHECK builds keep the audits compiled in; report only, so a
+      // debugging aid added inside a DCHECK cannot fail tier-1 builds.
+      if (allocs != 0) {
+        std::cout << "[ note ] " << toString(kind) << " seed " << seed
+                  << ": " << allocs << " allocation(s) during run() "
+                  << "(asserted zero in Release builds)\n";
+      }
+#endif
+    }
+  }
+#endif
+}
+
+TEST(Allocation, ZeroPerRunWhenFaultArmed) {
+#ifdef MPCP_ALLOC_TEST_SANITIZED
+  GTEST_SKIP() << "sanitizer build owns the allocator; shim compiled out";
+#else
+  // Fault-armed runs take the eager bookkeeping path; they must be just
+  // as allocation-free (campaign throughput depends on it).
+  Rng rng(404);
+  TaskSystem system = generateWorkload(contendedParams(), rng);
+  PriorityTables tables(system);
+  auto protocol = makeProtocol(ProtocolKind::kMpcp, system, tables);
+
+  SimConfig config;
+  config.record_trace = false;
+  config.horizon = 300'000;
+  fault::FaultPlan plan;
+  fault::FaultSpec overrun;
+  overrun.kind = fault::FaultKind::kWcetOverrun;
+  overrun.task = TaskId(0);
+  overrun.instance = -1;
+  overrun.factor = 1.3;
+  fault::FaultSpec jitter;
+  jitter.kind = fault::FaultKind::kReleaseJitter;
+  jitter.task = TaskId(1);
+  jitter.instance = -1;
+  jitter.delta = 7;
+  plan.specs.push_back(overrun);
+  plan.specs.push_back(jitter);
+  config.fault_plan = &plan;
+  config.containment.budget_enforce = true;
+  config.containment.grace = 2.0;
+  config.containment.holder_watchdog = 500;
+
+  Engine engine(system, *protocol, config);
+  g_new_calls.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  SimResult result = engine.run();
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_GT(result.jobs.size(), 0u);
+  const std::size_t allocs = g_new_calls.load(std::memory_order_relaxed);
+#ifdef NDEBUG
+  EXPECT_EQ(allocs, 0u) << "fault-armed run() allocated after setup";
+#else
+  if (allocs != 0) {
+    std::cout << "[ note ] fault-armed run: " << allocs
+              << " allocation(s) during run() (asserted zero in Release "
+              << "builds)\n";
+  }
+#endif
+#endif
+}
+
+}  // namespace
+}  // namespace mpcp

@@ -1,0 +1,87 @@
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace mpcp {
+namespace {
+
+TEST(Arena, AlignmentRespected) {
+  Arena a(256);
+  auto* c = a.alloc<char>(3);
+  ASSERT_NE(c, nullptr);
+  auto* d = a.alloc<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  auto* i = a.alloc<std::int32_t>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(i) % alignof(std::int32_t), 0u);
+  struct alignas(64) Wide {
+    char pad[64];
+  };
+  auto* w = a.alloc<Wide>(2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 64, 0u);
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena a(128);
+  auto* x = a.alloc<std::uint64_t>(8);
+  auto* y = a.alloc<std::uint64_t>(8);
+  for (int i = 0; i < 8; ++i) x[i] = 0x1111111111111111ull;
+  for (int i = 0; i < 8; ++i) y[i] = 0x2222222222222222ull;
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(x[i], 0x1111111111111111ull);
+}
+
+TEST(Arena, GrowsBeyondFirstBlock) {
+  Arena a(64);
+  auto* big = a.alloc<std::uint8_t>(10'000);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xAB, 10'000);
+  EXPECT_GE(a.bytesReserved(), 10'000u);
+  EXPECT_GE(a.blockCount(), 1u);
+}
+
+TEST(Arena, ResetReusesBlocksWithoutNewReservation) {
+  Arena a(1024);
+  (void)a.alloc<std::uint64_t>(1000);  // forces growth past the first block
+  const std::size_t reserved = a.bytesReserved();
+  const std::size_t blocks = a.blockCount();
+
+  a.reset();
+  EXPECT_EQ(a.bytesUsed(), 0u);
+  // Same request pattern fits entirely in recycled blocks.
+  (void)a.alloc<std::uint64_t>(1000);
+  EXPECT_EQ(a.bytesReserved(), reserved);
+  EXPECT_EQ(a.blockCount(), blocks);
+}
+
+TEST(Arena, HighWaterTracksPeakAcrossResets) {
+  Arena a(256);
+  (void)a.alloc<std::uint8_t>(500);
+  const std::size_t peak = a.highWater();
+  EXPECT_GE(peak, 500u);
+
+  a.reset();
+  (void)a.alloc<std::uint8_t>(10);
+  EXPECT_LT(a.bytesUsed(), peak);
+  EXPECT_EQ(a.highWater(), peak);  // reset keeps the historical peak
+
+  (void)a.alloc<std::uint8_t>(2000);
+  EXPECT_GT(a.highWater(), peak);
+}
+
+TEST(Arena, ZeroSizedAllocationIsAlignedAndNonNull) {
+  Arena a;
+  auto* p = a.alloc<double>(0);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(double), 0u);
+}
+
+TEST(Arena, AllocZeroedZeroes) {
+  Arena a(64);
+  auto* p = a.allocZeroed<std::uint32_t>(100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p[i], 0u);
+}
+
+}  // namespace
+}  // namespace mpcp

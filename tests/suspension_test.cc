@@ -141,7 +141,10 @@ TEST(Suspension, AnalysisStillSoundWithSuspensions) {
         }
         body.compute(rng.uniformInt(10, 50));
         TaskSpec spec;
-        spec.name = "t" + std::to_string(p) + "_" + std::to_string(k);
+        spec.name = "t";
+        spec.name += std::to_string(p);
+        spec.name += '_';
+        spec.name += std::to_string(k);
         spec.period = period;
         spec.processor = p;
         spec.body = std::move(body);

@@ -1,0 +1,298 @@
+// bench_diff — compare a candidate BENCH_*.json against a checked-in
+// baseline and gate on throughput regressions.
+//
+// Throughput keys (ending in `_per_sec`) are higher-is-better; every
+// such key present in both files is compared. A drop beyond the fail
+// threshold exits 1; a drop beyond the warn threshold prints a warning
+// but exits 0. Hard failures are downgraded to warnings when the two
+// files were measured on different CPU models (schema v2 provenance):
+// cross-machine numbers can only ever be advisory.
+//
+//   bench_diff BASELINE.json CANDIDATE.json
+//       [--fail-pct 25] [--warn-pct 10] [--markdown FILE]
+//
+// --markdown writes a GitHub-flavored delta table (use
+// `--markdown /dev/stdout` or append to $GITHUB_STEP_SUMMARY in CI).
+// Exit codes: 0 ok/warn, 1 regression, 2 usage/parse error.
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_util.h"
+
+namespace {
+
+using mpcp::cli::UsageError;
+
+void usage(std::ostream& os) {
+  os << "usage: bench_diff BASELINE.json CANDIDATE.json\n"
+        "         [--fail-pct P]   hard-fail when a *_per_sec key drops\n"
+        "                          more than P percent (default 25)\n"
+        "         [--warn-pct P]   warn when it drops more than P percent\n"
+        "                          (default 10)\n"
+        "         [--markdown F]   also write a GitHub-flavored delta\n"
+        "                          table to file F\n";
+}
+
+/// One parsed BENCH_*.json: flat key -> raw value, with numeric values
+/// also decoded. Only the flat `{ "key": value, ... }` shape emitted by
+/// bench::BenchJson is supported; anything else is a parse error.
+struct BenchFile {
+  std::map<std::string, std::string> raw;
+  std::map<std::string, double> numbers;
+
+  [[nodiscard]] std::string stringOr(const std::string& key,
+                                     const std::string& fallback) const {
+    const auto it = raw.find(key);
+    if (it == raw.end()) return fallback;
+    std::string v = it->second;
+    if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+      v = v.substr(1, v.size() - 2);
+    }
+    return v;
+  }
+};
+
+BenchFile parseBenchJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UsageError("cannot read '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  BenchFile out;
+  std::size_t pos = 0;
+  while (true) {
+    // Next quoted key.
+    const std::size_t kq = text.find('"', pos);
+    if (kq == std::string::npos) break;
+    const std::size_t kend = text.find('"', kq + 1);
+    if (kend == std::string::npos) {
+      throw UsageError(path + ": unterminated key");
+    }
+    const std::string key = text.substr(kq + 1, kend - kq - 1);
+    const std::size_t colon = text.find(':', kend + 1);
+    if (colon == std::string::npos) {
+      throw UsageError(path + ": missing ':' after \"" + key + "\"");
+    }
+    // Value runs to the next top-level ',' or '}'; strings may contain
+    // escaped quotes.
+    std::size_t v = text.find_first_not_of(" \t\n\r", colon + 1);
+    if (v == std::string::npos) {
+      throw UsageError(path + ": missing value for \"" + key + "\"");
+    }
+    std::size_t vend = v;
+    if (text[v] == '"') {
+      vend = v + 1;
+      while (vend < text.size() &&
+             (text[vend] != '"' || text[vend - 1] == '\\')) {
+        ++vend;
+      }
+      if (vend == text.size()) {
+        throw UsageError(path + ": unterminated string for \"" + key + "\"");
+      }
+      ++vend;
+    } else {
+      while (vend < text.size() && text[vend] != ',' && text[vend] != '}' &&
+             text[vend] != '\n') {
+        ++vend;
+      }
+    }
+    std::string value = text.substr(v, vend - v);
+    while (!value.empty() &&
+           (value.back() == ' ' || value.back() == '\r')) {
+      value.pop_back();
+    }
+    out.raw[key] = value;
+    if (!value.empty() && value.front() != '"') {
+      char* end = nullptr;
+      const double num = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() && *end == '\0') out.numbers[key] = num;
+    }
+    pos = vend;
+  }
+  if (out.raw.empty()) throw UsageError(path + ": no fields parsed");
+  return out;
+}
+
+bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+struct Row {
+  std::string key;
+  double base = 0;
+  double cand = 0;
+  double delta_pct = 0;  // positive = faster
+  std::string status;    // "ok" | "warn" | "FAIL" | "fail->warn"
+};
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  if (std::fabs(v) >= 1000) {
+    os << std::fixed << std::setprecision(0) << v;
+  } else {
+    os << std::setprecision(4) << v;
+  }
+  return os.str();
+}
+
+std::string fmtPct(double v) {
+  std::ostringstream os;
+  os << std::showpos << std::fixed << std::setprecision(1) << v << "%";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, candidate_path, markdown_path;
+  double fail_pct = 25.0;
+  double warn_pct = 10.0;
+  try {
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+          throw UsageError(std::string(flag) + " expects a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--fail-pct") {
+        fail_pct = mpcp::cli::parseDouble("--fail-pct", next("--fail-pct"));
+      } else if (arg == "--warn-pct") {
+        warn_pct = mpcp::cli::parseDouble("--warn-pct", next("--warn-pct"));
+      } else if (arg == "--markdown") {
+        markdown_path = next("--markdown");
+        mpcp::cli::probeWritableFile("--markdown", markdown_path);
+      } else if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw UsageError("unknown flag '" + arg + "'");
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.size() != 2) {
+      throw UsageError("expected exactly BASELINE.json and CANDIDATE.json");
+    }
+    baseline_path = positional[0];
+    candidate_path = positional[1];
+    if (fail_pct <= 0 || warn_pct <= 0 || warn_pct > fail_pct) {
+      throw UsageError("thresholds must satisfy 0 < warn-pct <= fail-pct");
+    }
+
+    const BenchFile base = parseBenchJson(baseline_path);
+    const BenchFile cand = parseBenchJson(candidate_path);
+
+    const std::string base_cpu = base.stringOr("cpu_model", "unknown");
+    const std::string cand_cpu = cand.stringOr("cpu_model", "unknown");
+    const bool cross_machine =
+        base_cpu != cand_cpu || base_cpu == "unknown";
+
+    std::vector<Row> rows;
+    bool any_fail = false;
+    bool any_warn = false;
+    for (const auto& [key, base_v] : base.numbers) {
+      if (!endsWith(key, "_per_sec")) continue;
+      const auto it = cand.numbers.find(key);
+      if (it == cand.numbers.end()) {
+        std::cerr << "bench_diff: warning: candidate is missing \"" << key
+                  << "\"\n";
+        any_warn = true;
+        continue;
+      }
+      Row row;
+      row.key = key;
+      row.base = base_v;
+      row.cand = it->second;
+      row.delta_pct =
+          base_v > 0 ? (it->second - base_v) / base_v * 100.0 : 0.0;
+      if (row.delta_pct < -fail_pct) {
+        if (cross_machine) {
+          row.status = "fail->warn";
+          any_warn = true;
+        } else {
+          row.status = "FAIL";
+          any_fail = true;
+        }
+      } else if (row.delta_pct < -warn_pct) {
+        row.status = "warn";
+        any_warn = true;
+      } else {
+        row.status = "ok";
+      }
+      rows.push_back(row);
+    }
+    if (rows.empty()) {
+      throw UsageError("no *_per_sec keys found in both files");
+    }
+
+    std::cout << "bench_diff: " << baseline_path << " -> " << candidate_path
+              << "\n  baseline: sha " << base.stringOr("git_sha", "unknown")
+              << ", " << base.stringOr("date", "?") << ", cpu " << base_cpu
+              << "\n  candidate: sha " << cand.stringOr("git_sha", "unknown")
+              << ", " << cand.stringOr("date", "?") << ", cpu " << cand_cpu
+              << "\n";
+    if (cross_machine) {
+      std::cout << "  cpu models differ or are unknown: hard failures "
+                   "downgraded to warnings\n";
+    }
+    for (const Row& row : rows) {
+      std::cout << "  " << std::left << std::setw(26) << row.key
+                << std::right << std::setw(12) << fmt(row.base)
+                << std::setw(12) << fmt(row.cand) << std::setw(9)
+                << fmtPct(row.delta_pct) << "  " << row.status << "\n";
+    }
+
+    if (!markdown_path.empty()) {
+      std::ofstream md(markdown_path, std::ios::app);
+      md << "### Bench delta: " << cand.stringOr("bench", "?") << "\n\n"
+         << "Baseline `" << base.stringOr("git_sha", "unknown") << "` ("
+         << base.stringOr("date", "?") << ") vs candidate `"
+         << cand.stringOr("git_sha", "unknown") << "`"
+         << (cross_machine ? " — **cross-machine, warn-only**" : "")
+         << "\n\n"
+         << "| metric | baseline | candidate | delta | status |\n"
+         << "|---|---:|---:|---:|---|\n";
+      for (const Row& row : rows) {
+        md << "| `" << row.key << "` | " << fmt(row.base) << " | "
+           << fmt(row.cand) << " | " << fmtPct(row.delta_pct) << " | "
+           << row.status << " |\n";
+      }
+      md << "\nThresholds: warn >" << warn_pct << "% drop, fail >"
+         << fail_pct << "% drop.\n\n";
+      if (!md) {
+        std::cerr << "bench_diff: warning: could not write " << markdown_path
+                  << "\n";
+      }
+    }
+
+    if (any_fail) {
+      std::cerr << "bench_diff: FAIL: throughput regression beyond "
+                << fail_pct << "%\n";
+      return 1;
+    }
+    if (any_warn) {
+      std::cerr << "bench_diff: warnings only (no hard regression)\n";
+    }
+    return 0;
+  } catch (const UsageError& e) {
+    std::cerr << "bench_diff: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: error: " << e.what() << "\n";
+    return 2;
+  }
+}
