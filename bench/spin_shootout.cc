@@ -1,0 +1,162 @@
+// E17 — suspension vs spin: schedulability shoot-out.
+//
+// The paper's protocols suspend blocked jobs (MPCP/DPCP); the spin zoo
+// busy-waits non-preemptively (spin-fifo = MSRP-style FIFO, spin-prio =
+// priority-ordered). Spinning wastes the blocked processor but kills the
+// suspension-induced factors (no deferred-execution penalty, no
+// back-to-back gcs preemption), so the crossover is the interesting
+// artifact: short critical sections favor spinning, long ones favor
+// suspension — and priority-ordered spinning pays a starvation-shaped
+// fixpoint penalty for low-priority tasks over FIFO.
+//
+// Sweeps RTA-schedulable fraction over utilization, critical-section
+// length and processor count for {mpcp, dpcp, hybrid, spin-fifo,
+// spin-prio}, checks acceptance soundness by simulating every accepted
+// system, prints the tables, writes shootout.csv (one row per sweep
+// point x protocol) and BENCH_spin_shootout.json.
+//
+// MPCP_BENCH_QUICK=1 shrinks seeds/points (ctest and the CI perf job);
+// MPCP_BENCH_DIR redirects the CSV and JSON outputs.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/protocol_registry.h"
+
+using namespace mpcp;
+using namespace mpcp::bench;
+
+namespace {
+
+const std::vector<ProtocolKind> kContenders = {
+    ProtocolKind::kMpcp, ProtocolKind::kDpcp, ProtocolKind::kHybrid,
+    ProtocolKind::kSpinFifo, ProtocolKind::kSpinPrio};
+
+WorkloadParams baseParams() {
+  WorkloadParams p;
+  p.processors = 4;
+  p.tasks_per_processor = 3;
+  p.global_resources = 2;
+  p.max_gcs_per_task = 2;
+  p.global_sharing_prob = 0.9;
+  p.cs_max = 10;  // short sections: spinning's home turf
+  return p;
+}
+
+std::string outPath(const std::string& file) {
+  const char* dir = std::getenv("MPCP_BENCH_DIR");
+  return dir != nullptr ? std::string(dir) + "/" + file : file;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("MPCP_BENCH_QUICK") != nullptr;
+  const int seeds = quick ? 10 : 40;
+  WallTimer total;
+
+  std::ostringstream csv;
+  csv << "sweep,x,protocol,accepted_rta,accepted_ll,miss_given_accept\n";
+  double worst_miss_given_accept = 0;
+
+  const auto sweepPoint = [&](const std::string& sweep, double x,
+                              const WorkloadParams& p,
+                              std::uint64_t seed_base) {
+    std::cout << cell(x, 12, 2);
+    for (const ProtocolKind kind : kContenders) {
+      const AcceptanceResult r =
+          acceptanceSweep(kind, p, seeds, seed_base, /*simulate_accepted=*/true);
+      std::cout << cell(r.accepted_rta);
+      csv << sweep << ',' << x << ',' << toString(kind) << ','
+          << r.accepted_rta << ',' << r.accepted_ll << ','
+          << r.sim_miss_given_accept << "\n";
+      worst_miss_given_accept =
+          std::max(worst_miss_given_accept, r.sim_miss_given_accept);
+    }
+    std::cout << "\n";
+  };
+
+  const auto tableHeader = [] {
+    std::cout << cell("x");
+    for (const ProtocolKind kind : kContenders) std::cout << cell(toString(kind));
+    std::cout << "\n";
+  };
+
+  printHeader("RTA-schedulable fraction vs per-processor utilization");
+  tableHeader();
+  for (double util : quick ? std::vector<double>{0.5, 0.7}
+                           : std::vector<double>{0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    WorkloadParams p = baseParams();
+    p.utilization_per_processor = util;
+    sweepPoint("utilization", util, p, 1500);
+  }
+
+  printHeader("RTA-schedulable fraction vs critical-section length");
+  tableHeader();
+  for (Duration cs : quick ? std::vector<Duration>{5, 160}
+                           : std::vector<Duration>{2, 5, 15, 40, 80, 160}) {
+    WorkloadParams p = baseParams();
+    p.utilization_per_processor = 0.45;
+    p.cs_max = cs;
+    sweepPoint("cs_max", static_cast<double>(cs), p, 1600);
+  }
+
+  printHeader("RTA-schedulable fraction vs processor count");
+  tableHeader();
+  for (int procs : quick ? std::vector<int>{2, 4}
+                         : std::vector<int>{2, 4, 8, 12}) {
+    WorkloadParams p = baseParams();
+    p.utilization_per_processor = 0.45;
+    p.processors = procs;
+    sweepPoint("processors", procs, p, 1700);
+  }
+
+  printHeader("suspension-heavy workloads (spin inflation vs deferral)");
+  tableHeader();
+  for (double sp : quick ? std::vector<double>{0.5}
+                         : std::vector<double>{0.0, 0.3, 0.6}) {
+    WorkloadParams p = baseParams();
+    p.utilization_per_processor = 0.4;
+    p.suspension_prob = sp;
+    p.suspend_max = 10;
+    sweepPoint("suspension_prob", sp, p, 1800);
+  }
+
+  std::cout << "\nexpected shape: the spin protocols lead at short\n"
+               "critical sections (blocking = spin <= one remote section\n"
+               "per processor, no deferred-execution charge) and fall\n"
+               "behind the suspension protocols as sections lengthen —\n"
+               "spin inflation then burns processor capacity that MPCP\n"
+               "returns to lower-priority tasks. spin-prio trails\n"
+               "spin-fifo when low-priority tasks face the starvation\n"
+               "fixpoint.\n";
+
+  // Acceptance soundness: an analysis-accepted system missing a deadline
+  // in simulation is a bug in the blocking bounds, not a trend.
+  std::cout << "\nmiss-after-accept (must be 0): " << worst_miss_given_accept
+            << "\n";
+
+  const std::string csv_path = outPath("shootout.csv");
+  {
+    std::ofstream out(csv_path);
+    out << csv.str();
+    if (!out) {
+      std::cerr << "warning: could not write " << csv_path << "\n";
+    } else {
+      std::cout << "wrote " << csv_path << "\n";
+    }
+  }
+
+  BenchJson json("spin_shootout");
+  json.set("seeds_per_point", seeds);
+  json.set("quick", quick);
+  json.set("miss_given_accept_worst", worst_miss_given_accept);
+  json.set("threads", exp::SweepRunner::global().threadCount());
+  json.set("wall_s", total.seconds());
+  json.write();
+  return worst_miss_given_accept > 0 ? 1 : 0;
+}

@@ -1,0 +1,172 @@
+#include "analysis/blocking_spin.h"
+
+#include <algorithm>
+
+#include "analysis/profiles.h"
+#include "common/math_util.h"
+
+namespace mpcp {
+namespace {
+
+/// maxCs / Nreq for one task on one semaphore, over outermost sections
+/// (profiles fold nested inners into the outermost duration — exactly the
+/// group-lock collapse spin analysis assumes).
+struct ResourceUse {
+  Duration max_cs = 0;
+  std::int64_t requests = 0;
+};
+
+ResourceUse useOf(const TaskProfile& p, ResourceId r) {
+  ResourceUse u;
+  for (const std::vector<SectionUse>* v : {&p.global_sections,
+                                           &p.local_sections}) {
+    for (const SectionUse& s : *v) {
+      if (s.resource != r) continue;
+      u.max_cs = std::max(u.max_cs, s.duration);
+      u.requests++;
+    }
+  }
+  return u;
+}
+
+/// Per-request spin wait of task `i` on semaphore `r`.
+Duration perRequestWait(const TaskSystem& system,
+                        const std::vector<TaskProfile>& profiles, TaskId i,
+                        ResourceId r, bool priority_ordered,
+                        const SpinBlockingOptions& options) {
+  const Task& ti = system.task(i);
+  const std::vector<Task>& tasks = system.tasks();
+
+  if (!priority_ordered) {
+    // FIFO (MSRP): one earlier request per remote processor hosting users
+    // of r — requests are non-preemptive, so at most one is in flight per
+    // processor, and FIFO admits no later overtakers.
+    std::vector<Duration> per_proc(
+        static_cast<std::size_t>(system.processorCount()), 0);
+    for (const Task& tj : tasks) {
+      if (tj.processor == ti.processor) continue;
+      const ResourceUse u = useOf(profiles[tj.id.value()], r);
+      if (u.requests == 0) continue;
+      auto& slot = per_proc[static_cast<std::size_t>(tj.processor.value())];
+      slot = std::max(slot, u.max_cs);
+    }
+    Duration w = 0;
+    for (Duration d : per_proc) w += d;
+    return w;
+  }
+
+  // Priority-ordered: one in-service request of arbitrary priority, plus
+  // every higher-or-equal-priority remote request issued while we wait —
+  // a fixpoint in the wait itself. ceil+1 instances per interferer cover
+  // the carried-in job. Divergence (low-priority starvation) saturates.
+  Duration max_any = 0;
+  bool any_remote = false;
+  for (const Task& tj : tasks) {
+    if (tj.processor == ti.processor) continue;
+    const ResourceUse u = useOf(profiles[tj.id.value()], r);
+    if (u.requests == 0) continue;
+    any_remote = true;
+    max_any = std::max(max_any, u.max_cs);
+  }
+  if (!any_remote) return 0;
+
+  Duration w = max_any;
+  for (int it = 0; it < options.fixpoint_iteration_cap; ++it) {
+    // Accumulate wide: a near-saturation wait times a request count can
+    // overflow Duration before the clamp fires.
+    __int128 next = max_any;
+    for (const Task& tj : tasks) {
+      if (tj.processor == ti.processor) continue;
+      if (tj.priority < ti.priority) continue;
+      if (tj.id == i) continue;
+      const ResourceUse u = useOf(profiles[tj.id.value()], r);
+      if (u.requests == 0) continue;
+      next += static_cast<__int128>(ceilDiv(w, tj.period) + 1) * u.requests *
+              u.max_cs;
+    }
+    if (next > static_cast<__int128>(kSpinBoundSaturated)) {
+      return kSpinBoundSaturated;
+    }
+    const auto next_d = static_cast<Duration>(next);
+    if (next_d == w) return w;
+    w = next_d;
+  }
+  return kSpinBoundSaturated;
+}
+
+}  // namespace
+
+std::vector<SpinBlockingBreakdown> spinBlocking(const TaskSystem& system,
+                                                bool priority_ordered,
+                                                SpinBlockingOptions options) {
+  const std::vector<TaskProfile> profiles = buildProfiles(system);
+  const std::vector<Task>& tasks = system.tasks();
+  std::vector<SpinBlockingBreakdown> out(tasks.size());
+
+  // S: every request busy-waits at most its per-request bound.
+  for (const Task& ti : tasks) {
+    const TaskProfile& p = profiles[ti.id.value()];
+    Duration spin = 0;
+    for (const std::vector<SectionUse>* v : {&p.global_sections,
+                                             &p.local_sections}) {
+      for (const SectionUse& s : *v) {
+        spin += perRequestWait(system, profiles, ti.id, s.resource,
+                               priority_ordered, options);
+      }
+    }
+    out[ti.id.value()].spin_wait = spin;
+  }
+
+  for (const Task& ti : tasks) {
+    SpinBlockingBreakdown& b = out[ti.id.value()];
+
+    // A: at each of the (1 + voluntary suspensions) points where the job
+    // becomes ready, at most one lower-priority local task can occupy the
+    // processor non-preemptively — for its own spin plus its section.
+    // Preemption by a higher task opens no new window: once that task
+    // finishes, we are dispatched before any lower task can start one.
+    Duration window = 0;
+    for (const Task& tl : tasks) {
+      if (tl.processor != ti.processor || tl.id == ti.id) continue;
+      if (tl.priority > ti.priority) continue;
+      const TaskProfile& pl = profiles[tl.id.value()];
+      for (const std::vector<SectionUse>* v : {&pl.global_sections,
+                                               &pl.local_sections}) {
+        for (const SectionUse& s : *v) {
+          window = std::max(
+              window, perRequestWait(system, profiles, tl.id, s.resource,
+                                     priority_ordered, options) +
+                          s.duration);
+        }
+      }
+    }
+    const int points =
+        1 + profiles[ti.id.value()].voluntary_suspensions;
+    b.arrival_blocking = points * window;
+
+    // Deferred execution: a suspending higher-priority local task can
+    // compress one extra burst — its computation plus its spin occupancy
+    // — into our busy period (same charge the MPCP/DPCP analyses make).
+    if (options.include_deferred_execution) {
+      for (const Task& th : tasks) {
+        if (th.processor != ti.processor || th.id == ti.id) continue;
+        if (!(th.priority > ti.priority)) continue;
+        if (profiles[th.id.value()].voluntary_suspensions == 0) continue;
+        b.deferred_execution += th.wcet + out[th.id.value()].spin_wait;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Duration> spinInflation(
+    const std::vector<SpinBlockingBreakdown>& breakdowns) {
+  std::vector<Duration> out;
+  out.reserve(breakdowns.size());
+  for (const SpinBlockingBreakdown& b : breakdowns) {
+    out.push_back(b.spin_wait);
+  }
+  return out;
+}
+
+}  // namespace mpcp

@@ -19,7 +19,8 @@ namespace {
 /// Returns the response time, or D_i + 1 if the iteration diverges past
 /// the deadline (unschedulable sentinel).
 Duration responseTime(const TaskSystem& sys, const Task& ti, Duration bi,
-                      std::span<const Duration> jitter) {
+                      std::span<const Duration> jitter,
+                      std::span<const Duration> inflation) {
   std::vector<const Task*> hp;
   for (TaskId tid : sys.tasksOn(ti.processor)) {
     const Task& tj = sys.task(tid);
@@ -34,7 +35,11 @@ Duration responseTime(const TaskSystem& sys, const Task& ti, Duration bi,
       const Duration jj =
           jitter.empty() ? 0
                          : jitter[static_cast<std::size_t>(tj->id.value())];
-      next += ceilDiv(r + jj, tj->period) * tj->wcet;
+      const Duration fj =
+          inflation.empty()
+              ? 0
+              : inflation[static_cast<std::size_t>(tj->id.value())];
+      next += ceilDiv(r + jj, tj->period) * (tj->wcet + fj);
     }
     if (next == r) return r;
     if (next > limit) return limit + 1;  // diverged: miss certified
@@ -46,11 +51,14 @@ Duration responseTime(const TaskSystem& sys, const Task& ti, Duration bi,
 
 SchedulabilityReport analyzeSchedulability(const TaskSystem& system,
                                            std::span<const Duration> blocking,
-                                           std::span<const Duration> jitter) {
+                                           std::span<const Duration> jitter,
+                                           std::span<const Duration> inflation) {
   MPCP_CHECK(blocking.size() == system.tasks().size(),
              "blocking span must cover every task");
   MPCP_CHECK(jitter.empty() || jitter.size() == system.tasks().size(),
              "jitter span must be empty or cover every task");
+  MPCP_CHECK(inflation.empty() || inflation.size() == system.tasks().size(),
+             "inflation span must be empty or cover every task");
 
   SchedulabilityReport report;
   report.tasks.resize(system.tasks().size());
@@ -60,6 +68,10 @@ SchedulabilityReport analyzeSchedulability(const TaskSystem& system,
   for (int p = 0; p < system.processorCount(); ++p) {
     const auto& local = system.tasksOn(ProcessorId(p));  // priority desc
     double hp_util = 0.0;
+    // Inflation of strictly higher-priority local tasks, as utilization:
+    // their spin occupancy steals the processor like extra computation,
+    // but a task's own inflation is already inside its B_i.
+    double hp_infl = 0.0;
     for (std::size_t rank = 0; rank < local.size(); ++rank) {
       const Task& ti = system.task(local[rank]);
       const Duration bi = blocking[static_cast<std::size_t>(ti.id.value())];
@@ -70,15 +82,23 @@ SchedulabilityReport analyzeSchedulability(const TaskSystem& system,
 
       hp_util += ti.utilization();
       v.utilization_lhs =
-          hp_util + static_cast<double>(bi) / static_cast<double>(ti.period);
+          hp_util + hp_infl +
+          static_cast<double>(bi) / static_cast<double>(ti.period);
       v.utilization_bound = liuLaylandBound(static_cast<int>(rank) + 1);
       v.ll_ok = v.utilization_lhs <= v.utilization_bound + 1e-12;
 
-      v.response_time = responseTime(system, ti, bi, jitter);
+      v.response_time = responseTime(system, ti, bi, jitter, inflation);
       v.rta_ok = v.response_time <= ti.relative_deadline;
 
       report.ll_all &= v.ll_ok;
       report.rta_all &= v.rta_ok;
+
+      if (!inflation.empty()) {
+        hp_infl +=
+            static_cast<double>(
+                inflation[static_cast<std::size_t>(ti.id.value())]) /
+            static_cast<double>(ti.period);
+      }
     }
   }
   return report;

@@ -42,10 +42,18 @@ struct SchedulabilityReport {
 
 /// Runs both tests. `blocking[i]` is B_i for task i; `jitter[i]` is the
 /// release jitter charged when task i appears as a higher-priority
-/// interferer in the RTA (empty span = all zero).
+/// interferer in the RTA (empty span = all zero). `inflation[i]` is extra
+/// processor demand task i imposes per job *beyond* its C_i when it
+/// interferes with lower-priority tasks — the spin protocols charge their
+/// busy-wait here, since a spinning job occupies its processor. It is
+/// added to C_i in the RTA interference term and to U_i in the
+/// utilization test's higher-priority sum (never to a task's own terms:
+/// its own inflation is already inside its B_i). Empty span = all zero,
+/// bit-identical to the classical tests.
 [[nodiscard]] SchedulabilityReport analyzeSchedulability(
     const TaskSystem& system, std::span<const Duration> blocking,
-    std::span<const Duration> jitter = {});
+    std::span<const Duration> jitter = {},
+    std::span<const Duration> inflation = {});
 
 /// The Liu–Layland bound n (2^{1/n} - 1).
 [[nodiscard]] double liuLaylandBound(int n);

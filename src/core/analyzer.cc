@@ -4,6 +4,7 @@
 #include "analysis/profiles.h"
 #include "common/check.h"
 #include "common/strf.h"
+#include "core/protocol_registry.h"
 
 namespace mpcp {
 
@@ -27,10 +28,21 @@ void addSelfSuspension(const TaskSystem& system,
 
 ProtocolAnalysis analyzeUnder(ProtocolKind kind, const TaskSystem& system,
                               const AnalyzerOptions& options) {
+  if (kind == ProtocolKind::kHybrid) {
+    ProtocolAnalysis out =
+        analyzeHybrid(system, defaultHybridPolicy(system), options);
+    out.kind = ProtocolKind::kHybrid;
+    return out;
+  }
+
   PriorityTables tables(system);
   ProtocolAnalysis out;
   out.kind = kind;
   const std::size_t n = system.tasks().size();
+  // Spin protocols: the busy-wait occupies the processor, so it must be
+  // charged to lower-priority neighbours as inflated interference, not
+  // just to the task's own B_i (see analyzeSchedulability).
+  std::vector<Duration> inflation;
 
   switch (kind) {
     case ProtocolKind::kPcp: {
@@ -58,6 +70,19 @@ ProtocolAnalysis analyzeUnder(ProtocolKind kind, const TaskSystem& system,
       }
       break;
     }
+    case ProtocolKind::kSpinFifo:
+    case ProtocolKind::kSpinPrio: {
+      const auto breakdowns = spinBlocking(
+          system, kind == ProtocolKind::kSpinPrio, options.spin);
+      out.blocking.reserve(n);
+      out.jitter.reserve(n);
+      for (const SpinBlockingBreakdown& b : breakdowns) {
+        out.blocking.push_back(b.total());
+        out.jitter.push_back(b.remoteSuspension());  // always 0: no suspend
+      }
+      inflation = spinInflation(breakdowns);
+      break;
+    }
     default:
       throw ConfigError(strf(
           "analyzeUnder: no bounded-blocking analysis exists for protocol '",
@@ -66,7 +91,8 @@ ProtocolAnalysis analyzeUnder(ProtocolKind kind, const TaskSystem& system,
   }
 
   addSelfSuspension(system, out.blocking, out.jitter);
-  out.report = analyzeSchedulability(system, out.blocking, out.jitter);
+  out.report =
+      analyzeSchedulability(system, out.blocking, out.jitter, inflation);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/blocking_dpcp.h"
+#include "analysis/blocking_spin.h"
 #include "analysis/schedulability.h"
 #include "core/blocking.h"
 #include "core/hybrid_blocking.h"
@@ -18,6 +19,7 @@ namespace mpcp {
 struct AnalyzerOptions {
   BlockingOptions mpcp;       ///< MPCP factor options
   DpcpBlockingOptions dpcp;   ///< DPCP factor options
+  SpinBlockingOptions spin;   ///< spin-fifo / spin-prio factor options
 };
 
 /// Everything the analysis produced for one (system, protocol) pair.
@@ -28,8 +30,9 @@ struct ProtocolAnalysis {
   SchedulabilityReport report;     ///< Theorem 3 + RTA verdicts
 };
 
-/// Supported kinds: kPcp (no globals), kMpcp, kDpcp. Throws ConfigError
-/// for protocols with no bounded-blocking analysis (none/PIP on
+/// Supported kinds: kPcp (no globals), kMpcp, kDpcp, kHybrid (under its
+/// canonical policy), kSpinFifo, kSpinPrio. Throws ConfigError for
+/// protocols with no bounded-blocking analysis (none/PIP on
 /// multiprocessors — the point of the paper is that no bound exists).
 [[nodiscard]] ProtocolAnalysis analyzeUnder(ProtocolKind kind,
                                             const TaskSystem& system,

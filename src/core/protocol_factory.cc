@@ -1,44 +1,15 @@
 #include "core/protocol_factory.h"
 
-#include "common/check.h"
-#include "core/mpcp_protocol.h"
-#include "protocols/dpcp.h"
-#include "protocols/none.h"
-#include "protocols/pcp.h"
-#include "protocols/pip.h"
+#include "core/protocol_registry.h"
 
 namespace mpcp {
 
-const char* toString(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::kNone: return "none";
-    case ProtocolKind::kNonePrio: return "none-prio";
-    case ProtocolKind::kPip: return "pip";
-    case ProtocolKind::kPcp: return "pcp";
-    case ProtocolKind::kMpcp: return "mpcp";
-    case ProtocolKind::kDpcp: return "dpcp";
-  }
-  return "?";
-}
+const char* toString(ProtocolKind kind) { return protocolSpec(kind).name; }
 
 std::unique_ptr<SyncProtocol> makeProtocol(ProtocolKind kind,
                                            const TaskSystem& system,
                                            const PriorityTables& tables) {
-  switch (kind) {
-    case ProtocolKind::kNone:
-      return std::make_unique<NoProtocol>(system, QueueOrder::kFifo);
-    case ProtocolKind::kNonePrio:
-      return std::make_unique<NoProtocol>(system, QueueOrder::kPriority);
-    case ProtocolKind::kPip:
-      return std::make_unique<PipProtocol>(system);
-    case ProtocolKind::kPcp:
-      return std::make_unique<PcpProtocol>(system, tables);
-    case ProtocolKind::kMpcp:
-      return std::make_unique<MpcpProtocol>(system, tables);
-    case ProtocolKind::kDpcp:
-      return std::make_unique<DpcpProtocol>(system, tables);
-  }
-  throw ConfigError("unknown protocol kind");
+  return protocolSpec(kind).make(system, tables);
 }
 
 }  // namespace mpcp

@@ -18,12 +18,20 @@ enum class ProtocolKind {
   kPcp,       ///< uniprocessor priority ceiling protocol (no globals)
   kMpcp,      ///< the paper's shared-memory protocol
   kDpcp,      ///< message-based baseline [8]
+  kHybrid,    ///< per-resource MPCP/DPCP mix (canonical id-parity policy)
+  kSpinFifo,  ///< MSRP-style non-preemptive FIFO spin locks
+  kSpinPrio,  ///< non-preemptive priority-ordered spin locks
 };
 
+/// Canonical name of `kind` ("mpcp", "spin-fifo", ...). Never "?": every
+/// enumerator is registered; see core/protocol_registry.h.
 [[nodiscard]] const char* toString(ProtocolKind kind);
 
 /// Constructs the protocol. `tables` must outlive the returned object and
-/// must have been computed from `system`.
+/// must have been computed from `system`. Both this and `toString` are
+/// thin shims over the protocol registry (core/protocol_registry.h),
+/// which is the single source of truth for the name<->kind<->factory
+/// mapping shared by the engine, the CLI, the analyzer, and the fuzzer.
 [[nodiscard]] std::unique_ptr<SyncProtocol> makeProtocol(
     ProtocolKind kind, const TaskSystem& system,
     const PriorityTables& tables);

@@ -1,9 +1,13 @@
 #include "fuzz/mutations.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/strf.h"
 #include "core/mpcp_protocol.h"
 #include "protocols/local_pcp.h"
 #include "protocols/sem_state.h"
+#include "protocols/spin.h"
 #include "sim/engine.h"
 
 namespace mpcp::fuzz {
@@ -91,12 +95,103 @@ class GcsBaseFlippedMpcp final : public SyncProtocol {
   std::vector<SemState> global_;
 };
 
+/// SpinProtocol with the grant order deliberately wrong: spin-fifo hands
+/// off to the NEWEST spinner (LIFO), spin-prio hands off in plain arrival
+/// order. Everything else — non-preemptive elevation, parkSpinning /
+/// noteSpinGranted, flat-section rejection — matches the real protocol,
+/// so only the grant-order-sensitive oracles can tell the difference.
+class MisorderedSpin final : public SyncProtocol {
+ public:
+  MisorderedSpin(const TaskSystem& system, const PriorityTables& tables,
+                 SpinOrder claimed)
+      : claimed_(claimed), sems_(system.resources().size()) {
+    for (const Task& t : system.tasks()) {
+      for (const CriticalSection& cs : t.sections) {
+        if (cs.parent >= 0) {
+          throw ConfigError(strf("spin protocols forbid nested critical "
+                                 "sections (", t.name, ")"));
+        }
+      }
+    }
+    std::int32_t max_urgency = 0;
+    for (const Task& t : system.tasks()) {
+      max_urgency = std::max(max_urgency, t.priority.urgency());
+    }
+    np_priority_ = Priority(max_urgency + 1).inGlobalBand(tables.globalBase());
+    reserveSemQueues(sems_, 2 * system.tasks().size());
+  }
+
+  LockOutcome onLock(Job& j, ResourceId r) override {
+    SemState& s = sems_[static_cast<std::size_t>(r.value())];
+    if (s.holder == &j) return LockOutcome::kGranted;
+    if (s.holder == nullptr) {
+      s.holder = &j;
+      engine_->noteGlobalHolder(r, &j);
+      j.elevated = np_priority_;
+      engine_->notePriorityChanged(j);
+      engine_->emit({.kind = Ev::kGcsEnter, .job = j.id,
+                     .processor = j.current, .resource = r,
+                     .priority = j.elevated});
+      return LockOutcome::kGranted;
+    }
+    if (j.spinning) return LockOutcome::kSpinning;
+    // Key everything equal: grant order is decided at V() time below.
+    s.queue.push(&j, Priority(0));
+    j.elevated = np_priority_;
+    engine_->notePriorityChanged(j);
+    engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = j.current,
+                   .resource = r, .priority = j.elevated});
+    engine_->parkSpinning(j, r, s.holder->id);
+    return LockOutcome::kSpinning;
+  }
+
+  void onUnlock(Job& j, ResourceId r) override {
+    SemState& s = sems_[static_cast<std::size_t>(r.value())];
+    MPCP_CHECK(s.holder == &j,
+               j.id << " releasing " << r << " it does not hold");
+    if (j.spinning) engine_->noteSpinGranted(j);
+    j.elevated = kPriorityFloor;
+    engine_->notePriorityChanged(j);
+    engine_->emit({.kind = Ev::kGcsExit, .job = j.id, .processor = j.current,
+                   .resource = r, .priority = j.base});
+    if (s.queue.empty()) {
+      s.holder = nullptr;
+      engine_->noteGlobalHolder(r, nullptr);
+      engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
+                     .resource = r});
+      return;
+    }
+    Job* next = claimed_ == SpinOrder::kFifo
+                    ? s.queue.entries().back().value  // LIFO: newest wins
+                    : s.queue.pop();  // arrival order (keys all equal)
+    if (claimed_ == SpinOrder::kFifo) s.queue.remove(next);
+    s.holder = next;
+    engine_->noteGlobalHolder(r, next);
+    engine_->counters().res(r).handoffs++;
+    engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
+                   .resource = r, .other = next->id});
+    engine_->noteSpinGranted(*next);
+  }
+
+  [[nodiscard]] const char* name() const override {
+    return claimed_ == SpinOrder::kFifo ? "spin-fifo[lifo-grant]"
+                                        : "spin-prio[fifo-grant]";
+  }
+
+ private:
+  SpinOrder claimed_;
+  Priority np_priority_;
+  std::vector<SemState> sems_;
+};
+
 }  // namespace
 
 const char* toString(Mutation m) {
   switch (m) {
     case Mutation::kNone: return "none";
     case Mutation::kGcsCeilingBase: return "gcs-ceiling-base";
+    case Mutation::kSpinFifoLifo: return "spin-fifo-lifo";
+    case Mutation::kSpinPrioFifo: return "spin-prio-fifo";
   }
   return "?";
 }
@@ -110,17 +205,35 @@ std::optional<Mutation> mutationFromName(const std::string& s) {
 }
 
 const std::vector<Mutation>& allMutations() {
-  static const std::vector<Mutation> kAll = {Mutation::kGcsCeilingBase};
+  static const std::vector<Mutation> kAll = {Mutation::kGcsCeilingBase,
+                                             Mutation::kSpinFifoLifo,
+                                             Mutation::kSpinPrioFifo};
   return kAll;
 }
 
-std::unique_ptr<SyncProtocol> makeMpcpWithMutation(
+const char* mutationTarget(Mutation m) {
+  switch (m) {
+    case Mutation::kNone: return "";
+    case Mutation::kGcsCeilingBase: return "mpcp";
+    case Mutation::kSpinFifoLifo: return "spin-fifo";
+    case Mutation::kSpinPrioFifo: return "spin-prio";
+  }
+  return "";
+}
+
+std::unique_ptr<SyncProtocol> makeMutatedProtocol(
     Mutation m, const TaskSystem& system, const PriorityTables& tables) {
   switch (m) {
     case Mutation::kNone:
       return std::make_unique<MpcpProtocol>(system, tables);
     case Mutation::kGcsCeilingBase:
       return std::make_unique<GcsBaseFlippedMpcp>(system, tables);
+    case Mutation::kSpinFifoLifo:
+      return std::make_unique<MisorderedSpin>(system, tables,
+                                              SpinOrder::kFifo);
+    case Mutation::kSpinPrioFifo:
+      return std::make_unique<MisorderedSpin>(system, tables,
+                                              SpinOrder::kPriority);
   }
   throw ConfigError("unknown mutation");
 }

@@ -29,6 +29,15 @@ enum class Mutation {
   /// Table 4-2's priorities collapse into the normal band, so Theorem 2
   /// no longer holds).
   kGcsCeilingBase,
+  /// spin-fifo granting LIFO: the *newest* spinner wins the handoff. The
+  /// MSRP per-request bound (one earlier request per remote processor)
+  /// collapses — a spinner can be overtaken arbitrarily often — so the
+  /// reference differential and the blocking-bound oracle must notice.
+  kSpinFifoLifo,
+  /// spin-prio granting in plain arrival order, ignoring priority — the
+  /// priority-ordered handoff audit and the reference differential must
+  /// notice.
+  kSpinPrioFifo,
 };
 
 [[nodiscard]] const char* toString(Mutation m);
@@ -37,9 +46,14 @@ enum class Mutation {
 /// Every real mutation (kNone excluded), for --list-mutations and tests.
 [[nodiscard]] const std::vector<Mutation>& allMutations();
 
-/// Builds the MPCP variant carrying mutation `m` (kNone = the real
+/// Registry name of the protocol mutation `m` replaces ("mpcp",
+/// "spin-fifo", ...); "" for kNone. Other protocols run unmodified when
+/// fuzzing under `m`.
+[[nodiscard]] const char* mutationTarget(Mutation m);
+
+/// Builds the mutated variant of mutationTarget(m) (kNone = the real
 /// MpcpProtocol). `system` and `tables` must outlive the result.
-[[nodiscard]] std::unique_ptr<SyncProtocol> makeMpcpWithMutation(
+[[nodiscard]] std::unique_ptr<SyncProtocol> makeMutatedProtocol(
     Mutation m, const TaskSystem& system, const PriorityTables& tables);
 
 }  // namespace mpcp::fuzz

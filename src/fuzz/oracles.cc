@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "common/check.h"
@@ -10,6 +11,7 @@
 #include "core/simulate.h"
 #include "fuzz/protocols.h"
 #include "sim/reference_mpcp.h"
+#include "sim/reference_spin.h"
 #include "trace/invariants.h"
 
 namespace mpcp::fuzz {
@@ -65,6 +67,61 @@ void addReport(std::vector<OracleFailure>& out, const std::string& protocol,
                       report.violations.size() - 1, " more)")});
 }
 
+/// Spin protocols never suspend on a lock: between a job's kLockWait and
+/// the matching kLockGrant it busy-waits non-preemptively, so NO other
+/// job may execute on that processor. Audited against the Gantt segments
+/// (per processor the spin windows are disjoint and close in time order,
+/// so each window list stays sorted and binary-searchable).
+std::optional<std::string> spinYieldViolation(const TaskSystem& sys,
+                                              const SimResult& sim) {
+  struct Window {
+    Time begin, end;
+    JobId job;
+    ResourceId resource;
+  };
+  std::vector<std::vector<Window>> per_proc(
+      static_cast<std::size_t>(sys.processorCount()));
+  std::map<std::pair<std::int32_t, std::int64_t>, Window> open;
+  for (const TraceEvent& e : sim.trace) {
+    const auto key = std::make_pair(e.job.task.value(), e.job.instance);
+    if (e.kind == Ev::kLockWait) {
+      open[key] = {e.t, -1, e.job, e.resource};
+    } else if (e.kind == Ev::kLockGrant) {
+      const auto it = open.find(key);
+      if (it == open.end() || it->second.resource != e.resource) continue;
+      it->second.end = e.t;
+      per_proc[static_cast<std::size_t>(e.processor.value())].push_back(
+          it->second);
+      open.erase(it);
+    }
+  }
+  for (auto& [key, w] : open) {  // spinning at the horizon: still a window
+    w.end = sim.horizon;
+    // The spinner kept its processor the whole time; look it up via the
+    // task binding (the job never migrates while spinning).
+    per_proc[static_cast<std::size_t>(
+                 sys.task(TaskId(key.first)).processor.value())]
+        .push_back(w);
+  }
+  for (const ExecSegment& seg : sim.segments) {
+    const auto& windows =
+        per_proc[static_cast<std::size_t>(seg.processor.value())];
+    // First window ending after this segment starts (sorted, disjoint).
+    auto it = std::partition_point(
+        windows.begin(), windows.end(),
+        [&](const Window& w) { return w.end <= seg.begin; });
+    for (; it != windows.end() && it->begin < seg.end; ++it) {
+      if (it->job == seg.job) continue;
+      return strf(seg.job, " executed on ", seg.processor, " at [",
+                  std::max(seg.begin, it->begin), ", ",
+                  std::min(seg.end, it->end), ") while ", it->job,
+                  " was spinning for ", it->resource,
+                  " — spinners must never yield");
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::vector<OracleFailure> checkSystem(const TaskSystem& system,
@@ -95,12 +152,17 @@ std::vector<OracleFailure> checkSystem(const TaskSystem& system,
     // (a) trace invariants.
     addReport(failures, name, "mutual-exclusion",
               checkMutualExclusion(system, *sim));
-    if (name != "none" && name != "pip") {
-      // FIFO queues ("none") order by arrival; PIP waiters can be boosted
-      // above their assigned priority, so the assigned-priority handoff
-      // audit applies to neither.
+    if (name != "none" && name != "pip" && name != "spin-fifo") {
+      // FIFO queues ("none", "spin-fifo") order by arrival; PIP waiters
+      // can be boosted above their assigned priority, so the
+      // assigned-priority handoff audit applies to none of them.
       addReport(failures, name, "priority-handoff",
                 checkPriorityOrderedHandoff(system, *sim));
+    }
+    if (name == "spin-fifo" || name == "spin-prio") {
+      if (const auto v = spinYieldViolation(system, *sim)) {
+        failures.push_back({name, "invariant:spin-never-yields", *v});
+      }
     }
     if (name == "mpcp") {
       addReport(failures, name, "gcs-preemption",
@@ -183,6 +245,35 @@ std::vector<OracleFailure> checkSystem(const TaskSystem& system,
     } catch (const ConfigError&) {
     } catch (const InvariantError& e) {
       failures.push_back({"hybrid", "crash:invariant", e.what()});
+    }
+  }
+
+  // Engine vs the independent tick-stepped spin reference. The small
+  // engine run repeats any mutation, so a mis-granting spin variant shows
+  // up here as a schedule divergence.
+  for (const char* sname : {"spin-fifo", "spin-prio"}) {
+    if (runs.count(sname) == 0) continue;
+    try {
+      const auto engine_small =
+          tryRunProtocol(sname, system,
+                         SimConfig{.horizon = options.differential_horizon,
+                                   .record_trace = false},
+                         options.mutation);
+      if (engine_small.has_value()) {
+        const ReferenceResult ref = simulateSpinReference(
+            system, options.differential_horizon,
+            std::string_view(sname) == "spin-prio");
+        FinishMap ref_map;
+        for (const ReferenceJobResult& rj : ref.jobs) {
+          ref_map[{rj.id.task.value(), rj.id.instance}] = rj.finish;
+        }
+        if (const auto diff = diffFinishes(system, finishMapOf(*engine_small),
+                                           "engine", ref_map, "reference")) {
+          failures.push_back({sname, "cross:reference-spin", *diff});
+        }
+      }
+    } catch (const InvariantError& e) {
+      failures.push_back({sname, "crash:invariant", e.what()});
     }
   }
 

@@ -5,18 +5,21 @@
 //
 //   (a) invariant:*  — post-hoc trace invariants (trace/invariants.*):
 //       mutual exclusion everywhere; priority-ordered handoff for the
-//       priority-queued protocols; Theorem 2 (gcs never preempted by
-//       non-cs code) and rule-3 gcs priority assignment for MPCP; the
-//       message-based gcs priority rule for DPCP.
+//       priority-queued protocols (spin-fifo is FIFO and exempt); Theorem
+//       2 (gcs never preempted by non-cs code) and rule-3 gcs priority
+//       assignment for MPCP; the message-based gcs priority rule for
+//       DPCP; spin-never-yields for the spin protocols (no other job may
+//       execute on a spinner's processor between its P() and the grant).
 //   (b) soundness:*  — analysis vs observation (core/blocking.*,
 //       analysis/blocking_*): an analysis-accepted system must not miss
 //       deadlines, and in a miss-free run every job's observed blocking
 //       must stay within its B_i bound.
 //   (c) cross:*      — differential checks across implementations:
-//       MPCP vs the independent tick-stepped reference simulator;
-//       hybrid(all-shared) ≡ MPCP and hybrid(all-message) ≡ DPCP job
-//       finish times; and on systems with no global resources, PCP, MPCP
-//       and DPCP must agree exactly (they all reduce to local PCP).
+//       MPCP and the spin protocols vs their independent tick-stepped
+//       reference simulators; hybrid(all-shared) ≡ MPCP and
+//       hybrid(all-message) ≡ DPCP job finish times; and on systems with
+//       no global resources, PCP, MPCP and DPCP must agree exactly (they
+//       all reduce to local PCP).
 //
 // Plus "crash:*" when an internal MPCP_CHECK trips during simulation —
 // an engine/protocol invariant failure is always a finding.

@@ -1,46 +1,24 @@
 #include "fuzz/protocols.h"
 
-#include <algorithm>
-
 #include "common/check.h"
-#include "core/protocol_factory.h"
+#include "core/protocol_registry.h"
 #include "core/simulate.h"
 
 namespace mpcp::fuzz {
 
-namespace {
-
-std::optional<ProtocolKind> kindOf(const std::string& name) {
-  if (name == "none") return ProtocolKind::kNone;
-  if (name == "none-prio") return ProtocolKind::kNonePrio;
-  if (name == "pip") return ProtocolKind::kPip;
-  if (name == "pcp") return ProtocolKind::kPcp;
-  if (name == "mpcp") return ProtocolKind::kMpcp;
-  if (name == "dpcp") return ProtocolKind::kDpcp;
-  return std::nullopt;  // "hybrid" has no ProtocolKind
-}
-
-}  // namespace
-
 const std::vector<std::string>& protocolNames() {
-  static const std::vector<std::string> kNames = {
-      "none", "none-prio", "pip", "pcp", "mpcp", "dpcp", "hybrid"};
+  // The registry's registration order IS the canonical fuzzing order
+  // (corpus repro files index protocols by this list).
+  static const std::vector<std::string> kNames = protocolNameList();
   return kNames;
 }
 
 bool protocolKnown(const std::string& name) {
-  const auto& names = protocolNames();
-  return std::find(names.begin(), names.end(), name) != names.end();
+  return findProtocol(name) != nullptr;
 }
 
 HybridPolicy fuzzHybridPolicy(const TaskSystem& system) {
-  HybridPolicy policy = HybridPolicy::allShared(system);
-  for (const ResourceInfo& r : system.resources()) {
-    if (r.scope == ResourceScope::kGlobal && r.id.value() % 2 == 1) {
-      policy.set(r.id, GlobalPolicy::kMessageBased);
-    }
-  }
-  return policy;
+  return defaultHybridPolicy(system);
 }
 
 std::optional<SimResult> tryRunProtocol(const std::string& name,
@@ -48,18 +26,13 @@ std::optional<SimResult> tryRunProtocol(const std::string& name,
                                         const SimConfig& config,
                                         Mutation mutation) {
   try {
-    if (name == "hybrid") {
-      return simulateHybrid(system, fuzzHybridPolicy(system), config);
-    }
-    if (name == "mpcp" && mutation != Mutation::kNone) {
+    if (mutation != Mutation::kNone && name == mutationTarget(mutation)) {
       PriorityTables tables(system);
-      auto protocol = makeMpcpWithMutation(mutation, system, tables);
+      auto protocol = makeMutatedProtocol(mutation, system, tables);
       Engine engine(system, *protocol, config);
       return engine.run();
     }
-    const auto kind = kindOf(name);
-    if (!kind.has_value()) throw ConfigError("unknown protocol '" + name + "'");
-    return simulate(*kind, system, config);
+    return simulate(protocolKindFromName(name), system, config);
   } catch (const ConfigError&) {
     return std::nullopt;  // protocol rejects this system shape
   }
@@ -68,17 +41,11 @@ std::optional<SimResult> tryRunProtocol(const std::string& name,
 std::optional<ProtocolAnalysis> tryAnalyzeProtocol(const std::string& name,
                                                    const TaskSystem& system) {
   try {
-    if (name == "hybrid") return analyzeHybrid(system, fuzzHybridPolicy(system));
-    const auto kind = kindOf(name);
-    if (!kind.has_value()) return std::nullopt;
-    switch (*kind) {
-      case ProtocolKind::kPcp:
-      case ProtocolKind::kMpcp:
-      case ProtocolKind::kDpcp:
-        return analyzeUnder(*kind, system);
-      default:
-        return std::nullopt;  // no bounded-blocking analysis (Section 3.3)
+    const ProtocolSpec* spec = findProtocol(name);
+    if (spec == nullptr || !spec->analyzable) {
+      return std::nullopt;  // no bounded-blocking analysis (Section 3.3)
     }
+    return analyzeUnder(spec->kind, system);
   } catch (const ConfigError&) {
     return std::nullopt;
   }

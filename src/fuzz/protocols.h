@@ -17,17 +17,20 @@
 
 namespace mpcp::fuzz {
 
-/// Canonical fuzzing order: "none", "none-prio", "pip", "pcp", "mpcp",
-/// "dpcp", "hybrid". Fixed so runs and reports are deterministic.
+/// Canonical fuzzing order — the protocol registry's registration order:
+/// "none", "none-prio", "pip", "pcp", "mpcp", "dpcp", "hybrid",
+/// "spin-fifo", "spin-prio". Fixed (append-only) so runs, reports and
+/// corpus repro files stay deterministic.
 [[nodiscard]] const std::vector<std::string>& protocolNames();
 [[nodiscard]] bool protocolKnown(const std::string& name);
 
-/// The fuzzer's deterministic mixed policy: global resources alternate
-/// shared-memory / message-based by resource id parity.
+/// The fuzzer's deterministic mixed policy — the registry's canonical
+/// hybrid policy: global resources alternate shared-memory /
+/// message-based by resource id parity.
 [[nodiscard]] HybridPolicy fuzzHybridPolicy(const TaskSystem& system);
 
-/// Simulates `system` under the named protocol. Mutations apply to the
-/// protocols they target (currently: "mpcp"); other protocols run
+/// Simulates `system` under the named protocol. A mutation applies only
+/// to the protocol it targets (mutationTarget()); other protocols run
 /// unmodified. Returns nullopt when the protocol rejects the system
 /// (ConfigError at construction) — that is inapplicability, not a bug.
 /// InvariantError (an engine/protocol internal check tripping) is NOT
@@ -37,8 +40,9 @@ namespace mpcp::fuzz {
     const SimConfig& config, Mutation mutation = Mutation::kNone);
 
 /// Analytical blocking bounds of the *correct* protocol where one exists
-/// ("pcp" without globals, "mpcp", "dpcp", "hybrid"); nullopt for
-/// protocols without a bounded-blocking analysis or rejected systems.
+/// (the registry's `analyzable` flag: "pcp" without globals, "mpcp",
+/// "dpcp", "hybrid", "spin-fifo", "spin-prio"); nullopt for protocols
+/// without a bounded-blocking analysis or rejected systems.
 [[nodiscard]] std::optional<ProtocolAnalysis> tryAnalyzeProtocol(
     const std::string& name, const TaskSystem& system);
 

@@ -1,0 +1,97 @@
+#include "protocols/spin.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strf.h"
+
+namespace mpcp {
+
+SpinProtocol::SpinProtocol(const TaskSystem& system,
+                           const PriorityTables& tables, SpinOrder order)
+    : order_(order), sems_(system.resources().size()) {
+  // Spin sections are flat: busy-waiting inside a held section could
+  // deadlock (two spinners holding what the other wants would burn their
+  // processors forever), so reject nesting outright — the group-lock
+  // collapse MSRP prescribes is the supported encoding.
+  for (const Task& t : system.tasks()) {
+    for (const CriticalSection& cs : t.sections) {
+      if (cs.parent < 0) continue;
+      const CriticalSection& outer =
+          t.sections[static_cast<std::size_t>(cs.parent)];
+      throw ConfigError(strf(
+          "spin protocols forbid nested critical sections (", t.name, ": ",
+          outer.resource, " encloses ", cs.resource,
+          "); collapse them into a group lock"));
+    }
+  }
+  // One band above everything: higher than every task urgency raised
+  // into the global band, so no gcs priority can preempt a spin section.
+  std::int32_t max_urgency = 0;
+  for (const Task& t : system.tasks()) {
+    max_urgency = std::max(max_urgency, t.priority.urgency());
+  }
+  np_priority_ = Priority(max_urgency + 1).inGlobalBand(tables.globalBase());
+  reserveSemQueues(sems_, 2 * system.tasks().size());
+}
+
+LockOutcome SpinProtocol::onLock(Job& j, ResourceId r) {
+  SemState& s = sems_[static_cast<std::size_t>(r.value())];
+  if (s.holder == &j) return LockOutcome::kGranted;  // handed off mid-spin
+  if (s.holder == nullptr) {
+    s.holder = &j;
+    engine_->noteGlobalHolder(r, &j);
+    j.elevated = np_priority_;
+    engine_->notePriorityChanged(j);
+    engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = j.current,
+                   .resource = r, .priority = j.elevated});
+    return LockOutcome::kGranted;
+  }
+  if (j.spinning) return LockOutcome::kSpinning;  // idempotent revisit
+  // Contended: enter the spin queue and busy-wait non-preemptively. The
+  // elevation happens at spin *start* — the processor is occupied from
+  // here through the critical section's V().
+  const Priority key =
+      order_ == SpinOrder::kPriority ? j.base : Priority(0);  // FIFO: seq
+  s.queue.push(&j, key);
+  j.elevated = np_priority_;
+  engine_->notePriorityChanged(j);
+  engine_->emit({.kind = Ev::kGcsEnter, .job = j.id, .processor = j.current,
+                 .resource = r, .priority = j.elevated});
+  engine_->parkSpinning(j, r, s.holder->id);
+  return LockOutcome::kSpinning;
+}
+
+void SpinProtocol::onUnlock(Job& j, ResourceId r) {
+  SemState& s = sems_[static_cast<std::size_t>(r.value())];
+  MPCP_CHECK(s.holder == &j, j.id << " releasing " << r << " it does not hold");
+
+  // Watchdog revocation: forceRelease can revoke a handed-off grant the
+  // designated holder never consumed (its processor stalled before the
+  // settle that would re-run its P()). Clear the spin mark so that
+  // pending P() re-enters the queue instead of spinning on nothing.
+  if (j.spinning) engine_->noteSpinGranted(j);
+
+  // Leave the non-preemptive band (flat sections: nothing else is held).
+  j.elevated = kPriorityFloor;
+  engine_->notePriorityChanged(j);
+  engine_->emit({.kind = Ev::kGcsExit, .job = j.id, .processor = j.current,
+                 .resource = r, .priority = j.base});
+
+  if (s.queue.empty()) {
+    s.holder = nullptr;
+    engine_->noteGlobalHolder(r, nullptr);
+    engine_->emit({.kind = Ev::kUnlock, .job = j.id, .processor = j.current,
+                   .resource = r});
+    return;
+  }
+  Job* next = s.queue.pop();
+  s.holder = next;
+  engine_->noteGlobalHolder(r, next);
+  engine_->counters().res(r).handoffs++;
+  engine_->emit({.kind = Ev::kHandoff, .job = j.id, .processor = j.current,
+                 .resource = r, .other = next->id});
+  engine_->noteSpinGranted(*next);
+}
+
+}  // namespace mpcp

@@ -1,0 +1,55 @@
+// Spin-based protocols from the post-1990 literature (Brandenburg's
+// systematic review): every semaphore — local or global — is a
+// non-preemptive spin lock. A contended P() busy-waits: the requester
+// keeps its processor, elevated into a band above every task and gcs
+// priority, and makes no progress until the holder's V() hands the
+// semaphore over; the critical section then runs at the same
+// non-preemptive priority. Two grant orders:
+//   kFifo     — MSRP-style FIFO spinning: at most one request per remote
+//               processor can be ahead of ours, giving the classic
+//               sum-of-remote-maxima per-request bound;
+//   kPriority — priority-ordered spinning: grants go to the
+//               highest-assigned-priority spinner (starvation of low
+//               priorities is possible; the bound is a fixpoint).
+// Spin jobs never suspend on a lock (the fuzzer audits this), so the
+// only preemption/resume points are job release and voluntary
+// suspension — which is exactly where spin-based analysis gains over
+// suspension-based MPCP. Nesting is rejected: spin sections are flat by
+// construction (MSRP's group-lock discipline).
+#pragma once
+
+#include <vector>
+
+#include "analysis/ceilings.h"
+#include "protocols/sem_state.h"
+#include "sim/engine.h"
+#include "sim/protocol.h"
+
+namespace mpcp {
+
+enum class SpinOrder {
+  kFifo,      ///< grant in arrival order (MSRP)
+  kPriority,  ///< grant to the highest assigned priority
+};
+
+class SpinProtocol final : public SyncProtocol {
+ public:
+  /// Throws ConfigError on any nested critical section.
+  SpinProtocol(const TaskSystem& system, const PriorityTables& tables,
+               SpinOrder order);
+
+  LockOutcome onLock(Job& j, ResourceId r) override;
+  void onUnlock(Job& j, ResourceId r) override;
+  [[nodiscard]] const char* name() const override {
+    return order_ == SpinOrder::kFifo ? "spin-fifo" : "spin-prio";
+  }
+
+ private:
+  SpinOrder order_;
+  /// Non-preemptive band: above every task priority AND every gcs
+  /// priority, so a spinner/holder is never displaced.
+  Priority np_priority_;
+  std::vector<SemState> sems_;
+};
+
+}  // namespace mpcp

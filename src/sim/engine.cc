@@ -74,11 +74,37 @@ Engine::Engine(const TaskSystem& system, SyncProtocol& protocol,
   expected_jobs = std::min(expected_jobs, config_.max_jobs);
   result_.jobs.reserve(static_cast<std::size_t>(expected_jobs));
   if (config_.record_trace) {
+    // Per-task op census instead of a flat per-job guess: each job emits
+    // at most release/start/finish/miss plus per-op events (lock: wait +
+    // grant + gcs-enter + handoff; unlock: gcs-exit + unlock; suspend:
+    // suspend + resume), and causes at most 1 + suspends + 2*locks
+    // dispatch changes, each emitting at most a preempt + a start on one
+    // processor. Segments split at the same dispatch boundaries. Capped
+    // (with ordinary vector growth as the fallback) so a degenerate
+    // op-heavy system cannot over-reserve; tests/allocation_test.cc pins
+    // trace-armed runs at zero post-setup allocations.
     constexpr std::int64_t kTraceReserveCap = 1 << 20;
+    std::int64_t expected_events = 0;
+    std::int64_t expected_segments = 0;
+    for (const Task& t : system_.tasks()) {
+      if (t.period <= 0) continue;
+      const std::int64_t jobs_t = horizon_ / t.period + 1;
+      std::int64_t locks = 0;
+      std::int64_t suspends = 0;
+      for (const Op& op : t.body.ops()) {
+        if (std::holds_alternative<LockOp>(op)) {
+          ++locks;
+        } else if (std::holds_alternative<SuspendOp>(op)) {
+          ++suspends;
+        }
+      }
+      expected_events += jobs_t * (6 + 10 * locks + 4 * suspends);
+      expected_segments += jobs_t * (2 + 4 * locks + 2 * suspends);
+    }
     result_.trace.reserve(static_cast<std::size_t>(
-        std::min(expected_jobs * 8, kTraceReserveCap)));
+        std::min(expected_events, kTraceReserveCap)));
     result_.segments.reserve(static_cast<std::size_t>(
-        std::min(expected_jobs * 4, kTraceReserveCap / 2)));
+        std::min(expected_segments, kTraceReserveCap / 2)));
   }
 
   // ----- allocation-free steady state (DESIGN.md, "Engine hot path") -----
@@ -494,6 +520,17 @@ bool Engine::processRunnableOps(int proc) {
         progress = true;
         continue;
       }
+      if (outcome == LockOutcome::kSpinning) {
+        // Busy-wait: the job keeps the processor (the protocol elevated
+        // it into a non-preemptive band) but the op cursor stalls here.
+        // Return without re-marking the processor dirty on an idempotent
+        // revisit — the grant (noteSpinGranted) re-touches it.
+        MPCP_CHECK(j.spinning && j.state == JobState::kReady,
+                   protocol_.name()
+                       << " returned kSpinning for " << j.id << " on "
+                       << l->resource << " without parkSpinning");
+        return progress;
+      }
       MPCP_CHECK(j.state == JobState::kWaiting,
                  protocol_.name()
                      << " returned kWaiting for " << j.id << " on "
@@ -838,8 +875,10 @@ bool Engine::applyContainment() {
       // consume the grant, and held stays empty across that gap — so
       // defer until the cursor moves past the op (the abort then fires
       // after its V(), when the job provably holds nothing).
+      // A spinner is likewise unsafe: it sits in the protocol's spin
+      // queue (or is the designated holder mid-handoff) by Job pointer.
       if (j.abort_pending && j.state == JobState::kReady && j.held.empty() &&
-          !atGlobalLockOp(j)) {
+          !j.spinning && !atGlobalLockOp(j)) {
         contain_scratch_.push_back(&j);
       }
     });
@@ -980,6 +1019,32 @@ void Engine::parkWaiting(Job& j, ResourceId r, JobId blocker) {
     emit({.kind = Ev::kLockWait, .job = j.id, .processor = j.current,
           .resource = r, .other = blocker});
   }
+  touchProc(j.current);
+}
+
+void Engine::parkSpinning(Job& j, ResourceId r, JobId blocker) {
+  MPCP_CHECK(j.state == JobState::kReady,
+             "parkSpinning on non-ready job " << j.id);
+  MPCP_CHECK(!j.spinning, "parkSpinning on already-spinning job " << j.id);
+  j.spinning = true;
+  j.waiting_for = r;
+  // The job stays kReady, queued, and (once dispatched) running_: it
+  // occupies the processor without op progress. Its wait class flips to
+  // blocked so busy-wait time is attributed like any other lock wait.
+  retimeWait(j.pool_slot);
+  result_.counters.res(r).contended_waits++;
+  if (tracing()) {
+    emit({.kind = Ev::kLockWait, .job = j.id, .processor = j.current,
+          .resource = r, .other = blocker});
+  }
+  touchProc(j.current);
+}
+
+void Engine::noteSpinGranted(Job& j) {
+  MPCP_CHECK(j.spinning, "noteSpinGranted on non-spinning job " << j.id);
+  j.spinning = false;
+  j.waiting_for = ResourceId();
+  retimeWait(j.pool_slot);
   touchProc(j.current);
 }
 

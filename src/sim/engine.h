@@ -109,6 +109,19 @@ class Engine {
   /// `blocker` (optional) is recorded in the trace.
   void parkWaiting(Job& j, ResourceId r, JobId blocker = {});
 
+  /// Marks the dispatched job as busy-waiting on `r` (onLock kSpinning
+  /// path). The job stays kReady and keeps occupying its processor, but
+  /// its op cursor stalls at the LockOp and the wait is accounted as
+  /// blocking. The protocol must have elevated the job into a
+  /// non-preemptive band first (spin sections are non-preemptive), so
+  /// the spinner cannot be displaced while it waits.
+  void parkSpinning(Job& j, ResourceId r, JobId blocker = {});
+
+  /// Hands the semaphore to a spinning job: clears the spin mark so the
+  /// next settle visit re-runs onLock (which must now return kGranted).
+  /// Called by the holder's onUnlock instead of wake().
+  void noteSpinGranted(Job& j);
+
   /// Moves a waiting job back to ready on its `current` processor.
   void wake(Job& j);
 
@@ -257,7 +270,10 @@ class Engine {
         const auto p = static_cast<std::size_t>(pool_.procOf(slot));
         const std::int32_t rs = run_slot_[p];
         if (rs == static_cast<std::int32_t>(slot)) {
-          pool_.setWaitClass(slot, WC::kRun);
+          // A dispatched spinner occupies the processor without making
+          // progress: its busy-wait is blocking, not execution.
+          pool_.setWaitClass(
+              slot, pool_.jobAt(slot).spinning ? WC::kBlocked : WC::kRun);
         } else if (rs >= 0 && run_base_[p] > pool_.baseOf(slot)) {
           pool_.setWaitClass(slot, WC::kPreempted);
         } else {

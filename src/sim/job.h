@@ -49,6 +49,11 @@ struct Job {
   JobState state = JobState::kReady;
   /// Semaphore this job is waiting for when state == kWaiting.
   ResourceId waiting_for;
+  /// Busy-waiting on `waiting_for` (spin protocols): the job is kReady
+  /// and occupies its processor but makes no op progress; the wait is
+  /// accounted as blocking. Set/cleared only via Engine::parkSpinning /
+  /// Engine::noteSpinGranted.
+  bool spinning = false;
   /// End of the current voluntary suspension; -1 when not self-suspended.
   /// A kWaiting job with suspended_until >= 0 is voluntarily suspended,
   /// not blocked.

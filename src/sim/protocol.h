@@ -15,10 +15,20 @@
 //     waiting in a queue (hand-off), or
 //   * return kWaiting  — the protocol has parked the job via
 //     Engine::parkWaiting(), so it is no longer eligible; when the protocol
-//     later wakes the job, the engine re-runs onLock at dispatch.
+//     later wakes the job, the engine re-runs onLock at dispatch, or
+//   * return kSpinning — the protocol has marked the job as busy-waiting
+//     via Engine::parkSpinning(): the job stays kReady, keeps its
+//     processor (the protocol must elevate it into a non-preemptive
+//     band), and makes no op progress until the holder's onUnlock calls
+//     Engine::noteSpinGranted() on it; the engine then re-runs onLock,
+//     which must observe the hand-off and return kGranted. Repeated
+//     onLock calls while the job is still spinning must idempotently
+//     return kSpinning.
 // This wake-and-retry design lets PCP re-evaluate its ceiling test after
 // every local unlock, while queue-based protocols (MPCP/DPCP/PIP/none)
-// simply leave the job parked until they hand the semaphore to it.
+// simply leave the job parked until they hand the semaphore to it and
+// spin protocols (spin-fifo/spin-prio) burn the waiter's processor
+// without ever suspending.
 #pragma once
 
 #include "common/types.h"
@@ -28,7 +38,7 @@ namespace mpcp {
 
 class Engine;
 
-enum class LockOutcome { kGranted, kWaiting };
+enum class LockOutcome { kGranted, kWaiting, kSpinning };
 
 class SyncProtocol {
  public:

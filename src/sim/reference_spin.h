@@ -1,0 +1,27 @@
+// Independent tick-stepped reference implementation of the spin
+// protocols (spin-fifo / spin-prio) — the differential-testing oracle
+// for Engine + SpinProtocol, in the same spirit as reference_mpcp:
+//   * advances one tick at a time (no event queue, no settle cascade);
+//   * derives the non-preemptive elevation declaratively every tick from
+//     "spinning or holding" instead of maintaining it on events;
+//   * a spinner is simply a candidate whose pending P() makes no
+//     progress — it wins the processor by elevation and burns the tick,
+//     the same way the mpcp reference models a stuck holder.
+// Fault plans are NOT mirrored here; the differential oracle gates spin
+// parity on fault-free runs.
+#pragma once
+
+#include "common/types.h"
+#include "model/task_system.h"
+#include "sim/reference_mpcp.h"
+
+namespace mpcp {
+
+/// Simulates `system` under spin rules for `horizon` ticks.
+/// `priority_ordered` selects spin-prio's grant order (false = FIFO).
+/// Nested critical sections are rejected exactly like SpinProtocol.
+[[nodiscard]] ReferenceResult simulateSpinReference(const TaskSystem& system,
+                                                    Time horizon,
+                                                    bool priority_ordered);
+
+}  // namespace mpcp

@@ -164,9 +164,10 @@ TEST(Allocation, ZeroPerRunAfterSetupAcrossProtocolSweep) {
 #ifdef MPCP_ALLOC_TEST_SANITIZED
   GTEST_SKIP() << "sanitizer build owns the allocator; shim compiled out";
 #else
-  const ProtocolKind kinds[] = {ProtocolKind::kNone, ProtocolKind::kNonePrio,
-                                ProtocolKind::kPip,  ProtocolKind::kPcp,
-                                ProtocolKind::kMpcp, ProtocolKind::kDpcp};
+  const ProtocolKind kinds[] = {
+      ProtocolKind::kNone, ProtocolKind::kNonePrio, ProtocolKind::kPip,
+      ProtocolKind::kPcp,  ProtocolKind::kMpcp,     ProtocolKind::kDpcp,
+      ProtocolKind::kSpinFifo, ProtocolKind::kSpinPrio};
   const std::uint64_t seeds[] = {101, 202, 303};
   for (ProtocolKind kind : kinds) {
     for (std::uint64_t seed : seeds) {
@@ -185,6 +186,43 @@ TEST(Allocation, ZeroPerRunAfterSetupAcrossProtocolSweep) {
       }
 #endif
     }
+  }
+#endif
+}
+
+TEST(Allocation, ZeroPerRunWhenTraceArmed) {
+#ifdef MPCP_ALLOC_TEST_SANITIZED
+  GTEST_SKIP() << "sanitizer build owns the allocator; shim compiled out";
+#else
+  // Trace-armed runs preallocate worst-case event/segment capacity from
+  // the job/op census at setup (ISSUE 8 perf satellite); recording must
+  // then stay allocation-free even with every event class firing.
+  Rng rng(505);
+  TaskSystem system = generateWorkload(contendedParams(), rng);
+  PriorityTables tables(system);
+  for (const ProtocolKind kind :
+       {ProtocolKind::kMpcp, ProtocolKind::kSpinFifo}) {
+    auto protocol = makeProtocol(kind, system, tables);
+    SimConfig config;
+    config.record_trace = true;
+    config.horizon = 100'000;
+    Engine engine(system, *protocol, config);
+    g_new_calls.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    SimResult result = engine.run();
+    g_counting.store(false, std::memory_order_relaxed);
+    EXPECT_GT(result.trace.size(), 0u) << toString(kind);
+    const std::size_t allocs = g_new_calls.load(std::memory_order_relaxed);
+#ifdef NDEBUG
+    EXPECT_EQ(allocs, 0u)
+        << toString(kind) << ": trace-armed run() allocated after setup";
+#else
+    if (allocs != 0) {
+      std::cout << "[ note ] " << toString(kind) << " trace-armed run: "
+                << allocs << " allocation(s) during run() (asserted zero "
+                << "in Release builds)\n";
+    }
+#endif
   }
 #endif
 }

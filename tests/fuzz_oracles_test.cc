@@ -10,6 +10,7 @@
 #include "fuzz/mutations.h"
 #include "fuzz/oracles.h"
 #include "model/serialize.h"
+#include "model/task_system.h"
 #include "taskgen/generator.h"
 #include "taskgen/paper_examples.h"
 
@@ -96,6 +97,67 @@ TEST(FuzzOracles, GcsCeilingBaseMutationIsCaught) {
     if (f.protocol.find("mpcp") != std::string::npos) mpcp_hit = true;
   }
   EXPECT_TRUE(mpcp_hit);
+}
+
+// Three processors queue two spinners (different priorities, staggered
+// arrivals) behind one long holder — the smallest shape where grant
+// order is observable, so the misordered-spin mutations must diverge.
+TaskSystem makeSpinContended() {
+  TaskSystemBuilder b(3);
+  const ResourceId s = b.addResource("G1");
+  b.addTask({.name = "hold", .period = 1000, .processor = 0,
+             .body = Body{}.compute(1).section(s, 10).compute(1)});
+  b.addTask({.name = "hi", .period = 100, .phase = 3, .processor = 1,
+             .body = Body{}.compute(1).section(s, 5).compute(1)});
+  b.addTask({.name = "lo", .period = 400, .phase = 1, .processor = 2,
+             .body = Body{}.compute(1).section(s, 5).compute(1)});
+  return std::move(b).build();
+}
+
+TEST(FuzzOracles, SpinContendedSystemIsCleanUnmutated) {
+  const std::vector<OracleFailure> failures = checkSystem(makeSpinContended());
+  for (const OracleFailure& f : failures) {
+    ADD_FAILURE() << f.protocol << " " << f.oracle << ": " << f.details;
+  }
+}
+
+TEST(FuzzOracles, SpinFifoLifoMutationIsCaught) {
+  OracleOptions opts;
+  opts.mutation = Mutation::kSpinFifoLifo;
+  const std::vector<OracleFailure> failures =
+      checkSystem(makeSpinContended(), opts);
+  ASSERT_FALSE(failures.empty())
+      << "LIFO grants in a claimed-FIFO spin lock must not pass";
+  bool spin_hit = false;
+  for (const OracleFailure& f : failures) {
+    if (f.protocol.find("spin-fifo") != std::string::npos) spin_hit = true;
+  }
+  EXPECT_TRUE(spin_hit);
+}
+
+TEST(FuzzOracles, SpinPrioFifoMutationIsCaught) {
+  OracleOptions opts;
+  opts.mutation = Mutation::kSpinPrioFifo;
+  const std::vector<OracleFailure> failures =
+      checkSystem(makeSpinContended(), opts);
+  ASSERT_FALSE(failures.empty())
+      << "arrival-order grants in a priority spin lock must not pass";
+  bool spin_hit = false;
+  for (const OracleFailure& f : failures) {
+    if (f.protocol.find("spin-prio") != std::string::npos) spin_hit = true;
+  }
+  EXPECT_TRUE(spin_hit);
+}
+
+TEST(FuzzOracles, MutationsOnlyTouchTheirTargetProtocol) {
+  // A mutation keyed to one protocol must leave every other protocol's
+  // runs clean — otherwise a finding could implicate the wrong protocol.
+  OracleOptions opts;
+  opts.mutation = Mutation::kSpinFifoLifo;
+  for (const OracleFailure& f : checkSystem(makeSpinContended(), opts)) {
+    EXPECT_NE(f.protocol.find("spin-fifo"), std::string::npos)
+        << f.protocol << " " << f.oracle << ": " << f.details;
+  }
 }
 
 TEST(FuzzOracles, FailureOrderIsDeterministic) {

@@ -15,8 +15,10 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace mpcp::cli {
 
@@ -102,6 +104,40 @@ inline void probeWritableFile(const std::string& flag,
   }
   probe.close();
   if (!existed) std::remove(path.c_str());
+}
+
+/// Accumulates one sweep CSV row ("seed,v1,...,vN") into totals[0..N).
+/// Rows come back through the campaign journal — they may have crossed a
+/// crash, a kill -9, or a partial flush — so every field is parsed
+/// checked and the column count is enforced before anything is added. A
+/// bad row throws std::runtime_error naming the row, the column, and the
+/// offending text (NOT UsageError: the invocation was fine, the journal
+/// data is bad, so the handler must not reprint usage).
+inline void accumulateSweepTotals(const std::string& payload,
+                                  std::uint64_t* totals,
+                                  std::size_t columns) {
+  std::istringstream row(payload);
+  std::string field;
+  std::vector<std::uint64_t> values;
+  for (std::size_t col = 0; std::getline(row, field, ','); ++col) {
+    std::uint64_t value{};
+    const char* begin = field.data();
+    const char* end = begin + field.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (field.empty() || ec != std::errc() || ptr != end) {
+      throw std::runtime_error("malformed sweep row '" + payload +
+                               "': column " + std::to_string(col) +
+                               " is not an unsigned integer: '" + field + "'");
+    }
+    values.push_back(value);
+  }
+  if (values.size() != columns + 1) {  // +1: the leading seed column
+    throw std::runtime_error("malformed sweep row '" + payload +
+                             "': expected " + std::to_string(columns + 1) +
+                             " comma-separated columns, got " +
+                             std::to_string(values.size()));
+  }
+  for (std::size_t i = 0; i < columns; ++i) totals[i] += values[i + 1];
 }
 
 /// Fails fast when `dir` cannot be created or written into. Probes with

@@ -1,11 +1,15 @@
 // mpcp_cli — drive the library from the shell.
 //
 //   mpcp_cli tables   <file>
-//   mpcp_cli analyze  <file> [--protocol mpcp|dpcp|pcp] [--no-deferred]
+//   mpcp_cli analyze  <file> [--protocol PROTO] [--no-deferred]
 //                            [--paper-literal-f5]
-//   mpcp_cli simulate <file> [--protocol mpcp|dpcp|pcp|pip|none]
+//   mpcp_cli simulate <file> [--protocol PROTO]
 //                            [--horizon N] [--gantt [END]] [--narrative]
 //                            [--csv PREFIX] [--perfetto FILE]
+//
+// PROTO names come from the protocol registry
+// (core/protocol_registry.h): none, none-prio, pip, pcp, mpcp, dpcp,
+// hybrid, spin-fifo, spin-prio.
 //   mpcp_cli stats    <file> [--protocol ...] [--horizon N] [--out FILE]
 //   mpcp_cli stats    --sweep [--protocol ...] [--seeds N] [--seed N]
 //                     [--horizon N] [generator knobs as for generate]
@@ -43,6 +47,7 @@
 #include "common/rng.h"
 #include "common/strf.h"
 #include "core/analyzer.h"
+#include "core/protocol_registry.h"
 #include "core/simulate.h"
 #include "exec/campaign.h"
 #include "exec/interrupt.h"
@@ -65,13 +70,15 @@ int usage() {
   std::cerr <<
       "usage: mpcp_cli <tables|analyze|simulate|stats|sweep|generate|"
       "sensitivity|faults> [args]\n"
+      "  (--protocol PROTO is one of: none|none-prio|pip|pcp|mpcp|dpcp|\n"
+      "   hybrid|spin-fifo|spin-prio)\n"
       "  tables   <file>\n"
-      "  analyze  <file> [--protocol mpcp|dpcp|pcp] [--no-deferred]\n"
+      "  analyze  <file> [--protocol PROTO] [--no-deferred]\n"
       "                  [--paper-literal-f5]\n"
-      "  simulate <file> [--protocol mpcp|dpcp|pcp|pip|none] [--horizon N]\n"
+      "  simulate <file> [--protocol PROTO] [--horizon N]\n"
       "                  [--gantt [END]] [--narrative] [--csv PREFIX]\n"
       "                  [--perfetto FILE]\n"
-      "  stats    <file> [--protocol mpcp|dpcp|pcp|pip|none] [--horizon N]\n"
+      "  stats    <file> [--protocol PROTO] [--horizon N]\n"
       "           [--out FILE]\n"
       "  stats    --sweep [--protocol ...] [--seeds N] [--seed N]\n"
       "           [--horizon N] [--out FILE]\n"
@@ -84,7 +91,7 @@ int usage() {
       "           (testing aids: [--per-run-sleep-ms N] [--crash-seed K])\n"
       "  generate [--seed N] [--processors N] [--tasks-per-proc N]\n"
       "           [--util X] [--resources N] [--cs-max N] [--suspend-prob X]\n"
-      "  sensitivity <file> [--protocol mpcp|dpcp|pcp]\n"
+      "  sensitivity <file> [--protocol PROTO]\n"
       "  faults   <file> [--plan SPEC | --random N [--seed S]]\n"
       "           [--policy none|budget-enforce,job-abort,skip-next-release,\n"
       "            watchdog] [--grace X] [--watchdog-timeout N]\n"
@@ -100,13 +107,10 @@ TaskSystem load(const std::string& path) {
 }
 
 ProtocolKind protocolFromName(const std::string& name) {
-  static const std::map<std::string, ProtocolKind> kMap = {
-      {"mpcp", ProtocolKind::kMpcp}, {"dpcp", ProtocolKind::kDpcp},
-      {"pcp", ProtocolKind::kPcp},   {"pip", ProtocolKind::kPip},
-      {"none", ProtocolKind::kNone}, {"none-prio", ProtocolKind::kNonePrio}};
-  const auto it = kMap.find(name);
-  if (it == kMap.end()) throw ConfigError("unknown protocol '" + name + "'");
-  return it->second;
+  // Registry lookup: an unknown name throws ConfigError listing every
+  // known protocol (main prints it and exits 2, no usage reprint — the
+  // invocation shape was fine, the name was not).
+  return protocolKindFromName(name);
 }
 
 /// Pull "--flag value" / "--flag" options out of argv.
@@ -419,11 +423,10 @@ int cmdSweep(const Args& args) {
   for (const std::optional<std::string>& payload : outcome.payloads) {
     if (!payload.has_value()) continue;
     csv << *payload << "\n";
-    std::istringstream fields(*payload);
-    std::string field;
-    for (int col = -1; col < 9 && std::getline(fields, field, ','); ++col) {
-      if (col >= 0) totals[static_cast<std::size_t>(col)] += std::stoull(field);
-    }
+    // Resumed journal payloads are untrusted bytes (a truncated flush or
+    // a corrupted journal reaches here); checked parsing turns them into
+    // a diagnosis instead of a bare std::stoull abort.
+    cli::accumulateSweepTotals(*payload, totals.data(), totals.size());
   }
   if (!outcome.interrupted) {
     csv << "total";
