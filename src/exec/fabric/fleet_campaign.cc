@@ -1,0 +1,228 @@
+#include "exec/fabric/fleet_campaign.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+
+#include "common/check.h"
+#include "common/strf.h"
+#include "exec/campaign.h"
+#include "exec/journal.h"
+
+namespace mpcp::exec::fabric {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool isShardJournal(const fs::path& p) {
+  return p.extension() == ".journal";
+}
+
+/// Writes `bytes` to `path` atomically: tmp sibling + fsync + rename.
+void writeFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw ConfigError("cannot open '" + tmp +
+                      "' for the journal merge: " + std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw ConfigError("journal merge write to '" + tmp +
+                        "' failed: " + std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+    const int err = errno;
+    ::close(fd);
+    throw ConfigError("journal merge fsync on '" + tmp +
+                      "' failed: " + std::strerror(err));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw ConfigError("cannot rename '" + tmp + "' over '" + path +
+                      "': " + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+std::string sanitizeWorkerName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "worker" : out;
+}
+
+FleetCampaignOutcome runFleetCampaign(int seeds, std::uint64_t seed_base,
+                                      const FleetCampaignOptions& options) {
+  MPCP_CHECK(!options.fleet.body_spec.empty(),
+             "runFleetCampaign needs a body spec");
+  const auto n = static_cast<std::size_t>(std::max(0, seeds));
+  FleetCampaignOutcome out;
+  out.payloads.resize(n);
+
+  // Main journal: identical validation rules to runCampaign.
+  std::unique_ptr<CampaignJournal> journal;
+  std::map<std::string, std::string> completed;
+  std::string loaded_meta;
+  if (!options.journal_path.empty()) {
+    const JournalLoad load = loadJournalFile(options.journal_path);
+    if (!load.empty() && !options.resume) {
+      throw ConfigError("journal '" + options.journal_path +
+                        "' already has records; pass --resume to continue "
+                        "it or remove the file to start over");
+    }
+    if (options.resume && !load.meta.empty() &&
+        !options.config_fingerprint.empty() &&
+        load.meta != options.config_fingerprint) {
+      throw ConfigError(
+          "journal '" + options.journal_path +
+          "' was recorded under a different configuration\n  journal: " +
+          load.meta + "\n  current: " + options.config_fingerprint);
+    }
+    out.exec.journal_corrupt_lines = load.corrupt_lines;
+    completed = load.completed();
+    loaded_meta = load.meta;
+  }
+
+  // Shard overlay (resume) or cleanup (fresh start). Shards carry no
+  // meta record — the main journal's fingerprint governs — so a fresh
+  // campaign must clear stale shards rather than inherit them.
+  if (!options.shard_dir.empty() && fs::is_directory(options.shard_dir)) {
+    for (const auto& entry : fs::directory_iterator(options.shard_dir)) {
+      if (!entry.is_regular_file() || !isShardJournal(entry.path())) {
+        continue;
+      }
+      if (!options.resume) {
+        std::error_code ec;
+        fs::remove(entry.path(), ec);
+        continue;
+      }
+      const JournalLoad shard = loadJournalFile(entry.path().string());
+      out.exec.journal_corrupt_lines += shard.corrupt_lines;
+      for (const JournalRecord& rec : shard.records) {
+        if (rec.kind == RecordKind::kDone) completed[rec.key] = rec.payload;
+      }
+    }
+  }
+
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<CampaignJournal>(options.journal_path);
+    if (loaded_meta.empty() && !options.config_fingerprint.empty()) {
+      journal->append(RecordKind::kMeta, "config",
+                      options.config_fingerprint);
+    }
+  }
+
+  // Satisfy already-completed seeds; collect the rest as fleet keys.
+  std::vector<std::string> keys;
+  std::map<std::string, int> seed_of;
+  for (int s = 0; s < seeds; ++s) {
+    const std::string key = runKey(seed_base, s);
+    seed_of[key] = s;
+    const auto it = completed.find(key);
+    if (it != completed.end()) {
+      out.payloads[static_cast<std::size_t>(s)] = it->second;
+      ++out.exec.resumed_skips;
+    } else {
+      keys.push_back(key);
+    }
+  }
+
+  if (!keys.empty()) {
+    std::map<std::string, std::unique_ptr<CampaignJournal>> shards;
+    const auto shardFor =
+        [&](const std::string& worker) -> CampaignJournal* {
+      if (options.shard_dir.empty()) return nullptr;
+      auto& slot = shards[worker];
+      if (!slot) {
+        slot = std::make_unique<CampaignJournal>(
+            options.shard_dir + "/" + sanitizeWorkerName(worker) +
+            ".journal");
+      }
+      return slot.get();
+    };
+
+    FleetConfig fleet = options.fleet;
+    fleet.fingerprint = options.config_fingerprint;
+    fleet.shard_dir = options.shard_dir;
+    fleet.on_grant = [&](const std::string& key) {
+      if (journal) journal->append(RecordKind::kStart, key, "");
+      ++out.exec.dispatched;
+    };
+    fleet.on_result = [&](const FleetResult& r) {
+      if (CampaignJournal* shard = shardFor(r.worker)) {
+        shard->append(RecordKind::kDone, r.key, r.payload);
+      }
+      const auto it = seed_of.find(r.key);
+      MPCP_CHECK(it != seed_of.end(),
+                 "fleet returned unknown key '" << r.key << "'");
+      out.payloads[static_cast<std::size_t>(it->second)] = r.payload;
+      ++out.exec.completed;
+    };
+    fleet.on_fail = [&](const std::string& key, const std::string& error) {
+      if (journal) journal->append(RecordKind::kFail, key, error);
+      const auto it = seed_of.find(key);
+      MPCP_CHECK(it != seed_of.end(),
+                 "fleet failed unknown key '" << key << "'");
+      exp::RunFailure failure;
+      failure.seed = it->second;
+      failure.error = error;
+      out.failures.push_back(std::move(failure));
+      ++out.exec.failed;
+    };
+
+    const FleetOutcome fo = runFleet(keys, fleet);
+    out.fleet = fo.counters;
+    out.interrupted = fo.interrupted;
+  }
+
+  std::sort(out.failures.begin(), out.failures.end(),
+            [](const exp::RunFailure& a, const exp::RunFailure& b) {
+              return a.seed < b.seed;
+            });
+
+  // Canonical merge: with every key done, rewrite the main journal as
+  // the exact byte stream a serial journaled run would have produced.
+  if (journal && !out.interrupted && out.failures.empty() &&
+      out.complete()) {
+    std::string canonical;
+    if (!options.config_fingerprint.empty()) {
+      canonical += formatRecord(RecordKind::kMeta, "config",
+                                options.config_fingerprint);
+    }
+    for (int s = 0; s < seeds; ++s) {
+      const std::string key = runKey(seed_base, s);
+      canonical += formatRecord(RecordKind::kStart, key, "");
+      canonical += formatRecord(
+          RecordKind::kDone, key,
+          *out.payloads[static_cast<std::size_t>(s)]);
+    }
+    journal.reset();  // close the append fd before replacing the file
+    writeFileAtomic(options.journal_path, canonical);
+  }
+
+  return out;
+}
+
+}  // namespace mpcp::exec::fabric

@@ -1,0 +1,201 @@
+#include "exec/fabric/socket.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mpcp::exec::fabric {
+
+namespace {
+
+int makeSocket(int family) {
+  return ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+}
+
+bool fillUnixAddr(const std::string& path, sockaddr_un& sa,
+                  std::string& error) {
+  std::memset(&sa, 0, sizeof sa);
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof sa.sun_path) {
+    error = "unix socket path too long (" + std::to_string(path.size()) +
+            " bytes, max " + std::to_string(sizeof sa.sun_path - 1) + "): '" +
+            path + "'";
+    return false;
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool parseAddress(const std::string& text, Address& out, std::string& error) {
+  out = {};
+  out.text = text;
+  if (text.empty()) {
+    error = "empty address";
+    return false;
+  }
+  if (text.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = text.substr(5);
+    if (out.path.empty()) {
+      error = "unix address needs a path: '" + text + "'";
+      return false;
+    }
+    return true;
+  }
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon + 1 == text.size()) {
+    error = "address must be unix:PATH or HOST:PORT, got '" + text + "'";
+    return false;
+  }
+  out.host = text.substr(0, colon);
+  out.port = text.substr(colon + 1);
+  for (const char c : out.port) {
+    if (c < '0' || c > '9') {
+      error = "bad port in address '" + text + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+int listenOn(const Address& address, std::string& error) {
+  if (address.is_unix) {
+    const int fd = makeSocket(AF_UNIX);
+    if (fd < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    sockaddr_un sa;
+    if (!fillUnixAddr(address.path, sa, error)) {
+      ::close(fd);
+      return -1;
+    }
+    ::unlink(address.path.c_str());  // stale socket from a killed run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0 ||
+        ::listen(fd, 64) != 0) {
+      error = "cannot listen on '" + address.text +
+              "': " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    setNonBlocking(fd);
+    return fd;
+  }
+
+  addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(address.host.empty() ? nullptr
+                                                    : address.host.c_str(),
+                               address.port.c_str(), &hints, &res);
+  if (rc != 0) {
+    error = "cannot resolve '" + address.text + "': " + gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = makeSocket(ai->ai_family);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 64) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    error = "cannot listen on '" + address.text +
+            "': " + std::strerror(errno);
+    return -1;
+  }
+  setNonBlocking(fd);
+  return fd;
+}
+
+int connectTo(const Address& address, std::string& error) {
+  if (address.is_unix) {
+    const int fd = makeSocket(AF_UNIX);
+    if (fd < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    sockaddr_un sa;
+    if (!fillUnixAddr(address.path, sa, error)) {
+      ::close(fd);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      error = "cannot connect to '" + address.text +
+              "': " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(address.host.empty() ? "127.0.0.1"
+                                                    : address.host.c_str(),
+                               address.port.c_str(), &hints, &res);
+  if (rc != 0) {
+    error = "cannot resolve '" + address.text + "': " + gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = makeSocket(ai->ai_family);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    error = "cannot connect to '" + address.text +
+            "': " + std::strerror(errno);
+  }
+  return fd;
+}
+
+bool sendAll(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET/...: the connection is gone
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool sendFrame(int fd, FrameType type, const std::string& payload) {
+  const std::string bytes = encodeFrame(type, payload);
+  return sendAll(fd, bytes.data(), bytes.size());
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace mpcp::exec::fabric

@@ -1,0 +1,53 @@
+// Minimal socket plumbing for the campaign fabric: Unix-domain and TCP
+// stream sockets behind one Address type, plus write helpers that never
+// raise SIGPIPE (MSG_NOSIGNAL on every send, EINTR retried) — a worker
+// dying mid-write surfaces as a false return, not a dead coordinator.
+//
+// Address grammar:
+//   "unix:<path>"   Unix-domain stream socket at <path>
+//   "<host>:<port>" TCP (host may be empty to listen on all interfaces,
+//                   e.g. ":9000")
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "exec/fabric/wire.h"
+
+namespace mpcp::exec::fabric {
+
+struct Address {
+  bool is_unix = false;
+  std::string path;  ///< unix socket path
+  std::string host;  ///< tcp host ("" = wildcard for listen, loopback for connect)
+  std::string port;  ///< tcp port
+  std::string text;  ///< original spelling, for messages
+};
+
+/// Parses the address grammar above. False (with `error` set) on
+/// malformed input; never throws.
+[[nodiscard]] bool parseAddress(const std::string& text, Address& out,
+                                std::string& error);
+
+/// Binds + listens. Unix sockets unlink a stale path first (a coordinator
+/// killed with SIGKILL leaves one behind). Returns the listening fd
+/// (CLOEXEC, nonblocking accepts) or -1 with `error` set.
+[[nodiscard]] int listenOn(const Address& address, std::string& error);
+
+/// Connects (blocking). Returns the fd (CLOEXEC) or -1 with `error` set.
+[[nodiscard]] int connectTo(const Address& address, std::string& error);
+
+/// Writes all of `data`, retrying EINTR and short writes, with
+/// MSG_NOSIGNAL so a closed peer yields EPIPE instead of SIGPIPE.
+/// False on any unrecoverable error (the connection is unusable).
+[[nodiscard]] bool sendAll(int fd, const void* data, std::size_t n);
+
+/// encodeFrame + sendAll in one step.
+[[nodiscard]] bool sendFrame(int fd, FrameType type,
+                             const std::string& payload);
+
+/// Sets O_NONBLOCK (used on listening fds so accept never wedges the
+/// coordinator loop).
+void setNonBlocking(int fd);
+
+}  // namespace mpcp::exec::fabric

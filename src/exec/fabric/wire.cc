@@ -1,0 +1,125 @@
+#include "exec/fabric/wire.h"
+
+#include "common/strf.h"
+#include "exec/journal.h"  // exec::crc32
+
+namespace mpcp::exec::fabric {
+
+namespace {
+
+void putU32(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v & 0xff);
+  out += static_cast<char>((v >> 8) & 0xff);
+  out += static_cast<char>((v >> 16) & 0xff);
+  out += static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t getU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+}  // namespace
+
+const char* toString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kWelcome: return "WELCOME";
+    case FrameType::kReject: return "REJECT";
+    case FrameType::kLease: return "LEASE";
+    case FrameType::kResult: return "RESULT";
+    case FrameType::kHeartbeat: return "HEARTBEAT";
+    case FrameType::kSteal: return "STEAL";
+    case FrameType::kBye: return "BYE";
+  }
+  return "?";
+}
+
+std::string encodeFrame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  putU32(out, kWireMagic);
+  out += static_cast<char>(kWireVersion);
+  out += static_cast<char>(type);
+  out += '\0';
+  out += '\0';  // reserved
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  putU32(out, crc32(payload));
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  buf_.append(data, n);
+}
+
+FrameDecoder::Result FrameDecoder::poison(std::string why) {
+  poisoned_ = true;
+  error_ = std::move(why);
+  Result r;
+  r.status = Status::kError;
+  r.error = error_;
+  return r;
+}
+
+FrameDecoder::Result FrameDecoder::next() {
+  if (poisoned_) {
+    Result r;
+    r.status = Status::kError;
+    r.error = error_;
+    return r;
+  }
+  // Compact consumed bytes occasionally so the buffer never grows
+  // unbounded across a long session.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ > (1u << 16))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) {
+    return {};  // kNeedMore
+  }
+  const char* h = buf_.data() + pos_;
+  const std::uint32_t magic = getU32(h);
+  if (magic != kWireMagic) {
+    return poison(strf("bad frame magic ", magic));
+  }
+  const auto version = static_cast<std::uint8_t>(h[4]);
+  if (version != kWireVersion) {
+    return poison(strf("unsupported wire version ", int{version},
+                       " (want ", int{kWireVersion}, ")"));
+  }
+  const auto raw_type = static_cast<std::uint8_t>(h[5]);
+  if (raw_type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      raw_type > static_cast<std::uint8_t>(FrameType::kBye)) {
+    return poison(strf("unknown frame type ", int{raw_type}));
+  }
+  if (h[6] != 0 || h[7] != 0) {
+    return poison("nonzero reserved header bytes");
+  }
+  const std::uint32_t len = getU32(h + 8);
+  if (len > kMaxFramePayload) {
+    return poison(strf("oversized frame payload: ", len, " bytes (cap ",
+                       kMaxFramePayload, ")"));
+  }
+  const std::uint32_t recorded_crc = getU32(h + 12);
+  if (avail < kFrameHeaderSize + len) {
+    return {};  // kNeedMore: payload still in flight
+  }
+  const std::string payload = buf_.substr(pos_ + kFrameHeaderSize, len);
+  if (crc32(payload) != recorded_crc) {
+    return poison(strf(toString(static_cast<FrameType>(raw_type)),
+                       " frame failed its payload CRC"));
+  }
+  pos_ += kFrameHeaderSize + len;
+  Result r;
+  r.status = Status::kFrame;
+  r.frame.type = static_cast<FrameType>(raw_type);
+  r.frame.payload = payload;
+  return r;
+}
+
+}  // namespace mpcp::exec::fabric

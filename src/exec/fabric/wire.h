@@ -1,0 +1,103 @@
+// The fleet wire protocol (ISSUE 9): versioned, CRC-framed messages
+// between the campaign coordinator and its workers.
+//
+// This generalizes the single-machine pipe frame in exec/subprocess.h
+// ([status][len][bytes]) into something that survives a hostile
+// transport: every frame carries a magic number, a protocol version, a
+// length bounded by kMaxFramePayload, and a CRC-32 over the payload, so
+// a truncated write, a garbage connection, or a version-skewed worker is
+// *rejected structurally* — the decoder reports an error and poisons
+// itself, the owner drops the connection and bumps a counter, and the
+// coordinator never crashes or mis-parses.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32 magic        "MPCF"
+//   u8  version      kWireVersion
+//   u8  type         FrameType
+//   u16 reserved     must be 0
+//   u32 payload_len  <= kMaxFramePayload
+//   u32 payload_crc  exec::crc32 of the payload bytes
+//   [payload_len bytes]
+//
+// Conversation (the MPI librarians' request/approve/release shape from
+// SNIPPETS.md §1, adapted to leases):
+//
+//   worker      -> HELLO      "fabric 1\nname=<w>\nkinds=<k1,k2>"
+//   coordinator -> WELCOME    "<config-fingerprint>\n<body-spec>"
+//                | REJECT     "<reason>"            (then drops)
+//   coordinator -> LEASE      "<key> <key> ..."     (grant work)
+//   worker      -> RESULT     "<key> ok|fail\n<bytes>"
+//   worker      -> HEARTBEAT  ""                    (liveness between runs)
+//   coordinator -> STEAL      "<key> <key> ..."     (revoke unstarted keys)
+//   either      -> BYE        ""                    (graceful leave)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mpcp::exec::fabric {
+
+inline constexpr std::uint32_t kWireMagic = 0x4643504du;  // "MPCF" on the wire
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+inline constexpr std::size_t kFrameHeaderSize = 16;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kReject = 3,
+  kLease = 4,
+  kResult = 5,
+  kHeartbeat = 6,
+  kSteal = 7,
+  kBye = 8,
+};
+
+[[nodiscard]] const char* toString(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload), ready for sendAll().
+[[nodiscard]] std::string encodeFrame(FrameType type,
+                                      const std::string& payload);
+
+/// Incremental decoder for one connection's byte stream. feed() raw
+/// bytes as they arrive, then pull frames with next() until it returns
+/// kNeedMore. The first malformed header or CRC mismatch *poisons* the
+/// decoder — every subsequent next() repeats the error, because once
+/// framing is lost there is no way to resynchronize safely; the owner
+/// must drop the connection.
+class FrameDecoder {
+ public:
+  enum class Status { kNeedMore, kFrame, kError };
+
+  struct Result {
+    Status status = Status::kNeedMore;
+    Frame frame;        ///< valid when status == kFrame
+    std::string error;  ///< human-readable when status == kError
+  };
+
+  void feed(const char* data, std::size_t n);
+
+  [[nodiscard]] Result next();
+
+  /// True when buffered bytes form an incomplete frame — at EOF this
+  /// means the peer died mid-write (a torn frame).
+  [[nodiscard]] bool midFrame() const { return pos_ < buf_.size(); }
+
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+ private:
+  Result poison(std::string why);
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+}  // namespace mpcp::exec::fabric

@@ -1,0 +1,288 @@
+#include "exec/fabric/worker.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <ostream>
+#include <thread>
+
+#include "common/check.h"
+#include "common/strf.h"
+#include "exec/fabric/socket.h"
+#include "exec/fabric/wire.h"
+#include "exec/interrupt.h"
+
+namespace mpcp::exec::fabric {
+
+namespace {
+
+std::int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void note(const WorkerConfig& config, const std::string& message) {
+  if (config.log != nullptr) {
+    *config.log << "worker " << config.name << ": " << message << "\n";
+  }
+}
+
+enum class SessionEnd {
+  kBye,          ///< coordinator finished with us — clean exit
+  kLost,         ///< connection died — reconnect with backoff
+  kInterrupted,  ///< SIGINT/SIGTERM — exit 128+signo
+  kConfig,       ///< REJECT / unknown kind / fingerprint flip — exit 3
+};
+
+/// Drains readable bytes into the decoder. False = connection dead.
+bool drainSocket(int fd, FrameDecoder& decoder) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (n > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return true;
+    }
+    return false;
+  }
+}
+
+/// Blocks (via poll) until one complete frame arrives or `deadline_ms`
+/// passes. False = dead/poisoned/timeout.
+bool awaitFrame(int fd, FrameDecoder& decoder, std::int64_t deadline_ms,
+                Frame& out) {
+  for (;;) {
+    const FrameDecoder::Result r = decoder.next();
+    if (r.status == FrameDecoder::Status::kFrame) {
+      out = r.frame;
+      return true;
+    }
+    if (r.status == FrameDecoder::Status::kError) return false;
+    const std::int64_t left = deadline_ms - nowMs();
+    if (left <= 0 || interrupted()) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    ::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(left, 200)));
+    if (!drainSocket(fd, decoder)) {
+      // A REJECT (or WELCOME) right before the peer's close still counts.
+      const FrameDecoder::Result last = decoder.next();
+      if (last.status == FrameDecoder::Status::kFrame) {
+        out = last.frame;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+void splitKeys(const std::string& payload, std::deque<std::string>& out) {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t sp = payload.find(' ', pos);
+    if (sp == std::string::npos) sp = payload.size();
+    if (sp > pos) out.push_back(payload.substr(pos, sp - pos));
+    pos = sp + 1;
+  }
+}
+
+/// One connected session: handshake already done, `body` built. Runs
+/// leased keys and heartbeats until the connection ends.
+SessionEnd runSession(const WorkerConfig& config, int fd,
+                      FrameDecoder& decoder, const FleetBodyFn& body) {
+  std::deque<std::string> queue;
+  std::int64_t last_send = nowMs();
+  for (;;) {
+    if (interrupted()) {
+      (void)sendFrame(fd, FrameType::kBye, "");
+      return SessionEnd::kInterrupted;
+    }
+
+    // Wait for traffic only when idle; with leased work, poll(0) just
+    // picks up new frames (a STEAL must cancel queued keys promptly).
+    pollfd pfd{fd, POLLIN, 0};
+    ::poll(&pfd, 1, queue.empty() ? config.heartbeat_ms : 0);
+    // Decode what arrived even when the peer has already closed: a BYE
+    // followed immediately by the coordinator's close must still read as
+    // a BYE, not as a lost connection.
+    const bool alive = drainSocket(fd, decoder);
+    for (;;) {
+      const FrameDecoder::Result r = decoder.next();
+      if (r.status == FrameDecoder::Status::kNeedMore) break;
+      if (r.status == FrameDecoder::Status::kError) {
+        note(config, strf("dropping torn connection: ", r.error));
+        return SessionEnd::kLost;
+      }
+      switch (r.frame.type) {
+        case FrameType::kLease:
+          splitKeys(r.frame.payload, queue);
+          break;
+        case FrameType::kSteal: {
+          std::deque<std::string> stolen;
+          splitKeys(r.frame.payload, stolen);
+          for (const std::string& key : stolen) {
+            for (auto it = queue.begin(); it != queue.end(); ++it) {
+              if (*it == key) {
+                queue.erase(it);
+                break;
+              }
+            }
+          }
+          break;
+        }
+        case FrameType::kBye:
+          return SessionEnd::kBye;
+        case FrameType::kHeartbeat:
+          break;
+        default:
+          // The coordinator never sends anything else mid-session;
+          // treat it as a torn stream.
+          note(config, strf("unexpected ", toString(r.frame.type),
+                            " frame mid-session"));
+          return SessionEnd::kLost;
+      }
+    }
+    if (!alive) return SessionEnd::kLost;
+
+    if (!queue.empty()) {
+      const std::string key = queue.front();
+      queue.pop_front();
+      applyChaosAids(key);
+      FleetResult result;
+      try {
+        result = body(key);
+      } catch (const std::exception& e) {
+        result.key = key;
+        result.ok = false;
+        result.payload = e.what();
+      }
+      const std::string header = key + (result.ok ? " ok\n" : " fail\n");
+      if (!sendFrame(fd, FrameType::kResult, header + result.payload)) {
+        return SessionEnd::kLost;
+      }
+      last_send = nowMs();
+      continue;  // prefer draining the queue over sleeping in poll
+    }
+
+    if (nowMs() - last_send >= config.heartbeat_ms) {
+      if (!sendFrame(fd, FrameType::kHeartbeat, "")) {
+        return SessionEnd::kLost;
+      }
+      last_send = nowMs();
+    }
+  }
+}
+
+}  // namespace
+
+int runWorker(const WorkerConfig& config_in) {
+  WorkerConfig config = config_in;
+  if (config.name.empty()) config.name = strf("w", ::getpid());
+  ignoreSigpipe();
+
+  Address addr;
+  std::string error;
+  if (!parseAddress(config.connect, addr, error)) {
+    note(config, strf("bad --connect address: ", error));
+    return 3;
+  }
+
+  std::string kinds;
+  for (const std::string& kind : fleetBodyKinds()) {
+    if (!kinds.empty()) kinds += ',';
+    kinds += kind;
+  }
+  const std::string hello = strf("fabric ", int{kWireVersion},
+                                 "\nname=", config.name, "\nkinds=", kinds);
+
+  std::string pinned_fingerprint;  // set on first handshake, checked after
+  int attempt = 1;
+  for (;;) {
+    if (interrupted()) return interruptExitCode();
+
+    const int fd = connectTo(addr, error);
+    SessionEnd end = SessionEnd::kLost;
+    if (fd >= 0) {
+      FrameDecoder decoder;
+      Frame reply;
+      if (sendFrame(fd, FrameType::kHello, hello) &&
+          awaitFrame(fd, decoder, nowMs() + 5000, reply)) {
+        if (reply.type == FrameType::kReject) {
+          note(config, strf("coordinator rejected us: ", reply.payload));
+          end = SessionEnd::kConfig;
+        } else if (reply.type == FrameType::kWelcome) {
+          const std::size_t nl = reply.payload.find('\n');
+          const std::string fingerprint =
+              nl == std::string::npos ? reply.payload
+                                      : reply.payload.substr(0, nl);
+          const std::string spec =
+              nl == std::string::npos ? "" : reply.payload.substr(nl + 1);
+          if (!pinned_fingerprint.empty() &&
+              fingerprint != pinned_fingerprint) {
+            note(config,
+                 strf("reconnected to a different campaign\n  pinned:  ",
+                      pinned_fingerprint, "\n  offered: ", fingerprint));
+            end = SessionEnd::kConfig;
+          } else {
+            const FleetBodyFactory* factory =
+                findFleetBodyKind(fleetBodyKind(spec));
+            if (factory == nullptr) {
+              note(config, strf("no body registered for spec kind '",
+                                fleetBodyKind(spec), "'"));
+              end = SessionEnd::kConfig;
+            } else {
+              try {
+                const FleetBodyFn body = (*factory)(spec);
+                pinned_fingerprint = fingerprint;
+                attempt = 1;  // handshake succeeded: reset the backoff
+                note(config, strf("joined campaign ", fingerprint));
+                end = runSession(config, fd, decoder, body);
+              } catch (const ConfigError& e) {
+                note(config, strf("cannot build body from spec: ", e.what()));
+                end = SessionEnd::kConfig;
+              }
+            }
+          }
+        } else {
+          note(config, strf("expected WELCOME, got ", toString(reply.type)));
+        }
+      } else if (!error.empty()) {
+        note(config, strf("handshake failed: ", error));
+      }
+      ::close(fd);
+    }
+
+    switch (end) {
+      case SessionEnd::kBye:
+        note(config, "coordinator said BYE; exiting");
+        return 0;
+      case SessionEnd::kInterrupted:
+        return interruptExitCode();
+      case SessionEnd::kConfig:
+        return 3;
+      case SessionEnd::kLost:
+        break;
+    }
+
+    if (attempt >= config.reconnect.max_attempts) {
+      note(config, strf("giving up after ", attempt, " connection attempt",
+                        attempt == 1 ? "" : "s"));
+      return 1;
+    }
+    const auto delay = retryDelay(config.reconnect, attempt);
+    note(config, strf("reconnecting in ", delay.count(), "ms (attempt ",
+                      attempt + 1, "/", config.reconnect.max_attempts, ")"));
+    std::this_thread::sleep_for(delay);
+    ++attempt;
+  }
+}
+
+}  // namespace mpcp::exec::fabric

@@ -1,0 +1,49 @@
+// Fleet worker loop (ISSUE 9) — the other half of the campaign fabric.
+//
+// A worker is a thin, stateless shell around the body registry
+// (exec/fabric/work.h): it connects to a coordinator, introduces itself
+// with HELLO, receives the body spec in WELCOME, builds the run body
+// from the registry, and then executes leased keys one at a time,
+// streaming RESULT frames back. All campaign state (journals, retries,
+// dedupe) lives on the coordinator; a worker can be killed -9 at any
+// instant and the campaign loses at most the key it was running.
+//
+// Robustness contract:
+//   * reconnect with capped exponential backoff (exec/retry.h) when the
+//     coordinator drops or is not up yet; the attempt counter resets on
+//     every successful handshake;
+//   * the WELCOME fingerprint is pinned on first handshake — a later
+//     reconnect that lands on a *different* campaign (fingerprint
+//     mismatch) exits with a config error instead of corrupting it;
+//   * leased-but-unfinished keys are forgotten on disconnect — the
+//     coordinator requeues them, and re-execution is harmless because
+//     run bodies are deterministic functions of (spec, key);
+//   * a REJECT from the coordinator (version/kind mismatch) is terminal:
+//     retrying cannot help, so the worker exits with a distinct code;
+//   * run-body exceptions become `fail` RESULTs, never worker deaths.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "exec/fabric/work.h"
+#include "exec/retry.h"
+
+namespace mpcp::exec::fabric {
+
+struct WorkerConfig {
+  std::string connect;           ///< coordinator address (socket.h grammar)
+  std::string name;              ///< reported in HELLO; default "w<pid>"
+  int heartbeat_ms = 500;        ///< HEARTBEAT cadence while connected
+  RetryPolicy reconnect{8, std::chrono::milliseconds(100),
+                        std::chrono::milliseconds(2000), 0};
+  std::ostream* log = nullptr;   ///< progress/diagnostic lines (nullable)
+};
+
+/// Runs the worker loop until the coordinator says BYE (returns 0), the
+/// process is interrupted (returns 128+signo), reconnect attempts are
+/// exhausted (returns 1), or the coordinator rejects the handshake or
+/// ships a spec this binary cannot build (returns 3).
+[[nodiscard]] int runWorker(const WorkerConfig& config);
+
+}  // namespace mpcp::exec::fabric

@@ -207,14 +207,19 @@ CampaignJournal::~CampaignJournal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void CampaignJournal::append(RecordKind kind, const std::string& key,
-                             const std::string& payload) {
+std::string formatRecord(RecordKind kind, const std::string& key,
+                         const std::string& payload) {
   MPCP_CHECK(key.find_first_of(" \n\r") == std::string::npos,
              "journal key must be whitespace-free: '" << key << "'");
   std::string body = std::string(toString(kind)) + " " + key;
   const std::string escaped = escapeLine(payload);
   if (!escaped.empty()) body += " " + escaped;
-  const std::string line = crcHex(crc32(body)) + " " + body + "\n";
+  return crcHex(crc32(body)) + " " + body + "\n";
+}
+
+void CampaignJournal::append(RecordKind kind, const std::string& key,
+                             const std::string& payload) {
+  const std::string line = formatRecord(kind, key, payload);
 
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t off = 0;

@@ -78,6 +78,13 @@ struct JournalLoad {
 [[nodiscard]] JournalLoad parseJournal(const std::string& text);
 [[nodiscard]] JournalLoad loadJournalFile(const std::string& path);
 
+/// The exact line CampaignJournal::append writes for (kind, key,
+/// payload) — CRC prefix, escaped payload, trailing newline. Exposed so
+/// the fleet shard merge (exec/fabric/) can rebuild a journal
+/// byte-identical to a serial run. Requires a whitespace-free key.
+[[nodiscard]] std::string formatRecord(RecordKind kind, const std::string& key,
+                                       const std::string& payload);
+
 /// Append handle. Thread-safe: concurrent appends from pool workers are
 /// serialized internally; each record is written + fsync'd before
 /// append() returns, so a completed run survives any subsequent crash.

@@ -9,11 +9,15 @@
 #include <set>
 #include <system_error>
 
+#include <charconv>
+
 #include "common/check.h"
 #include "common/strf.h"
+#include "exec/fabric/coordinator.h"
 #include "exec/interrupt.h"
 #include "exec/journal.h"
 #include "exp/sweep_runner.h"
+#include "fuzz/fleet.h"
 #include "fuzz/repro.h"
 #include "fuzz/shrink.h"
 #include "model/serialize.h"
@@ -170,6 +174,179 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
     }
   }
 
+  // Folds one executed run into the report: journal it, shrink, dedupe
+  // by signature, write the repro. Shared between the serial batch loop
+  // (run order) and the fleet path (arrival order).
+  const auto foldRow = [&](int run_index, const RunRow& row) {
+    const std::string key = fuzzRunKey(run_index);
+    ++report.runs_executed;
+    if (row.failures.empty()) {
+      if (journal) journal->append(exec::RecordKind::kDone, key, "clean");
+      return;
+    }
+    ++report.systems_with_findings;
+    if (static_cast<int>(report.findings.size()) >= options.max_findings) {
+      // Keep counting, stop shrinking/writing. "overflow" (not "clean")
+      // so the journal never claims a finding-bearing run was clean.
+      if (journal) journal->append(exec::RecordKind::kDone, key, "overflow");
+      return;
+    }
+
+    FuzzFinding finding;
+    finding.run_index = run_index;
+    finding.derived_seed =
+        options.seed + static_cast<std::uint64_t>(run_index);
+    finding.failure = row.failures.front();
+    log << "FINDING run=" << finding.run_index
+        << " seed=" << finding.derived_seed << " ["
+        << finding.failure.protocol << "] " << finding.failure.oracle
+        << ": " << finding.failure.details << "\n";
+
+    TaskSystem sys = parseTaskSystemFromString(row.system_text);
+    finding.tasks_before = static_cast<int>(sys.tasks().size());
+
+    if (options.shrink && row.fault_plan_text.empty()) {
+      OracleOptions shrink_options = oracle_options;
+      shrink_options.protocols = {finding.failure.protocol};
+      const std::string target_oracle = finding.failure.oracle;
+      const auto still_violates = [&](const TaskSystem& candidate) {
+        for (const OracleFailure& f :
+             checkSystem(candidate, shrink_options)) {
+          if (f.oracle == target_oracle) return true;
+        }
+        return false;
+      };
+      // The recorded failure came from the full-oracle pass; re-check
+      // under the narrowed protocol set before shrinking against it.
+      if (still_violates(sys)) {
+        const ShrinkResult shrunk = shrinkSystem(
+            sys, still_violates, options.max_shrink_evaluations);
+        finding.shrink_evaluations = shrunk.evaluations;
+        sys = shrunk.system;
+        log << "  shrunk " << finding.tasks_before << " -> "
+            << sys.tasks().size() << " tasks in " << shrunk.evaluations
+            << " evaluations" << (shrunk.hit_budget ? " (budget hit)" : "")
+            << "\n";
+      }
+    }
+    finding.tasks_after = static_cast<int>(sys.tasks().size());
+
+    // Campaign dedupe: a signature seen earlier in this campaign (or in
+    // a previous run of it) is the same bug rediscovered — count it,
+    // journal it, but don't write another repro file.
+    std::string signature;
+    if (campaign) {
+      signature =
+          findingSignature(finding.failure.protocol, finding.failure.oracle,
+                           serializeTaskSystemToString(sys));
+      if (!seen_signatures.insert(signature).second) {
+        ++report.duplicate_findings;
+        log << "  duplicate of known finding " << signature
+            << " (repro not re-written)\n";
+        journal->append(exec::RecordKind::kDone, key,
+                        "finding " + signature + " dup");
+        return;
+      }
+    }
+
+    ReproCase repro;
+    repro.protocol = finding.failure.protocol;
+    repro.oracle = finding.failure.oracle;
+    repro.mutation = options.mutation;
+    repro.seed = finding.derived_seed;
+    repro.horizon_cap = options.horizon_cap;
+    repro.differential_horizon = options.differential_horizon;
+    repro.fault_plan = row.fault_plan_text;
+    repro.fault_grace = options.fault_grace;
+    repro.fault_watchdog = options.fault_watchdog;
+    repro.system = sys;
+    finding.repro_text = writeRepro(repro);
+
+    const std::string dir =
+        options.corpus_dir.empty() ? "." : options.corpus_dir;
+    std::error_code ec;  // best-effort; the open below reports failure
+    std::filesystem::create_directories(dir, ec);
+    const std::string path =
+        strf(dir, "/repro-seed", finding.derived_seed, "-",
+             sanitizeForFilename(finding.failure.protocol), "-",
+             sanitizeForFilename(finding.failure.oracle), ".repro");
+    std::ofstream out(path);
+    out << finding.repro_text;
+    out.flush();
+    if (out) {
+      finding.repro_path = path;
+      log << "  wrote " << path << "\n";
+    } else {
+      log << "  warning: could not write " << path << "\n";
+    }
+    if (journal) {
+      journal->append(exec::RecordKind::kDone, key, "finding " + signature);
+    }
+    report.findings.push_back(std::move(finding));
+  };
+
+  // Fleet mode: hand the pending run indices to the campaign fabric.
+  // Workers execute generate+oracles; every result folds here, so the
+  // journal/dedupe/repro behavior matches the serial path.
+  if (options.fleet_workers > 0 || !options.fleet_listen.empty()) {
+    registerFuzzFleetBody();
+    std::vector<std::string> keys;
+    for (int i = 0; i < options.runs; ++i) {
+      const std::string key = fuzzRunKey(i);
+      if (done_keys.count(key) != 0) {
+        ++report.resumed_skips;
+        continue;
+      }
+      keys.push_back(key);
+    }
+
+    exec::fabric::FleetConfig fc;
+    fc.listen = options.fleet_listen;
+    fc.spawn_workers = options.fleet_workers;
+    fc.worker_bin = options.fleet_worker_bin;
+    fc.shard_dir = options.fleet_shard_dir;
+    fc.body_spec = makeFuzzBodySpec(options);
+    fc.fingerprint = campaignFingerprint(options);
+    fc.timing.heartbeat_ms = options.fleet_heartbeat_ms;
+    fc.timing.lease_deadline_ms = options.fleet_lease_deadline_ms;
+    fc.timing.degrade_after_ms = options.fleet_grace_ms;
+    fc.log = &log;
+    fc.local_fn =
+        (*exec::fabric::findFleetBodyKind("fuzz-v1"))(fc.body_spec);
+    fc.on_result = [&](const exec::fabric::FleetResult& r) {
+      int index = 0;
+      const char* begin = r.key.data() + 1;
+      const char* end = r.key.data() + r.key.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, index);
+      FuzzRunOutcome outcome;
+      if (r.key.empty() || r.key[0] != 'r' || ec != std::errc() ||
+          ptr != end || !decodeFuzzRunOutcome(r.payload, outcome)) {
+        // Undecodable result: leave the key un-journaled so a resume
+        // simply re-runs it.
+        log << "fleet: discarding undecodable result for key '" << r.key
+            << "'\n";
+        return;
+      }
+      RunRow row;
+      row.generated = true;
+      row.failures = std::move(outcome.failures);
+      row.system_text = std::move(outcome.system_text);
+      row.fault_plan_text = std::move(outcome.fault_plan_text);
+      foldRow(index, row);
+    };
+    fc.on_fail = [&](const std::string& key, const std::string& error) {
+      if (journal) journal->append(exec::RecordKind::kFail, key, error);
+      log << "fleet: run " << key << " failed permanently: " << error
+          << "\n";
+    };
+
+    const exec::fabric::FleetOutcome fo = exec::fabric::runFleet(keys, fc);
+    report.fleet = fo.counters;
+    report.interrupted = fo.interrupted || exec::interrupted();
+    report.elapsed_s = elapsed();
+    return report;
+  }
+
   const int batch = std::max(runner.threadCount() * 4, 16);
   for (int base = 0; base < options.runs; base += batch) {
     if (options.time_budget_s > 0 && elapsed() >= options.time_budget_s) {
@@ -225,111 +402,7 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
         report.interrupted = true;
         break;  // un-journaled rows in this batch simply re-run on resume
       }
-      const std::string key = fuzzRunKey(base + s);
-      ++report.runs_executed;
-      if (row.failures.empty()) {
-        if (journal) journal->append(exec::RecordKind::kDone, key, "clean");
-        continue;
-      }
-      ++report.systems_with_findings;
-      if (static_cast<int>(report.findings.size()) >= options.max_findings) {
-        // Keep counting, stop shrinking/writing. "overflow" (not "clean")
-        // so the journal never claims a finding-bearing run was clean.
-        if (journal) journal->append(exec::RecordKind::kDone, key, "overflow");
-        continue;
-      }
-
-      FuzzFinding finding;
-      finding.run_index = base + s;
-      finding.derived_seed =
-          options.seed + static_cast<std::uint64_t>(base + s);
-      finding.failure = row.failures.front();
-      log << "FINDING run=" << finding.run_index
-          << " seed=" << finding.derived_seed << " ["
-          << finding.failure.protocol << "] " << finding.failure.oracle
-          << ": " << finding.failure.details << "\n";
-
-      TaskSystem sys = parseTaskSystemFromString(row.system_text);
-      finding.tasks_before = static_cast<int>(sys.tasks().size());
-
-      if (options.shrink && row.fault_plan_text.empty()) {
-        OracleOptions shrink_options = oracle_options;
-        shrink_options.protocols = {finding.failure.protocol};
-        const std::string target_oracle = finding.failure.oracle;
-        const auto still_violates = [&](const TaskSystem& candidate) {
-          for (const OracleFailure& f :
-               checkSystem(candidate, shrink_options)) {
-            if (f.oracle == target_oracle) return true;
-          }
-          return false;
-        };
-        // The recorded failure came from the full-oracle pass; re-check
-        // under the narrowed protocol set before shrinking against it.
-        if (still_violates(sys)) {
-          const ShrinkResult shrunk = shrinkSystem(
-              sys, still_violates, options.max_shrink_evaluations);
-          finding.shrink_evaluations = shrunk.evaluations;
-          sys = shrunk.system;
-          log << "  shrunk " << finding.tasks_before << " -> "
-              << sys.tasks().size() << " tasks in " << shrunk.evaluations
-              << " evaluations" << (shrunk.hit_budget ? " (budget hit)" : "")
-              << "\n";
-        }
-      }
-      finding.tasks_after = static_cast<int>(sys.tasks().size());
-
-      // Campaign dedupe: a signature seen earlier in this campaign (or in
-      // a previous run of it) is the same bug rediscovered — count it,
-      // journal it, but don't write another repro file.
-      std::string signature;
-      if (campaign) {
-        signature =
-            findingSignature(finding.failure.protocol, finding.failure.oracle,
-                             serializeTaskSystemToString(sys));
-        if (!seen_signatures.insert(signature).second) {
-          ++report.duplicate_findings;
-          log << "  duplicate of known finding " << signature
-              << " (repro not re-written)\n";
-          journal->append(exec::RecordKind::kDone, key,
-                          "finding " + signature + " dup");
-          continue;
-        }
-      }
-
-      ReproCase repro;
-      repro.protocol = finding.failure.protocol;
-      repro.oracle = finding.failure.oracle;
-      repro.mutation = options.mutation;
-      repro.seed = finding.derived_seed;
-      repro.horizon_cap = options.horizon_cap;
-      repro.differential_horizon = options.differential_horizon;
-      repro.fault_plan = row.fault_plan_text;
-      repro.fault_grace = options.fault_grace;
-      repro.fault_watchdog = options.fault_watchdog;
-      repro.system = sys;
-      finding.repro_text = writeRepro(repro);
-
-      const std::string dir =
-          options.corpus_dir.empty() ? "." : options.corpus_dir;
-      std::error_code ec;  // best-effort; the open below reports failure
-      std::filesystem::create_directories(dir, ec);
-      const std::string path =
-          strf(dir, "/repro-seed", finding.derived_seed, "-",
-               sanitizeForFilename(finding.failure.protocol), "-",
-               sanitizeForFilename(finding.failure.oracle), ".repro");
-      std::ofstream out(path);
-      out << finding.repro_text;
-      out.flush();
-      if (out) {
-        finding.repro_path = path;
-        log << "  wrote " << path << "\n";
-      } else {
-        log << "  warning: could not write " << path << "\n";
-      }
-      if (journal) {
-        journal->append(exec::RecordKind::kDone, key, "finding " + signature);
-      }
-      report.findings.push_back(std::move(finding));
+      foldRow(base + s, row);
     }
     if (report.interrupted) break;
   }

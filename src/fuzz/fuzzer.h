@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "fuzz/mutations.h"
 #include "fuzz/oracles.h"
+#include "obs/counters.h"
 #include "taskgen/generator.h"
 
 namespace mpcp::fuzz {
@@ -58,6 +59,19 @@ struct FuzzOptions {
   /// is byte-identical to pre-campaign builds.
   std::string campaign_path;
   bool resume = false;
+  /// Fleet mode (ISSUE 9): when fleet_workers > 0 or fleet_listen is
+  /// set, run indices are sharded across mpcp_worker processes via the
+  /// campaign fabric. Workers do the generate+oracle half; journaling,
+  /// shrinking, dedupe, and repro writing stay on the coordinator, so
+  /// resume semantics match the serial campaign. Requires campaign_path;
+  /// time_budget_s is unsupported (the CLI rejects the combination).
+  int fleet_workers = 0;
+  std::string fleet_listen;
+  std::string fleet_worker_bin;
+  std::string fleet_shard_dir;  ///< worker logs + default unix socket
+  int fleet_heartbeat_ms = 500;
+  int fleet_lease_deadline_ms = 60000;  ///< must exceed the slowest run
+  int fleet_grace_ms = 3000;  ///< degrade to in-process after this long
 };
 
 struct FuzzFinding {
@@ -83,6 +97,7 @@ struct FuzzReport {
   int duplicate_findings = 0;  ///< findings deduped by crash signature
   std::uint64_t journal_corrupt_lines = 0;  ///< CRC-bad lines skipped
   bool interrupted = false;    ///< SIGINT/SIGTERM ended the loop early
+  obs::FleetCounters fleet;    ///< fleet-mode bookkeeping (zero otherwise)
 };
 
 /// Runs the loop; progress and findings go to `log`.

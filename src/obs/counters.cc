@@ -129,6 +129,34 @@ std::string renderExecutorCounters(const ExecutorCounters& c) {
   return os.str();
 }
 
+void FleetCounters::merge(const FleetCounters& other) {
+  workers_connected += other.workers_connected;
+  worker_reconnects += other.worker_reconnects;
+  workers_reaped += other.workers_reaped;
+  leases_granted += other.leases_granted;
+  leases_stolen += other.leases_stolen;
+  leases_expired += other.leases_expired;
+  frames_rejected += other.frames_rejected;
+  handshake_rejects += other.handshake_rejects;
+  duplicate_results += other.duplicate_results;
+  degraded_local_runs += other.degraded_local_runs;
+}
+
+std::string renderFleetCounters(const FleetCounters& c) {
+  std::ostringstream os;
+  os << "fleet: workers=" << c.workers_connected
+     << " reconnects=" << c.worker_reconnects
+     << " reaped=" << c.workers_reaped
+     << " leases-granted=" << c.leases_granted
+     << " leases-stolen=" << c.leases_stolen
+     << " leases-expired=" << c.leases_expired
+     << " frames-rejected=" << c.frames_rejected
+     << " handshake-rejects=" << c.handshake_rejects
+     << " duplicate-results=" << c.duplicate_results
+     << " degraded-local-runs=" << c.degraded_local_runs;
+  return os.str();
+}
+
 std::string renderHistogram(const BlockingHistogram& h) {
   std::ostringstream os;
   os << "samples=" << h.samples << " max=" << h.max_blocked

@@ -155,6 +155,29 @@ struct ExecutorCounters {
 /// One-line "executor: dispatched=.. completed=.. ..." summary.
 [[nodiscard]] std::string renderExecutorCounters(const ExecutorCounters& c);
 
+/// Coordinator-side fleet counters (filled by exec/fabric/, never by a
+/// simulation): how many workers handshook/reconnected/were reaped, how
+/// leases moved (granted, stolen by idle workers, expired back to the
+/// pending queue when their worker died), and how much hostile input the
+/// wire layer rejected. Sums throughout, so merge order never matters.
+struct FleetCounters {
+  std::uint64_t workers_connected = 0;   ///< successful handshakes
+  std::uint64_t worker_reconnects = 0;   ///< handshakes by a returning name
+  std::uint64_t workers_reaped = 0;      ///< heartbeat deadline expiries
+  std::uint64_t leases_granted = 0;      ///< keys sent in LEASE frames
+  std::uint64_t leases_stolen = 0;       ///< keys revoked from stragglers
+  std::uint64_t leases_expired = 0;      ///< keys requeued from dead workers
+  std::uint64_t frames_rejected = 0;     ///< malformed/torn/unexpected frames
+  std::uint64_t handshake_rejects = 0;   ///< HELLOs refused (kind mismatch)
+  std::uint64_t duplicate_results = 0;   ///< re-delivered keys discarded
+  std::uint64_t degraded_local_runs = 0; ///< keys drained in-process
+
+  void merge(const FleetCounters& other);
+};
+
+/// One-line "fleet: workers=.. ..." summary.
+[[nodiscard]] std::string renderFleetCounters(const FleetCounters& c);
+
 /// One-line histogram summary: "samples=.. max=.. total=..  [lo,hi):n ...".
 [[nodiscard]] std::string renderHistogram(const BlockingHistogram& h);
 

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Chaos smoke for the distributed campaign fabric (ISSUE 9 acceptance):
+# run a fleet sweep at 1/2/4 workers while one worker SIGKILLs itself
+# mid-key and another wedges silently past the lease deadline, then
+# SIGKILL the coordinator too, resume, and demand aggregates AND journal
+# byte-identical to a serial MPCP_THREADS=1 run.
+# $1 = mpcp_cli, $2 = mpcp_worker, $3 = scratch dir.
+set -eu
+cli="$1"
+worker="$2"
+workdir="$3"
+mkdir -p "$workdir"
+cd "$workdir"
+export MPCP_WORKER_BIN="$worker"
+
+# Golden: the serial journaled run every fleet shape must reproduce.
+rm -f golden.csv golden.journal
+MPCP_THREADS=1 "$cli" sweep --seeds 12 --seed 7 --horizon 5000 \
+    --journal golden.journal --out golden.csv 2>/dev/null
+
+for workers in 1 2 4; do
+  rm -rf fleet.csv resumed.csv f.journal f.journal.shards \
+         crash.mark wedge.mark
+
+  # Chaos pass: s9 kills its worker (once, mark-file gated), s11 wedges
+  # 2.5s against a 1.2s lease deadline (reap), and the coordinator is
+  # SIGKILLed mid-campaign. Any of these landing after completion still
+  # exercises the resume path.
+  MPCP_FABRIC_CRASH_KEY=s9 MPCP_FABRIC_CRASH_MARK=crash.mark \
+  MPCP_FABRIC_WEDGE_KEY=s11 MPCP_FABRIC_WEDGE_MS=2500 \
+  MPCP_FABRIC_WEDGE_MARK=wedge.mark \
+  "$cli" sweep --seeds 12 --seed 7 --horizon 5000 \
+      --workers "$workers" --journal f.journal \
+      --per-run-sleep-ms 150 --lease-deadline-ms 1200 \
+      --out fleet.csv 2>/dev/null &
+  pid=$!
+  sleep 2
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+
+  # Resume without chaos. Orphaned workers from the killed coordinator
+  # may rejoin (and even replay a one-shot chaos aid) — the lease
+  # attempt accounting must absorb that too.
+  "$cli" sweep --seeds 12 --seed 7 --horizon 5000 \
+      --workers "$workers" --journal f.journal --resume \
+      --out resumed.csv 2>resume.err
+  cmp golden.csv resumed.csv || {
+    echo "FAIL: resumed fleet CSV differs from serial golden at" \
+         "--workers $workers" >&2
+    exit 1
+  }
+  cmp golden.journal f.journal || {
+    echo "FAIL: merged journal not byte-identical to serial journal at" \
+         "--workers $workers" >&2
+    exit 1
+  }
+  grep -q 'fleet:' resume.err || {
+    echo "FAIL: fleet counters missing from resume stderr" >&2
+    exit 1
+  }
+  echo "--workers $workers: byte-identical CSV + journal after crash," \
+       "wedge, and coordinator kill -9"
+done
+echo OK

@@ -50,6 +50,7 @@
 #include "core/protocol_registry.h"
 #include "core/simulate.h"
 #include "exec/campaign.h"
+#include "exec/fabric/fleet_campaign.h"
 #include "exec/interrupt.h"
 #include "exec/subprocess.h"
 #include "exp/counter_sweep.h"
@@ -88,6 +89,10 @@ int usage() {
       "           [--journal FILE] [--resume] [--isolate]\n"
       "           [--wall-limit SECONDS] [--rss-limit-mb N]\n"
       "           [--retries N] [--retry-base-ms N] [--jitter-seed N]\n"
+      "           fleet mode: [--workers N] [--listen unix:PATH|HOST:PORT]\n"
+      "           [--shard-dir DIR] [--worker-bin PATH] [--lease-chunk N]\n"
+      "           [--heartbeat-ms N] [--lease-deadline-ms N]\n"
+      "           [--fleet-grace-ms N]\n"
       "           (testing aids: [--per-run-sleep-ms N] [--crash-seed K])\n"
       "  generate [--seed N] [--processors N] [--tasks-per-proc N]\n"
       "           [--util X] [--resources N] [--cs-max N] [--suspend-prob X]\n"
@@ -409,9 +414,66 @@ int cmdSweep(const Args& args) {
                 c.totalHandoffs(), ',', c.preemptions, ',', c.migrations);
   };
 
-  const exec::CampaignOutcome outcome =
-      exec::runCampaign(exp::SweepRunner::global(), seeds, seed_base, copt,
-                        body);
+  // Fleet mode (ISSUE 9): --workers/--listen hand the seed range to the
+  // distributed coordinator instead of the local pool. Row bytes, CSV
+  // assembly, and the journal fingerprint are shared with the serial
+  // path, which is what the byte-identical merge contract leans on.
+  const bool fleet_mode = args.has("workers") || args.has("listen");
+  exec::CampaignOutcome outcome;
+  if (fleet_mode) {
+    if (isolate) {
+      throw cli::UsageError(
+          "--isolate is implicit in fleet mode (workers are processes); "
+          "drop it or the fleet flags");
+    }
+    if (crash_seed >= 0) {
+      throw cli::UsageError(
+          "--crash-seed is in-process only; fleet chaos uses the "
+          "MPCP_FABRIC_CRASH_KEY / MPCP_FABRIC_WEDGE_KEY environment aids");
+    }
+    exec::fabric::FleetCampaignOptions fopt;
+    fopt.journal_path = copt.journal_path;
+    fopt.resume = copt.resume;
+    fopt.config_fingerprint = copt.config_fingerprint;
+    fopt.shard_dir = args.get(
+        "shard-dir", copt.journal_path.empty()
+                         ? std::string("mpcp-fleet-shards")
+                         : copt.journal_path + ".shards");
+    // Probe the shard directory up front: worker logs, shard journals,
+    // and the default unix socket all land there (exit 2 on failure).
+    cli::probeWritableDir("--shard-dir", fopt.shard_dir);
+    fopt.fleet.listen = args.get("listen", "");
+    fopt.fleet.spawn_workers = static_cast<int>(
+        cli::parseInt("--workers", args.get("workers", "0"), 0, 256));
+    fopt.fleet.worker_bin = args.get("worker-bin", "");
+    fopt.fleet.lease_chunk = static_cast<int>(
+        cli::parseInt("--lease-chunk", args.get("lease-chunk", "0"), 0, 4096));
+    fopt.fleet.timing.heartbeat_ms = static_cast<int>(cli::parseInt(
+        "--heartbeat-ms", args.get("heartbeat-ms", "500"), 10, 60'000));
+    fopt.fleet.timing.lease_deadline_ms = static_cast<int>(
+        cli::parseInt("--lease-deadline-ms",
+                      args.get("lease-deadline-ms", "5000"), 100, 600'000));
+    fopt.fleet.timing.degrade_after_ms = static_cast<int>(cli::parseInt(
+        "--fleet-grace-ms", args.get("fleet-grace-ms", "3000"), 100,
+        600'000));
+    fopt.fleet.body_spec = exec::fabric::makeSweepBodySpec(
+        toString(kind), seed_base, horizon, params, sleep_ms);
+    const exec::fabric::FleetBodyFactory* sweep_factory =
+        exec::fabric::findFleetBodyKind("sweep-v1");
+    fopt.fleet.local_fn = (*sweep_factory)(fopt.fleet.body_spec);
+    fopt.fleet.log = &std::cerr;
+
+    const exec::fabric::FleetCampaignOutcome fo =
+        exec::fabric::runFleetCampaign(seeds, seed_base, fopt);
+    outcome.payloads = fo.payloads;
+    outcome.failures = fo.failures;
+    outcome.exec = fo.exec;
+    outcome.interrupted = fo.interrupted;
+    std::cerr << obs::renderFleetCounters(fo.fleet) << "\n";
+  } else {
+    outcome = exec::runCampaign(exp::SweepRunner::global(), seeds, seed_base,
+                                copt, body);
+  }
 
   // Assemble the CSV in seed order. On interrupt the completed rows are
   // still flushed (the journal has them too), but the totals row is held
@@ -548,6 +610,7 @@ int main(int argc, char** argv) {
   // Ctrl-C / SIGTERM raise a flag the sweep loop polls (and SIGKILL any
   // live workers); commands finish flushing and exit 128+signo.
   exec::installInterruptHandlers();
+  exec::fabric::registerSweepFleetBody();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Args args = parseArgs(argc, argv, 2);

@@ -26,6 +26,7 @@
 #include "bench_util.h"
 #include "cli_util.h"
 #include "exec/interrupt.h"
+#include "obs/counters.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/protocols.h"
 #include "fuzz/repro.h"
@@ -44,6 +45,10 @@ int usage() {
       "                 [--faults] [--fault-count N] [--fault-grace X]\n"
       "                 [--fault-watchdog N]\n"
       "                 [--campaign FILE [--resume]]\n"
+      "                 fleet mode (needs --campaign): [--workers N]\n"
+      "                 [--listen unix:PATH|HOST:PORT] [--shard-dir DIR]\n"
+      "                 [--worker-bin PATH] [--heartbeat-ms N]\n"
+      "                 [--lease-deadline-ms N] [--fleet-grace-ms N]\n"
       "       mpcp_fuzz --replay FILE [--no-mutation] [--expect-findings]\n"
       "       mpcp_fuzz --list-mutations\n"
       "\n"
@@ -201,14 +206,51 @@ int fuzzMode(const Args& args) {
     throw cli::UsageError("--resume needs --campaign FILE");
   }
 
+  // Fleet mode (ISSUE 9): distribute run indices across mpcp_worker
+  // processes. Campaign-only — the journal is what makes a worker or
+  // coordinator death recoverable.
+  const bool fleet = args.has("workers") || args.has("listen");
+  if (fleet) {
+    if (options.campaign_path.empty()) {
+      throw cli::UsageError("fleet mode needs --campaign FILE");
+    }
+    if (args.has("time-budget")) {
+      throw cli::UsageError(
+          "--time-budget is unsupported in fleet mode; bound the campaign "
+          "with --runs and resume it instead");
+    }
+    options.fleet_workers = static_cast<int>(
+        cli::parseInt("--workers", args.get("workers", "0"), 0, 256));
+    options.fleet_listen = args.get("listen", "");
+    options.fleet_worker_bin = args.get("worker-bin", "");
+    options.fleet_shard_dir =
+        args.get("shard-dir", options.campaign_path + ".shards");
+    options.fleet_heartbeat_ms = static_cast<int>(cli::parseInt(
+        "--heartbeat-ms", args.get("heartbeat-ms", "500"), 10, 60'000));
+    // A worker cannot heartbeat mid-run (single-threaded session), so
+    // the deadline must exceed the slowest single fuzz run — seconds of
+    // simulation plus the differential — not the sweep-style default.
+    options.fleet_lease_deadline_ms = static_cast<int>(
+        cli::parseInt("--lease-deadline-ms",
+                      args.get("lease-deadline-ms", "60000"), 100, 600'000));
+    options.fleet_grace_ms = static_cast<int>(cli::parseInt(
+        "--fleet-grace-ms", args.get("fleet-grace-ms", "3000"), 100,
+        600'000));
+  }
+
   // Fail fast on unwritable outputs before any run: the repro corpus
   // directory (probed first — the campaign journal may live inside it),
-  // the campaign journal, and the bench JSON sink if one is set.
+  // the campaign journal, the fleet shard directory (worker logs and the
+  // default unix socket land there), and the bench JSON sink if one is
+  // set.
   if (!options.corpus_dir.empty()) {
     cli::probeWritableDir("--corpus-dir", options.corpus_dir);
   }
   if (!options.campaign_path.empty()) {
     cli::probeWritableFile("--campaign", options.campaign_path);
+  }
+  if (fleet) {
+    cli::probeWritableDir("--shard-dir", options.fleet_shard_dir);
   }
   if (std::getenv("MPCP_BENCH_DIR") != nullptr) {
     cli::probeWritableFile("MPCP_BENCH_DIR", bench::BenchJson("fuzz").path());
@@ -230,6 +272,9 @@ int fuzzMode(const Args& args) {
                 << " corrupt journal lines skipped";
     }
     std::cout << "\n";
+  }
+  if (fleet) {
+    std::cerr << obs::renderFleetCounters(report.fleet) << "\n";
   }
 
   bench::BenchJson json("fuzz");

@@ -1,0 +1,78 @@
+// mpcp_worker — fleet worker for distributed campaigns (ISSUE 9).
+//
+//   mpcp_worker --connect unix:PATH|HOST:PORT [--name NAME]
+//               [--heartbeat-ms N] [--reconnect-attempts N]
+//
+// Connects to an mpcp_cli sweep / mpcp_fuzz coordinator, receives the
+// campaign body spec in the WELCOME handshake, and executes leased run
+// keys until the coordinator says BYE. Stateless by design: kill -9 a
+// worker at any instant and the campaign loses at most the key it was
+// running (the coordinator requeues it).
+//
+// Exit codes: 0 BYE (campaign finished with us), 1 reconnect attempts
+// exhausted, 2 usage, 3 handshake/config rejection, 128+signo on
+// SIGINT/SIGTERM.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "exec/fabric/work.h"
+#include "exec/fabric/worker.h"
+#include "exec/interrupt.h"
+#include "fuzz/fleet.h"
+#include "cli_util.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: mpcp_worker --connect unix:PATH|HOST:PORT "
+               "[--name NAME]\n"
+               "                   [--heartbeat-ms N] "
+               "[--reconnect-attempts N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mpcp::exec::installInterruptHandlers();
+  mpcp::exec::fabric::registerSweepFleetBody();
+  mpcp::fuzz::registerFuzzFleetBody();
+
+  mpcp::exec::fabric::WorkerConfig config;
+  config.log = &std::cerr;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw mpcp::cli::UsageError(a + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (a == "--connect") {
+        config.connect = value();
+      } else if (a == "--name") {
+        config.name = value();
+      } else if (a == "--heartbeat-ms") {
+        config.heartbeat_ms = static_cast<int>(
+            mpcp::cli::parseInt("--heartbeat-ms", value(), 10, 60'000));
+      } else if (a == "--reconnect-attempts") {
+        config.reconnect.max_attempts = static_cast<int>(
+            mpcp::cli::parseInt("--reconnect-attempts", value(), 1, 1000));
+      } else {
+        throw mpcp::cli::UsageError("unknown option '" + a + "'");
+      }
+    }
+    if (config.connect.empty()) {
+      throw mpcp::cli::UsageError("--connect is required");
+    }
+    return mpcp::exec::fabric::runWorker(config);
+  } catch (const mpcp::cli::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
