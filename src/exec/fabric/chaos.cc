@@ -1,0 +1,361 @@
+#include "exec/fabric/chaos.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstddef>
+#include <limits>
+
+#include "common/check.h"
+#include "common/strf.h"
+#include "exec/fabric/clock.h"
+
+namespace mpcp::exec::fabric {
+
+namespace {
+
+/// How long a reorder hold keeps a frame parked while later frames pass
+/// it. Short enough that a reordered HEARTBEAT cannot trip a lease
+/// deadline on its own; long enough that the next frame usually wins.
+constexpr int kReorderHoldMs = 25;
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hashPeer(const std::string& peer) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : peer) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One permille draw per (frame hash, rule index) — independent across
+/// rules so a drop rule and a dup rule never correlate.
+bool fires(std::uint64_t frame_hash, std::size_t rule_index, int permille) {
+  if (permille <= 0) return false;
+  if (permille >= 1000) return true;
+  const std::uint64_t draw =
+      splitmix(frame_hash ^ (0x51ed2701a9b4d7e3ULL * (rule_index + 1)));
+  return static_cast<int>(draw % 1000) < permille;
+}
+
+std::vector<std::string> splitOn(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t next = text.find(sep, pos);
+    if (next == std::string::npos) next = text.size();
+    out.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::int64_t chaosInt(const std::string& token, const std::string& field,
+                      std::int64_t min, std::int64_t max) {
+  std::int64_t value = 0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (field.empty() || ec != std::errc() || ptr != end) {
+    throw ConfigError("chaos spec '" + token + "': '" + field +
+                      "' is not an integer");
+  }
+  if (value < min || value > max) {
+    throw ConfigError("chaos spec '" + token + "': " + field +
+                      " is out of range [" + std::to_string(min) + ", " +
+                      std::to_string(max) + "]");
+  }
+  return value;
+}
+
+std::string chaosPeer(const std::string& token, const std::string& field) {
+  if (field.empty() || field.find_first_of(" \t,:") != std::string::npos) {
+    throw ConfigError("chaos spec '" + token + "': bad peer '" + field +
+                      "' (worker name or *)");
+  }
+  return field;
+}
+
+}  // namespace
+
+const char* toString(ChaosKind k) {
+  switch (k) {
+    case ChaosKind::kDrop: return "drop";
+    case ChaosKind::kDelay: return "delay";
+    case ChaosKind::kDup: return "dup";
+    case ChaosKind::kReorder: return "reorder";
+    case ChaosKind::kTrunc: return "trunc";
+    case ChaosKind::kPartition: return "partition";
+  }
+  return "?";
+}
+
+ChaosSchedule parseChaosSchedule(const std::string& text) {
+  ChaosSchedule schedule;
+  if (text.empty()) return schedule;
+  for (const std::string& token : splitOn(text, ',')) {
+    if (token.empty()) {
+      throw ConfigError("chaos spec has an empty token (doubled comma?)");
+    }
+    const std::vector<std::string> f = splitOn(token, ':');
+    const std::string& kind = f[0];
+    ChaosRule rule;
+    if (kind == "seed" && f.size() == 2) {
+      // Full uint64 range: random() draws raw 64-bit seeds, and its
+      // format must round-trip through this parser (soak replay files).
+      std::uint64_t seed = 0;
+      const char* begin = f[1].data();
+      const char* end = begin + f[1].size();
+      const auto [ptr, ec] = std::from_chars(begin, end, seed);
+      if (f[1].empty() || ec != std::errc() || ptr != end) {
+        throw ConfigError("chaos spec '" + token + "': '" + f[1] +
+                          "' is not a seed (unsigned integer)");
+      }
+      schedule.seed = seed;
+      continue;
+    }
+    if ((kind == "drop" || kind == "dup" || kind == "reorder" ||
+         kind == "trunc") &&
+        f.size() == 3) {
+      rule.kind = kind == "drop"      ? ChaosKind::kDrop
+                  : kind == "dup"     ? ChaosKind::kDup
+                  : kind == "reorder" ? ChaosKind::kReorder
+                                      : ChaosKind::kTrunc;
+      rule.peer = chaosPeer(token, f[1]);
+      rule.permille = static_cast<int>(chaosInt(token, f[2], 1, 1000));
+    } else if (kind == "delay" && (f.size() == 3 || f.size() == 4)) {
+      rule.kind = ChaosKind::kDelay;
+      rule.peer = chaosPeer(token, f[1]);
+      rule.delay_ms = static_cast<int>(chaosInt(token, f[2], 1, 60'000));
+      rule.permille =
+          f.size() == 4 ? static_cast<int>(chaosInt(token, f[3], 1, 1000))
+                        : 1000;
+    } else if (kind == "partition" && (f.size() == 3 || f.size() == 4)) {
+      rule.kind = ChaosKind::kPartition;
+      rule.start_ms = chaosInt(token, f[1], 0, 86'400'000);
+      rule.length_ms = chaosInt(token, f[2], 1, 86'400'000);
+      rule.peer = f.size() == 4 ? chaosPeer(token, f[3]) : "*";
+    } else {
+      throw ConfigError(
+          "chaos spec: unrecognized token '" + token +
+          "' (grammar: seed:<n>, drop:<peer|*>:<permille>, "
+          "delay:<peer|*>:<ms>[:<permille>], dup:<peer|*>:<permille>, "
+          "reorder:<peer|*>:<permille>, trunc:<peer|*>:<permille>, "
+          "partition:<start-ms>:<len-ms>[:<peer|*>])");
+    }
+    schedule.rules.push_back(rule);
+  }
+  return schedule;
+}
+
+std::string formatChaosSchedule(const ChaosSchedule& schedule) {
+  std::string out = strf("seed:", schedule.seed);
+  for (const ChaosRule& r : schedule.rules) {
+    out += ',';
+    switch (r.kind) {
+      case ChaosKind::kDrop:
+      case ChaosKind::kDup:
+      case ChaosKind::kReorder:
+      case ChaosKind::kTrunc:
+        out += strf(toString(r.kind), ':', r.peer, ':', r.permille);
+        break;
+      case ChaosKind::kDelay:
+        out += strf("delay:", r.peer, ':', r.delay_ms, ':', r.permille);
+        break;
+      case ChaosKind::kPartition:
+        out += strf("partition:", r.start_ms, ':', r.length_ms, ':', r.peer);
+        break;
+    }
+  }
+  return out;
+}
+
+ChaosSchedule ChaosSchedule::random(Rng& rng) {
+  ChaosSchedule s;
+  s.seed = rng.next();
+  const auto add = [&](ChaosRule r) { s.rules.push_back(r); };
+  // Always some reordering and duplication — they are invariant-
+  // preserving stressors (dedupe and determinism absorb them), so they
+  // can run hot without threatening liveness.
+  ChaosRule dup;
+  dup.kind = ChaosKind::kDup;
+  dup.permille = static_cast<int>(rng.uniformInt(50, 400));
+  add(dup);
+  ChaosRule reorder;
+  reorder.kind = ChaosKind::kReorder;
+  reorder.permille = static_cast<int>(rng.uniformInt(50, 400));
+  add(reorder);
+  if (rng.chance(0.7)) {
+    ChaosRule delay;
+    delay.kind = ChaosKind::kDelay;
+    delay.delay_ms = static_cast<int>(rng.uniformInt(5, 40));
+    delay.permille = static_cast<int>(rng.uniformInt(100, 1000));
+    add(delay);
+  }
+  // Loss-class faults stay modest: each drop/trunc costs a reap or a
+  // torn connection, and attempt budgets are finite.
+  if (rng.chance(0.6)) {
+    ChaosRule drop;
+    drop.kind = ChaosKind::kDrop;
+    drop.permille = static_cast<int>(rng.uniformInt(10, 80));
+    add(drop);
+  }
+  if (rng.chance(0.4)) {
+    ChaosRule trunc;
+    trunc.kind = ChaosKind::kTrunc;
+    trunc.permille = static_cast<int>(rng.uniformInt(5, 40));
+    add(trunc);
+  }
+  if (rng.chance(0.5)) {
+    ChaosRule part;
+    part.kind = ChaosKind::kPartition;
+    part.start_ms = rng.uniformInt(100, 1500);
+    part.length_ms = rng.uniformInt(100, 600);
+    add(part);
+  }
+  return s;
+}
+
+ChaosVerdict chaosVerdict(const ChaosSchedule& schedule,
+                          const std::string& peer,
+                          std::uint64_t frame_index,
+                          std::int64_t link_age_ms) {
+  ChaosVerdict v;
+  const std::uint64_t h =
+      splitmix(schedule.seed ^ hashPeer(peer) ^
+               (frame_index * 0x9e3779b97f4a7c15ULL));
+  for (std::size_t i = 0; i < schedule.rules.size(); ++i) {
+    const ChaosRule& r = schedule.rules[i];
+    if (!r.matches(peer)) continue;
+    switch (r.kind) {
+      case ChaosKind::kPartition:
+        if (link_age_ms >= r.start_ms &&
+            link_age_ms < r.start_ms + r.length_ms) {
+          v.drop = true;
+        }
+        break;
+      case ChaosKind::kDrop:
+        if (fires(h, i, r.permille)) v.drop = true;
+        break;
+      case ChaosKind::kDelay:
+        if (fires(h, i, r.permille)) {
+          v.delay_ms = std::max(v.delay_ms, r.delay_ms);
+        }
+        break;
+      case ChaosKind::kDup:
+        if (fires(h, i, r.permille)) v.dup = true;
+        break;
+      case ChaosKind::kReorder:
+        if (fires(h, i, r.permille)) v.reorder = true;
+        break;
+      case ChaosKind::kTrunc:
+        if (fires(h, i, r.permille)) v.trunc = true;
+        break;
+    }
+  }
+  return v;
+}
+
+ChaosLink::ChaosLink(const ChaosSchedule* schedule, int fd, std::string peer,
+                     std::int64_t armed_at_ms, std::uint64_t generation)
+    : FrameSink(fd),
+      schedule_(schedule),
+      peer_(std::move(peer)),
+      armed_at_ms_(armed_at_ms),
+      next_index_(generation << 32) {}
+
+ChaosLink::~ChaosLink() = default;
+
+bool ChaosLink::send(FrameType type, const std::string& payload) {
+  if (schedule_ == nullptr || schedule_->empty()) {
+    return sendFrame(fd_, type, payload);
+  }
+  const std::int64_t now = steadyNowMs();
+  const ChaosVerdict v =
+      chaosVerdict(*schedule_, peer_, next_index_++, now - armed_at_ms_);
+
+  if (v.drop) {
+    // The network ate it after send() succeeded — the caller must not
+    // learn anything a real lossy link would not tell it.
+    ++stats_.dropped;
+    return true;
+  }
+
+  std::string bytes = encodeFrame(type, payload);
+  if (v.trunc) {
+    // A prefix lands, then silence: the receiver's decoder poisons on
+    // the next bytes and the connection dies like a mid-write crash.
+    ++stats_.truncated;
+    return sendAll(fd_, bytes.data(), std::max<std::size_t>(bytes.size() / 2,
+                                                            1));
+  }
+
+  const int copies = v.dup ? 2 : 1;
+  if (v.dup) ++stats_.duplicated;
+
+  if (v.delay_ms > 0 || v.reorder) {
+    Held held;
+    held.bytes = std::move(bytes);
+    held.fifo = v.delay_ms > 0;
+    held.release_ms = now + (v.delay_ms > 0 ? v.delay_ms : kReorderHoldMs);
+    if (held.fifo) {
+      // Delay preserves per-link FIFO: never release before an earlier
+      // delayed frame.
+      for (const Held& earlier : queue_) {
+        if (earlier.fifo) {
+          held.release_ms = std::max(held.release_ms, earlier.release_ms);
+        }
+      }
+      ++stats_.delayed;
+    } else {
+      ++stats_.reordered;
+    }
+    for (int c = 0; c < copies; ++c) queue_.push_back(held);
+    return true;
+  }
+
+  // No verdict of its own — but if delayed frames are queued, FIFO says
+  // this frame lines up behind them (reorder holds are bypassed; that
+  // bypass IS the reordering).
+  bool behind_fifo = false;
+  std::int64_t fifo_release = now;
+  for (const Held& earlier : queue_) {
+    if (earlier.fifo) {
+      behind_fifo = true;
+      fifo_release = std::max(fifo_release, earlier.release_ms);
+    }
+  }
+  if (behind_fifo) {
+    Held held;
+    held.bytes = std::move(bytes);
+    held.fifo = true;
+    held.release_ms = fifo_release;
+    for (int c = 0; c < copies; ++c) queue_.push_back(held);
+    return true;
+  }
+
+  for (int c = 0; c < copies; ++c) {
+    if (!sendAll(fd_, bytes.data(), bytes.size())) return false;
+  }
+  return true;
+}
+
+void ChaosLink::tick(std::int64_t now_ms) {
+  while (!queue_.empty() && queue_.front().release_ms <= now_ms) {
+    const Held held = std::move(queue_.front());
+    queue_.pop_front();
+    if (!sendAll(fd_, held.bytes.data(), held.bytes.size())) {
+      // Connection is gone; the owner will notice on its read side.
+      queue_.clear();
+      return;
+    }
+  }
+}
+
+}  // namespace mpcp::exec::fabric

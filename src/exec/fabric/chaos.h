@@ -1,0 +1,154 @@
+// Deterministic network-fault injection for the campaign fabric
+// (ISSUE 10 tentpole). The same philosophy as src/fault/ one layer up:
+// the fabric's robustness claims (reaping, requeue, attempt charging,
+// byte-identical merge) assume frames arrive whole, once, and in order —
+// a ChaosSchedule violates those assumptions on purpose, from a seed, so
+// every fleet test can replay a hostile network:
+//   * drop      — a frame silently never arrives;
+//   * delay     — a frame is held for a fixed latency (permille 1000 on
+//                 a named peer == a per-peer slow-link throttle);
+//   * dup       — a frame is transmitted twice;
+//   * reorder   — a frame is held briefly while later frames pass it;
+//   * trunc     — only a prefix of a frame's bytes is sent, tearing the
+//                 stream (the receiver's decoder poisons and the
+//                 connection dies, exactly like a mid-write crash);
+//   * partition — a time window during which every frame to a peer (or
+//                 all peers) is dropped.
+//
+// Injection is send-side only and sits behind the FrameSink seam in
+// socket.h: a ChaosLink wraps one connection's outbound frames, decides
+// each frame's fate from (seed, peer, frame index) — stateless hashing,
+// so a decision never depends on wall time — and pumps its delay queue
+// from the owner's poll loop via tick().
+//
+// Schedule text grammar (whitespace-free, comma-separated, mirroring
+// fault/plan.h; round-trips through formatChaosSchedule):
+//   seed:<n>                          decision seed (default 1)
+//   drop:<peer|*>:<permille>
+//   delay:<peer|*>:<ms>[:<permille>]  permille defaults to 1000 (all)
+//   dup:<peer|*>:<permille>
+//   reorder:<peer|*>:<permille>
+//   trunc:<peer|*>:<permille>
+//   partition:<start-ms>:<len-ms>[:<peer|*>]
+// <peer> matches the worker name on coordinator links and "coord" on
+// worker links; "*" matches every peer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/fabric/socket.h"
+#include "exec/fabric/wire.h"
+
+namespace mpcp::exec::fabric {
+
+enum class ChaosKind { kDrop, kDelay, kDup, kReorder, kTrunc, kPartition };
+
+[[nodiscard]] const char* toString(ChaosKind k);
+
+struct ChaosRule {
+  ChaosKind kind = ChaosKind::kDrop;
+  std::string peer = "*";        ///< worker name / "coord" / "*"
+  int permille = 0;              ///< firing probability, 0..1000
+  int delay_ms = 0;              ///< kDelay hold time
+  std::int64_t start_ms = 0;     ///< kPartition window start (link time)
+  std::int64_t length_ms = 0;    ///< kPartition window length
+
+  [[nodiscard]] bool matches(const std::string& p) const {
+    return peer == "*" || peer == p;
+  }
+};
+
+struct ChaosSchedule {
+  std::uint64_t seed = 1;
+  std::vector<ChaosRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+
+  /// Draws a plausible hostile-but-survivable schedule (modest permilles,
+  /// short partitions) for the soak harness. Deterministic in `rng`.
+  [[nodiscard]] static ChaosSchedule random(Rng& rng);
+};
+
+/// Parses the grammar above. Throws ConfigError naming the bad token
+/// (CLI mains surface it as exit 2). Empty text = empty schedule.
+[[nodiscard]] ChaosSchedule parseChaosSchedule(const std::string& text);
+[[nodiscard]] std::string formatChaosSchedule(const ChaosSchedule& schedule);
+
+/// What a link did to the frames it was asked to send. Sums; folded into
+/// obs::FleetCounters by the coordinator (worker links log them).
+struct ChaosStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t truncated = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return dropped + delayed + duplicated + reordered + truncated;
+  }
+};
+
+/// Per-frame verdict, exposed so tests can pin decision determinism
+/// without a socket. `delay_ms` > 0 only when a delay rule fired.
+struct ChaosVerdict {
+  bool drop = false;
+  bool dup = false;
+  bool reorder = false;
+  bool trunc = false;
+  int delay_ms = 0;
+};
+
+/// The stateless decision function: same (schedule, peer, index,
+/// now-since-arm) always yields the same verdict.
+[[nodiscard]] ChaosVerdict chaosVerdict(const ChaosSchedule& schedule,
+                                        const std::string& peer,
+                                        std::uint64_t frame_index,
+                                        std::int64_t link_age_ms);
+
+/// One connection's chaotic outbound side. With a null/empty schedule it
+/// degenerates to plain sendFrame (no queue, no hashing).
+class ChaosLink final : public FrameSink {
+ public:
+  /// `armed_at_ms` anchors partition windows (steadyNowMs() of the
+  /// campaign start, so all links share one window clock). `schedule`
+  /// must outlive the link; may be null. `generation` salts the frame
+  /// index (index starts at generation<<32): successive links to the
+  /// same peer MUST pass an increasing generation, or a verdict that
+  /// eats frame 0 (a dropped HELLO or WELCOME) recurs identically on
+  /// every reconnect and livelocks the handshake forever.
+  ChaosLink(const ChaosSchedule* schedule, int fd, std::string peer,
+            std::int64_t armed_at_ms, std::uint64_t generation = 0);
+  ~ChaosLink() override;
+
+  /// Re-binds per-peer rules once the peer's name is known (the
+  /// coordinator learns it from HELLO, after the link exists).
+  void setPeer(const std::string& peer) { peer_ = peer; }
+
+  bool send(FrameType type, const std::string& payload) override;
+  /// Flushes delay-queue entries that have come due. Call from the
+  /// owner's poll loop; cadence bounds extra latency, not correctness.
+  void tick(std::int64_t now_ms) override;
+
+  [[nodiscard]] const ChaosStats& stats() const { return stats_; }
+  [[nodiscard]] bool queueEmpty() const { return queue_.empty(); }
+
+ private:
+  struct Held {
+    std::string bytes;
+    std::int64_t release_ms = 0;
+    bool fifo = false;  ///< delay entries keep FIFO; reorder holds do not
+  };
+
+  const ChaosSchedule* schedule_;
+  std::string peer_;
+  std::int64_t armed_at_ms_;
+  std::uint64_t next_index_ = 0;
+  std::deque<Held> queue_;
+  ChaosStats stats_;
+};
+
+}  // namespace mpcp::exec::fabric

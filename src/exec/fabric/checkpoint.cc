@@ -1,0 +1,95 @@
+#include "exec/fabric/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "exec/journal.h"
+
+namespace mpcp::exec::fabric {
+
+namespace {
+
+std::string crcHex8(std::uint32_t crc) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[crc & 0xf];
+    crc >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string encodeCheckpoint(const CoordinatorCheckpoint& ckpt) {
+  std::string body = "mpcp-ckpt 1\n";
+  body += "fingerprint " + escapeLine(ckpt.fingerprint) + "\n";
+  for (const auto& [key, count] : ckpt.attempts) {
+    body += "attempt " + key + " " + std::to_string(count) + "\n";
+  }
+  for (const std::string& key : ckpt.in_flight) {
+    body += "inflight " + key + "\n";
+  }
+  return body + "crc " + crcHex8(crc32(body)) + "\n";
+}
+
+bool decodeCheckpoint(const std::string& text, CoordinatorCheckpoint& out) {
+  // Split off the CRC footer: it covers everything before its own line.
+  const std::string footer_tag = "crc ";
+  const std::size_t last_nl = text.rfind('\n');
+  if (last_nl == std::string::npos || last_nl + 1 != text.size()) return false;
+  const std::size_t footer_at = text.rfind('\n', last_nl - 1);
+  const std::size_t body_end = footer_at == std::string::npos ? 0
+                                                              : footer_at + 1;
+  const std::string footer = text.substr(body_end, last_nl - body_end);
+  if (footer.rfind(footer_tag, 0) != 0) return false;
+  const std::string body = text.substr(0, body_end);
+  if (footer.substr(footer_tag.size()) != crcHex8(crc32(body))) return false;
+
+  CoordinatorCheckpoint ckpt;
+  std::istringstream lines(body);
+  std::string line;
+  if (!std::getline(lines, line) || line != "mpcp-ckpt 1") return false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    // Fingerprints contain spaces, so that tag takes the rest of the
+    // line verbatim; the others are whitespace-free fields.
+    if (line.rfind("fingerprint ", 0) == 0) {
+      ckpt.fingerprint = unescapeLine(line.substr(12));
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "attempt") {
+      std::string key;
+      int count = 0;
+      if (!(fields >> key >> count) || count < 0) return false;
+      ckpt.attempts[key] = count;
+    } else if (tag == "inflight") {
+      std::string key;
+      if (!(fields >> key)) return false;
+      ckpt.in_flight.insert(key);
+    } else {
+      return false;
+    }
+  }
+  out = std::move(ckpt);
+  return true;
+}
+
+void saveCheckpoint(const std::string& path,
+                    const CoordinatorCheckpoint& ckpt) {
+  writeFileAtomic(path, encodeCheckpoint(ckpt));
+}
+
+bool loadCheckpoint(const std::string& path, CoordinatorCheckpoint& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return decodeCheckpoint(buf.str(), out);
+}
+
+}  // namespace mpcp::exec::fabric

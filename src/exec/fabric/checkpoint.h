@@ -1,0 +1,53 @@
+// Coordinator checkpoint (ISSUE 10 tentpole): a small atomic snapshot of
+// the fleet scheduler's volatile state — attempt counts and in-flight
+// keys — written periodically to `<shard_dir>/coordinator.ckpt`. Shard
+// journals already make *results* durable; the checkpoint makes the
+// *bookkeeping* durable, so a coordinator killed with SIGKILL can be
+// restarted with `--takeover` and (a) keys that had exhausted their
+// attempt budget fail immediately instead of being re-charged from zero,
+// and (b) forensics know which keys were leased out at the moment of
+// death.
+//
+// File format (versioned, CRC-footed, whitespace-separated):
+//   mpcp-ckpt 1
+//   fingerprint <escaped>
+//   attempt <key> <count>        (0+ lines)
+//   inflight <key>               (0+ lines)
+//   crc <crc32-hex8>             (covers every preceding byte)
+//
+// The file is written via writeFileAtomic (tmp + fsync + rename), so a
+// torn write leaves the previous checkpoint intact. decode() rejects any
+// corruption (bad CRC, unknown version) by returning false — takeover
+// then proceeds from the journals alone, which is safe, just less
+// informed.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace mpcp::exec::fabric {
+
+struct CoordinatorCheckpoint {
+  std::string fingerprint;             ///< campaign config fingerprint
+  std::map<std::string, int> attempts; ///< key -> attempts charged so far
+  std::set<std::string> in_flight;     ///< keys leased out when written
+};
+
+[[nodiscard]] std::string encodeCheckpoint(const CoordinatorCheckpoint& ckpt);
+
+/// False on any malformed input (wrong magic/version, bad CRC, garbled
+/// line); `out` is untouched then.
+[[nodiscard]] bool decodeCheckpoint(const std::string& text,
+                                    CoordinatorCheckpoint& out);
+
+/// Atomic save via exec::writeFileAtomic. Throws ConfigError on I/O
+/// failure (callers contain it — a failed checkpoint never kills a run).
+void saveCheckpoint(const std::string& path,
+                    const CoordinatorCheckpoint& ckpt);
+
+/// Missing file or corrupt contents -> false.
+[[nodiscard]] bool loadCheckpoint(const std::string& path,
+                                  CoordinatorCheckpoint& out);
+
+}  // namespace mpcp::exec::fabric

@@ -1,0 +1,43 @@
+// Deadline arithmetic for the campaign fabric, in one place.
+//
+// Heartbeat, lease, handshake, and chaos-partition deadlines all reason
+// about "milliseconds since some earlier observation". That arithmetic
+// MUST run on a monotonic clock: a wall-clock (system_clock) step — NTP
+// slew, a VM snapshot restore, a manual `date` — would instantly expire
+// every lease and reap a perfectly healthy fleet, or freeze reaping
+// entirely when the clock steps backward. The static_assert below pins
+// the choice so a refactor cannot quietly reintroduce wall time; the
+// helpers are what coordinator.cc / worker.cc / chaos.cc actually call
+// (tests cover them in fabric_chaos_test.cc).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mpcp::exec::fabric {
+
+static_assert(std::chrono::steady_clock::is_steady,
+              "fabric deadlines require a monotonic clock");
+
+/// Milliseconds on the monotonic clock. Only differences are meaningful;
+/// the epoch is unspecified (on Linux, boot time).
+[[nodiscard]] inline std::int64_t steadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// True when more than `budget_ms` elapsed between `since_ms` and
+/// `now_ms`. A non-positive budget never expires (callers use 0/-1 to
+/// disable a deadline), and a `since_ms` ahead of `now_ms` — impossible
+/// on one monotonic clock, but cheap to defend — reads as "no time
+/// elapsed yet" instead of as an underflowed huge age.
+[[nodiscard]] inline bool deadlineExpired(std::int64_t now_ms,
+                                          std::int64_t since_ms,
+                                          std::int64_t budget_ms) {
+  if (budget_ms <= 0) return false;
+  if (now_ms <= since_ms) return false;
+  return now_ms - since_ms > budget_ms;
+}
+
+}  // namespace mpcp::exec::fabric

@@ -9,7 +9,6 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -21,6 +20,8 @@
 
 #include "common/check.h"
 #include "common/strf.h"
+#include "exec/fabric/checkpoint.h"
+#include "exec/fabric/clock.h"
 #include "exec/fabric/socket.h"
 #include "exec/interrupt.h"
 
@@ -28,11 +29,7 @@ namespace mpcp::exec::fabric {
 
 namespace {
 
-std::int64_t nowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+std::int64_t nowMs() { return steadyNowMs(); }
 
 struct Conn {
   int fd = -1;
@@ -42,6 +39,13 @@ struct Conn {
   std::deque<std::string> leased;  ///< grant order; front = likely running
   std::int64_t last_seen_ms = 0;
   std::int64_t connected_ms = 0;
+  std::int64_t last_progress_ms = 0;  ///< last grant or RESULT
+  std::unique_ptr<FrameSink> sink;    ///< outbound seam (chaos injects here)
+  ChaosLink* chaos = nullptr;         ///< sink downcast when chaos is on
+
+  [[nodiscard]] bool send(FrameType type, const std::string& payload) {
+    return sink->send(type, payload);
+  }
 };
 
 struct SpawnedWorker {
@@ -63,8 +67,52 @@ struct Coordinator {
   int listen_fd = -1;
   std::string unix_path;  ///< unlink on shutdown when non-empty
   std::int64_t last_live_ms = 0;
+  std::int64_t armed_at_ms = 0;   ///< campaign start; chaos window clock
+  std::uint64_t chaos_generation = 0;  ///< fresh verdicts per accepted conn
+  std::int64_t last_ckpt_ms = 0;
+  bool ckpt_dirty = false;
+  bool ckpt_urgent = false;       ///< attempt charged since the last save
 
   explicit Coordinator(const FleetConfig& c) : config(c) {}
+
+  /// Folds a dying link's injection stats into the fleet counters.
+  void foldChaos(const Conn& conn) {
+    if (conn.chaos == nullptr) return;
+    const ChaosStats& s = conn.chaos->stats();
+    out.counters.chaos_dropped += s.dropped;
+    out.counters.chaos_delayed += s.delayed;
+    out.counters.chaos_duplicated += s.duplicated;
+    out.counters.chaos_reordered += s.reordered;
+    out.counters.chaos_truncated += s.truncated;
+  }
+
+  void maybeCheckpoint(std::int64_t now, bool force) {
+    if (config.checkpoint_path.empty()) return;
+    if (!ckpt_dirty && !ckpt_urgent) return;
+    if (!force && !ckpt_urgent &&
+        now - last_ckpt_ms < config.checkpoint_interval_ms) {
+      return;
+    }
+    CoordinatorCheckpoint ckpt;
+    ckpt.fingerprint = config.fingerprint;
+    ckpt.attempts = attempts;
+    for (const auto& cp : conns) {
+      for (const std::string& key : cp->leased) {
+        if (done.count(key) == 0) ckpt.in_flight.insert(key);
+      }
+    }
+    try {
+      saveCheckpoint(config.checkpoint_path, ckpt);
+      ++out.counters.checkpoints_written;
+      last_ckpt_ms = now;
+      ckpt_dirty = ckpt_urgent = false;
+    } catch (const std::exception& e) {
+      // A failed checkpoint degrades takeover quality, never the run.
+      note(strf("checkpoint write failed: ", e.what()));
+      last_ckpt_ms = now;  // don't hammer a broken disk every pass
+      ckpt_urgent = false;
+    }
+  }
 
   void note(const std::string& message) {
     if (config.log != nullptr) *config.log << "fleet: " << message << "\n";
@@ -103,6 +151,7 @@ struct Coordinator {
       }
       if (head && charge_head) {
         const int n = ++attempts[key];
+        ckpt_urgent = true;
         if (n >= config.max_attempts) {
           note(strf("key ", key, " failed ", n,
                     " workers; failing it permanently"));
@@ -132,6 +181,7 @@ struct Coordinator {
                 ": ", why));
     }
     requeueLeases(conn, charge_head);
+    foldChaos(conn);
     ::close(conn.fd);
     conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
   }
@@ -161,7 +211,9 @@ struct Coordinator {
         ++out.counters.leases_granted;
         if (config.on_grant) config.on_grant(key);
       }
-      if (!sendFrame(conn.fd, FrameType::kLease, payload)) {
+      conn.last_progress_ms = nowMs();
+      ckpt_dirty = true;
+      if (!conn.send(FrameType::kLease, payload)) {
         // The connection died under us; the usual drop path reclaims the
         // keys on the next loop pass (recv will see EOF/error).
         note(strf("LEASE send to ", conn.name, " failed"));
@@ -200,7 +252,7 @@ struct Coordinator {
       pending.push_back(*it);
       ++out.counters.leases_stolen;
     }
-    if (!sendFrame(victim->fd, FrameType::kSteal, payload)) {
+    if (!victim->send(FrameType::kSteal, payload)) {
       note(strf("STEAL send to ", victim->name, " failed"));
     }
     note(strf("stole ", take, " lease(s) from straggler ", victim->name));
@@ -240,11 +292,13 @@ struct Coordinator {
                           : strf("worker lacks body kind '", want,
                                  "' (has: ", kinds, ")");
           note(strf("rejecting handshake: ", reason));
-          (void)sendFrame(conn.fd, FrameType::kReject, reason);
+          (void)conn.send(FrameType::kReject, reason);
           return false;
         }
         conn.name = name.empty() ? strf("w-fd", conn.fd) : name;
         conn.handshaken = true;
+        conn.last_progress_ms = nowMs();
+        if (conn.chaos != nullptr) conn.chaos->setPeer(conn.name);
         ++out.counters.workers_connected;
         if (!seen_names.insert(conn.name).second) {
           ++out.counters.worker_reconnects;
@@ -252,7 +306,7 @@ struct Coordinator {
         } else {
           note(strf("worker ", conn.name, " joined"));
         }
-        return sendFrame(conn.fd, FrameType::kWelcome,
+        return conn.send(FrameType::kWelcome,
                          config.fingerprint + "\n" + config.body_spec);
       }
       case FrameType::kResult: {
@@ -277,6 +331,8 @@ struct Coordinator {
           note(strf("malformed RESULT header from ", conn.name));
           return false;
         }
+        conn.last_progress_ms = nowMs();
+        ckpt_dirty = true;
         const auto it =
             std::find(conn.leased.begin(), conn.leased.end(), key);
         if (it != conn.leased.end()) conn.leased.erase(it);
@@ -296,6 +352,7 @@ struct Coordinator {
         // Body-level failure: charge an attempt and regrant, so a
         // transient failure heals and a deterministic one caps out.
         const int n = ++attempts[key];
+        ckpt_urgent = true;
         if (n >= config.max_attempts) {
           finishFailed(key, bytes.empty() ? "run body failed" : bytes);
         } else {
@@ -352,6 +409,8 @@ struct Coordinator {
     const std::string log_path =
         config.shard_dir.empty() ? "" : config.shard_dir + "/" + name + ".log";
     const std::string hb = strf(config.timing.heartbeat_ms);
+    const std::string chaos_spec =
+        config.chaos.empty() ? "" : formatChaosSchedule(config.chaos);
 
     const pid_t pid = ::fork();
     if (pid < 0) {
@@ -368,9 +427,16 @@ struct Coordinator {
           if (log_fd > 2) ::close(log_fd);
         }
       }
-      ::execl(bin.c_str(), bin.c_str(), "--connect", addr.text.c_str(),
-              "--name", name.c_str(), "--heartbeat-ms", hb.c_str(),
-              static_cast<char*>(nullptr));
+      if (chaos_spec.empty()) {
+        ::execl(bin.c_str(), bin.c_str(), "--connect", addr.text.c_str(),
+                "--name", name.c_str(), "--heartbeat-ms", hb.c_str(),
+                static_cast<char*>(nullptr));
+      } else {
+        ::execl(bin.c_str(), bin.c_str(), "--connect", addr.text.c_str(),
+                "--name", name.c_str(), "--heartbeat-ms", hb.c_str(),
+                "--chaos", chaos_spec.c_str(),
+                static_cast<char*>(nullptr));
+      }
       // exec failed: exit without touching the parent's stdio/atexit.
       ::_exit(127);
     }
@@ -392,7 +458,10 @@ struct Coordinator {
 
   void shutdown() {
     for (auto& cp : conns) {
+      // The farewell goes straight to the socket: a BYE eaten by chaos
+      // would leave real workers waiting out their reconnect budget.
       (void)sendFrame(cp->fd, FrameType::kBye, "");
+      foldChaos(*cp);
       ::close(cp->fd);
     }
     conns.clear();
@@ -442,7 +511,21 @@ FleetOutcome runFleet(const std::vector<std::string>& keys,
 
   Coordinator co(config);
   co.total_keys = keys.size();
-  for (const std::string& key : keys) co.pending.push_back(key);
+  co.attempts = config.initial_attempts;
+  for (const std::string& key : keys) {
+    // Takeover fail-fast: a key that already burned its attempt budget
+    // under the previous coordinator fails now instead of re-reaping the
+    // new fleet from zero.
+    const auto it = co.attempts.find(key);
+    if (it != co.attempts.end() && it->second >= config.max_attempts) {
+      co.note(strf("key ", key, " already failed ", it->second,
+                   " attempt(s) before takeover; failing it permanently"));
+      co.finishFailed(key, strf("attempt budget exhausted (", it->second,
+                                ") before coordinator takeover"));
+      continue;
+    }
+    co.pending.push_back(key);
+  }
   if (keys.empty()) return co.out;
 
   // Bind the listening socket up front; a bad address is a setup error,
@@ -465,7 +548,10 @@ FleetOutcome runFleet(const std::vector<std::string>& keys,
 
   for (int i = 0; i < config.spawn_workers; ++i) co.spawnWorker(i, addr);
 
-  co.last_live_ms = nowMs();
+  co.last_live_ms = co.armed_at_ms = co.last_ckpt_ms = nowMs();
+  if (!config.chaos.empty()) {
+    co.note(strf("chaos armed: ", formatChaosSchedule(config.chaos)));
+  }
   char buf[65536];
 
   while (co.done.size() < co.total_keys) {
@@ -489,6 +575,16 @@ FleetOutcome runFleet(const std::vector<std::string>& keys,
       auto conn = std::make_unique<Conn>();
       conn->fd = cfd;
       conn->connected_ms = conn->last_seen_ms = nowMs();
+      if (config.chaos.empty()) {
+        conn->sink = std::make_unique<FrameSink>(cfd);
+      } else {
+        auto link = std::make_unique<ChaosLink>(&config.chaos, cfd,
+                                                strf("fd", cfd),
+                                                co.armed_at_ms,
+                                                ++co.chaos_generation);
+        conn->chaos = link.get();
+        conn->sink = std::move(link);
+      }
       co.conns.push_back(std::move(conn));
     }
 
@@ -550,6 +646,9 @@ FleetOutcome runFleet(const std::vector<std::string>& keys,
 
     const std::int64_t now = nowMs();
 
+    // Pump chaos delay/reorder queues; held frames come due here.
+    for (const auto& cp : co.conns) cp->sink->tick(now);
+
     // Handshake timeout: a connection that never says a valid HELLO is
     // dropped (it holds no leases, so nothing to requeue).
     for (std::size_t i = 0; i < co.conns.size();) {
@@ -567,7 +666,8 @@ FleetOutcome runFleet(const std::vector<std::string>& keys,
     for (std::size_t i = 0; i < co.conns.size();) {
       Conn& conn = *co.conns[i];
       if (conn.handshaken &&
-          now - conn.last_seen_ms > config.timing.lease_deadline_ms) {
+          deadlineExpired(now, conn.last_seen_ms,
+                          config.timing.lease_deadline_ms)) {
         ++co.out.counters.workers_reaped;
         co.dropConn(i, /*charge_head=*/true,
                     strf("silent for ", now - conn.last_seen_ms,
@@ -578,9 +678,32 @@ FleetOutcome runFleet(const std::vector<std::string>& keys,
       }
     }
 
+    // No-progress reap: a worker that heartbeats but never RESULTs while
+    // holding leases lost its LEASE frame (or is wedged mid-body past any
+    // reasonable budget). Heartbeats alone must not keep it alive, or a
+    // single dropped LEASE deadlocks the campaign. Workers are silent
+    // while executing a key anyway, so this fires no earlier than the
+    // silence reap would for a genuinely busy worker.
+    for (std::size_t i = 0; i < co.conns.size();) {
+      Conn& conn = *co.conns[i];
+      if (conn.handshaken && !conn.leased.empty() &&
+          deadlineExpired(now, conn.last_progress_ms,
+                          config.timing.lease_deadline_ms)) {
+        ++co.out.counters.workers_reaped;
+        ++co.out.counters.no_progress_reaps;
+        co.dropConn(i, /*charge_head=*/true,
+                    strf("no result for ", now - conn.last_progress_ms,
+                         "ms with ", conn.leased.size(),
+                         " lease(s) held; reaping"));
+      } else {
+        ++i;
+      }
+    }
+
     co.reapSpawned();
     co.grantLeases();
     co.stealFromStragglers();
+    co.maybeCheckpoint(now, /*force=*/false);
 
     // Graceful degradation: no live worker for degrade_after_ms and a
     // local fallback available -> drain the remaining keys in-process.
@@ -596,6 +719,16 @@ FleetOutcome runFleet(const std::vector<std::string>& keys,
   }
 
   if (interrupted()) co.out.interrupted = true;
+  if (!config.checkpoint_path.empty()) {
+    if (co.out.interrupted) {
+      // A last snapshot so a takeover after Ctrl-C is as informed as one
+      // after SIGKILL-between-checkpoints at worst.
+      co.ckpt_dirty = true;
+      co.maybeCheckpoint(nowMs(), /*force=*/true);
+    } else {
+      ::unlink(config.checkpoint_path.c_str());
+    }
+  }
   co.shutdown();
   return co.out;
 }

@@ -25,6 +25,10 @@
 //   * malformed/truncated frames never crash the loop: the decoder
 //     poisons itself, frames_rejected is bumped, the connection drops,
 //     and the leases are requeued;
+//   * a handshaken worker that holds leases but produces no RESULT for a
+//     full lease deadline is reaped even if it keeps heartbeating — a
+//     dropped LEASE frame (chaos, or a real lossy link) otherwise leaves
+//     both sides waiting forever, each believing the other is working;
 //   * when the pending queue drains, idle workers steal the tail half of
 //     the slowest straggler's unstarted leases;
 //   * when no handshaken worker exists for degrade_after_ms and a
@@ -38,9 +42,11 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "exec/fabric/chaos.h"
 #include "exec/fabric/work.h"
 #include "obs/counters.h"
 
@@ -75,6 +81,22 @@ struct FleetConfig {
   /// Worker deaths a single key may cause before it permanently fails.
   int max_attempts = 3;
   FleetTiming timing;
+
+  /// Network-fault injection (ISSUE 10). Non-empty = every outbound frame
+  /// on every coordinator link goes through a ChaosLink, and spawned
+  /// workers receive the same schedule via --chaos so their side injects
+  /// too. Empty = plain sendFrame, zero overhead.
+  ChaosSchedule chaos;
+  /// Coordinator checkpoint file; empty = no checkpointing. Written
+  /// atomically every checkpoint_interval_ms while state is dirty and
+  /// immediately after an attempt charge; removed when the campaign
+  /// completes cleanly.
+  std::string checkpoint_path;
+  int checkpoint_interval_ms = 1000;
+  /// Attempt counts carried over from a --takeover (checkpoint load).
+  /// Keys already at max_attempts fail permanently at startup instead of
+  /// being re-charged from zero.
+  std::map<std::string, int> initial_attempts;
 
   /// Called once per key when it is first granted (and again on regrant
   /// after a worker death). May be null.

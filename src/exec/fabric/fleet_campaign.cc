@@ -1,18 +1,15 @@
 #include "exec/fabric/fleet_campaign.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <ostream>
 
 #include "common/check.h"
 #include "common/strf.h"
 #include "exec/campaign.h"
+#include "exec/fabric/checkpoint.h"
 #include "exec/journal.h"
 
 namespace mpcp::exec::fabric {
@@ -23,40 +20,6 @@ namespace fs = std::filesystem;
 
 bool isShardJournal(const fs::path& p) {
   return p.extension() == ".journal";
-}
-
-/// Writes `bytes` to `path` atomically: tmp sibling + fsync + rename.
-void writeFileAtomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(),
-                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    throw ConfigError("cannot open '" + tmp +
-                      "' for the journal merge: " + std::strerror(errno));
-  }
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int err = errno;
-      ::close(fd);
-      throw ConfigError("journal merge write to '" + tmp +
-                        "' failed: " + std::strerror(err));
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
-    const int err = errno;
-    ::close(fd);
-    throw ConfigError("journal merge fsync on '" + tmp +
-                      "' failed: " + std::strerror(err));
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw ConfigError("cannot rename '" + tmp + "' over '" + path +
-                      "': " + std::strerror(errno));
-  }
 }
 
 }  // namespace
@@ -78,8 +41,32 @@ FleetCampaignOutcome runFleetCampaign(int seeds, std::uint64_t seed_base,
   MPCP_CHECK(!options.fleet.body_spec.empty(),
              "runFleetCampaign needs a body spec");
   const auto n = static_cast<std::size_t>(std::max(0, seeds));
+  const bool resume = options.resume || options.takeover;
   FleetCampaignOutcome out;
   out.payloads.resize(n);
+
+  std::ostream* log = options.fleet.log;
+  const auto note = [log](const std::string& message) {
+    if (log != nullptr) *log << "fleet: " << message << "\n";
+  };
+  // Disk faults are contained, never fatal: a refused append costs
+  // durability (the in-memory result survives and the final merge
+  // rewrites everything), not the campaign.
+  const auto safeAppend = [&](CampaignJournal* j, RecordKind kind,
+                              const std::string& key,
+                              const std::string& payload) {
+    if (j == nullptr) return;
+    try {
+      j->append(kind, key, payload);
+    } catch (const ConfigError& e) {
+      ++out.exec.journal_write_errors;
+      note(strf("journal append refused (continuing): ", e.what()));
+    }
+  };
+
+  const std::string checkpoint_path =
+      options.shard_dir.empty() ? ""
+                                : options.shard_dir + "/coordinator.ckpt";
 
   // Main journal: identical validation rules to runCampaign.
   std::unique_ptr<CampaignJournal> journal;
@@ -87,12 +74,12 @@ FleetCampaignOutcome runFleetCampaign(int seeds, std::uint64_t seed_base,
   std::string loaded_meta;
   if (!options.journal_path.empty()) {
     const JournalLoad load = loadJournalFile(options.journal_path);
-    if (!load.empty() && !options.resume) {
+    if (!load.empty() && !resume) {
       throw ConfigError("journal '" + options.journal_path +
                         "' already has records; pass --resume to continue "
                         "it or remove the file to start over");
     }
-    if (options.resume && !load.meta.empty() &&
+    if (resume && !load.meta.empty() &&
         !options.config_fingerprint.empty() &&
         load.meta != options.config_fingerprint) {
       throw ConfigError(
@@ -113,7 +100,7 @@ FleetCampaignOutcome runFleetCampaign(int seeds, std::uint64_t seed_base,
       if (!entry.is_regular_file() || !isShardJournal(entry.path())) {
         continue;
       }
-      if (!options.resume) {
+      if (!resume) {
         std::error_code ec;
         fs::remove(entry.path(), ec);
         continue;
@@ -126,11 +113,39 @@ FleetCampaignOutcome runFleetCampaign(int seeds, std::uint64_t seed_base,
     }
   }
 
+  // Takeover: adopt the dead coordinator's attempt bookkeeping. The
+  // shards above already gave us its completed work; the checkpoint gives
+  // us what it *charged*, so a poison key cannot restart from zero after
+  // every coordinator death.
+  std::map<std::string, int> initial_attempts;
+  if (options.takeover && !checkpoint_path.empty()) {
+    CoordinatorCheckpoint ckpt;
+    if (loadCheckpoint(checkpoint_path, ckpt)) {
+      if (!options.config_fingerprint.empty() && !ckpt.fingerprint.empty() &&
+          ckpt.fingerprint != options.config_fingerprint) {
+        throw ConfigError(
+            "checkpoint '" + checkpoint_path +
+            "' was written under a different configuration\n  checkpoint: " +
+            ckpt.fingerprint + "\n  current: " + options.config_fingerprint);
+      }
+      initial_attempts = ckpt.attempts;
+      note(strf("takeover: adopted checkpoint with ", ckpt.attempts.size(),
+                " attempt record(s), ", ckpt.in_flight.size(),
+                " key(s) in flight at the old coordinator's death"));
+    } else {
+      note(strf("takeover: no usable checkpoint at ", checkpoint_path,
+                "; resuming from journals alone"));
+    }
+  } else if (options.takeover) {
+    note("takeover: no shard dir, so no checkpoint; resuming from journals");
+  }
+
   if (!options.journal_path.empty()) {
-    journal = std::make_unique<CampaignJournal>(options.journal_path);
+    journal = std::make_unique<CampaignJournal>(options.journal_path,
+                                                options.journal_io);
     if (loaded_meta.empty() && !options.config_fingerprint.empty()) {
-      journal->append(RecordKind::kMeta, "config",
-                      options.config_fingerprint);
+      safeAppend(journal.get(), RecordKind::kMeta, "config",
+                 options.config_fingerprint);
     }
   }
 
@@ -156,9 +171,16 @@ FleetCampaignOutcome runFleetCampaign(int seeds, std::uint64_t seed_base,
       if (options.shard_dir.empty()) return nullptr;
       auto& slot = shards[worker];
       if (!slot) {
-        slot = std::make_unique<CampaignJournal>(
-            options.shard_dir + "/" + sanitizeWorkerName(worker) +
-            ".journal");
+        try {
+          slot = std::make_unique<CampaignJournal>(
+              options.shard_dir + "/" + sanitizeWorkerName(worker) +
+                  ".journal",
+              options.journal_io);
+        } catch (const ConfigError& e) {
+          ++out.exec.journal_write_errors;
+          note(strf("cannot open shard journal (continuing): ", e.what()));
+          return nullptr;
+        }
       }
       return slot.get();
     };
@@ -166,14 +188,14 @@ FleetCampaignOutcome runFleetCampaign(int seeds, std::uint64_t seed_base,
     FleetConfig fleet = options.fleet;
     fleet.fingerprint = options.config_fingerprint;
     fleet.shard_dir = options.shard_dir;
+    fleet.checkpoint_path = checkpoint_path;
+    fleet.initial_attempts = initial_attempts;
     fleet.on_grant = [&](const std::string& key) {
-      if (journal) journal->append(RecordKind::kStart, key, "");
+      safeAppend(journal.get(), RecordKind::kStart, key, "");
       ++out.exec.dispatched;
     };
     fleet.on_result = [&](const FleetResult& r) {
-      if (CampaignJournal* shard = shardFor(r.worker)) {
-        shard->append(RecordKind::kDone, r.key, r.payload);
-      }
+      safeAppend(shardFor(r.worker), RecordKind::kDone, r.key, r.payload);
       const auto it = seed_of.find(r.key);
       MPCP_CHECK(it != seed_of.end(),
                  "fleet returned unknown key '" << r.key << "'");
@@ -181,7 +203,7 @@ FleetCampaignOutcome runFleetCampaign(int seeds, std::uint64_t seed_base,
       ++out.exec.completed;
     };
     fleet.on_fail = [&](const std::string& key, const std::string& error) {
-      if (journal) journal->append(RecordKind::kFail, key, error);
+      safeAppend(journal.get(), RecordKind::kFail, key, error);
       const auto it = seed_of.find(key);
       MPCP_CHECK(it != seed_of.end(),
                  "fleet failed unknown key '" << key << "'");
@@ -219,7 +241,15 @@ FleetCampaignOutcome runFleetCampaign(int seeds, std::uint64_t seed_base,
           *out.payloads[static_cast<std::size_t>(s)]);
     }
     journal.reset();  // close the append fd before replacing the file
-    writeFileAtomic(options.journal_path, canonical);
+    try {
+      writeFileAtomic(options.journal_path, canonical, options.journal_io);
+    } catch (const ConfigError& e) {
+      // Contained like any other disk fault: the append-order journal
+      // (plus shards) still resumes correctly; only canonical byte
+      // identity is lost until a later run merges successfully.
+      ++out.exec.journal_write_errors;
+      note(strf("canonical journal merge failed (continuing): ", e.what()));
+    }
   }
 
   return out;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "exec/fabric/coordinator.h"
+#include "exec/journal.h"
 #include "exp/sweep_runner.h"
 #include "obs/counters.h"
 
@@ -42,10 +43,23 @@ struct FleetCampaignOptions {
   /// Main journal; empty = no journal (results still flow, no resume).
   std::string journal_path;
   bool resume = false;
+  /// Coordinator takeover (ISSUE 10): implies resume, and additionally
+  /// loads `<shard_dir>/coordinator.ckpt` — the attempt counts the dead
+  /// coordinator had charged — so in-flight keys are not re-run from a
+  /// clean slate and exhausted keys fail immediately instead of reaping
+  /// the new fleet. A missing/corrupt checkpoint degrades to a plain
+  /// resume; a checkpoint from a different fingerprint is a ConfigError.
+  bool takeover = false;
   std::string config_fingerprint;
   /// Shard directory: worker journals, worker logs, and (for a unix
   /// listen address) the default socket live here. Must be writable.
+  /// Non-empty also enables periodic coordinator checkpoints there.
   std::string shard_dir;
+  /// Disk seam for every journal/checkpoint/merge byte (ISSUE 10); null =
+  /// real syscalls. Injected faults are contained: failed appends bump
+  /// exec.journal_write_errors and the campaign carries on — results stay
+  /// in memory and the final merge still writes the canonical stream.
+  JournalIo* journal_io = nullptr;
   /// Fleet topology + timing. body_spec must be set; fingerprint and
   /// shard_dir are filled in from the fields above.
   FleetConfig fleet;

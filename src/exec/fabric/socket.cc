@@ -198,4 +198,12 @@ void setNonBlocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+FrameSink::~FrameSink() = default;
+
+bool FrameSink::send(FrameType type, const std::string& payload) {
+  return sendFrame(fd_, type, payload);
+}
+
+void FrameSink::tick(std::int64_t) {}
+
 }  // namespace mpcp::exec::fabric

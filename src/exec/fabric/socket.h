@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "exec/fabric/wire.h"
@@ -49,5 +50,31 @@ struct Address {
 /// Sets O_NONBLOCK (used on listening fds so accept never wedges the
 /// coordinator loop).
 void setNonBlocking(int fd);
+
+/// Injectable outbound-frame seam (ISSUE 10). The coordinator and the
+/// worker route every frame they transmit through one of these per
+/// connection; the base class is a plain sendFrame, and the chaos layer
+/// (exec/fabric/chaos.h) substitutes a ChaosLink that drops, delays,
+/// duplicates, reorders, or truncates frames deterministically from a
+/// seed. The sink borrows the fd — it never closes it.
+class FrameSink {
+ public:
+  explicit FrameSink(int fd) : fd_(fd) {}
+  virtual ~FrameSink();
+
+  /// Transmits (or chaotically mishandles) one frame. False only on a
+  /// genuine socket error — injected losses still return true, exactly
+  /// like a network that ate the packet after send(2) succeeded.
+  [[nodiscard]] virtual bool send(FrameType type, const std::string& payload);
+
+  /// Periodic pump for sinks that hold frames (delay/reorder). The base
+  /// sink holds nothing; owners call this once per poll-loop pass.
+  virtual void tick(std::int64_t now_ms);
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ protected:
+  int fd_;
+};
 
 }  // namespace mpcp::exec::fabric

@@ -8,11 +8,13 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <ostream>
 #include <thread>
 
 #include "common/check.h"
 #include "common/strf.h"
+#include "exec/fabric/clock.h"
 #include "exec/fabric/socket.h"
 #include "exec/fabric/wire.h"
 #include "exec/interrupt.h"
@@ -21,11 +23,7 @@ namespace mpcp::exec::fabric {
 
 namespace {
 
-std::int64_t nowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+std::int64_t nowMs() { return steadyNowMs(); }
 
 void note(const WorkerConfig& config, const std::string& message) {
   if (config.log != nullptr) {
@@ -58,10 +56,14 @@ bool drainSocket(int fd, FrameDecoder& decoder) {
 }
 
 /// Blocks (via poll) until one complete frame arrives or `deadline_ms`
-/// passes. False = dead/poisoned/timeout.
+/// passes. False = dead/poisoned/timeout. `sink` (nullable) is ticked
+/// every pass — without this, a chaos-delayed HELLO would sit in the
+/// link's queue for the whole handshake wait and never reach the
+/// coordinator, livelocking the worker (same verdict on every retry).
 bool awaitFrame(int fd, FrameDecoder& decoder, std::int64_t deadline_ms,
-                Frame& out) {
+                Frame& out, FrameSink* sink = nullptr) {
   for (;;) {
+    if (sink != nullptr) sink->tick(nowMs());
     const FrameDecoder::Result r = decoder.next();
     if (r.status == FrameDecoder::Status::kFrame) {
       out = r.frame;
@@ -71,7 +73,7 @@ bool awaitFrame(int fd, FrameDecoder& decoder, std::int64_t deadline_ms,
     const std::int64_t left = deadline_ms - nowMs();
     if (left <= 0 || interrupted()) return false;
     pollfd pfd{fd, POLLIN, 0};
-    ::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(left, 200)));
+    ::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(left, 50)));
     if (!drainSocket(fd, decoder)) {
       // A REJECT (or WELCOME) right before the peer's close still counts.
       const FrameDecoder::Result last = decoder.next();
@@ -95,16 +97,21 @@ void splitKeys(const std::string& payload, std::deque<std::string>& out) {
 }
 
 /// One connected session: handshake already done, `body` built. Runs
-/// leased keys and heartbeats until the connection ends.
+/// leased keys and heartbeats until the connection ends. Outbound frames
+/// go through `sink` (a ChaosLink when --chaos is set).
 SessionEnd runSession(const WorkerConfig& config, int fd,
-                      FrameDecoder& decoder, const FleetBodyFn& body) {
+                      FrameDecoder& decoder, const FleetBodyFn& body,
+                      FrameSink& sink) {
   std::deque<std::string> queue;
   std::int64_t last_send = nowMs();
   for (;;) {
     if (interrupted()) {
+      // Farewell bypasses chaos: the coordinator should learn of a
+      // voluntary exit even on a hostile link when possible.
       (void)sendFrame(fd, FrameType::kBye, "");
       return SessionEnd::kInterrupted;
     }
+    sink.tick(nowMs());
 
     // Wait for traffic only when idle; with leased work, poll(0) just
     // picks up new frames (a STEAL must cancel queued keys promptly).
@@ -165,7 +172,7 @@ SessionEnd runSession(const WorkerConfig& config, int fd,
         result.payload = e.what();
       }
       const std::string header = key + (result.ok ? " ok\n" : " fail\n");
-      if (!sendFrame(fd, FrameType::kResult, header + result.payload)) {
+      if (!sink.send(FrameType::kResult, header + result.payload)) {
         return SessionEnd::kLost;
       }
       last_send = nowMs();
@@ -173,7 +180,7 @@ SessionEnd runSession(const WorkerConfig& config, int fd,
     }
 
     if (nowMs() - last_send >= config.heartbeat_ms) {
-      if (!sendFrame(fd, FrameType::kHeartbeat, "")) {
+      if (!sink.send(FrameType::kHeartbeat, "")) {
         return SessionEnd::kLost;
       }
       last_send = nowMs();
@@ -204,6 +211,8 @@ int runWorker(const WorkerConfig& config_in) {
                                  "\nname=", config.name, "\nkinds=", kinds);
 
   std::string pinned_fingerprint;  // set on first handshake, checked after
+  const std::int64_t armed_at_ms = nowMs();  // chaos partition-window clock
+  std::uint64_t chaos_generation = 0;  // fresh verdicts per reconnect
   int attempt = 1;
   for (;;) {
     if (interrupted()) return interruptExitCode();
@@ -211,10 +220,21 @@ int runWorker(const WorkerConfig& config_in) {
     const int fd = connectTo(addr, error);
     SessionEnd end = SessionEnd::kLost;
     if (fd >= 0) {
+      std::unique_ptr<FrameSink> sink;
+      ChaosLink* chaos = nullptr;
+      if (config.chaos.empty()) {
+        sink = std::make_unique<FrameSink>(fd);
+      } else {
+        auto link = std::make_unique<ChaosLink>(&config.chaos, fd, "coord",
+                                                armed_at_ms,
+                                                ++chaos_generation);
+        chaos = link.get();
+        sink = std::move(link);
+      }
       FrameDecoder decoder;
       Frame reply;
-      if (sendFrame(fd, FrameType::kHello, hello) &&
-          awaitFrame(fd, decoder, nowMs() + 5000, reply)) {
+      if (sink->send(FrameType::kHello, hello) &&
+          awaitFrame(fd, decoder, nowMs() + 5000, reply, sink.get())) {
         if (reply.type == FrameType::kReject) {
           note(config, strf("coordinator rejected us: ", reply.payload));
           end = SessionEnd::kConfig;
@@ -244,7 +264,7 @@ int runWorker(const WorkerConfig& config_in) {
                 pinned_fingerprint = fingerprint;
                 attempt = 1;  // handshake succeeded: reset the backoff
                 note(config, strf("joined campaign ", fingerprint));
-                end = runSession(config, fd, decoder, body);
+                end = runSession(config, fd, decoder, body, *sink);
               } catch (const ConfigError& e) {
                 note(config, strf("cannot build body from spec: ", e.what()));
                 end = SessionEnd::kConfig;
@@ -257,6 +277,14 @@ int runWorker(const WorkerConfig& config_in) {
       } else if (!error.empty()) {
         note(config, strf("handshake failed: ", error));
       }
+      if (chaos != nullptr && chaos->stats().total() > 0) {
+        const ChaosStats& s = chaos->stats();
+        note(config, strf("chaos injected: dropped=", s.dropped,
+                          " delayed=", s.delayed, " duplicated=",
+                          s.duplicated, " reordered=", s.reordered,
+                          " truncated=", s.truncated));
+      }
+      sink.reset();  // before close: the sink borrows the fd
       ::close(fd);
     }
 

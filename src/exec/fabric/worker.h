@@ -26,6 +26,7 @@
 #include <ostream>
 #include <string>
 
+#include "exec/fabric/chaos.h"
 #include "exec/fabric/work.h"
 #include "exec/retry.h"
 
@@ -37,6 +38,10 @@ struct WorkerConfig {
   int heartbeat_ms = 500;        ///< HEARTBEAT cadence while connected
   RetryPolicy reconnect{8, std::chrono::milliseconds(100),
                         std::chrono::milliseconds(2000), 0};
+  /// Network-fault injection on this worker's outbound frames (peer name
+  /// "coord"); spawned workers receive the coordinator's schedule via
+  /// --chaos. Empty = plain sends.
+  ChaosSchedule chaos;
   std::ostream* log = nullptr;   ///< progress/diagnostic lines (nullable)
 };
 

@@ -1,8 +1,10 @@
 #include "exec/journal.h"
 
 #include <fcntl.h>
+#include <stdio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
@@ -195,8 +197,124 @@ JournalLoad loadJournalFile(const std::string& path) {
   return parseJournal(buf.str());
 }
 
-CampaignJournal::CampaignJournal(const std::string& path) : path_(path) {
-  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+JournalIo::~JournalIo() = default;
+
+int JournalIo::open(const std::string& path, int flags, int mode) {
+  return ::open(path.c_str(), flags, mode);
+}
+
+long JournalIo::write(int fd, const void* data, std::size_t n) {
+  return static_cast<long>(::write(fd, data, n));
+}
+
+int JournalIo::fsync(int fd) { return ::fsync(fd); }
+
+int JournalIo::rename(const std::string& from, const std::string& to) {
+  return ::rename(from.c_str(), to.c_str());
+}
+
+int JournalIo::close(int fd) { return ::close(fd); }
+
+JournalIo& JournalIo::real() {
+  static JournalIo io;
+  return io;
+}
+
+int FaultyJournalIo::open(const std::string& path, int flags, int mode) {
+  const int fd = JournalIo::open(path, flags, mode);
+  if (fd >= 0 &&
+      (path_filter.empty() || path.find(path_filter) != std::string::npos)) {
+    faulted_fds_.push_back(fd);
+  }
+  return fd;
+}
+
+bool FaultyJournalIo::faulted(int fd) const {
+  return std::find(faulted_fds_.begin(), faulted_fds_.end(), fd) !=
+         faulted_fds_.end();
+}
+
+long FaultyJournalIo::write(int fd, const void* data, std::size_t n) {
+  if (!faulted(fd) || budget_bytes < 0) {
+    const long w = JournalIo::write(fd, data, n);
+    if (w > 0) bytes_written += w;
+    return w;
+  }
+  const std::int64_t room = budget_bytes - bytes_written;
+  if (room <= 0 ||
+      (!short_writes && static_cast<std::int64_t>(n) > room)) {
+    ++write_errors;
+    errno = ENOSPC;
+    return -1;
+  }
+  const std::size_t allowed =
+      std::min(n, static_cast<std::size_t>(room));
+  const long w = JournalIo::write(fd, data, allowed);
+  if (w > 0) bytes_written += w;
+  return w;
+}
+
+int FaultyJournalIo::fsync(int fd) {
+  if (faulted(fd) && fsync_failures_after >= 0 &&
+      fsync_calls_++ >= fsync_failures_after) {
+    ++fsync_errors;
+    errno = EIO;
+    return -1;
+  }
+  return JournalIo::fsync(fd);
+}
+
+int FaultyJournalIo::rename(const std::string& from, const std::string& to) {
+  if (fail_renames &&
+      (path_filter.empty() || to.find(path_filter) != std::string::npos)) {
+    ++rename_errors;
+    errno = EIO;
+    return -1;
+  }
+  return JournalIo::rename(from, to);
+}
+
+int FaultyJournalIo::close(int fd) {
+  faulted_fds_.erase(
+      std::remove(faulted_fds_.begin(), faulted_fds_.end(), fd),
+      faulted_fds_.end());
+  return JournalIo::close(fd);
+}
+
+void writeFileAtomic(const std::string& path, const std::string& bytes,
+                     JournalIo* io) {
+  if (io == nullptr) io = &JournalIo::real();
+  const std::string tmp = path + ".tmp";
+  const int fd = io->open(tmp, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw ConfigError("cannot open '" + tmp + "': " + std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const long n = io->write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      io->close(fd);
+      throw ConfigError("write to '" + tmp + "' failed: " + detail);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (io->fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+    const std::string detail = std::strerror(errno);
+    io->close(fd);
+    throw ConfigError("fsync on '" + tmp + "' failed: " + detail);
+  }
+  io->close(fd);
+  if (io->rename(tmp, path) != 0) {
+    throw ConfigError("rename '" + tmp + "' -> '" + path +
+                      "' failed: " + std::strerror(errno));
+  }
+}
+
+CampaignJournal::CampaignJournal(const std::string& path, JournalIo* io)
+    : path_(path), io_(io != nullptr ? io : &JournalIo::real()) {
+  fd_ = io_->open(path, O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     throw ConfigError("cannot open journal '" + path +
                       "' for append: " + std::strerror(errno));
@@ -204,7 +322,7 @@ CampaignJournal::CampaignJournal(const std::string& path) : path_(path) {
 }
 
 CampaignJournal::~CampaignJournal() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) io_->close(fd_);
 }
 
 std::string formatRecord(RecordKind kind, const std::string& key,
@@ -224,7 +342,7 @@ void CampaignJournal::append(RecordKind kind, const std::string& key,
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t off = 0;
   while (off < line.size()) {
-    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    const long n = io_->write(fd_, line.data() + off, line.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw ConfigError("journal write to '" + path_ +
@@ -232,7 +350,7 @@ void CampaignJournal::append(RecordKind kind, const std::string& key,
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd_) != 0 && errno != EINVAL && errno != EROFS) {
+  if (io_->fsync(fd_) != 0 && errno != EINVAL && errno != EROFS) {
     throw ConfigError("journal fsync on '" + path_ +
                       "' failed: " + std::strerror(errno));
   }

@@ -85,13 +85,87 @@ struct JournalLoad {
 [[nodiscard]] std::string formatRecord(RecordKind kind, const std::string& key,
                                        const std::string& payload);
 
+/// Injectable disk seam (ISSUE 10): every byte the journal layer puts on
+/// disk goes through one of these, so tests and the soak harness can
+/// simulate a hostile disk — ENOSPC, short writes, failing fsync, torn
+/// renames — deterministically and without filling a real filesystem.
+/// The base class is the real syscalls; errors are reported errno-style
+/// (negative return, errno set) so call sites keep their existing
+/// strerror diagnostics.
+class JournalIo {
+ public:
+  virtual ~JournalIo();
+
+  [[nodiscard]] virtual int open(const std::string& path, int flags,
+                                 int mode);
+  [[nodiscard]] virtual long write(int fd, const void* data,
+                                   std::size_t n);
+  [[nodiscard]] virtual int fsync(int fd);
+  [[nodiscard]] virtual int rename(const std::string& from,
+                                   const std::string& to);
+  virtual int close(int fd);
+
+  /// The shared real-syscall instance.
+  [[nodiscard]] static JournalIo& real();
+};
+
+/// A deterministic hostile disk. `budget_bytes` caps the total bytes it
+/// will ever write (across all fds): with `short_writes`, a write that
+/// crosses the cap is cut at the boundary (a torn record lands) and the
+/// NEXT write fails ENOSPC; without it, the crossing write fails whole.
+/// Negative budget = unlimited. fsync failures (EIO) start after
+/// `fsync_failures_after` successful calls (negative = never fail), and
+/// `fail_renames` makes every rename fail EIO — the torn-rename case,
+/// where the tmp file exists but never replaces the target.
+class FaultyJournalIo : public JournalIo {
+ public:
+  std::int64_t budget_bytes = -1;
+  bool short_writes = false;
+  int fsync_failures_after = -1;
+  bool fail_renames = false;
+  /// Faults apply only to paths containing this substring ("" = all) —
+  /// lets a test break shard journals while the main journal stays
+  /// healthy. Matched at open/rename; fds from non-matching opens pass
+  /// straight through.
+  std::string path_filter;
+
+  // Observability for assertions.
+  std::int64_t bytes_written = 0;
+  std::uint64_t write_errors = 0;
+  std::uint64_t fsync_errors = 0;
+  std::uint64_t rename_errors = 0;
+
+  [[nodiscard]] int open(const std::string& path, int flags,
+                         int mode) override;
+  [[nodiscard]] long write(int fd, const void* data, std::size_t n) override;
+  [[nodiscard]] int fsync(int fd) override;
+  [[nodiscard]] int rename(const std::string& from,
+                           const std::string& to) override;
+  int close(int fd) override;
+
+ private:
+  [[nodiscard]] bool faulted(int fd) const;
+  std::vector<int> faulted_fds_;
+  int fsync_calls_ = 0;
+};
+
+/// Writes `bytes` to `path` atomically: tmp sibling + write + fsync +
+/// rename, all through `io`. Throws ConfigError on any step failing —
+/// the target file is untouched in every failure mode (a torn rename
+/// leaves only the tmp sibling behind). Used by the fleet journal merge
+/// and the coordinator checkpoint.
+void writeFileAtomic(const std::string& path, const std::string& bytes,
+                     JournalIo* io = nullptr);
+
 /// Append handle. Thread-safe: concurrent appends from pool workers are
 /// serialized internally; each record is written + fsync'd before
 /// append() returns, so a completed run survives any subsequent crash.
 class CampaignJournal {
  public:
   /// Opens `path` for append, creating it. Throws ConfigError on failure.
-  explicit CampaignJournal(const std::string& path);
+  /// `io` is the disk seam (null = the real one); it must outlive the
+  /// journal.
+  explicit CampaignJournal(const std::string& path, JournalIo* io = nullptr);
   ~CampaignJournal();
 
   CampaignJournal(const CampaignJournal&) = delete;
@@ -105,6 +179,7 @@ class CampaignJournal {
  private:
   std::string path_;
   int fd_ = -1;
+  JournalIo* io_ = nullptr;
   std::mutex mu_;
 };
 

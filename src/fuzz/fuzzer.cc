@@ -310,6 +310,9 @@ FuzzReport runFuzz(const FuzzOptions& options, std::ostream& log) {
     fc.timing.heartbeat_ms = options.fleet_heartbeat_ms;
     fc.timing.lease_deadline_ms = options.fleet_lease_deadline_ms;
     fc.timing.degrade_after_ms = options.fleet_grace_ms;
+    if (!options.fleet_chaos.empty()) {
+      fc.chaos = exec::fabric::parseChaosSchedule(options.fleet_chaos);
+    }
     fc.log = &log;
     fc.local_fn =
         (*exec::fabric::findFleetBodyKind("fuzz-v1"))(fc.body_spec);

@@ -72,6 +72,8 @@ struct FuzzOptions {
   int fleet_heartbeat_ms = 500;
   int fleet_lease_deadline_ms = 60000;  ///< must exceed the slowest run
   int fleet_grace_ms = 3000;  ///< degrade to in-process after this long
+  /// Chaos schedule text (exec/fabric/chaos.h grammar); empty = off.
+  std::string fleet_chaos;
 };
 
 struct FuzzFinding {

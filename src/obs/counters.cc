@@ -116,6 +116,7 @@ void ExecutorCounters::merge(const ExecutorCounters& other) {
   resumed_skips += other.resumed_skips;
   journal_corrupt_lines += other.journal_corrupt_lines;
   duplicate_findings += other.duplicate_findings;
+  journal_write_errors += other.journal_write_errors;
 }
 
 std::string renderExecutorCounters(const ExecutorCounters& c) {
@@ -125,7 +126,8 @@ std::string renderExecutorCounters(const ExecutorCounters& c) {
      << " crashes=" << c.crashes << " timeouts=" << c.timeouts
      << " failed=" << c.failed << " resumed-skips=" << c.resumed_skips
      << " journal-corrupt-lines=" << c.journal_corrupt_lines
-     << " duplicate-findings=" << c.duplicate_findings;
+     << " duplicate-findings=" << c.duplicate_findings
+     << " journal-write-errors=" << c.journal_write_errors;
   return os.str();
 }
 
@@ -140,6 +142,13 @@ void FleetCounters::merge(const FleetCounters& other) {
   handshake_rejects += other.handshake_rejects;
   duplicate_results += other.duplicate_results;
   degraded_local_runs += other.degraded_local_runs;
+  chaos_dropped += other.chaos_dropped;
+  chaos_delayed += other.chaos_delayed;
+  chaos_duplicated += other.chaos_duplicated;
+  chaos_reordered += other.chaos_reordered;
+  chaos_truncated += other.chaos_truncated;
+  no_progress_reaps += other.no_progress_reaps;
+  checkpoints_written += other.checkpoints_written;
 }
 
 std::string renderFleetCounters(const FleetCounters& c) {
@@ -153,7 +162,19 @@ std::string renderFleetCounters(const FleetCounters& c) {
      << " frames-rejected=" << c.frames_rejected
      << " handshake-rejects=" << c.handshake_rejects
      << " duplicate-results=" << c.duplicate_results
-     << " degraded-local-runs=" << c.degraded_local_runs;
+     << " degraded-local-runs=" << c.degraded_local_runs
+     << " no-progress-reaps=" << c.no_progress_reaps
+     << " checkpoints=" << c.checkpoints_written;
+  const std::uint64_t chaos_total = c.chaos_dropped + c.chaos_delayed +
+                                    c.chaos_duplicated + c.chaos_reordered +
+                                    c.chaos_truncated;
+  if (chaos_total > 0) {
+    os << " chaos-dropped=" << c.chaos_dropped
+       << " chaos-delayed=" << c.chaos_delayed
+       << " chaos-duplicated=" << c.chaos_duplicated
+       << " chaos-reordered=" << c.chaos_reordered
+       << " chaos-truncated=" << c.chaos_truncated;
+  }
   return os.str();
 }
 

@@ -148,6 +148,7 @@ struct ExecutorCounters {
   std::uint64_t resumed_skips = 0;  ///< keys satisfied from the journal
   std::uint64_t journal_corrupt_lines = 0;  ///< CRC-bad lines skipped
   std::uint64_t duplicate_findings = 0;  ///< fuzz crash-signature dedupes
+  std::uint64_t journal_write_errors = 0;  ///< appends the disk refused
 
   void merge(const ExecutorCounters& other);
 };
@@ -171,6 +172,16 @@ struct FleetCounters {
   std::uint64_t handshake_rejects = 0;   ///< HELLOs refused (kind mismatch)
   std::uint64_t duplicate_results = 0;   ///< re-delivered keys discarded
   std::uint64_t degraded_local_runs = 0; ///< keys drained in-process
+
+  // Chaos layer (ISSUE 10). Frame counts are what the coordinator's own
+  // ChaosLinks injected; zero without --chaos.
+  std::uint64_t chaos_dropped = 0;
+  std::uint64_t chaos_delayed = 0;
+  std::uint64_t chaos_duplicated = 0;
+  std::uint64_t chaos_reordered = 0;
+  std::uint64_t chaos_truncated = 0;
+  std::uint64_t no_progress_reaps = 0;   ///< leased but silent past deadline
+  std::uint64_t checkpoints_written = 0; ///< coordinator.ckpt snapshots
 
   void merge(const FleetCounters& other);
 };

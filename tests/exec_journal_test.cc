@@ -157,5 +157,123 @@ TEST(Journal, UnopenablePathThrowsConfigError) {
   EXPECT_THROW(CampaignJournal("/nonexistent-dir/sub/j.journal"), ConfigError);
 }
 
+// --- JournalIo fault injection (ISSUE 10 satellite) ----------------------
+//
+// The seam simulates a hostile disk: ENOSPC and short writes at every
+// byte offset of a record, failing fsync, and torn renames. The
+// invariant under all of them: append() throws ConfigError (callers
+// contain it), and whatever DID land on disk is parseable — a torn
+// record is at most a torn tail, never a poisoned journal.
+
+TEST(JournalFaults, EnospcAtEveryByteOffset) {
+  const std::string record = formatRecord(RecordKind::kDone, "k1", "row");
+  for (std::size_t budget = 0; budget < record.size(); ++budget) {
+    for (const bool short_writes : {false, true}) {
+      const std::string path = tempPath("enospc");
+      std::remove(path.c_str());
+      FaultyJournalIo io;
+      io.budget_bytes = static_cast<std::int64_t>(budget);
+      io.short_writes = short_writes;
+      CampaignJournal j(path, &io);
+      EXPECT_THROW(j.append(RecordKind::kDone, "k1", "row"), ConfigError)
+          << "budget=" << budget << " short=" << short_writes;
+      EXPECT_GE(io.write_errors, 1u);
+
+      // Whatever landed must parse: with short writes a prefix of the
+      // record is on disk (a torn tail); without, nothing is.
+      const JournalLoad load = loadJournalFile(path);
+      EXPECT_TRUE(load.records.empty());
+      EXPECT_EQ(load.corrupt_lines, 0u);
+      if (!short_writes) {
+        EXPECT_FALSE(load.torn_tail);
+      } else if (budget > 0) {
+        EXPECT_TRUE(load.torn_tail) << "budget=" << budget;
+      }
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(JournalFaults, TornRecordAfterHealthyOnesIsJustATornTail) {
+  const std::string r1 = formatRecord(RecordKind::kDone, "k1", "a");
+  // Budget covers record one plus half of record two.
+  const std::string path = tempPath("torn_after");
+  std::remove(path.c_str());
+  FaultyJournalIo io;
+  io.short_writes = true;
+  io.budget_bytes = static_cast<std::int64_t>(r1.size() + 7);
+  CampaignJournal j(path, &io);
+  j.append(RecordKind::kDone, "k1", "a");
+  EXPECT_THROW(j.append(RecordKind::kDone, "k2", "b"), ConfigError);
+
+  const JournalLoad load = loadJournalFile(path);
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.records[0].key, "k1");
+  EXPECT_TRUE(load.torn_tail);
+  EXPECT_EQ(load.corrupt_lines, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalFaults, FsyncFailureSurfacesAsConfigError) {
+  const std::string path = tempPath("fsync");
+  std::remove(path.c_str());
+  FaultyJournalIo io;
+  io.fsync_failures_after = 1;
+  CampaignJournal j(path, &io);
+  j.append(RecordKind::kDone, "k1", "a");  // first fsync succeeds
+  EXPECT_THROW(j.append(RecordKind::kDone, "k2", "b"), ConfigError);
+  EXPECT_EQ(io.fsync_errors, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalFaults, PathFilterScopesTheFaults) {
+  const std::string sick = tempPath("filter_shard");
+  const std::string healthy = tempPath("filter_main");
+  std::remove(sick.c_str());
+  std::remove(healthy.c_str());
+  FaultyJournalIo io;
+  io.budget_bytes = 0;
+  io.path_filter = "filter_shard";
+  CampaignJournal js(sick, &io);
+  CampaignJournal jh(healthy, &io);
+  EXPECT_THROW(js.append(RecordKind::kDone, "k", "x"), ConfigError);
+  jh.append(RecordKind::kDone, "k", "x");  // unfiltered path: no faults
+  EXPECT_EQ(loadJournalFile(healthy).records.size(), 1u);
+  std::remove(sick.c_str());
+  std::remove(healthy.c_str());
+}
+
+TEST(JournalFaults, TornRenameLeavesTargetUntouched) {
+  const std::string path = tempPath("atomic");
+  writeFileAtomic(path, "original contents\n");
+
+  FaultyJournalIo io;
+  io.fail_renames = true;
+  EXPECT_THROW(writeFileAtomic(path, "replacement\n", &io), ConfigError);
+  EXPECT_GE(io.rename_errors, 1u);
+
+  std::ifstream f(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(f, line));
+  EXPECT_EQ(line, "original contents");
+  std::remove(path.c_str());
+}
+
+TEST(JournalFaults, AtomicWriteEnospcLeavesTargetUntouched) {
+  const std::string path = tempPath("atomic_enospc");
+  writeFileAtomic(path, "original contents\n");
+  for (const bool short_writes : {false, true}) {
+    FaultyJournalIo io;
+    io.budget_bytes = 4;
+    io.short_writes = short_writes;
+    EXPECT_THROW(writeFileAtomic(path, "replacement\n", &io), ConfigError);
+    std::ifstream f(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(f, line));
+    EXPECT_EQ(line, "original contents");
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace mpcp::exec

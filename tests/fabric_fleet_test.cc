@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <map>
 #include <mutex>
@@ -327,6 +328,141 @@ TEST_F(FabricFleet, DegradesToLocalDrainWhenNoWorkersArrive) {
   EXPECT_EQ(out.counters.degraded_local_runs, 5u);
   EXPECT_EQ(got.payloads.at("k0"), "k0,local");
   EXPECT_EQ(got.worker_of.at("k0"), "local");
+}
+
+TEST_F(FabricFleet, ChaoticNetworkStillCompletesEveryKey) {
+  // Chaos on BOTH sides of every link (ISSUE 10): duplicated, reordered,
+  // delayed, and dropped frames. Rates are hostile but survivable; the
+  // invariant is completion with every payload intact, courtesy of
+  // reaping, requeue, and idempotent RESULT handling.
+  const std::string addr = tempSock("chaos");
+  Collected got;
+  FleetConfig config = baseConfig(addr, &got);
+  config.chaos =
+      parseChaosSchedule("seed:5,drop:*:50,dup:*:120,reorder:*:100,"
+                         "delay:*:10:300");
+  config.max_attempts = 10;
+
+  int rc_a = -1;
+  int rc_b = -1;
+  std::thread a([&] {
+    WorkerConfig w;
+    w.connect = addr;
+    w.name = "stormy";
+    w.heartbeat_ms = 100;
+    w.chaos = config.chaos;
+    w.log = &std::cerr;
+    rc_a = runWorker(w);
+  });
+  std::thread b = workerThread(addr, "clearsky", &rc_b);
+  const FleetOutcome out = runFleet(makeKeys(12), config);
+  a.join();
+  b.join();
+
+  EXPECT_EQ(out.completed, 12u);
+  EXPECT_EQ(out.failed, 0u);
+  EXPECT_EQ(got.payloads.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    const std::string k = "k" + std::to_string(i);
+    EXPECT_EQ(got.payloads.at(k), k + ",payload");
+  }
+  // The coordinator folded its links' chaos stats into the counters.
+  const std::uint64_t injected =
+      out.counters.chaos_dropped + out.counters.chaos_delayed +
+      out.counters.chaos_duplicated + out.counters.chaos_reordered;
+  EXPECT_GE(injected, 1u);
+}
+
+TEST_F(FabricFleet, HeartbeatingLeaseHoarderIsReapedForNoProgress) {
+  // A raw-wire "worker" that handshakes, accepts a LEASE, then
+  // heartbeats forever without ever sending RESULT. Heartbeats keep it
+  // past the silence reap; only the no-progress reap (ISSUE 10) can
+  // recover its key. Deterministic: no chaos, no timing races beyond
+  // the deadline itself.
+  const std::string addr = tempSock("hoard");
+  Collected got;
+  FleetConfig config = baseConfig(addr, &got);
+  config.timing.lease_deadline_ms = 400;
+  config.lease_chunk = 1;
+
+  std::atomic<bool> hoarder_leased{false};
+  int honest_rc = -1;
+  std::thread honest;
+  std::thread hoarder([&] {
+    Address a;
+    std::string err;
+    ASSERT_TRUE(parseAddress(addr, a, err));
+    int fd = -1;
+    for (int i = 0; i < 100 && fd < 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      fd = connectTo(a, err);
+    }
+    ASSERT_GE(fd, 0) << err;
+    ASSERT_TRUE(sendFrame(fd, FrameType::kHello,
+                          "fabric 1\nname=hoarder\nkinds=test-v1"));
+    FrameDecoder decoder;
+    char buf[4096];
+    auto last_hb = std::chrono::steady_clock::now();
+    for (;;) {
+      // Heartbeat at 100ms; never answer the lease.
+      if (std::chrono::steady_clock::now() - last_hb >
+          std::chrono::milliseconds(100)) {
+        if (!sendFrame(fd, FrameType::kHeartbeat, "")) break;
+        last_hb = std::chrono::steady_clock::now();
+      }
+      struct timeval tv = {0, 20000};
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n == 0) break;  // reaped: coordinator hung up on us
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      for (;;) {
+        const FrameDecoder::Result r = decoder.next();
+        if (r.status != FrameDecoder::Status::kFrame) break;
+        if (r.frame.type == FrameType::kLease) {
+          if (!hoarder_leased.exchange(true)) {
+            // Only now let the honest worker in, so the hoarder is
+            // guaranteed to have claimed a key first.
+            honest = workerThread(addr, "honest", &honest_rc);
+          }
+        }
+        if (r.frame.type == FrameType::kBye) {
+          ::close(fd);
+          return;
+        }
+      }
+    }
+    ::close(fd);
+  });
+
+  const FleetOutcome out = runFleet(makeKeys(6), config);
+  hoarder.join();
+  honest.join();
+
+  EXPECT_EQ(out.completed, 6u);
+  EXPECT_EQ(out.failed, 0u);
+  EXPECT_TRUE(hoarder_leased.load());
+  EXPECT_GE(out.counters.no_progress_reaps, 1u);
+  EXPECT_EQ(got.payloads.size(), 6u);
+  EXPECT_EQ(honest_rc, 0);
+}
+
+TEST_F(FabricFleet, WorkerGivesUpAfterMaxReconnectAttempts) {
+  // Permanently-gone coordinator (ISSUE 10 satellite): nobody listens at
+  // the address, so the worker burns its capped backoff attempts and
+  // exits 1 instead of spinning forever.
+  WorkerConfig w;
+  w.connect = tempSock("nobody-home");
+  w.name = "orphan";
+  w.reconnect = RetryPolicy{2, std::chrono::milliseconds(10),
+                            std::chrono::milliseconds(20), 0};
+  w.log = &std::cerr;
+  EXPECT_EQ(runWorker(w), 1);
 }
 
 TEST_F(FabricFleet, EmptyKeysetFinishesImmediately) {

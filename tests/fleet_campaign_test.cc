@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "exec/fabric/checkpoint.h"
 #include "exec/journal.h"
 
 namespace mpcp::exec::fabric {
@@ -206,6 +207,102 @@ TEST(FleetCampaign, PermanentFailureIsJournaledAndSorted) {
     saw_fail |= rec.kind == RecordKind::kFail && rec.key == "s101";
   }
   EXPECT_TRUE(saw_fail);
+}
+
+// --- coordinator checkpoint + takeover (ISSUE 10) ------------------------
+
+TEST(FleetCampaign, TakeoverAdoptsCheckpointAttemptCounts) {
+  const std::string dir = tempDir("takeover");
+  int executions = 0;
+  FleetCampaignOptions o = degradedOptions(dir, &executions);
+
+  // A predecessor coordinator died mid-campaign: the journal knows the
+  // campaign started, and the checkpoint knows s100 already burned its
+  // whole attempt budget (default max_attempts = 3).
+  {
+    std::ofstream main(o.journal_path, std::ios::binary);
+    main << formatRecord(RecordKind::kMeta, "config", "fleet-test-v1");
+    main << formatRecord(RecordKind::kStart, "s100", "");
+  }
+  CoordinatorCheckpoint ckpt;
+  ckpt.fingerprint = "fleet-test-v1";
+  ckpt.attempts["s100"] = 3;
+  ckpt.in_flight.insert("s100");
+  saveCheckpoint(dir + "/coordinator.ckpt", ckpt);
+
+  o.takeover = true;
+  const FleetCampaignOutcome out = runFleetCampaign(2, 100, o);
+  EXPECT_FALSE(out.complete());
+  ASSERT_EQ(out.failures.size(), 1u);
+  EXPECT_EQ(out.failures[0].seed, 0);
+  EXPECT_NE(out.failures[0].error.find("attempt budget"), std::string::npos)
+      << out.failures[0].error;
+  // The healthy key still ran; the exhausted one did not re-execute.
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(*out.payloads[1], payloadFor("s101"));
+}
+
+TEST(FleetCampaign, TakeoverRefusesForeignCheckpoint) {
+  const std::string dir = tempDir("takeover_fp");
+  FleetCampaignOptions o = degradedOptions(dir, nullptr);
+  {
+    std::ofstream main(o.journal_path, std::ios::binary);
+    main << formatRecord(RecordKind::kMeta, "config", "fleet-test-v1");
+  }
+  CoordinatorCheckpoint ckpt;
+  ckpt.fingerprint = "some-other-campaign";
+  saveCheckpoint(dir + "/coordinator.ckpt", ckpt);
+  o.takeover = true;
+  EXPECT_THROW((void)runFleetCampaign(2, 100, o), ConfigError);
+}
+
+TEST(FleetCampaign, TakeoverWithCorruptCheckpointFallsBackToResume) {
+  const std::string dir = tempDir("takeover_corrupt");
+  int executions = 0;
+  FleetCampaignOptions o = degradedOptions(dir, &executions);
+  {
+    std::ofstream main(o.journal_path, std::ios::binary);
+    main << formatRecord(RecordKind::kMeta, "config", "fleet-test-v1");
+  }
+  {
+    std::ofstream bad(dir + "/coordinator.ckpt", std::ios::binary);
+    bad << "not a checkpoint at all\n";
+  }
+  o.takeover = true;
+  const FleetCampaignOutcome out = runFleetCampaign(2, 100, o);
+  ASSERT_TRUE(out.complete());
+  EXPECT_EQ(executions, 2);
+  EXPECT_EQ(readFile(o.journal_path), serialJournalBytes(2, 100));
+}
+
+TEST(FleetCampaign, CleanCompletionRemovesTheCheckpoint) {
+  const std::string dir = tempDir("ckpt_cleanup");
+  FleetCampaignOptions o = degradedOptions(dir, nullptr);
+  ASSERT_TRUE(runFleetCampaign(2, 100, o).complete());
+  EXPECT_FALSE(fs::exists(dir + "/coordinator.ckpt"));
+}
+
+// --- disk-fault containment (ISSUE 10) -----------------------------------
+
+TEST(FleetCampaign, ShardDiskFaultsAreContainedAndMergeStaysCanonical) {
+  const std::string dir = tempDir("disk_fault");
+  int executions = 0;
+  FleetCampaignOptions o = degradedOptions(dir, &executions);
+  // The degraded drain journals results to the "local" worker's shard;
+  // break exactly that file (ENOSPC on every byte) while the main
+  // journal and the canonical merge stay healthy.
+  FaultyJournalIo io;
+  io.budget_bytes = 0;
+  io.path_filter = "local.journal";
+  o.journal_io = &io;
+
+  const FleetCampaignOutcome out = runFleetCampaign(3, 100, o);
+  ASSERT_TRUE(out.complete());
+  EXPECT_EQ(executions, 3);
+  EXPECT_GE(out.exec.journal_write_errors, 1u);
+  // Durability was lost, correctness was not: in-memory results survive
+  // and the final merge rewrites the canonical bytes.
+  EXPECT_EQ(readFile(o.journal_path), serialJournalBytes(3, 100));
 }
 
 TEST(FleetCampaign, SanitizesWorkerNamesForShardPaths) {

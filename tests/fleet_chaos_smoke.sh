@@ -1,0 +1,65 @@
+#!/bin/sh
+# Network-chaos smoke for the campaign fabric (ISSUE 10 acceptance):
+# run a fleet sweep at 1/2/4 workers under a fixed hostile chaos
+# schedule (drops, delays, dups, reorders, truncations, a partition
+# window), SIGKILL the coordinator mid-campaign, take over from its
+# checkpoint, and demand aggregates AND journal byte-identical to a
+# serial MPCP_THREADS=1 run.
+# $1 = mpcp_cli, $2 = mpcp_worker, $3 = scratch dir.
+set -eu
+cli="$1"
+worker="$2"
+workdir="$3"
+mkdir -p "$workdir"
+cd "$workdir"
+export MPCP_WORKER_BIN="$worker"
+
+# Every fault class in the grammar at once. Rates are hostile but
+# honest: plenty of injected faults, yet heartbeats get through often
+# enough that the run converges within the smoke's timeout.
+chaos='seed:1306,drop:*:60,delay:*:30:300,dup:*:80,reorder:*:60,trunc:*:20,partition:500:400'
+
+# Golden: the serial journaled run every chaotic fleet must reproduce.
+rm -f golden.csv golden.journal
+MPCP_THREADS=1 "$cli" sweep --seeds 12 --seed 7 --horizon 5000 \
+    --journal golden.journal --out golden.csv 2>/dev/null
+
+for workers in 1 2 4; do
+  rm -rf fleet.csv resumed.csv f.journal f.journal.shards
+
+  # Chaos pass with a generous attempt budget (truncation poisons
+  # decoders, which charges attempts against innocent head keys), and
+  # SIGKILL the coordinator mid-campaign so a checkpoint is orphaned.
+  "$cli" sweep --seeds 12 --seed 7 --horizon 5000 \
+      --workers "$workers" --journal f.journal \
+      --chaos "$chaos" --max-attempts 10 \
+      --per-run-sleep-ms 100 --lease-deadline-ms 2000 \
+      --out fleet.csv 2>chaos.err &
+  pid=$!
+  sleep 2
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+
+  # Takeover without chaos: adopt the checkpoint's attempt counts and
+  # in-flight set, finish the campaign, merge the canonical journal.
+  "$cli" sweep --seeds 12 --seed 7 --horizon 5000 \
+      --workers "$workers" --journal f.journal --takeover \
+      --out resumed.csv 2>resume.err
+  cmp golden.csv resumed.csv || {
+    echo "FAIL: takeover fleet CSV differs from serial golden at" \
+         "--workers $workers" >&2
+    exit 1
+  }
+  cmp golden.journal f.journal || {
+    echo "FAIL: merged journal not byte-identical to serial journal at" \
+         "--workers $workers" >&2
+    exit 1
+  }
+  grep -q 'fleet:' resume.err || {
+    echo "FAIL: fleet counters missing from takeover stderr" >&2
+    exit 1
+  }
+  echo "--workers $workers: byte-identical CSV + journal after chaos" \
+       "and coordinator kill -9 + --takeover"
+done
+echo OK

@@ -92,7 +92,8 @@ int usage() {
       "           fleet mode: [--workers N] [--listen unix:PATH|HOST:PORT]\n"
       "           [--shard-dir DIR] [--worker-bin PATH] [--lease-chunk N]\n"
       "           [--heartbeat-ms N] [--lease-deadline-ms N]\n"
-      "           [--fleet-grace-ms N]\n"
+      "           [--fleet-grace-ms N] [--max-attempts N]\n"
+      "           [--chaos SPEC] [--takeover]\n"
       "           (testing aids: [--per-run-sleep-ms N] [--crash-seed K])\n"
       "  generate [--seed N] [--processors N] [--tasks-per-proc N]\n"
       "           [--util X] [--resources N] [--cs-max N] [--suspend-prob X]\n"
@@ -419,6 +420,11 @@ int cmdSweep(const Args& args) {
   // assembly, and the journal fingerprint are shared with the serial
   // path, which is what the byte-identical merge contract leans on.
   const bool fleet_mode = args.has("workers") || args.has("listen");
+  if (!fleet_mode && (args.has("chaos") || args.has("takeover"))) {
+    throw cli::UsageError(
+        "--chaos and --takeover are fleet-mode flags; add --workers or "
+        "--listen");
+  }
   exec::CampaignOutcome outcome;
   if (fleet_mode) {
     if (isolate) {
@@ -434,6 +440,7 @@ int cmdSweep(const Args& args) {
     exec::fabric::FleetCampaignOptions fopt;
     fopt.journal_path = copt.journal_path;
     fopt.resume = copt.resume;
+    fopt.takeover = args.has("takeover");
     fopt.config_fingerprint = copt.config_fingerprint;
     fopt.shard_dir = args.get(
         "shard-dir", copt.journal_path.empty()
@@ -456,6 +463,18 @@ int cmdSweep(const Args& args) {
     fopt.fleet.timing.degrade_after_ms = static_cast<int>(cli::parseInt(
         "--fleet-grace-ms", args.get("fleet-grace-ms", "3000"), 100,
         600'000));
+    fopt.fleet.max_attempts = static_cast<int>(cli::parseInt(
+        "--max-attempts", args.get("max-attempts", "3"), 1, 100));
+    // --chaos SPEC: deterministic network-fault injection on every fabric
+    // link (chaos.h grammar). Malformed specs exit 2 like any other flag.
+    if (args.has("chaos")) {
+      try {
+        fopt.fleet.chaos =
+            exec::fabric::parseChaosSchedule(args.get("chaos", ""));
+      } catch (const ConfigError& e) {
+        throw cli::UsageError(strf("--chaos: ", e.what()));
+      }
+    }
     fopt.fleet.body_spec = exec::fabric::makeSweepBodySpec(
         toString(kind), seed_base, horizon, params, sleep_ms);
     const exec::fabric::FleetBodyFactory* sweep_factory =

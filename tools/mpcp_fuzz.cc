@@ -25,6 +25,7 @@
 
 #include "bench_util.h"
 #include "cli_util.h"
+#include "exec/fabric/chaos.h"
 #include "exec/interrupt.h"
 #include "obs/counters.h"
 #include "fuzz/fuzzer.h"
@@ -49,6 +50,7 @@ int usage() {
       "                 [--listen unix:PATH|HOST:PORT] [--shard-dir DIR]\n"
       "                 [--worker-bin PATH] [--heartbeat-ms N]\n"
       "                 [--lease-deadline-ms N] [--fleet-grace-ms N]\n"
+      "                 [--chaos SPEC]\n"
       "       mpcp_fuzz --replay FILE [--no-mutation] [--expect-findings]\n"
       "       mpcp_fuzz --list-mutations\n"
       "\n"
@@ -236,6 +238,19 @@ int fuzzMode(const Args& args) {
     options.fleet_grace_ms = static_cast<int>(cli::parseInt(
         "--fleet-grace-ms", args.get("fleet-grace-ms", "3000"), 100,
         600'000));
+    if (args.has("chaos")) {
+      // Parse eagerly so a malformed spec exits 2 here instead of deep in
+      // the campaign; the validated text rides in options.
+      try {
+        options.fleet_chaos = mpcp::exec::fabric::formatChaosSchedule(
+            mpcp::exec::fabric::parseChaosSchedule(args.get("chaos", "")));
+      } catch (const mpcp::ConfigError& e) {
+        throw cli::UsageError(std::string("--chaos: ") + e.what());
+      }
+    }
+  } else if (args.has("chaos")) {
+    throw cli::UsageError(
+        "--chaos is a fleet-mode flag; add --workers or --listen");
   }
 
   // Fail fast on unwritable outputs before any run: the repro corpus

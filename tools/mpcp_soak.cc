@@ -1,0 +1,315 @@
+// mpcp_soak — randomized chaos soak driver for the campaign fabric
+// (ISSUE 10 tentpole). Each round:
+//
+//   1. draws a fresh ChaosSchedule from the round's derived seed and
+//      writes it to <out-dir>/r<k>/round.chaos — the replay artifact; any
+//      failing round reproduces with `mpcp_soak --replay <that file>`;
+//   2. forks a child coordinator that runs a real-socket fleet campaign
+//      (spawned mpcp_worker processes) under that schedule; on kill
+//      rounds the parent SIGKILLs the child mid-campaign, exactly like a
+//      machine loss;
+//   3. finishes the campaign in the parent with --takeover semantics
+//      (checkpoint adopted, journals resumed) and no chaos, so every
+//      round terminates;
+//   4. checks the standing invariants: every seed produced a payload, no
+//      permanent failures, and the merged journal is byte-identical to
+//      the canonical serial stream computed in-process.
+//
+//   mpcp_soak [--rounds N] [--seed N] [--seeds N] [--workers N]
+//             [--out-dir DIR] [--per-run-sleep-ms N] [--no-kill]
+//   mpcp_soak --replay FILE [--seed N] [--seeds N] [--workers N]
+//             [--out-dir DIR] [--per-run-sleep-ms N] [--no-kill]
+//
+// Exit codes: 0 all rounds green, 1 invariant violation (diagnostics on
+// stderr), 2 usage.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strf.h"
+#include "exec/campaign.h"
+#include "exec/fabric/chaos.h"
+#include "exec/fabric/fleet_campaign.h"
+#include "exec/fabric/work.h"
+#include "exec/interrupt.h"
+#include "exec/journal.h"
+#include "obs/counters.h"
+
+using namespace mpcp;
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: mpcp_soak [--rounds N] [--seed N] [--seeds N] [--workers N]\n"
+         "                 [--out-dir DIR] [--per-run-sleep-ms N] [--no-kill]\n"
+         "       mpcp_soak --replay FILE [same knobs]\n";
+  return 2;
+}
+
+struct SoakOptions {
+  int rounds = 3;
+  std::uint64_t seed = 1;
+  int seeds = 12;        ///< keys per round
+  int workers = 2;
+  int sleep_ms = 40;     ///< per-run sleep: stretches rounds into chaos windows
+  bool kill = true;      ///< SIGKILL the child coordinator on odd rounds
+  std::string out_dir = "mpcp-soak";
+  std::string replay;    ///< chaos schedule file; one round, no randomness
+};
+
+// One fixed small workload per round; chaos, not the workload, is the
+// variable under test. The sweep-v1 body makes rows deterministic in
+// (spec, key), which is what the byte-identity invariant leans on.
+struct RoundSetup {
+  std::string spec;
+  std::string fingerprint;
+  std::uint64_t seed_base = 0;
+};
+
+RoundSetup makeRound(const SoakOptions& opt, int round) {
+  WorkloadParams params;
+  params.processors = 2;
+  params.tasks_per_processor = 3;
+  const Time horizon = 4000;
+  RoundSetup setup;
+  setup.seed_base = opt.seed * 100'000 + static_cast<std::uint64_t>(round);
+  setup.spec = exec::fabric::makeSweepBodySpec(
+      "mpcp", setup.seed_base, horizon, params, opt.sleep_ms);
+  setup.fingerprint = strf("soak-v1 seed-base=", setup.seed_base,
+                           " seeds=", opt.seeds, " horizon=", horizon);
+  return setup;
+}
+
+/// The canonical journal a serial run would produce: meta, then
+/// start/done per key in seed order with locally computed payloads.
+std::string serialReference(const RoundSetup& setup, int seeds) {
+  const exec::fabric::FleetBodyFactory* factory =
+      exec::fabric::findFleetBodyKind("sweep-v1");
+  MPCP_CHECK(factory != nullptr, "sweep-v1 body not registered");
+  const exec::fabric::FleetBodyFn body = (*factory)(setup.spec);
+  std::string canonical =
+      exec::formatRecord(exec::RecordKind::kMeta, "config", setup.fingerprint);
+  for (int s = 0; s < seeds; ++s) {
+    const std::string key = exec::runKey(setup.seed_base, s);
+    const exec::fabric::FleetResult r = body(key);
+    MPCP_CHECK(r.ok, "reference body failed for " << key);
+    canonical += exec::formatRecord(exec::RecordKind::kStart, key, "");
+    canonical += exec::formatRecord(exec::RecordKind::kDone, key, r.payload);
+  }
+  return canonical;
+}
+
+exec::fabric::FleetCampaignOptions campaignOptions(const RoundSetup& setup,
+                                                   const SoakOptions& opt,
+                                                   const std::string& dir) {
+  exec::fabric::FleetCampaignOptions fopt;
+  fopt.journal_path = dir + "/soak.journal";
+  fopt.config_fingerprint = setup.fingerprint;
+  fopt.shard_dir = dir + "/shards";
+  fopt.fleet.spawn_workers = opt.workers;
+  fopt.fleet.body_spec = setup.spec;
+  // Chaos attempts are charged liberally (truncated frames kill
+  // connections); a generous budget keeps a hostile-but-honest round from
+  // permanently failing keys that a quiet link would finish.
+  fopt.fleet.max_attempts = 10;
+  fopt.fleet.timing.heartbeat_ms = 100;
+  fopt.fleet.timing.lease_deadline_ms = 2000;
+  fopt.fleet.timing.degrade_after_ms = 60'000;  // fleets only, no local drain
+  fopt.fleet.timing.poll_ms = 20;
+  return fopt;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Runs one round. Returns true when every invariant holds.
+bool runRound(const SoakOptions& opt, int round, std::ostream& log) {
+  const std::string dir = strf(opt.out_dir, "/r", round);
+  fs::remove_all(dir);
+  fs::create_directories(dir + "/shards");
+
+  const RoundSetup setup = makeRound(opt, round);
+
+  // Draw (or replay) the round's chaos schedule and persist the artifact.
+  exec::fabric::ChaosSchedule chaos;
+  if (!opt.replay.empty()) {
+    chaos = exec::fabric::parseChaosSchedule(slurp(opt.replay));
+  } else {
+    Rng rng(opt.seed ^ (0x9e3779b97f4a7c15ULL *
+                        static_cast<std::uint64_t>(round + 1)));
+    chaos = exec::fabric::ChaosSchedule::random(rng);
+  }
+  const std::string chaos_text = exec::fabric::formatChaosSchedule(chaos);
+  {
+    std::ofstream artifact(dir + "/round.chaos", std::ios::binary);
+    artifact << chaos_text << "\n";
+  }
+  const bool kill_this_round = opt.kill && (round % 2 == 1);
+  log << "soak: round " << round << (kill_this_round ? " (kill)" : "")
+      << " chaos " << chaos_text << "\n";
+
+  // Phase 1: the chaotic fleet, in a forked child so a kill round can
+  // SIGKILL the whole coordinator (checkpoint + journals are its legacy).
+  const pid_t child = ::fork();
+  if (child < 0) {
+    log << "soak: fork failed: " << std::strerror(errno) << "\n";
+    return false;
+  }
+  if (child == 0) {
+    std::ofstream child_log(dir + "/coordinator.log");
+    try {
+      exec::fabric::FleetCampaignOptions fopt =
+          campaignOptions(setup, opt, dir);
+      fopt.fleet.chaos = chaos;
+      fopt.fleet.log = &child_log;
+      const exec::fabric::FleetCampaignOutcome fo =
+          exec::fabric::runFleetCampaign(opt.seeds, setup.seed_base, fopt);
+      ::_exit(fo.complete() && fo.failures.empty() ? 0 : 1);
+    } catch (const std::exception& e) {
+      child_log << "fatal: " << e.what() << "\n";
+      ::_exit(1);
+    }
+  }
+  if (kill_this_round) {
+    // Mid-campaign: long enough for leases and shard records to exist,
+    // short enough that work remains for the takeover.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        300 + 100 * (round % 4)));
+    ::kill(child, SIGKILL);
+  }
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  log << "soak: phase-1 coordinator "
+      << (WIFSIGNALED(status)
+              ? strf("killed by signal ", WTERMSIG(status))
+              : strf("exited ", WEXITSTATUS(status)))
+      << "\n";
+
+  // Phase 2: takeover in this process, chaos off, same journal + shards.
+  exec::fabric::FleetCampaignOptions fopt = campaignOptions(setup, opt, dir);
+  fopt.takeover = true;
+  fopt.fleet.log = &log;
+  exec::fabric::FleetCampaignOutcome fo;
+  try {
+    fo = exec::fabric::runFleetCampaign(opt.seeds, setup.seed_base, fopt);
+  } catch (const std::exception& e) {
+    log << "soak: takeover run threw: " << e.what() << "\n";
+    return false;
+  }
+  log << obs::renderFleetCounters(fo.fleet) << "\n"
+      << obs::renderExecutorCounters(fo.exec) << "\n";
+
+  // Invariants.
+  bool ok = true;
+  if (!fo.complete()) {
+    log << "soak: FAIL round " << round << ": missing payloads\n";
+    ok = false;
+  }
+  if (!fo.failures.empty()) {
+    log << "soak: FAIL round " << round << ": " << fo.failures.size()
+        << " permanent failure(s); first: " << fo.failures[0].error << "\n";
+    ok = false;
+  }
+  if (ok) {
+    const std::string reference = serialReference(setup, opt.seeds);
+    const std::string merged = slurp(fopt.journal_path);
+    if (merged != reference) {
+      log << "soak: FAIL round " << round
+          << ": merged journal differs from the serial reference ("
+          << merged.size() << " vs " << reference.size() << " bytes)\n";
+      ok = false;
+    }
+  }
+  if (ok) {
+    log << "soak: round " << round << " ok\n";
+  } else {
+    log << "soak: replay with: mpcp_soak --replay " << dir
+        << "/round.chaos --seed " << opt.seed << " --seeds " << opt.seeds
+        << " --workers " << opt.workers << "\n";
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exec::installInterruptHandlers();
+  exec::fabric::registerSweepFleetBody();
+
+  SoakOptions opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw cli::UsageError(a + " needs a value");
+        return argv[++i];
+      };
+      if (a == "--rounds") {
+        opt.rounds =
+            static_cast<int>(cli::parseInt("--rounds", value(), 1, 10'000));
+      } else if (a == "--seed") {
+        opt.seed = cli::parseUint("--seed", value());
+      } else if (a == "--seeds") {
+        opt.seeds =
+            static_cast<int>(cli::parseInt("--seeds", value(), 1, 100'000));
+      } else if (a == "--workers") {
+        opt.workers =
+            static_cast<int>(cli::parseInt("--workers", value(), 1, 64));
+      } else if (a == "--per-run-sleep-ms") {
+        opt.sleep_ms = static_cast<int>(
+            cli::parseInt("--per-run-sleep-ms", value(), 0, 60'000));
+      } else if (a == "--out-dir") {
+        opt.out_dir = value();
+        if (opt.out_dir.empty()) {
+          throw cli::UsageError("--out-dir needs a path");
+        }
+      } else if (a == "--no-kill") {
+        opt.kill = false;
+      } else if (a == "--replay") {
+        opt.replay = value();
+        opt.rounds = 1;
+      } else {
+        throw cli::UsageError("unknown option '" + a + "'");
+      }
+    }
+    fs::create_directories(opt.out_dir);
+
+    int failed = 0;
+    for (int r = 0; r < opt.rounds; ++r) {
+      if (exec::interrupted()) return exec::interruptExitCode();
+      if (!runRound(opt, r, std::cerr)) ++failed;
+    }
+    if (failed > 0) {
+      std::cerr << "soak: " << failed << "/" << opt.rounds
+                << " round(s) FAILED\n";
+      return 1;
+    }
+    std::cerr << "soak: all " << opt.rounds << " round(s) green\n";
+    return 0;
+  } catch (const cli::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,13 +1,19 @@
 // mpcp_worker — fleet worker for distributed campaigns (ISSUE 9).
 //
 //   mpcp_worker --connect unix:PATH|HOST:PORT [--name NAME]
-//               [--heartbeat-ms N] [--reconnect-attempts N]
+//               [--heartbeat-ms N] [--max-reconnect-attempts N]
+//               [--chaos SPEC]
 //
 // Connects to an mpcp_cli sweep / mpcp_fuzz coordinator, receives the
 // campaign body spec in the WELCOME handshake, and executes leased run
 // keys until the coordinator says BYE. Stateless by design: kill -9 a
 // worker at any instant and the campaign loses at most the key it was
 // running (the coordinator requeues it).
+//
+// A worker whose coordinator is permanently gone gives up cleanly after
+// --max-reconnect-attempts capped-backoff tries (exit 1) rather than
+// spinning forever; --reconnect-attempts is the older spelling, kept as
+// an alias.
 //
 // Exit codes: 0 BYE (campaign finished with us), 1 reconnect attempts
 // exhausted, 2 usage, 3 handshake/config rejection, 128+signo on
@@ -16,6 +22,8 @@
 #include <iostream>
 #include <string>
 
+#include "common/check.h"
+#include "exec/fabric/chaos.h"
 #include "exec/fabric/work.h"
 #include "exec/fabric/worker.h"
 #include "exec/interrupt.h"
@@ -28,7 +36,8 @@ int usage() {
   std::cerr << "usage: mpcp_worker --connect unix:PATH|HOST:PORT "
                "[--name NAME]\n"
                "                   [--heartbeat-ms N] "
-               "[--reconnect-attempts N]\n";
+               "[--max-reconnect-attempts N]\n"
+               "                   [--chaos SPEC]\n";
   return 2;
 }
 
@@ -57,9 +66,16 @@ int main(int argc, char** argv) {
       } else if (a == "--heartbeat-ms") {
         config.heartbeat_ms = static_cast<int>(
             mpcp::cli::parseInt("--heartbeat-ms", value(), 10, 60'000));
-      } else if (a == "--reconnect-attempts") {
+      } else if (a == "--max-reconnect-attempts" ||
+                 a == "--reconnect-attempts") {
         config.reconnect.max_attempts = static_cast<int>(
-            mpcp::cli::parseInt("--reconnect-attempts", value(), 1, 1000));
+            mpcp::cli::parseInt(a.c_str(), value(), 1, 1000));
+      } else if (a == "--chaos") {
+        try {
+          config.chaos = mpcp::exec::fabric::parseChaosSchedule(value());
+        } catch (const mpcp::ConfigError& e) {
+          throw mpcp::cli::UsageError(std::string("--chaos: ") + e.what());
+        }
       } else {
         throw mpcp::cli::UsageError("unknown option '" + a + "'");
       }
